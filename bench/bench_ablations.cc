@@ -1,0 +1,76 @@
+// Ablation benches (A1-A3): what each design choice of the Data Cyclotron
+// contributes, on the §5.1 / §5.2 scenarios.
+//   A1  dynamic vs static LOIT under workload shifts (§5.2 scenario)
+//   A2  request combining (Fig. 3 outcome 5) on vs off
+//   A3  loadAll() fit-skip vs strict FIFO for pending loads
+#include <cstdio>
+
+#include "common/flags.h"
+#include "simdc/experiments.h"
+
+using namespace dcy;         // NOLINT
+using namespace dcy::simdc;  // NOLINT
+
+namespace {
+
+void PrintRow(const char* name, const ExperimentResult& r) {
+  Histogram h(0.0, 400.0, 4000);
+  for (double life : r.collector->lifetimes_sec()) h.Add(life);
+  std::printf("%-28s %9llu %12.1f %12.2f %10.2f %10llu %10llu%s\n", name,
+              static_cast<unsigned long long>(r.finished), ToSeconds(r.last_finish),
+              r.collector->lifetime_stat().mean(), h.Percentile(95),
+              static_cast<unsigned long long>(r.collector->total_loads()),
+              static_cast<unsigned long long>(r.collector->total_dispatches()),
+              r.drained ? "" : "  [NOT DRAINED]");
+}
+
+void Header() {
+  std::printf("%-28s %9s %12s %12s %10s %10s %10s\n", "variant", "finished",
+              "last_fin_s", "mean_life_s", "p95_s", "loads", "req_msgs");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.2);
+
+  std::printf("# A1 -- LOIT policy under the shifting workloads of §5.2 (scale=%.2f)\n",
+              scale);
+  Header();
+  {
+    SkewedExperimentOptions opts;
+    opts.scale = scale;
+    PrintRow("adaptive {0.1,0.6,1.1}", RunSkewedExperiment(opts));
+  }
+  for (double loit : {0.1, 0.6, 1.1}) {
+    SkewedExperimentOptions opts;
+    opts.scale = scale;
+    opts.adaptive_loit = false;
+    opts.static_loit = loit;
+    char name[64];
+    std::snprintf(name, sizeof(name), "static %.1f", loit);
+    PrintRow(name, RunSkewedExperiment(opts));
+  }
+
+  std::printf("\n# A2 -- request combining (Fig. 3 outcome 5), §5.1 scenario\n");
+  Header();
+  for (bool combine : {true, false}) {
+    UniformExperimentOptions opts;
+    opts.scale = scale;
+    opts.loit = 0.5;
+    opts.node.combine_requests = combine;
+    PrintRow(combine ? "combining on (paper)" : "combining off", RunUniformExperiment(opts));
+  }
+
+  std::printf("\n# A3 -- pending-load policy (loadAll), §5.1 scenario, LOIT 0.3\n");
+  Header();
+  for (bool fit : {true, false}) {
+    UniformExperimentOptions opts;
+    opts.scale = scale;
+    opts.loit = 0.3;
+    opts.node.pending_fit_check = fit;
+    PrintRow(fit ? "fit-skip (paper)" : "strict FIFO", RunUniformExperiment(opts));
+  }
+  return 0;
+}

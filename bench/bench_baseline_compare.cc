@@ -1,0 +1,73 @@
+// A4: Data Cyclotron vs the architectures it displaces, on the same
+// workload and dataset:
+//   * sticky-data / function-shipping (static partitioning, §1),
+//   * a DataCycle-style central broadcast pump (§7).
+//
+// Expected shape: on a skewed (Gaussian) workload the sticky baseline
+// suffers hot-owner queueing and the broadcast pump pays the full-database
+// cycle time, while the Data Cyclotron circulates only the hot set.
+#include <cstdio>
+
+#include "baseline/baselines.h"
+#include "common/flags.h"
+#include "simdc/experiments.h"
+
+using namespace dcy;  // NOLINT
+
+namespace {
+
+void PrintRow(const char* name, uint64_t finished, double last_finish_s, double mean_s,
+              double p95_s) {
+  std::printf("%-18s %10llu %12.1f %12.2f %10.2f\n", name,
+              static_cast<unsigned long long>(finished), last_finish_s, mean_s, p95_s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.2);
+  const SimTime deadline = FromSeconds(flags.GetDouble("deadline_s", 400));
+
+  std::printf("# A4 -- Data Cyclotron vs sticky-data vs broadcast pump\n");
+  std::printf("# Gaussian workload (§5.3 shape), scale=%.2f\n\n", scale);
+  std::printf("%-18s %10s %12s %12s %10s\n", "architecture", "finished", "last_fin_s",
+              "mean_life_s", "p95_s");
+
+  // --- Data Cyclotron (the §5.3 runner). -----------------------------------
+  simdc::GaussianExperimentOptions dc_opts;
+  dc_opts.scale = scale;
+  simdc::ExperimentResult dc = simdc::RunGaussianExperiment(dc_opts);
+  {
+    Histogram h(0.0, 400.0, 4000);
+    for (double life : dc.collector->lifetimes_sec()) h.Add(life);
+    PrintRow("data-cyclotron", dc.finished, ToSeconds(dc.last_finish),
+             dc.collector->lifetime_stat().mean(), h.Percentile(95));
+  }
+
+  // --- Baselines on the identical dataset + workload. ------------------------
+  Rng data_rng(dc_opts.data_seed);
+  const uint32_t num_bats = static_cast<uint32_t>(dc_opts.num_bats * scale);
+  workload::Dataset dataset = workload::MakeUniformDataset(
+      num_bats, dc_opts.min_bat, dc_opts.max_bat, dc_opts.num_nodes, &data_rng);
+  workload::GaussianWorkloadOptions wopts;
+  wopts.rate_per_node = dc_opts.rate_per_node * scale;
+  wopts.duration = dc_opts.duration;
+  wopts.mean = dc_opts.mean * scale;
+  wopts.stddev = dc_opts.stddev * scale;
+  wopts.seed = dc_opts.workload_seed;
+  auto workloads = workload::GenerateGaussianWorkload(wopts, dataset, dc_opts.num_nodes);
+
+  baseline::LinkModel link;
+  link.bandwidth_bytes_per_sec = GbpsToBytesPerSec(10.0 * scale);
+  link.disk_bytes_per_sec = 400e6 * scale;
+
+  auto sticky = baseline::RunStickyBaseline(dataset, workloads, link, deadline);
+  PrintRow(sticky.name.c_str(), sticky.finished, ToSeconds(sticky.last_finish),
+           sticky.lifetime_sec.mean(), sticky.p95_lifetime_sec);
+
+  auto pump = baseline::RunBroadcastBaseline(dataset, workloads, link, deadline);
+  PrintRow(pump.name.c_str(), pump.finished, ToSeconds(pump.last_finish),
+           pump.lifetime_sec.mean(), pump.p95_lifetime_sec);
+  return 0;
+}

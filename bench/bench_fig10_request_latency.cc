@@ -1,0 +1,85 @@
+// Reproduces paper Figure 10 (§6.3 "Pulsating Rings"): maximum request
+// latency per BAT id for rings of 5, 10, 15 and 20 nodes, with the total
+// workload held constant (the §5.3 Gaussian scenario).
+//
+// Paper finding: the *largest* ring shows the lowest maximum request
+// latency, because its extra capacity keeps the in-vogue BATs hot for the
+// whole run (cf. Figure 11), removing reload round-trips from the path.
+#include <cstdio>
+#include <map>
+
+#include "common/flags.h"
+#include "simdc/experiments.h"
+
+using namespace dcy;         // NOLINT
+using namespace dcy::simdc;  // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+  const double total_rate = flags.GetDouble("total_rate", 800.0);
+  const int bucket = static_cast<int>(flags.GetInt("bucket", 25));
+
+  std::printf("# Figure 10 -- max request latency per BAT, 5/10/15/20 nodes "
+              "(constant total load %.0f q/s * scale, scale=%.2f)\n", total_rate, scale);
+
+  std::map<uint32_t, ExperimentResult> results;
+  for (uint32_t nodes : {5u, 10u, 15u, 20u}) {
+    GaussianExperimentOptions opts;
+    opts.num_nodes = nodes;
+    opts.total_rate = total_rate;  // constant system-wide workload
+    opts.scale = scale;
+    results.emplace(nodes, RunGaussianExperiment(opts));
+  }
+
+  std::printf("\n## Fig 10: max data-access latency per BAT (blocked-pin wait, seconds), bucketed by %d ids (TSV)\n",
+              bucket);
+  std::printf("bat_id\t5_nodes\t10_nodes\t15_nodes\t20_nodes\n");
+  const size_t num_bats = results.at(5).collector->max_pin_wait_sec().size();
+  for (size_t b0 = 0; b0 < num_bats; b0 += bucket) {
+    std::printf("%zu", b0);
+    for (uint32_t nodes : {5u, 10u, 15u, 20u}) {
+      const auto& lat = results.at(nodes).collector->max_pin_wait_sec();
+      double mx = 0;
+      for (size_t b = b0; b < std::min(num_bats, b0 + bucket); ++b) {
+        mx = std::max(mx, lat[b]);
+      }
+      std::printf("\t%.2f", mx);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n## Per-region max data-access latency (in-vogue = within 1.5 sigma)\n");
+  std::printf("nodes\tin_vogue_max_s\tstandard_max_s\tunpopular_max_s\n");
+  for (auto& [nodes, r] : results) {
+    const auto& lat = r.collector->max_pin_wait_sec();
+    const double mean = 500 * scale, sigma = 50 * scale;
+    double iv = 0, st = 0, up = 0;
+    for (size_t b = 0; b < lat.size(); ++b) {
+      const double d = std::abs(static_cast<double>(b) - mean) / sigma;
+      if (d <= 1.5) iv = std::max(iv, lat[b]);
+      else if (d <= 3.0) st = std::max(st, lat[b]);
+      else up = std::max(up, lat[b]);
+    }
+    std::printf("%u\t%.2f\t%.2f\t%.2f\n", nodes, iv, st, up);
+  }
+
+  std::printf("\n## Summary: overall max / mean-of-max request latency + rotation\n");
+  std::printf("nodes\tmax_lat_s\tmean_max_lat_s\tmean_rotation_s\tfinished\n");
+  for (auto& [nodes, r] : results) {
+    const auto& lat = r.collector->max_pin_wait_sec();
+    double mx = 0, sum = 0;
+    uint32_t cnt = 0;
+    for (double v : lat) {
+      if (v <= 0) continue;
+      mx = std::max(mx, v);
+      sum += v;
+      ++cnt;
+    }
+    std::printf("%u\t%.2f\t%.2f\t%.3f\t%llu%s\n", nodes, mx, cnt ? sum / cnt : 0.0,
+                r.collector->rotation_sec().mean(),
+                static_cast<unsigned long long>(r.finished),
+                r.drained ? "" : "\t[NOT DRAINED]");
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Figure 11 (§6.3): maximum number of cycles per BAT for
+// rings of 5, 10, 15 and 20 nodes under the constant Gaussian workload.
+//
+// Paper finding: with 20 nodes the in-vogue BATs live ~the whole run
+// (~38 cycles); with 5 nodes capacity is short, the in-vogue BATs are
+// cooled down frequently and reach only small cycle counts. Also reported:
+// each 5 added nodes grew the BAT cycle duration by ~75%.
+#include <cstdio>
+#include <map>
+
+#include "common/flags.h"
+#include "simdc/experiments.h"
+
+using namespace dcy;         // NOLINT
+using namespace dcy::simdc;  // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+  const double total_rate = flags.GetDouble("total_rate", 800.0);
+  const int bucket = static_cast<int>(flags.GetInt("bucket", 25));
+
+  std::printf("# Figure 11 -- max cycles per BAT, 5/10/15/20 nodes (scale=%.2f)\n", scale);
+
+  std::map<uint32_t, ExperimentResult> results;
+  for (uint32_t nodes : {5u, 10u, 15u, 20u}) {
+    GaussianExperimentOptions opts;
+    opts.num_nodes = nodes;
+    opts.total_rate = total_rate;
+    opts.scale = scale;
+    results.emplace(nodes, RunGaussianExperiment(opts));
+  }
+
+  std::printf("\n## Fig 11: max cycles per BAT, bucketed by %d ids (TSV)\n", bucket);
+  std::printf("bat_id\t5_nodes\t10_nodes\t15_nodes\t20_nodes\n");
+  const size_t num_bats = results.at(5).collector->max_cycles().size();
+  for (size_t b0 = 0; b0 < num_bats; b0 += bucket) {
+    std::printf("%zu", b0);
+    for (uint32_t nodes : {5u, 10u, 15u, 20u}) {
+      const auto& cyc = results.at(nodes).collector->max_cycles();
+      uint32_t mx = 0;
+      for (size_t b = b0; b < std::min(num_bats, b0 + bucket); ++b) {
+        mx = std::max(mx, cyc[b]);
+      }
+      std::printf("\t%u", mx);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n## Summary: peak cycles and rotation time growth\n");
+  std::printf("nodes\tpeak_cycles\tmean_rotation_s\trotation_growth\n");
+  double prev_rot = 0;
+  for (auto& [nodes, r] : results) {
+    uint32_t peak = 0;
+    for (uint32_t c : r.collector->max_cycles()) peak = std::max(peak, c);
+    const double rot = r.collector->rotation_sec().mean();
+    std::printf("%u\t%u\t%.3f\t%s\n", nodes, peak, rot,
+                prev_rot > 0 ? std::to_string(rot / prev_rot).c_str() : "-");
+    prev_rot = rot;
+  }
+  return 0;
+}

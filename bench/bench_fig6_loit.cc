@@ -1,0 +1,87 @@
+// Reproduces paper Figure 6 (§5.1 "Limited Ring Capacity"):
+//   (a) query throughput over time for LOIT_n = 0.1 .. 1.1 in steps of 0.1,
+//   (b) the query life-time histogram for LOIT_n in {0.1, 0.5, 1.1}.
+//
+// Output: TSV series equivalent to the paper's plots, plus a summary table.
+// Flags: --scale=0.2 (default; 1.0 = full paper size), --nodes, --duration_s.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "simdc/experiments.h"
+
+using namespace dcy;          // NOLINT
+using namespace dcy::simdc;   // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.2);
+  const double duration_s = flags.GetDouble("duration_s", 60.0);
+  const uint32_t nodes = static_cast<uint32_t>(flags.GetInt("nodes", 10));
+
+  std::printf("# Figure 6 -- query throughput and life time vs LOIT (scale=%.2f)\n", scale);
+  std::printf("# setup: %u nodes, 10 Gb/s, 350 us, %.0f MB queues, 1000*scale BATs 1-10 MB\n",
+              nodes, 200.0 * scale);
+
+  std::map<int, ExperimentResult> results;  // key: LOIT*10
+  for (int l = 1; l <= 11; ++l) {
+    UniformExperimentOptions opts;
+    opts.loit = l / 10.0;
+    opts.num_nodes = nodes;
+    opts.duration = FromSeconds(duration_s);
+    opts.scale = scale;
+    results.emplace(l, RunUniformExperiment(opts));
+  }
+
+  // --- Fig. 6a: cumulative executed queries over time per LOIT. ------------
+  std::printf("\n## Fig 6a: cumulative finished queries over time (TSV)\n");
+  std::printf("time_s\tregistered");
+  for (int l = 1; l <= 11; ++l) std::printf("\tLoiT_%.1f", l / 10.0);
+  std::printf("\n");
+  double horizon = 0;
+  for (auto& [l, r] : results) horizon = std::max(horizon, ToSeconds(r.sim_end));
+  for (double t = 0; t <= horizon + 1e-9; t += 5.0) {
+    std::printf("%.0f", t);
+    const auto& reg = results.at(11).collector->query_series().all().at("registered");
+    std::printf("\t%.0f", reg.At(t));
+    for (int l = 1; l <= 11; ++l) {
+      const auto& s = results.at(l).collector->query_series().all().at("finished");
+      std::printf("\t%.0f", s.At(t));
+    }
+    std::printf("\n");
+  }
+
+  // --- Fig. 6b: life-time histogram for three thresholds. ------------------
+  std::printf("\n## Fig 6b: query life time histogram (TSV; 5 s buckets)\n");
+  std::printf("life_s\tLoiT_0.1\tLoiT_0.5\tLoiT_1.1\n");
+  std::vector<Histogram> hist;
+  for (int l : {1, 5, 11}) {
+    Histogram h(0.0, 200.0, 40);
+    for (double life : results.at(l).collector->lifetimes_sec()) h.Add(life);
+    hist.push_back(std::move(h));
+  }
+  for (size_t b = 0; b < hist[0].num_buckets(); ++b) {
+    std::printf("%.0f\t%llu\t%llu\t%llu\n", hist[0].bucket_lo(b),
+                static_cast<unsigned long long>(hist[0].bucket_count(b)),
+                static_cast<unsigned long long>(hist[1].bucket_count(b)),
+                static_cast<unsigned long long>(hist[2].bucket_count(b)));
+  }
+
+  // --- Summary: the paper's qualitative claims. -----------------------------
+  std::printf("\n## Summary per LOIT\n");
+  std::printf("loit\tfinished\tlast_finish_s\tmean_life_s\tp95_life_s\tloads\tunloads\tpending\n");
+  for (auto& [l, r] : results) {
+    Histogram h(0.0, 400.0, 400);
+    for (double life : r.collector->lifetimes_sec()) h.Add(life);
+    std::printf("%.1f\t%llu\t%.1f\t%.2f\t%.2f\t%llu\t%llu\t%llu%s\n", l / 10.0,
+                static_cast<unsigned long long>(r.finished), ToSeconds(r.last_finish),
+                r.collector->lifetime_stat().mean(), h.Percentile(95),
+                static_cast<unsigned long long>(r.collector->total_loads()),
+                static_cast<unsigned long long>(r.collector->total_unloads()),
+                static_cast<unsigned long long>(r.collector->total_pending_tags()),
+                r.drained ? "" : "\t[NOT DRAINED]");
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces paper Figure 7 (§5.1): ring load over time, in bytes (7a) and
+// in number of BATs (7b), for LOIT_n in {0.1, 0.5, 1.1}.
+//
+// The paper's reading: at low LOIT the ring saturates and fills with ever
+// smaller BATs (load in bytes stays at capacity while the BAT count rises),
+// because dropped slots are refilled by the pending list's small entries.
+#include <cstdio>
+#include <map>
+
+#include "common/flags.h"
+#include "simdc/experiments.h"
+
+using namespace dcy;         // NOLINT
+using namespace dcy::simdc;  // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.2);
+
+  std::printf("# Figure 7 -- ring load in bytes / #BATs over time (scale=%.2f)\n", scale);
+
+  std::map<int, ExperimentResult> results;
+  for (int l : {1, 5, 11}) {
+    UniformExperimentOptions opts;
+    opts.loit = l / 10.0;
+    opts.scale = scale;
+    results.emplace(l, RunUniformExperiment(opts));
+  }
+
+  double horizon = 0;
+  for (auto& [l, r] : results) horizon = std::max(horizon, ToSeconds(r.sim_end));
+
+  std::printf("\n## Fig 7a: ring load in bytes (TSV)\n");
+  std::printf("time_s\tLoiT_0.1\tLoiT_0.5\tLoiT_1.1\n");
+  for (double t = 0; t <= horizon + 1e-9; t += 2.0) {
+    std::printf("%.0f", t);
+    for (int l : {1, 5, 11}) {
+      const auto& s = results.at(l).collector->ring_series().all().at("total_bytes");
+      std::printf("\t%.0f", s.At(t));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n## Fig 7b: ring load in #BATs (TSV)\n");
+  std::printf("time_s\tLoiT_0.1\tLoiT_0.5\tLoiT_1.1\n");
+  for (double t = 0; t <= horizon + 1e-9; t += 2.0) {
+    std::printf("%.0f", t);
+    for (int l : {1, 5, 11}) {
+      const auto& s = results.at(l).collector->ring_series().all().at("total_bats");
+      std::printf("\t%.0f", s.At(t));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n## Mean BAT size in the ring over time (bytes/bat; small-BAT bias check)\n");
+  std::printf("time_s\tLoiT_0.1\tLoiT_0.5\tLoiT_1.1\n");
+  for (double t = 0; t <= horizon + 1e-9; t += 10.0) {
+    std::printf("%.0f", t);
+    for (int l : {1, 5, 11}) {
+      const auto& all = results.at(l).collector->ring_series().all();
+      const double bytes = all.at("total_bytes").At(t);
+      const double bats = all.at("total_bats").At(t);
+      std::printf("\t%.0f", bats > 0 ? bytes / bats : 0.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

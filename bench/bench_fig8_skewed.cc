@@ -1,0 +1,61 @@
+// Reproduces paper Figure 8 (§5.2 "Skewed Workloads"): four sub-workloads
+// SW1..SW4 (Table 3) with disjoint hot sets under the adaptive LOIT ladder.
+//   (a) ring load per disjoint hot set DH_i over time,
+//   (b) completed queries per sub-workload over time.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "simdc/experiments.h"
+
+using namespace dcy;         // NOLINT
+using namespace dcy::simdc;  // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.2);
+
+  std::printf("# Figure 8 -- skewed workloads SW1..SW4 (Table 3), scale=%.2f\n", scale);
+  std::printf("# SW1: skew 3, 0-30 s, 200 q/s | SW2: skew 5, 15-45 s, 300 q/s\n");
+  std::printf("# SW3: skew 7, 37.5-67.5 s, 400 q/s | SW4: skew 9, 67.5-97.5 s, 500 q/s\n");
+  std::printf("# adaptive LOIT levels {0.1, 0.6, 1.1}, watermarks 80%%/40%%\n");
+
+  SkewedExperimentOptions opts;
+  opts.scale = scale;
+  ExperimentResult r = RunSkewedExperiment(opts);
+
+  const double horizon = ToSeconds(r.sim_end);
+  const auto& ring = r.collector->ring_series().all();
+  const auto& queries = r.collector->query_series().all();
+
+  std::printf("\n## Fig 8a: ring load per hot set in bytes (TSV)\n");
+  std::printf("time_s\ttotal\tDH1\tDH2\tDH3\tDH4\tshared\n");
+  for (double t = 0; t <= horizon + 1e-9; t += 2.0) {
+    std::printf("%.0f\t%.0f", t, ring.at("total_bytes").At(t));
+    for (int tag = 1; tag <= 4; ++tag) {
+      std::printf("\t%.0f", ring.at("tag" + std::to_string(tag) + "_bytes").At(t));
+    }
+    std::printf("\t%.0f\n", ring.at("tag0_bytes").At(t));
+  }
+
+  std::printf("\n## Fig 8b: completed queries per sub-workload (TSV, cumulative)\n");
+  std::printf("time_s\tSW1\tSW2\tSW3\tSW4\n");
+  for (double t = 0; t <= horizon + 1e-9; t += 2.0) {
+    std::printf("%.0f", t);
+    for (int tag = 1; tag <= 4; ++tag) {
+      std::printf("\t%.0f", queries.at("tag" + std::to_string(tag) + "_finished").At(t));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n## Summary\n");
+  std::printf("registered=%llu finished=%llu failed=%llu last_finish=%.1fs drained=%d\n",
+              static_cast<unsigned long long>(r.registered),
+              static_cast<unsigned long long>(r.finished),
+              static_cast<unsigned long long>(r.failed), ToSeconds(r.last_finish),
+              r.drained ? 1 : 0);
+  std::printf("loads=%llu unloads=%llu pending_tags=%llu\n",
+              static_cast<unsigned long long>(r.collector->total_loads()),
+              static_cast<unsigned long long>(r.collector->total_unloads()),
+              static_cast<unsigned long long>(r.collector->total_pending_tags()));
+  return 0;
+}

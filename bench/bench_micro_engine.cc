@@ -1,0 +1,88 @@
+// Micro-benchmarks of the BAT engine operators (M1): select / hash join /
+// merge join / sort / group-aggregate throughput.
+#include <benchmark/benchmark.h>
+
+#include "bat/operators.h"
+#include "common/random.h"
+
+namespace {
+
+using namespace dcy;       // NOLINT
+using namespace dcy::bat;  // NOLINT
+
+BatPtr RandomIntBat(size_t n, int32_t domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> v(n);
+  for (auto& x : v) x = static_cast<int32_t>(rng.UniformInt(0, domain));
+  return Bat::MakeColumn(MakeIntColumn(std::move(v)));
+}
+
+void BM_SelectRange(benchmark::State& state) {
+  auto b = RandomIntBat(static_cast<size_t>(state.range(0)), 1000, 1);
+  for (auto _ : state) {
+    auto r = SelectRange(b, Value::MakeInt(100), Value::MakeInt(300));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectRange)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HashJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto l = RandomIntBat(n, static_cast<int32_t>(n / 4), 2);
+  auto r = Reverse(RandomIntBat(n / 4, static_cast<int32_t>(n / 4), 3));
+  for (auto _ : state) {
+    auto out = Join(l, r);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_MergeJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<int32_t> lk(n), rk(n / 4);
+  for (auto& x : lk) x = static_cast<int32_t>(rng.UniformInt(0, static_cast<int64_t>(n)));
+  for (auto& x : rk) x = static_cast<int32_t>(rng.UniformInt(0, static_cast<int64_t>(n)));
+  std::sort(lk.begin(), lk.end());
+  std::sort(rk.begin(), rk.end());
+  Bat::Properties lp;
+  lp.tsorted = true;
+  lp.hsorted = true;
+  auto l = std::make_shared<Bat>(MakeDenseOid(0, n), MakeIntColumn(std::move(lk)), lp);
+  Bat::Properties rp;
+  rp.hsorted = true;
+  auto r = std::make_shared<Bat>(MakeIntColumn(std::move(rk)), MakeDenseOid(0, n / 4), rp);
+  for (auto _ : state) {
+    auto out = Join(BatPtr(l), BatPtr(r));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergeJoin)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_Sort(benchmark::State& state) {
+  auto b = RandomIntBat(static_cast<size_t>(state.range(0)), 1 << 30, 5);
+  for (auto _ : state) {
+    auto r = Sort(b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sort)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_GroupAggregate(benchmark::State& state) {
+  auto b = RandomIntBat(static_cast<size_t>(state.range(0)), 64, 6);
+  for (auto _ : state) {
+    auto gids = GroupId(b);
+    auto sums = SumPerGroup(b, *gids, 65);
+    benchmark::DoNotOptimize(sums);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupAggregate)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

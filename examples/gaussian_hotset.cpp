@@ -1,0 +1,66 @@
+// Example: non-uniform access and hot-set management (paper §5.3).
+//
+// Runs the Gaussian workload (access ~ N(500, 50^2) over 1000 fragments,
+// scaled) and prints the three BAT populations the paper identifies:
+// in-vogue fragments stay hot (many touches, few loads), standard fragments
+// cycle in and out, unpopular ones barely appear.
+//
+// Run: ./gaussian_hotset [--scale=0.2]
+#include <cmath>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "simdc/experiments.h"
+
+using namespace dcy;         // NOLINT
+using namespace dcy::simdc;  // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.2);
+
+  GaussianExperimentOptions opts;
+  opts.scale = scale;
+  std::printf("Gaussian hot set (paper §5.3): access ~ N(%.0f, %.0f^2), scale %.2f\n\n",
+              opts.mean * scale, opts.stddev * scale, scale);
+  ExperimentResult r = RunGaussianExperiment(opts);
+
+  const auto& touches = r.collector->touches();
+  const auto& requests = r.collector->requests();
+  const auto& loads = r.collector->loads();
+  const double mean = opts.mean * scale, sigma = opts.stddev * scale;
+
+  struct Group {
+    const char* name;
+    uint64_t bats = 0, touches = 0, requests = 0, loads = 0;
+  } groups[3] = {{"in-vogue (<1.5s)"}, {"standard (1.5-3s)"}, {"unpopular (>3s)"}};
+
+  for (size_t b = 0; b < touches.size(); ++b) {
+    const double d = std::abs(static_cast<double>(b) - mean) / sigma;
+    Group& g = groups[d <= 1.5 ? 0 : (d <= 3.0 ? 1 : 2)];
+    ++g.bats;
+    g.touches += touches[b];
+    g.requests += requests[b];
+    g.loads += loads[b];
+  }
+
+  std::printf("%-20s %6s %12s %12s %10s\n", "population", "bats", "touches/bat",
+              "requests/bat", "loads/bat");
+  for (const Group& g : groups) {
+    if (g.bats == 0) continue;
+    std::printf("%-20s %6llu %12.1f %12.1f %10.1f\n", g.name,
+                static_cast<unsigned long long>(g.bats),
+                static_cast<double>(g.touches) / static_cast<double>(g.bats),
+                static_cast<double>(g.requests) / static_cast<double>(g.bats),
+                static_cast<double>(g.loads) / static_cast<double>(g.bats));
+  }
+
+  std::printf("\n%llu/%llu queries finished; mean ring rotation %.2f s\n",
+              static_cast<unsigned long long>(r.finished),
+              static_cast<unsigned long long>(r.registered),
+              r.collector->rotation_sec().mean());
+  std::printf("The in-vogue fragments collect touches every pass but re-enter the ring\n"
+              "rarely — their persistent S2 request entries absorb new demand, the\n"
+              "paper's counterintuitive low request rate for popular data.\n");
+  return 0;
+}

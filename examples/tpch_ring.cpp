@@ -1,0 +1,54 @@
+// Example: TPC-H trace-driven scale-out (paper §5.4, Table 4).
+//
+// Generates synthetic TPC-H SF-5 traces (22 templates, calibrated operator
+// times, partitioned columns as ring fragments) and replays them on rings
+// of growing size, reporting the paper's four columns.
+//
+// Run: ./tpch_ring [--queries_per_node=200] [--max_nodes=4]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "simdc/experiments.h"
+#include "workload/tpch.h"
+
+using namespace dcy;  // NOLINT
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint32_t queries = static_cast<uint32_t>(flags.GetInt("queries_per_node", 200));
+  const uint32_t max_nodes = static_cast<uint32_t>(flags.GetInt("max_nodes", 4));
+
+  std::printf("TPC-H SF-5 on the Data Cyclotron (paper §5.4), %u queries/node @ 8 q/s\n\n",
+              queries);
+
+  // Show what the trace generator builds.
+  workload::TpchOptions topts;
+  topts.queries_per_node = queries;
+  auto wl = workload::GenerateTpchWorkload(topts, 2);
+  std::printf("dataset: %u fragments from %zu logical columns/indexes, %.2f GB total\n",
+              wl.dataset.num_bats(), workload::TpchColumns().size(),
+              static_cast<double>(wl.dataset.total_bytes()) / 1e9);
+  std::printf("mean useful CPU per query: %.2f core-seconds (target %.2f)\n\n",
+              wl.useful_cpu_seconds / (2.0 * queries), topts.target_mean_cpu_sec);
+
+  std::printf("%-8s %9s %12s %16s %7s\n", "#nodes", "exec(sec)", "throughput",
+              "throughP/node", "CPU%");
+  {
+    simdc::TpchExperimentOptions opts;
+    opts.num_nodes = 1;
+    opts.tpch.queries_per_node = queries;
+    opts.tpch.cpu_inflation = 420.0 / 317.0;  // the paper's MonetDB row
+    std::printf("%s\n", simdc::FormatTpchRow(simdc::RunTpchExperiment(opts)).c_str());
+  }
+  for (uint32_t nodes = 1; nodes <= max_nodes; ++nodes) {
+    simdc::TpchExperimentOptions opts;
+    opts.num_nodes = nodes;
+    opts.tpch.queries_per_node = queries;
+    std::printf("%s\n", simdc::FormatTpchRow(simdc::RunTpchExperiment(opts)).c_str());
+  }
+
+  std::printf("\nReading: throughput scales ~linearly with nodes at near-constant\n"
+              "throughput/node, while CPU utilization decays slowly as ring rotation\n"
+              "latency grows — the paper's Table 4 shape.\n");
+  return 0;
+}

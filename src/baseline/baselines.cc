@@ -1,0 +1,131 @@
+#include "baseline/baselines.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dcy::baseline {
+
+namespace {
+
+/// Shared sequential-step query walker: `fetch(bat, node, done)` arranges
+/// for `done` to run when the fragment is available at `node`.
+struct Walker {
+  sim::Simulator sim;
+  RunningStat lifetime;
+  Histogram hist{0.0, 400.0, 4000};
+  uint64_t finished = 0;
+  SimTime last_finish = 0;
+
+  template <typename Fetch>
+  void Run(const workload::NodeWorkloads& workloads, Fetch fetch, SimTime deadline) {
+    struct Active {
+      simdc::QuerySpec spec;
+      size_t step = 0;
+    };
+    auto step_done = std::make_shared<std::function<void(Active)>>();
+    *step_done = [this, fetch, step_done](Active aq) {
+      if (aq.step >= aq.spec.steps.size()) {
+        ++finished;
+        last_finish = sim.Now();
+        const double life = ToSeconds(sim.Now() - aq.spec.arrival);
+        lifetime.Add(life);
+        hist.Add(life);
+        return;
+      }
+      const auto& step = aq.spec.steps[aq.step];
+      const uint32_t node = static_cast<uint32_t>(aq.spec.id % 1000007 % 64);
+      (void)node;
+      fetch(step.bat, aq.spec, [this, aq, step_done]() mutable {
+        const SimTime proc = aq.spec.steps[aq.step].cpu_after;
+        ++aq.step;
+        sim.Schedule(proc, [aq = std::move(aq), step_done] { (*step_done)(aq); });
+      });
+    };
+    for (uint32_t n = 0; n < workloads.size(); ++n) {
+      for (const auto& spec : workloads[n]) {
+        sim.ScheduleAt(spec.arrival, [spec, step_done] { (*step_done)(Active{spec, 0}); });
+      }
+    }
+    sim.RunUntil(deadline);
+  }
+};
+
+}  // namespace
+
+BaselineResult RunStickyBaseline(const workload::Dataset& dataset,
+                                 const workload::NodeWorkloads& workloads,
+                                 const LinkModel& link, SimTime deadline) {
+  Walker w;
+  // Each owner's outgoing NIC serves fetches FIFO.
+  std::vector<SimTime> owner_busy_until(64, 0);
+  const uint32_t num_nodes = static_cast<uint32_t>(workloads.size());
+
+  auto fetch = [&](core::BatId bat, const simdc::QuerySpec& spec,
+                   std::function<void()> done) {
+    const auto& b = dataset.bats[bat];
+    const uint32_t requester = static_cast<uint32_t>(spec.id % num_nodes);
+    const uint32_t dist =
+        (b.owner + num_nodes - requester) % num_nodes;  // hops on the fabric
+    const SimTime rtt = 2 * link.hop_delay * std::max<uint32_t>(dist, 1);
+    const SimTime disk =
+        static_cast<SimTime>(static_cast<double>(b.size) / link.disk_bytes_per_sec * 1e9);
+    const SimTime tx =
+        static_cast<SimTime>(static_cast<double>(b.size) / link.bandwidth_bytes_per_sec * 1e9);
+    // FIFO at the owner: service begins when the NIC frees up.
+    SimTime& busy = owner_busy_until[b.owner % owner_busy_until.size()];
+    const SimTime start = std::max(w.sim.Now() + rtt / 2, busy);
+    busy = start + tx;
+    const SimTime ready = start + tx + disk + rtt / 2;
+    w.sim.ScheduleAt(ready, std::move(done));
+  };
+  w.Run(workloads, fetch, deadline);
+
+  BaselineResult r;
+  r.name = "sticky-data";
+  r.finished = w.finished;
+  r.last_finish = w.last_finish;
+  r.lifetime_sec = w.lifetime;
+  r.p95_lifetime_sec = w.hist.Percentile(95);
+  return r;
+}
+
+BaselineResult RunBroadcastBaseline(const workload::Dataset& dataset,
+                                    const workload::NodeWorkloads& workloads,
+                                    const LinkModel& link, SimTime deadline) {
+  Walker w;
+  // Precompute each fragment's offset in the broadcast cycle.
+  std::vector<uint64_t> offset(dataset.bats.size(), 0);
+  uint64_t total = 0;
+  for (size_t i = 0; i < dataset.bats.size(); ++i) {
+    offset[i] = total;
+    total += dataset.bats[i].size;
+  }
+  const double bw = link.bandwidth_bytes_per_sec;
+  const SimTime cycle = static_cast<SimTime>(static_cast<double>(total) / bw * 1e9);
+
+  auto fetch = [&](core::BatId bat, const simdc::QuerySpec&, std::function<void()> done) {
+    // The pump is at byte position (now mod cycle) * bw; wait until the
+    // fragment's slot comes around, then receive it.
+    const SimTime now = w.sim.Now();
+    const SimTime slot_start =
+        static_cast<SimTime>(static_cast<double>(offset[bat]) / bw * 1e9);
+    const SimTime phase = now % cycle;
+    SimTime wait = slot_start - phase;
+    if (wait < 0) wait += cycle;
+    const SimTime tx =
+        static_cast<SimTime>(static_cast<double>(dataset.bats[bat].size) / bw * 1e9);
+    w.sim.Schedule(wait + tx + link.hop_delay, std::move(done));
+  };
+  w.Run(workloads, fetch, deadline);
+
+  BaselineResult r;
+  r.name = "broadcast-pump";
+  r.finished = w.finished;
+  r.last_finish = w.last_finish;
+  r.lifetime_sec = w.lifetime;
+  r.p95_lifetime_sec = w.hist.Percentile(95);
+  return r;
+}
+
+}  // namespace dcy::baseline

@@ -1,0 +1,51 @@
+// Baseline comparators for the Data Cyclotron, used by the A4 bench:
+//
+//  * Sticky-data / function-shipping: the classic distributed design the
+//    paper argues against (§1 "Sticky Data"). Data is statically
+//    partitioned; a query fetches each remote fragment directly from its
+//    owner over a point-to-point link, queueing at the owner's NIC — hot
+//    owners become hot spots.
+//
+//  * DataCycle-style broadcast pump (§7 related work): one central pump
+//    broadcasts the *entire* database cyclically; a query waits until its
+//    fragment next passes on the shared channel. The cycle time over the
+//    full database — not the hot set — bounds latency.
+//
+// Both run on the same discrete-event kernel and consume the same
+// QuerySpec workloads as the Data Cyclotron experiments.
+#pragma once
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+#include "simdc/query_model.h"
+#include "workload/synthetic.h"
+#include "workload/dataset.h"
+
+namespace dcy::baseline {
+
+struct BaselineResult {
+  std::string name;
+  uint64_t finished = 0;
+  SimTime last_finish = 0;
+  RunningStat lifetime_sec;
+  double p95_lifetime_sec = 0.0;
+};
+
+struct LinkModel {
+  double bandwidth_bytes_per_sec = GbpsToBytesPerSec(10.0);
+  SimTime hop_delay = FromMicros(350);
+  double disk_bytes_per_sec = 400e6;
+};
+
+/// Sticky-data baseline: per-owner FIFO serving of fragment fetches.
+BaselineResult RunStickyBaseline(const workload::Dataset& dataset,
+                                 const workload::NodeWorkloads& workloads,
+                                 const LinkModel& link, SimTime deadline);
+
+/// Broadcast-pump baseline: fragments arrive when their slot in the
+/// database-wide broadcast cycle passes.
+BaselineResult RunBroadcastBaseline(const workload::Dataset& dataset,
+                                    const workload::NodeWorkloads& workloads,
+                                    const LinkModel& link, SimTime deadline);
+
+}  // namespace dcy::baseline

@@ -1,0 +1,63 @@
+#include "bat/bat.h"
+
+#include "common/logging.h"
+
+namespace dcy::bat {
+
+Bat::Bat(ColumnPtr head, ColumnPtr tail)
+    : Bat(std::move(head), std::move(tail), Properties{}) {}
+
+Bat::Bat(ColumnPtr head, ColumnPtr tail, Properties props)
+    : head_(std::move(head)), tail_(std::move(tail)), props_(props) {
+  DCY_CHECK(head_ != nullptr && tail_ != nullptr);
+  DCY_CHECK(head_->size() == tail_->size())
+      << "head/tail size mismatch: " << head_->size() << " vs " << tail_->size();
+}
+
+BatPtr Bat::MakeColumn(ColumnPtr tail, Oid seqbase) {
+  Properties props;
+  props.hsorted = true;
+  props.hkey = true;
+  auto head = MakeDenseOid(seqbase, tail->size());
+  return std::make_shared<Bat>(std::move(head), std::move(tail), props);
+}
+
+Bat::Properties Bat::ScanProperties(const Column& head, const Column& tail) {
+  Properties p;
+  p.hsorted = head.IsSorted();
+  p.tsorted = tail.IsSorted();
+  auto all_distinct = [](const Column& c) {
+    // Cheap check only for sorted columns; unsorted => unknown (false).
+    for (size_t i = 1; i < c.size(); ++i) {
+      if (CompareRows(c, i - 1, c, i) == 0) return false;
+    }
+    return true;
+  };
+  p.hkey = p.hsorted && all_distinct(head);
+  p.tkey = p.tsorted && all_distinct(tail);
+  return p;
+}
+
+bool Bat::HasDenseHead() const {
+  return dynamic_cast<const DenseOidColumn*>(head_.get()) != nullptr;
+}
+
+Oid Bat::HeadSeqbase() const {
+  auto* dense = dynamic_cast<const DenseOidColumn*>(head_.get());
+  DCY_CHECK(dense != nullptr) << "head is not dense";
+  return dense->seqbase();
+}
+
+std::string Bat::ToString(size_t limit) const {
+  std::string out = "BAT[" + std::string(ValTypeName(head_type())) + "," +
+                    ValTypeName(tail_type()) + "] #" + std::to_string(size()) + "\n";
+  const size_t n = std::min(limit, size());
+  for (size_t i = 0; i < n; ++i) {
+    out += "  [" + head_->GetValue(i).ToString() + ", " + tail_->GetValue(i).ToString() +
+           "]\n";
+  }
+  if (size() > n) out += "  ... (" + std::to_string(size() - n) + " more)\n";
+  return out;
+}
+
+}  // namespace dcy::bat

@@ -1,0 +1,66 @@
+// Classic MonetDB-style Binary Association Tables: a BAT is a mapping from a
+// head column to a tail column (paper §3.1). Operators over BATs live in
+// bat/operators.h; serialization for ring transport in bat/serialize.h.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bat/column.h"
+#include "common/status.h"
+
+namespace dcy::bat {
+
+class Bat;
+using BatPtr = std::shared_ptr<const Bat>;
+
+/// \brief An immutable two-column association table.
+///
+/// Properties (`tsorted`, `tkey`) mirror MonetDB's: "Additional BAT
+/// properties are used to steer selection of more efficient algorithms,
+/// e.g., sorted columns lead to sort-merge join operations" (§3.1).
+class Bat {
+ public:
+  struct Properties {
+    bool tsorted = false;  ///< tail is non-decreasing
+    bool tkey = false;     ///< tail values are unique
+    bool hsorted = false;  ///< head is non-decreasing (dense heads are)
+    bool hkey = false;     ///< head values are unique
+  };
+
+  Bat(ColumnPtr head, ColumnPtr tail);
+  Bat(ColumnPtr head, ColumnPtr tail, Properties props);
+
+  /// A standard column BAT: dense head [seqbase..) and the given tail.
+  static BatPtr MakeColumn(ColumnPtr tail, Oid seqbase = 0);
+  /// Derives sortedness/key properties by scanning (O(n), used by tests
+  /// and loaders, not by operators).
+  static Properties ScanProperties(const Column& head, const Column& tail);
+
+  const ColumnPtr& head() const { return head_; }
+  const ColumnPtr& tail() const { return tail_; }
+  size_t size() const { return head_->size(); }
+  const Properties& props() const { return props_; }
+
+  ValType head_type() const { return head_->type(); }
+  ValType tail_type() const { return tail_->type(); }
+
+  /// True if the head is a dense oid range.
+  bool HasDenseHead() const;
+  /// Requires HasDenseHead().
+  Oid HeadSeqbase() const;
+
+  /// Payload bytes (head + tail); the quantity the ring's queue accounting
+  /// uses for this fragment.
+  uint64_t ByteSize() const { return head_->ByteSize() + tail_->ByteSize(); }
+
+  /// Renders up to `limit` rows for debugging: "[head, tail]" per line.
+  std::string ToString(size_t limit = 16) const;
+
+ private:
+  ColumnPtr head_;
+  ColumnPtr tail_;
+  Properties props_;
+};
+
+}  // namespace dcy::bat

@@ -1,0 +1,145 @@
+#include "bat/catalog.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bat/serialize.h"
+#include "common/logging.h"
+
+namespace dcy::bat {
+
+BatCatalog::BatCatalog(std::string spill_dir) : spill_dir_(std::move(spill_dir)) {
+  if (!spill_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spill_dir_, ec);
+    if (ec) {
+      DCY_LOG(kWarn) << "cannot create spill dir " << spill_dir_ << ": " << ec.message();
+      spill_dir_.clear();
+    }
+  }
+}
+
+Status BatCatalog::Register(const std::string& name, core::BatId id, BatPtr bat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (by_name_.count(name) > 0) return Status::AlreadyExists("BAT name " + name);
+  if (by_id_.count(id) > 0) return Status::AlreadyExists("BAT id " + std::to_string(id));
+  Entry e;
+  e.name = name;
+  e.id = id;
+  e.bytes = bat->ByteSize();
+  e.bat = std::move(bat);
+  resident_bytes_ += e.bytes;
+  by_name_[name] = id;
+  by_id_[id] = std::move(e);
+  return Status::OK();
+}
+
+Result<BatPtr> BatCatalog::GetByName(const std::string& name) {
+  core::BatId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_name_.find(name);
+    if (it == by_name_.end()) return Status::NotFound("BAT " + name);
+    id = it->second;
+  }
+  return GetById(id);
+}
+
+Result<BatPtr> BatCatalog::GetById(core::BatId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("BAT id " + std::to_string(id));
+  Entry& e = it->second;
+  if (e.bat != nullptr) return e.bat;
+  // Cold: read back from the spill file.
+  std::ifstream in(e.path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + e.path);
+  std::string buffer((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  DCY_ASSIGN_OR_RETURN(BatPtr bat, Deserialize(buffer));
+  e.bat = bat;
+  resident_bytes_ += e.bytes;
+  return bat;
+}
+
+Result<core::BatId> BatCatalog::IdOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("BAT " + name);
+  return it->second;
+}
+
+Result<uint64_t> BatCatalog::SizeOf(core::BatId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("BAT id " + std::to_string(id));
+  return it->second.bytes;
+}
+
+std::string BatCatalog::SpillPath(const Entry& e) const {
+  std::string sanitized = e.name;
+  for (char& c : sanitized) {
+    if (c == '/' || c == '.') c = '_';
+  }
+  return spill_dir_ + "/" + sanitized + "_" + std::to_string(e.id) + ".bat";
+}
+
+Status BatCatalog::Spill(core::BatId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("BAT id " + std::to_string(id));
+  Entry& e = it->second;
+  if (e.bat == nullptr) return Status::OK();  // already cold
+  if (spill_dir_.empty()) return Status::FailedPrecondition("no spill directory");
+  if (e.path.empty()) {
+    e.path = SpillPath(e);
+    const std::string buffer = Serialize(*e.bat);
+    std::ofstream out(e.path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot write " + e.path);
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    if (!out) return Status::IOError("short write to " + e.path);
+  }
+  e.bat.reset();
+  resident_bytes_ -= e.bytes;
+  return Status::OK();
+}
+
+bool BatCatalog::IsSpilled(core::BatId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  return it != by_id_.end() && it->second.bat == nullptr;
+}
+
+Status BatCatalog::Drop(core::BatId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("BAT id " + std::to_string(id));
+  if (it->second.bat != nullptr) resident_bytes_ -= it->second.bytes;
+  if (!it->second.path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(it->second.path, ec);
+  }
+  by_name_.erase(it->second.name);
+  by_id_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> BatCatalog::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, _] : by_name_) names.push_back(name);
+  return names;
+}
+
+size_t BatCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_id_.size();
+}
+
+uint64_t BatCatalog::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+}  // namespace dcy::bat

@@ -1,0 +1,71 @@
+// The named persistent-BAT catalog of one node's DC data loader: maps
+// "schema.table.column" names to fragments, tracks which are resident in
+// memory vs spilled to local cold storage ("Infrequently used BATs are
+// retained on a local disk at the discretion of the DC data loader", §4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bat/bat.h"
+#include "common/status.h"
+#include "core/types.h"
+
+namespace dcy::bat {
+
+/// \brief Thread-safe name -> BAT store with optional disk spill.
+class BatCatalog {
+ public:
+  /// `spill_dir` empty disables cold storage (everything stays in memory).
+  explicit BatCatalog(std::string spill_dir = "");
+
+  /// Registers a BAT under `name` with the given ring fragment id.
+  /// Fails on duplicate names or ids.
+  Status Register(const std::string& name, core::BatId id, BatPtr bat);
+
+  /// Looks up by qualified name. NotFound if absent; reads back from disk
+  /// if spilled.
+  Result<BatPtr> GetByName(const std::string& name);
+  /// Looks up by fragment id.
+  Result<BatPtr> GetById(core::BatId id);
+
+  /// The fragment id for a name.
+  Result<core::BatId> IdOf(const std::string& name) const;
+  /// Payload size of a fragment.
+  Result<uint64_t> SizeOf(core::BatId id) const;
+
+  /// Writes the BAT to cold storage and drops the in-memory copy.
+  Status Spill(core::BatId id);
+  /// True if the fragment currently has no in-memory copy.
+  bool IsSpilled(core::BatId id) const;
+
+  /// Removes a fragment entirely.
+  Status Drop(core::BatId id);
+
+  std::vector<std::string> Names() const;
+  size_t size() const;
+  uint64_t resident_bytes() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    core::BatId id = core::kInvalidBat;
+    BatPtr bat;        // null when spilled
+    uint64_t bytes = 0;
+    std::string path;  // spill file; empty if never spilled
+  };
+
+  std::string SpillPath(const Entry& e) const;
+
+  mutable std::mutex mu_;
+  std::string spill_dir_;
+  std::map<std::string, core::BatId> by_name_;
+  std::map<core::BatId, Entry> by_id_;
+  uint64_t resident_bytes_ = 0;
+};
+
+}  // namespace dcy::bat

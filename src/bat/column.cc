@@ -1,0 +1,161 @@
+#include "bat/column.h"
+
+#include <algorithm>
+
+namespace dcy::bat {
+
+const char* ValTypeName(ValType t) {
+  switch (t) {
+    case ValType::kOid: return "oid";
+    case ValType::kInt: return "int";
+    case ValType::kLng: return "lng";
+    case ValType::kDbl: return "dbl";
+    case ValType::kStr: return "str";
+    case ValType::kDate: return "date";
+  }
+  return "?";
+}
+
+bool IsFixedWidth(ValType t) { return t != ValType::kStr; }
+
+size_t ValTypeWidth(ValType t) {
+  switch (t) {
+    case ValType::kOid: return sizeof(Oid);
+    case ValType::kInt: return sizeof(int32_t);
+    case ValType::kLng: return sizeof(int64_t);
+    case ValType::kDbl: return sizeof(double);
+    case ValType::kDate: return sizeof(int32_t);
+    case ValType::kStr: return 0;
+  }
+  return 0;
+}
+
+bool Value::operator==(const Value& o) const {
+  if (type != o.type) return false;
+  switch (type) {
+    case ValType::kDbl: return d == o.d;
+    case ValType::kStr: return s == o.s;
+    default: return i == o.i;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type) {
+    case ValType::kOid: return std::to_string(i) + "@0";
+    case ValType::kDbl: return std::to_string(d);
+    case ValType::kStr: return "\"" + s + "\"";
+    default: return std::to_string(i);
+  }
+}
+
+std::string_view Column::GetString(size_t) const {
+  DCY_FATAL() << "GetString on " << ValTypeName(type_) << " column";
+  return {};
+}
+
+Value Column::GetValue(size_t i) const {
+  switch (type_) {
+    case ValType::kOid: return Value::MakeOid(static_cast<Oid>(GetInt64(i)));
+    case ValType::kInt: return Value::MakeInt(static_cast<int32_t>(GetInt64(i)));
+    case ValType::kLng: return Value::MakeLng(GetInt64(i));
+    case ValType::kDate: return Value::MakeDate(static_cast<int32_t>(GetInt64(i)));
+    case ValType::kDbl: return Value::MakeDbl(GetDouble(i));
+    case ValType::kStr: return Value::MakeStr(std::string(GetString(i)));
+  }
+  return {};
+}
+
+bool Column::IsSorted() const {
+  for (size_t i = 1; i < size_; ++i) {
+    if (CompareRows(*this, i - 1, *this, i) > 0) return false;
+  }
+  return true;
+}
+
+ColumnBuilder::ColumnBuilder(ValType type) : type_(type) {}
+
+void ColumnBuilder::AppendInt64(int64_t v) {
+  switch (type_) {
+    case ValType::kOid: oids_.push_back(static_cast<Oid>(v)); break;
+    case ValType::kInt:
+    case ValType::kDate: ints_.push_back(static_cast<int32_t>(v)); break;
+    case ValType::kLng: lngs_.push_back(v); break;
+    case ValType::kDbl: dbls_.push_back(static_cast<double>(v)); break;
+    case ValType::kStr: DCY_FATAL() << "AppendInt64 on str builder";
+  }
+  ++count_;
+}
+
+void ColumnBuilder::AppendDouble(double v) {
+  DCY_CHECK(type_ == ValType::kDbl);
+  dbls_.push_back(v);
+  ++count_;
+}
+
+void ColumnBuilder::AppendString(std::string_view v) {
+  DCY_CHECK(type_ == ValType::kStr);
+  heap_.append(v);
+  offsets_.push_back(static_cast<uint32_t>(heap_.size()));
+  ++count_;
+}
+
+void ColumnBuilder::AppendValue(const Value& v) {
+  switch (type_) {
+    case ValType::kDbl: AppendDouble(v.AsDouble()); break;
+    case ValType::kStr: AppendString(v.s); break;
+    default: AppendInt64(v.AsInt64()); break;
+  }
+}
+
+ColumnPtr ColumnBuilder::Finish() {
+  count_ = 0;
+  switch (type_) {
+    case ValType::kOid: return std::make_shared<OidColumn>(type_, std::move(oids_));
+    case ValType::kInt:
+    case ValType::kDate: return std::make_shared<IntColumn>(type_, std::move(ints_));
+    case ValType::kLng: return std::make_shared<LngColumn>(type_, std::move(lngs_));
+    case ValType::kDbl: return std::make_shared<DblColumn>(type_, std::move(dbls_));
+    case ValType::kStr:
+      return std::make_shared<StrColumn>(std::move(offsets_), std::move(heap_));
+  }
+  return nullptr;
+}
+
+ColumnPtr MakeOidColumn(std::vector<Oid> v) {
+  return std::make_shared<OidColumn>(ValType::kOid, std::move(v));
+}
+ColumnPtr MakeIntColumn(std::vector<int32_t> v) {
+  return std::make_shared<IntColumn>(ValType::kInt, std::move(v));
+}
+ColumnPtr MakeLngColumn(std::vector<int64_t> v) {
+  return std::make_shared<LngColumn>(ValType::kLng, std::move(v));
+}
+ColumnPtr MakeDblColumn(std::vector<double> v) {
+  return std::make_shared<DblColumn>(ValType::kDbl, std::move(v));
+}
+ColumnPtr MakeDateColumn(std::vector<int32_t> days) {
+  return std::make_shared<IntColumn>(ValType::kDate, std::move(days));
+}
+ColumnPtr MakeStrColumn(const std::vector<std::string>& v) {
+  ColumnBuilder b(ValType::kStr);
+  for (const auto& s : v) b.AppendString(s);
+  return b.Finish();
+}
+ColumnPtr MakeDenseOid(Oid seqbase, size_t n) {
+  return std::make_shared<DenseOidColumn>(seqbase, n);
+}
+
+int CompareRows(const Column& a, size_t i, const Column& b, size_t j) {
+  if (a.type() == ValType::kStr) {
+    DCY_DCHECK(b.type() == ValType::kStr);
+    return a.GetString(i).compare(b.GetString(j));
+  }
+  if (a.type() == ValType::kDbl || b.type() == ValType::kDbl) {
+    const double x = a.GetDouble(i), y = b.GetDouble(j);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  const int64_t x = a.GetInt64(i), y = b.GetInt64(j);
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+}  // namespace dcy::bat

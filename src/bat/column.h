@@ -1,0 +1,199 @@
+// Typed column storage for the mini column-store (the MonetDB stand-in the
+// Data Cyclotron extends, paper §3). Columns are immutable after
+// construction by a builder; BATs share them by shared_ptr so algebra
+// operators (reverse, slice, views) are cheap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace dcy::bat {
+
+/// Object identifier: the row identity of classic BATs.
+using Oid = uint64_t;
+
+/// Column value types (MonetDB atom subset).
+enum class ValType : uint8_t {
+  kOid = 0,  ///< row identifiers
+  kInt,      ///< int32
+  kLng,      ///< int64
+  kDbl,      ///< double
+  kStr,      ///< variable-length string
+  kDate,     ///< days since epoch, stored as int32
+};
+
+const char* ValTypeName(ValType t);
+bool IsFixedWidth(ValType t);
+size_t ValTypeWidth(ValType t);
+
+/// \brief A scalar value used for literals and aggregate results.
+struct Value {
+  ValType type = ValType::kLng;
+  int64_t i = 0;     // kOid/kInt/kLng/kDate
+  double d = 0.0;    // kDbl
+  std::string s;     // kStr
+
+  static Value MakeOid(Oid v) { return {ValType::kOid, static_cast<int64_t>(v), 0.0, {}}; }
+  static Value MakeInt(int32_t v) { return {ValType::kInt, v, 0.0, {}}; }
+  static Value MakeLng(int64_t v) { return {ValType::kLng, v, 0.0, {}}; }
+  static Value MakeDbl(double v) { return {ValType::kDbl, 0, v, {}}; }
+  static Value MakeStr(std::string v) { return {ValType::kStr, 0, 0.0, std::move(v)}; }
+  static Value MakeDate(int32_t days) { return {ValType::kDate, days, 0.0, {}}; }
+
+  /// Numeric view (dates and oids included); 0 for strings.
+  double AsDouble() const { return type == ValType::kDbl ? d : static_cast<double>(i); }
+  int64_t AsInt64() const { return type == ValType::kDbl ? static_cast<int64_t>(d) : i; }
+
+  bool operator==(const Value& o) const;
+  std::string ToString() const;
+};
+
+/// \brief Abstract immutable column. Concrete layouts: fixed-width vectors,
+/// a dense oid range (virtual column), and a string heap.
+class Column {
+ public:
+  virtual ~Column() = default;
+
+  ValType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  /// Integer view of row i (valid for kOid/kInt/kLng/kDate).
+  virtual int64_t GetInt64(size_t i) const = 0;
+  /// Floating view of row i (valid for all numeric types).
+  virtual double GetDouble(size_t i) const = 0;
+  /// String view of row i (valid for kStr only).
+  virtual std::string_view GetString(size_t i) const;
+
+  /// Boxed value of row i.
+  Value GetValue(size_t i) const;
+
+  /// Total payload bytes (drives ring BAT sizes).
+  virtual uint64_t ByteSize() const = 0;
+
+  /// True if rows are non-decreasing (used to pick merge algorithms).
+  bool IsSorted() const;
+
+ protected:
+  Column(ValType type, size_t size) : type_(type), size_(size) {}
+
+  ValType type_;
+  size_t size_;
+};
+
+using ColumnPtr = std::shared_ptr<const Column>;
+
+/// \brief Fixed-width column over a materialized vector.
+template <typename T>
+class FixedColumn final : public Column {
+ public:
+  FixedColumn(ValType type, std::vector<T> values)
+      : Column(type, values.size()), values_(std::move(values)) {}
+
+  int64_t GetInt64(size_t i) const override { return static_cast<int64_t>(values_[i]); }
+  double GetDouble(size_t i) const override { return static_cast<double>(values_[i]); }
+  uint64_t ByteSize() const override { return values_.size() * sizeof(T); }
+
+  const std::vector<T>& values() const { return values_; }
+
+ private:
+  std::vector<T> values_;
+};
+
+using OidColumn = FixedColumn<Oid>;
+using IntColumn = FixedColumn<int32_t>;
+using LngColumn = FixedColumn<int64_t>;
+using DblColumn = FixedColumn<double>;
+
+/// \brief Dense oid range [seqbase, seqbase + n): the virtual head of a
+/// MonetDB BAT. Materialization-free.
+class DenseOidColumn final : public Column {
+ public:
+  DenseOidColumn(Oid seqbase, size_t n) : Column(ValType::kOid, n), seqbase_(seqbase) {}
+
+  int64_t GetInt64(size_t i) const override { return static_cast<int64_t>(seqbase_ + i); }
+  double GetDouble(size_t i) const override { return static_cast<double>(seqbase_ + i); }
+  uint64_t ByteSize() const override { return 0; }  // virtual: no storage
+
+  Oid seqbase() const { return seqbase_; }
+
+ private:
+  Oid seqbase_;
+};
+
+/// \brief Variable-length string column (offsets + byte heap, Arrow-style).
+class StrColumn final : public Column {
+ public:
+  StrColumn(std::vector<uint32_t> offsets, std::string heap)
+      : Column(ValType::kStr, offsets.empty() ? 0 : offsets.size() - 1),
+        offsets_(std::move(offsets)),
+        heap_(std::move(heap)) {}
+
+  int64_t GetInt64(size_t) const override {
+    DCY_FATAL() << "GetInt64 on string column";
+    return 0;
+  }
+  double GetDouble(size_t) const override {
+    DCY_FATAL() << "GetDouble on string column";
+    return 0;
+  }
+  std::string_view GetString(size_t i) const override {
+    return std::string_view(heap_).substr(offsets_[i], offsets_[i + 1] - offsets_[i]);
+  }
+  uint64_t ByteSize() const override {
+    return offsets_.size() * sizeof(uint32_t) + heap_.size();
+  }
+
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+  const std::string& heap() const { return heap_; }
+
+ private:
+  std::vector<uint32_t> offsets_;
+  std::string heap_;
+};
+
+/// \brief Append-only builder producing an immutable Column.
+class ColumnBuilder {
+ public:
+  explicit ColumnBuilder(ValType type);
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string_view v);
+  void AppendValue(const Value& v);
+
+  size_t size() const { return count_; }
+
+  /// Finalizes; the builder is empty afterwards.
+  ColumnPtr Finish();
+
+ private:
+  ValType type_;
+  size_t count_ = 0;
+  std::vector<Oid> oids_;
+  std::vector<int32_t> ints_;
+  std::vector<int64_t> lngs_;
+  std::vector<double> dbls_;
+  std::vector<uint32_t> offsets_ = {0};
+  std::string heap_;
+};
+
+/// Convenience constructors.
+ColumnPtr MakeOidColumn(std::vector<Oid> v);
+ColumnPtr MakeIntColumn(std::vector<int32_t> v);
+ColumnPtr MakeLngColumn(std::vector<int64_t> v);
+ColumnPtr MakeDblColumn(std::vector<double> v);
+ColumnPtr MakeDateColumn(std::vector<int32_t> days);
+ColumnPtr MakeStrColumn(const std::vector<std::string>& v);
+ColumnPtr MakeDenseOid(Oid seqbase, size_t n);
+
+/// Three-way comparison of rows across (possibly different) columns of the
+/// same type family. Strings compare lexicographically.
+int CompareRows(const Column& a, size_t i, const Column& b, size_t j);
+
+}  // namespace dcy::bat

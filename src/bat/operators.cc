@@ -1,0 +1,505 @@
+#include "bat/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace dcy::bat {
+
+namespace {
+
+/// Integer family (oid/int/lng/date) members are join-compatible.
+bool IsIntegerFamily(ValType t) {
+  return t == ValType::kOid || t == ValType::kInt || t == ValType::kLng ||
+         t == ValType::kDate;
+}
+
+Status CheckJoinable(ValType a, ValType b) {
+  if (IsIntegerFamily(a) && IsIntegerFamily(b)) return Status::OK();
+  if (a == b) return Status::OK();
+  return Status::InvalidArgument(std::string("join type mismatch: ") + ValTypeName(a) +
+                                 " vs " + ValTypeName(b));
+}
+
+Bat::Properties HeadOrderedProps(const Bat& l) {
+  Bat::Properties p;
+  p.hsorted = l.props().hsorted;
+  return p;
+}
+
+/// Emits [l.head[i], r.tail[j]] pairs for matches of l.tail[i] == r.head[j],
+/// probing l in order (stable on l).
+template <typename Key, typename LKey, typename RKey>
+BatPtr HashJoinImpl(const Bat& l, const Bat& r, LKey lkey, RKey rkey) {
+  std::unordered_map<Key, std::vector<size_t>> build;
+  build.reserve(r.size());
+  for (size_t j = 0; j < r.size(); ++j) build[rkey(j)].push_back(j);
+
+  ColumnBuilder head_out(l.head_type());
+  ColumnBuilder tail_out(r.tail_type());
+  for (size_t i = 0; i < l.size(); ++i) {
+    auto it = build.find(lkey(i));
+    if (it == build.end()) continue;
+    for (size_t j : it->second) {
+      head_out.AppendValue(l.head()->GetValue(i));
+      tail_out.AppendValue(r.tail()->GetValue(j));
+    }
+  }
+  return BatPtr(std::make_shared<Bat>(head_out.Finish(), tail_out.Finish(), HeadOrderedProps(l)));
+}
+
+/// Merge join for sorted l.tail / r.head (paper §3.1: "sorted columns lead
+/// to sort-merge join operations").
+BatPtr MergeJoinImpl(const Bat& l, const Bat& r) {
+  ColumnBuilder head_out(l.head_type());
+  ColumnBuilder tail_out(r.tail_type());
+  size_t i = 0, j = 0;
+  while (i < l.size() && j < r.size()) {
+    const int cmp = CompareRows(*l.tail(), i, *r.head(), j);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      // Emit the cross product of the equal runs.
+      size_t j_end = j;
+      while (j_end < r.size() && CompareRows(*l.tail(), i, *r.head(), j_end) == 0) ++j_end;
+      size_t i_end = i;
+      while (i_end < l.size() && CompareRows(*l.tail(), i_end, *r.head(), j) == 0) ++i_end;
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          head_out.AppendValue(l.head()->GetValue(a));
+          tail_out.AppendValue(r.tail()->GetValue(b));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return BatPtr(std::make_shared<Bat>(head_out.Finish(), tail_out.Finish(), HeadOrderedProps(l)));
+}
+
+/// Set of the head values of r, for semijoin/kdiff/kunion.
+struct HeadSet {
+  std::unordered_map<int64_t, bool> ints;
+  std::unordered_map<std::string_view, bool> strs;
+  bool is_str = false;
+
+  explicit HeadSet(const Bat& r) {
+    is_str = r.head_type() == ValType::kStr;
+    for (size_t j = 0; j < r.size(); ++j) {
+      if (is_str) {
+        strs.emplace(r.head()->GetString(j), true);
+      } else {
+        ints.emplace(r.head()->GetInt64(j), true);
+      }
+    }
+  }
+
+  bool Contains(const Column& head, size_t i) const {
+    if (is_str) return strs.count(head.GetString(i)) > 0;
+    return ints.count(head.GetInt64(i)) > 0;
+  }
+};
+
+BatPtr FilterByPositions(const Bat& b, const std::vector<size_t>& keep) {
+  ColumnBuilder head_out(b.head_type());
+  ColumnBuilder tail_out(b.tail_type());
+  for (size_t i : keep) {
+    head_out.AppendValue(b.head()->GetValue(i));
+    tail_out.AppendValue(b.tail()->GetValue(i));
+  }
+  Bat::Properties p;
+  p.hsorted = b.props().hsorted;  // positional filters keep order
+  p.tsorted = b.props().tsorted;
+  p.hkey = b.props().hkey;
+  p.tkey = b.props().tkey;
+  return BatPtr(std::make_shared<Bat>(head_out.Finish(), tail_out.Finish(), p));
+}
+
+bool ValueLE(const Value& a, const Value& b) {
+  if (a.type == ValType::kStr) return a.s <= b.s;
+  if (a.type == ValType::kDbl || b.type == ValType::kDbl) return a.AsDouble() <= b.AsDouble();
+  return a.AsInt64() <= b.AsInt64();
+}
+
+bool ValueEQ(const Column& c, size_t i, const Value& v) {
+  if (c.type() == ValType::kStr) return c.GetString(i) == v.s;
+  if (c.type() == ValType::kDbl || v.type == ValType::kDbl) {
+    return c.GetDouble(i) == v.AsDouble();
+  }
+  return c.GetInt64(i) == v.AsInt64();
+}
+
+Status CheckNumeric(const Bat& b, const char* op) {
+  if (b.tail_type() == ValType::kStr) {
+    return Status::InvalidArgument(std::string(op) + " on string tail");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+BatPtr Reverse(const BatPtr& b) {
+  Bat::Properties p;
+  p.hsorted = b->props().tsorted;
+  p.hkey = b->props().tkey;
+  p.tsorted = b->props().hsorted;
+  p.tkey = b->props().hkey;
+  return BatPtr(std::make_shared<Bat>(b->tail(), b->head(), p));
+}
+
+BatPtr MarkT(const BatPtr& b, Oid base) {
+  Bat::Properties p;
+  p.hsorted = b->props().hsorted;
+  p.hkey = b->props().hkey;
+  p.tsorted = true;
+  p.tkey = true;
+  return BatPtr(std::make_shared<Bat>(b->head(), MakeDenseOid(base, b->size()), p));
+}
+
+BatPtr MarkH(const BatPtr& b, Oid base) {
+  Bat::Properties p;
+  p.hsorted = true;
+  p.hkey = true;
+  p.tsorted = b->props().tsorted;
+  p.tkey = b->props().tkey;
+  return BatPtr(std::make_shared<Bat>(MakeDenseOid(base, b->size()), b->tail(), p));
+}
+
+BatPtr Mirror(const BatPtr& b) {
+  Bat::Properties p;
+  p.hsorted = p.tsorted = b->props().hsorted;
+  p.hkey = p.tkey = b->props().hkey;
+  return BatPtr(std::make_shared<Bat>(b->head(), b->head(), p));
+}
+
+Result<BatPtr> Slice(const BatPtr& b, size_t lo, size_t hi) {
+  if (lo > hi || hi > b->size()) {
+    return Status::OutOfRange("slice [" + std::to_string(lo) + "," + std::to_string(hi) +
+                              ") of " + std::to_string(b->size()));
+  }
+  std::vector<size_t> keep(hi - lo);
+  std::iota(keep.begin(), keep.end(), lo);
+  return FilterByPositions(*b, keep);
+}
+
+Result<BatPtr> Join(const BatPtr& l, const BatPtr& r) {
+  DCY_RETURN_NOT_OK(CheckJoinable(l->tail_type(), r->head_type()));
+  if (l->props().tsorted && r->props().hsorted) {
+    return MergeJoinImpl(*l, *r);
+  }
+  if (l->tail_type() == ValType::kStr) {
+    return HashJoinImpl<std::string>(
+        *l, *r, [&](size_t i) { return std::string(l->tail()->GetString(i)); },
+        [&](size_t j) { return std::string(r->head()->GetString(j)); });
+  }
+  if (l->tail_type() == ValType::kDbl) {
+    return HashJoinImpl<int64_t>(
+        *l, *r,
+        [&](size_t i) {
+          double d = l->tail()->GetDouble(i);
+          int64_t bits;
+          std::memcpy(&bits, &d, sizeof(bits));
+          return bits;
+        },
+        [&](size_t j) {
+          double d = r->head()->GetDouble(j);
+          int64_t bits;
+          std::memcpy(&bits, &d, sizeof(bits));
+          return bits;
+        });
+  }
+  return HashJoinImpl<int64_t>(
+      *l, *r, [&](size_t i) { return l->tail()->GetInt64(i); },
+      [&](size_t j) { return r->head()->GetInt64(j); });
+}
+
+Result<BatPtr> LeftJoin(const BatPtr& l, const BatPtr& r) {
+  // Our hash join probes l in order already; merge join also preserves l
+  // order for key-unique r.
+  return Join(l, r);
+}
+
+Result<BatPtr> SemiJoin(const BatPtr& l, const BatPtr& r) {
+  DCY_RETURN_NOT_OK(CheckJoinable(l->head_type(), r->head_type()));
+  HeadSet set(*r);
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < l->size(); ++i) {
+    if (set.Contains(*l->head(), i)) keep.push_back(i);
+  }
+  return FilterByPositions(*l, keep);
+}
+
+Result<BatPtr> KDiff(const BatPtr& l, const BatPtr& r) {
+  DCY_RETURN_NOT_OK(CheckJoinable(l->head_type(), r->head_type()));
+  HeadSet set(*r);
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < l->size(); ++i) {
+    if (!set.Contains(*l->head(), i)) keep.push_back(i);
+  }
+  return FilterByPositions(*l, keep);
+}
+
+Result<BatPtr> KUnion(const BatPtr& l, const BatPtr& r) {
+  DCY_RETURN_NOT_OK(CheckJoinable(l->head_type(), r->head_type()));
+  if (l->tail_type() != r->tail_type()) {
+    return Status::InvalidArgument("kunion tail type mismatch");
+  }
+  HeadSet set(*l);
+  ColumnBuilder head_out(l->head_type());
+  ColumnBuilder tail_out(l->tail_type());
+  for (size_t i = 0; i < l->size(); ++i) {
+    head_out.AppendValue(l->head()->GetValue(i));
+    tail_out.AppendValue(l->tail()->GetValue(i));
+  }
+  for (size_t j = 0; j < r->size(); ++j) {
+    if (!set.Contains(*r->head(), j)) {
+      head_out.AppendValue(r->head()->GetValue(j));
+      tail_out.AppendValue(r->tail()->GetValue(j));
+    }
+  }
+  return BatPtr(std::make_shared<Bat>(head_out.Finish(), tail_out.Finish(), Bat::Properties{}));
+}
+
+Result<BatPtr> Select(const BatPtr& b, const Value& v) {
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < b->size(); ++i) {
+    if (ValueEQ(*b->tail(), i, v)) keep.push_back(i);
+  }
+  return FilterByPositions(*b, keep);
+}
+
+Result<BatPtr> SelectRange(const BatPtr& b, const Value& lo, const Value& hi) {
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < b->size(); ++i) {
+    const Value x = b->tail()->GetValue(i);
+    if (ValueLE(lo, x) && ValueLE(x, hi)) keep.push_back(i);
+  }
+  return FilterByPositions(*b, keep);
+}
+
+Result<BatPtr> USelect(const BatPtr& b, const Value& v) {
+  DCY_ASSIGN_OR_RETURN(BatPtr selected, Select(b, v));
+  // Head-only result: the tail carries no information (void/dense 0).
+  Bat::Properties p;
+  p.hsorted = selected->props().hsorted;
+  p.hkey = selected->props().hkey;
+  p.tsorted = true;
+  return BatPtr(std::make_shared<Bat>(selected->head(), MakeDenseOid(0, selected->size()), p));
+}
+
+Result<BatPtr> GroupId(const BatPtr& b) {
+  ColumnBuilder gid_out(ValType::kOid);
+  if (b->tail_type() == ValType::kStr) {
+    std::unordered_map<std::string, Oid> groups;
+    for (size_t i = 0; i < b->size(); ++i) {
+      auto [it, _] = groups.try_emplace(std::string(b->tail()->GetString(i)),
+                                        static_cast<Oid>(groups.size()));
+      gid_out.AppendInt64(static_cast<int64_t>(it->second));
+    }
+  } else {
+    std::unordered_map<int64_t, Oid> groups;
+    for (size_t i = 0; i < b->size(); ++i) {
+      int64_t key;
+      if (b->tail_type() == ValType::kDbl) {
+        double d = b->tail()->GetDouble(i);
+        std::memcpy(&key, &d, sizeof(key));
+      } else {
+        key = b->tail()->GetInt64(i);
+      }
+      auto [it, _] = groups.try_emplace(key, static_cast<Oid>(groups.size()));
+      gid_out.AppendInt64(static_cast<int64_t>(it->second));
+    }
+  }
+  Bat::Properties p;
+  p.hsorted = b->props().hsorted;
+  p.hkey = b->props().hkey;
+  return BatPtr(std::make_shared<Bat>(b->head(), gid_out.Finish(), p));
+}
+
+Result<BatPtr> GroupValues(const BatPtr& b) {
+  DCY_ASSIGN_OR_RETURN(BatPtr gids, GroupId(b));
+  // First row of each group provides the representative value.
+  size_t num_groups = 0;
+  for (size_t i = 0; i < gids->size(); ++i) {
+    num_groups = std::max<size_t>(num_groups,
+                                  static_cast<size_t>(gids->tail()->GetInt64(i)) + 1);
+  }
+  std::vector<bool> seen(num_groups, false);
+  ColumnBuilder val_out(b->tail_type());
+  std::vector<Value> reps(num_groups);
+  for (size_t i = 0; i < b->size(); ++i) {
+    const size_t g = static_cast<size_t>(gids->tail()->GetInt64(i));
+    if (!seen[g]) {
+      seen[g] = true;
+      reps[g] = b->tail()->GetValue(i);
+    }
+  }
+  for (size_t g = 0; g < num_groups; ++g) val_out.AppendValue(reps[g]);
+  Bat::Properties p;
+  p.hsorted = p.hkey = true;
+  return BatPtr(std::make_shared<Bat>(MakeDenseOid(0, num_groups), val_out.Finish(), p));
+}
+
+uint64_t Count(const BatPtr& b) { return b->size(); }
+
+Result<Value> Sum(const BatPtr& b) {
+  DCY_RETURN_NOT_OK(CheckNumeric(*b, "sum"));
+  if (b->tail_type() == ValType::kDbl) {
+    double s = 0;
+    for (size_t i = 0; i < b->size(); ++i) s += b->tail()->GetDouble(i);
+    return Value::MakeDbl(s);
+  }
+  int64_t s = 0;
+  for (size_t i = 0; i < b->size(); ++i) s += b->tail()->GetInt64(i);
+  return Value::MakeLng(s);
+}
+
+Result<Value> Min(const BatPtr& b) {
+  DCY_RETURN_NOT_OK(CheckNumeric(*b, "min"));
+  if (b->size() == 0) return Status::InvalidArgument("min of empty BAT");
+  size_t best = 0;
+  for (size_t i = 1; i < b->size(); ++i) {
+    if (CompareRows(*b->tail(), i, *b->tail(), best) < 0) best = i;
+  }
+  return b->tail()->GetValue(best);
+}
+
+Result<Value> Max(const BatPtr& b) {
+  DCY_RETURN_NOT_OK(CheckNumeric(*b, "max"));
+  if (b->size() == 0) return Status::InvalidArgument("max of empty BAT");
+  size_t best = 0;
+  for (size_t i = 1; i < b->size(); ++i) {
+    if (CompareRows(*b->tail(), i, *b->tail(), best) > 0) best = i;
+  }
+  return b->tail()->GetValue(best);
+}
+
+Result<Value> Avg(const BatPtr& b) {
+  DCY_RETURN_NOT_OK(CheckNumeric(*b, "avg"));
+  if (b->size() == 0) return Status::InvalidArgument("avg of empty BAT");
+  double s = 0;
+  for (size_t i = 0; i < b->size(); ++i) s += b->tail()->GetDouble(i);
+  return Value::MakeDbl(s / static_cast<double>(b->size()));
+}
+
+Result<BatPtr> SumPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_groups) {
+  DCY_RETURN_NOT_OK(CheckNumeric(*values, "sumPerGroup"));
+  if (values->size() != gids->size()) {
+    return Status::InvalidArgument("sumPerGroup: values/gids not aligned");
+  }
+  std::vector<double> sums(num_groups, 0.0);
+  for (size_t i = 0; i < values->size(); ++i) {
+    const size_t g = static_cast<size_t>(gids->tail()->GetInt64(i));
+    if (g >= num_groups) return Status::OutOfRange("group id out of range");
+    sums[g] += values->tail()->GetDouble(i);
+  }
+  ColumnBuilder out(ValType::kDbl);
+  for (double s : sums) out.AppendDouble(s);
+  Bat::Properties p;
+  p.hsorted = p.hkey = true;
+  return BatPtr(std::make_shared<Bat>(MakeDenseOid(0, num_groups), out.Finish(), p));
+}
+
+Result<BatPtr> CountPerGroup(const BatPtr& gids, size_t num_groups) {
+  std::vector<int64_t> counts(num_groups, 0);
+  for (size_t i = 0; i < gids->size(); ++i) {
+    const size_t g = static_cast<size_t>(gids->tail()->GetInt64(i));
+    if (g >= num_groups) return Status::OutOfRange("group id out of range");
+    ++counts[g];
+  }
+  ColumnBuilder out(ValType::kLng);
+  for (int64_t c : counts) out.AppendInt64(c);
+  Bat::Properties p;
+  p.hsorted = p.hkey = true;
+  return BatPtr(std::make_shared<Bat>(MakeDenseOid(0, num_groups), out.Finish(), p));
+}
+
+Result<BatPtr> Sort(const BatPtr& b) {
+  std::vector<size_t> idx(b->size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t c) {
+    return CompareRows(*b->tail(), a, *b->tail(), c) < 0;
+  });
+  BatPtr out = FilterByPositions(*b, idx);
+  Bat::Properties p = out->props();
+  p.tsorted = true;
+  p.hsorted = false;
+  return BatPtr(std::make_shared<Bat>(out->head(), out->tail(), p));
+}
+
+Result<BatPtr> TopN(const BatPtr& b, size_t n, bool descending) {
+  std::vector<size_t> idx(b->size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  const size_t k = std::min(n, b->size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k), idx.end(),
+                    [&](size_t a, size_t c) {
+                      const int cmp = CompareRows(*b->tail(), a, *b->tail(), c);
+                      return descending ? cmp > 0 : cmp < 0;
+                    });
+  idx.resize(k);
+  return FilterByPositions(*b, idx);
+}
+
+Result<BatPtr> Arith(const BatPtr& a, const BatPtr& b, ArithOp op) {
+  DCY_RETURN_NOT_OK(CheckNumeric(*a, "arith"));
+  DCY_RETURN_NOT_OK(CheckNumeric(*b, "arith"));
+  if (a->size() != b->size()) return Status::InvalidArgument("arith: size mismatch");
+  ColumnBuilder out(ValType::kDbl);
+  for (size_t i = 0; i < a->size(); ++i) {
+    const double x = a->tail()->GetDouble(i);
+    const double y = b->tail()->GetDouble(i);
+    switch (op) {
+      case ArithOp::kAdd: out.AppendDouble(x + y); break;
+      case ArithOp::kSub: out.AppendDouble(x - y); break;
+      case ArithOp::kMul: out.AppendDouble(x * y); break;
+      case ArithOp::kDiv:
+        if (y == 0) return Status::InvalidArgument("division by zero");
+        out.AppendDouble(x / y);
+        break;
+    }
+  }
+  Bat::Properties p;
+  p.hsorted = a->props().hsorted;
+  p.hkey = a->props().hkey;
+  return BatPtr(std::make_shared<Bat>(a->head(), out.Finish(), p));
+}
+
+Result<BatPtr> ArithConst(const BatPtr& a, const Value& v, ArithOp op) {
+  DCY_RETURN_NOT_OK(CheckNumeric(*a, "arithConst"));
+  ColumnBuilder out(ValType::kDbl);
+  const double y = v.AsDouble();
+  for (size_t i = 0; i < a->size(); ++i) {
+    const double x = a->tail()->GetDouble(i);
+    switch (op) {
+      case ArithOp::kAdd: out.AppendDouble(x + y); break;
+      case ArithOp::kSub: out.AppendDouble(x - y); break;
+      case ArithOp::kMul: out.AppendDouble(x * y); break;
+      case ArithOp::kDiv:
+        if (y == 0) return Status::InvalidArgument("division by zero");
+        out.AppendDouble(x / y);
+        break;
+    }
+  }
+  Bat::Properties p;
+  p.hsorted = a->props().hsorted;
+  p.hkey = a->props().hkey;
+  return BatPtr(std::make_shared<Bat>(a->head(), out.Finish(), p));
+}
+
+BatPtr ProjectConst(const BatPtr& b, const Value& v) {
+  ColumnBuilder out(v.type);
+  for (size_t i = 0; i < b->size(); ++i) out.AppendValue(v);
+  Bat::Properties p;
+  p.hsorted = b->props().hsorted;
+  p.hkey = b->props().hkey;
+  p.tsorted = true;
+  return BatPtr(std::make_shared<Bat>(b->head(), out.Finish(), p));
+}
+
+}  // namespace dcy::bat

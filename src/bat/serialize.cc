@@ -1,0 +1,205 @@
+#include "bat/serialize.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace dcy::bat {
+
+namespace {
+
+constexpr uint32_t kMagic = 0xDC10B47u;  // "DC1.0 BAT"
+constexpr uint16_t kVersion = 1;
+
+enum class HeadKind : uint8_t { kDense = 0, kMaterialized = 1 };
+
+void PutBytes(std::string* out, const void* p, size_t n) {
+  out->append(static_cast<const char*>(p), n);
+}
+
+template <typename T>
+void Put(std::string* out, T v) {
+  PutBytes(out, &v, sizeof(v));
+}
+
+template <typename T>
+Status Get(const std::string& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) return Status::Corruption("truncated BAT buffer");
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return Status::OK();
+}
+
+void PutColumn(std::string* out, const Column& c) {
+  Put<uint8_t>(out, static_cast<uint8_t>(c.type()));
+  Put<uint64_t>(out, c.size());
+  if (c.type() == ValType::kStr) {
+    const auto& sc = static_cast<const StrColumn&>(c);
+    Put<uint64_t>(out, sc.offsets().size());
+    PutBytes(out, sc.offsets().data(), sc.offsets().size() * sizeof(uint32_t));
+    Put<uint64_t>(out, sc.heap().size());
+    PutBytes(out, sc.heap().data(), sc.heap().size());
+    return;
+  }
+  // Fixed width: write raw values via the int/double accessors so dense
+  // columns (no backing array) serialize too.
+  for (size_t i = 0; i < c.size(); ++i) {
+    switch (c.type()) {
+      case ValType::kOid: Put<uint64_t>(out, static_cast<uint64_t>(c.GetInt64(i))); break;
+      case ValType::kInt:
+      case ValType::kDate: Put<int32_t>(out, static_cast<int32_t>(c.GetInt64(i))); break;
+      case ValType::kLng: Put<int64_t>(out, c.GetInt64(i)); break;
+      case ValType::kDbl: Put<double>(out, c.GetDouble(i)); break;
+      case ValType::kStr: break;  // unreachable
+    }
+  }
+}
+
+Result<ColumnPtr> GetColumn(const std::string& in, size_t* pos) {
+  uint8_t type_raw = 0;
+  uint64_t n = 0;
+  DCY_RETURN_NOT_OK(Get(in, pos, &type_raw));
+  DCY_RETURN_NOT_OK(Get(in, pos, &n));
+  if (type_raw > static_cast<uint8_t>(ValType::kDate)) {
+    return Status::Corruption("bad column type");
+  }
+  const ValType type = static_cast<ValType>(type_raw);
+  if (type == ValType::kStr) {
+    uint64_t num_offsets = 0;
+    DCY_RETURN_NOT_OK(Get(in, pos, &num_offsets));
+    if (num_offsets != n + 1) return Status::Corruption("bad offset count");
+    std::vector<uint32_t> offsets(num_offsets);
+    if (*pos + num_offsets * sizeof(uint32_t) > in.size()) {
+      return Status::Corruption("truncated offsets");
+    }
+    std::memcpy(offsets.data(), in.data() + *pos, num_offsets * sizeof(uint32_t));
+    *pos += num_offsets * sizeof(uint32_t);
+    uint64_t heap_size = 0;
+    DCY_RETURN_NOT_OK(Get(in, pos, &heap_size));
+    if (*pos + heap_size > in.size()) return Status::Corruption("truncated heap");
+    std::string heap(in.data() + *pos, heap_size);
+    *pos += heap_size;
+    return ColumnPtr(std::make_shared<StrColumn>(std::move(offsets), std::move(heap)));
+  }
+  ColumnBuilder builder(type);
+  for (uint64_t i = 0; i < n; ++i) {
+    switch (type) {
+      case ValType::kOid: {
+        uint64_t v = 0;
+        DCY_RETURN_NOT_OK(Get(in, pos, &v));
+        builder.AppendInt64(static_cast<int64_t>(v));
+        break;
+      }
+      case ValType::kInt:
+      case ValType::kDate: {
+        int32_t v = 0;
+        DCY_RETURN_NOT_OK(Get(in, pos, &v));
+        builder.AppendInt64(v);
+        break;
+      }
+      case ValType::kLng: {
+        int64_t v = 0;
+        DCY_RETURN_NOT_OK(Get(in, pos, &v));
+        builder.AppendInt64(v);
+        break;
+      }
+      case ValType::kDbl: {
+        double v = 0;
+        DCY_RETURN_NOT_OK(Get(in, pos, &v));
+        builder.AppendDouble(v);
+        break;
+      }
+      case ValType::kStr: break;  // unreachable
+    }
+  }
+  return builder.Finish();
+}
+
+uint8_t PackProps(const Bat::Properties& p) {
+  return static_cast<uint8_t>((p.tsorted ? 1 : 0) | (p.tkey ? 2 : 0) |
+                              (p.hsorted ? 4 : 0) | (p.hkey ? 8 : 0));
+}
+
+Bat::Properties UnpackProps(uint8_t v) {
+  Bat::Properties p;
+  p.tsorted = (v & 1) != 0;
+  p.tkey = (v & 2) != 0;
+  p.hsorted = (v & 4) != 0;
+  p.hkey = (v & 8) != 0;
+  return p;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string Serialize(const Bat& b) {
+  std::string out;
+  out.reserve(b.ByteSize() + 64);
+  Put<uint32_t>(&out, kMagic);
+  Put<uint16_t>(&out, kVersion);
+  Put<uint8_t>(&out, PackProps(b.props()));
+
+  if (b.HasDenseHead()) {
+    Put<uint8_t>(&out, static_cast<uint8_t>(HeadKind::kDense));
+    Put<uint64_t>(&out, b.HeadSeqbase());
+    Put<uint64_t>(&out, b.size());
+  } else {
+    Put<uint8_t>(&out, static_cast<uint8_t>(HeadKind::kMaterialized));
+    PutColumn(&out, *b.head());
+  }
+  PutColumn(&out, *b.tail());
+  Put<uint32_t>(&out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+Result<BatPtr> Deserialize(const std::string& buffer) {
+  if (buffer.size() < 4 + 2 + 1 + 1 + 4) return Status::Corruption("BAT buffer too small");
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buffer.data() + buffer.size() - 4, 4);
+  if (Crc32(buffer.data(), buffer.size() - 4) != stored_crc) {
+    return Status::Corruption("BAT buffer CRC mismatch");
+  }
+
+  size_t pos = 0;
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  uint8_t props_raw = 0, head_kind = 0;
+  DCY_RETURN_NOT_OK(Get(buffer, &pos, &magic));
+  if (magic != kMagic) return Status::Corruption("bad BAT magic");
+  DCY_RETURN_NOT_OK(Get(buffer, &pos, &version));
+  if (version != kVersion) return Status::Corruption("unsupported BAT version");
+  DCY_RETURN_NOT_OK(Get(buffer, &pos, &props_raw));
+  DCY_RETURN_NOT_OK(Get(buffer, &pos, &head_kind));
+
+  ColumnPtr head;
+  if (head_kind == static_cast<uint8_t>(HeadKind::kDense)) {
+    uint64_t seqbase = 0, n = 0;
+    DCY_RETURN_NOT_OK(Get(buffer, &pos, &seqbase));
+    DCY_RETURN_NOT_OK(Get(buffer, &pos, &n));
+    head = MakeDenseOid(seqbase, n);
+  } else {
+    DCY_ASSIGN_OR_RETURN(head, GetColumn(buffer, &pos));
+  }
+  DCY_ASSIGN_OR_RETURN(ColumnPtr tail, GetColumn(buffer, &pos));
+  if (head->size() != tail->size()) return Status::Corruption("head/tail size mismatch");
+  return BatPtr(std::make_shared<Bat>(std::move(head), std::move(tail),
+                                      UnpackProps(props_raw)));
+}
+
+}  // namespace dcy::bat

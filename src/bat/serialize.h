@@ -1,0 +1,24 @@
+// BAT <-> wire-buffer serialization for ring transport and cold storage.
+// The format is a self-describing little-endian layout with a CRC32 footer;
+// the zero-copy RDMA path (src/rdma) hands the encoded buffer across nodes
+// without re-encoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bat/bat.h"
+#include "common/status.h"
+
+namespace dcy::bat {
+
+/// Encodes a BAT (header, both columns, properties, CRC).
+std::string Serialize(const Bat& b);
+
+/// Decodes; verifies magic, version and CRC.
+Result<BatPtr> Deserialize(const std::string& buffer);
+
+/// CRC32 (IEEE, table-driven) over a byte range.
+uint32_t Crc32(const void* data, size_t n);
+
+}  // namespace dcy::bat

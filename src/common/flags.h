@@ -1,0 +1,29 @@
+// Tiny --key=value command-line parser for the bench/example binaries.
+// Not a general flags library: just enough to override experiment configs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dcy {
+
+/// \brief Parses argv of the form `--key=value` (or bare `--key` == "true").
+/// Unknown positional arguments are ignored so binaries keep working under
+/// test drivers that add their own arguments.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& key) const { return kv_.count(key) > 0; }
+
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace dcy

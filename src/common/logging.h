@@ -1,0 +1,77 @@
+// Minimal leveled logger + assertion macros shared by the library.
+// Intentionally tiny: the library is often embedded in a simulator hot loop,
+// so disabled levels must cost one branch.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dcy {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are suppressed.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Fatal variant: aborts the process after flushing.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace dcy
+
+#define DCY_LOG_ENABLED(lvl) (static_cast<int>(lvl) >= static_cast<int>(::dcy::GetLogLevel()))
+
+#define DCY_LOG(lvl)                                             \
+  !DCY_LOG_ENABLED(::dcy::LogLevel::lvl)                         \
+      ? (void)0                                                  \
+      : ::dcy::internal::Voidify() &                             \
+            ::dcy::internal::LogMessage(::dcy::LogLevel::lvl, __FILE__, __LINE__).stream()
+
+#define DCY_FATAL() ::dcy::internal::FatalLogMessage(__FILE__, __LINE__).stream()
+
+/// Always-on invariant check; prints the expression and aborts on failure.
+#define DCY_CHECK(cond)                                          \
+  while (!(cond)) ::dcy::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #cond " "
+
+#define DCY_CHECK_OK(expr)                                       \
+  do {                                                           \
+    ::dcy::Status _st = (expr);                                  \
+    DCY_CHECK(_st.ok()) << _st.ToString();                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define DCY_DCHECK(cond) DCY_CHECK(cond)
+#else
+#define DCY_DCHECK(cond) \
+  while (false) ::dcy::internal::FatalLogMessage(__FILE__, __LINE__).stream()
+#endif

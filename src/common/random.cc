@@ -1,0 +1,22 @@
+#include "common/random.h"
+
+#include "common/logging.h"
+
+namespace dcy {
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    DCY_DCHECK(w >= 0.0);
+    total += w;
+  }
+  DCY_CHECK(total > 0.0) << "WeightedIndex needs a positive total weight";
+  double point = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    point -= weights[i];
+    if (point <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric slop lands on the last bucket
+}
+
+}  // namespace dcy

@@ -1,0 +1,125 @@
+// Deterministic, seedable random sources. Every experiment in the repo
+// derives all of its randomness from one Rng seeded explicitly, so runs are
+// reproducible bit-for-bit (a property NS-2, used by the paper, lacks).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dcy {
+
+/// \brief SplitMix64: used to expand a single user seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256** PRNG — fast, high-quality, deterministic.
+///
+/// All distribution helpers (uniform ints, doubles, Gaussian, exponential)
+/// live here so call sites never depend on libstdc++ distribution
+/// implementations, whose output differs across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds yield identical streams.
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.Next();
+    has_cached_gaussian_ = false;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformU64(uint64_t lo, uint64_t hi) {
+    const uint64_t span = hi - lo + 1;
+    if (span == 0) return Next();  // full range
+    // Lemire-style rejection-free bounded draw (bias < 2^-64, acceptable here).
+    __uint128_t m = static_cast<__uint128_t>(Next()) * span;
+    return lo + static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformU64(0, static_cast<uint64_t>(hi - lo)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) { return lo + NextDouble() * (hi - lo); }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard Gaussian via Marsaglia polar method (cached pair).
+  double Gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    has_cached_gaussian_ = true;
+    return u * factor;
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate) { return -std::log(1.0 - NextDouble()) / rate; }
+
+  /// Draws an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformU64(0, i - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4] = {};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace dcy

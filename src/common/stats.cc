@@ -1,0 +1,53 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace dcy {
+
+double Histogram::Percentile(double p) const {
+  const uint64_t total = stat_.count();
+  if (total == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (static_cast<double>(seen + counts_[i]) >= target) {
+      const double frac =
+          counts_[i] == 0 ? 0.0 : (target - static_cast<double>(seen)) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+    }
+    seen += counts_[i];
+  }
+  return hi_;
+}
+
+double TimeSeries::At(double t) const {
+  double v = 0.0;
+  for (const auto& [pt, pv] : points_) {
+    if (pt > t) break;
+    v = pv;
+  }
+  return v;
+}
+
+std::string SeriesTable::ToTsv(double t0, double t1, double step) const {
+  std::string out = "time";
+  for (const auto& [name, _] : series_) {
+    out += "\t";
+    out += name;
+  }
+  out += "\n";
+  char buf[64];
+  for (double t = t0; t <= t1 + 1e-9; t += step) {
+    std::snprintf(buf, sizeof(buf), "%.2f", t);
+    out += buf;
+    for (const auto& [_, s] : series_) {
+      std::snprintf(buf, sizeof(buf), "\t%.3f", s.At(t));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dcy

@@ -1,0 +1,116 @@
+// Small statistics toolkit used by the experiment harnesses: running
+// moments, histograms with fixed-width buckets, and time-series recorders
+// that reproduce the per-second sampling the paper's figures plot.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcy {
+
+/// \brief Welford running mean / variance / min / max accumulator.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-width-bucket histogram over [lo, hi); out-of-range samples
+/// clamp into the edge buckets. Used e.g. for the Figure 6b lifetime
+/// distribution.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+
+  void Add(double x) {
+    stat_.Add(x);
+    size_t idx;
+    if (x < lo_) {
+      idx = 0;
+    } else if (x >= hi_) {
+      idx = counts_.size() - 1;
+    } else {
+      idx = static_cast<size_t>((x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+      idx = std::min(idx, counts_.size() - 1);
+    }
+    ++counts_[idx];
+  }
+
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+  }
+  double bucket_hi(size_t i) const { return bucket_lo(i + 1); }
+
+  const RunningStat& stat() const { return stat_; }
+
+  /// Linear-interpolated percentile in [0,100]; 0 with no samples.
+  double Percentile(double p) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<uint64_t> counts_;
+  RunningStat stat_;
+};
+
+/// \brief Records (t, value) samples of a named series; the benches print
+/// these as the paper's figure series.
+class TimeSeries {
+ public:
+  void Add(double t, double value) { points_.emplace_back(t, value); }
+  const std::vector<std::pair<double, double>>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Value of the last sample at or before time t (0 before first sample).
+  double At(double t) const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// \brief A labelled bundle of TimeSeries, keyed by series name, printed as
+/// aligned TSV (time column plus one column per series).
+class SeriesTable {
+ public:
+  TimeSeries& Series(const std::string& name) { return series_[name]; }
+  const std::map<std::string, TimeSeries>& all() const { return series_; }
+
+  /// Renders the table sampled at a fixed step over [t0, t1].
+  std::string ToTsv(double t0, double t1, double step) const;
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace dcy

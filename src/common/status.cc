@@ -1,0 +1,34 @@
+#include "common/status.h"
+
+namespace dcy {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kTimedOut: return "TimedOut";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kUnknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace dcy

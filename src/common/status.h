@@ -1,0 +1,164 @@
+// Status / Result<T>: the error model used across the Data Cyclotron
+// codebase. Follows the RocksDB/Arrow idiom: fallible functions return a
+// Status (or Result<T>), never throw.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dcy {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kIOError,
+  kCorruption,
+  kTimedOut,
+  kAborted,
+  kUnknown,
+};
+
+/// \brief Returns a short human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// Cheap to copy in the OK case (no allocation). Functions that can fail
+/// return Status; functions that can fail and produce a value return
+/// Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return some_t;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status: `return Status::NotFound(...)`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result must not hold an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace dcy
+
+/// Propagates a non-OK Status to the caller; usable inside functions that
+/// return Status.
+#define DCY_RETURN_NOT_OK(expr)                  \
+  do {                                           \
+    ::dcy::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result<T> expression, propagating the error or binding the
+/// value to `lhs`.
+#define DCY_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto DCY_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!DCY_CONCAT_(_res_, __LINE__).ok())        \
+    return DCY_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(DCY_CONCAT_(_res_, __LINE__)).value()
+
+#define DCY_CONCAT_IMPL_(a, b) a##b
+#define DCY_CONCAT_(a, b) DCY_CONCAT_IMPL_(a, b)

@@ -1,0 +1,33 @@
+// Size and time unit helpers. SimTime across the repo is int64 nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace dcy {
+
+constexpr uint64_t kKiB = 1024ULL;
+constexpr uint64_t kMiB = 1024ULL * kKiB;
+constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+// The paper uses decimal MB/GB (network-equipment convention); the
+// experiment configs use these to match the paper's 200 MB / 2 GB numbers.
+constexpr uint64_t kMB = 1000ULL * 1000ULL;
+constexpr uint64_t kGB = 1000ULL * kMB;
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000LL;
+constexpr SimTime kMillisecond = 1000LL * kMicrosecond;
+constexpr SimTime kSecond = 1000LL * kMillisecond;
+
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+constexpr SimTime FromSeconds(double s) { return static_cast<SimTime>(s * 1e9); }
+constexpr SimTime FromMillis(double ms) { return static_cast<SimTime>(ms * 1e6); }
+constexpr SimTime FromMicros(double us) { return static_cast<SimTime>(us * 1e3); }
+
+/// Gigabits/sec to bytes/sec (decimal, as for link speeds).
+constexpr double GbpsToBytesPerSec(double gbps) { return gbps * 1e9 / 8.0; }
+
+}  // namespace dcy

@@ -1,0 +1,179 @@
+#include "core/catalog.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dcy::core {
+
+const char* OwnedStateName(OwnedState s) {
+  switch (s) {
+    case OwnedState::kCold: return "cold";
+    case OwnedState::kPending: return "pending";
+    case OwnedState::kHot: return "hot";
+  }
+  return "?";
+}
+
+bool OwnedCatalog::Add(BatId id, uint64_t size) {
+  auto [it, inserted] = bats_.try_emplace(id);
+  if (!inserted) return false;
+  it->second.id = id;
+  it->second.size = size;
+  it->second.state = OwnedState::kCold;
+  total_bytes_ += size;
+  return true;
+}
+
+bool OwnedCatalog::Remove(BatId id) {
+  auto it = bats_.find(id);
+  if (it == bats_.end()) return false;
+  if (it->second.state == OwnedState::kHot) hot_bytes_ -= it->second.size;
+  total_bytes_ -= it->second.size;
+  bats_.erase(it);
+  return true;
+}
+
+OwnedBat* OwnedCatalog::Find(BatId id) {
+  auto it = bats_.find(id);
+  return it == bats_.end() ? nullptr : &it->second;
+}
+
+const OwnedBat* OwnedCatalog::Find(BatId id) const {
+  auto it = bats_.find(id);
+  return it == bats_.end() ? nullptr : &it->second;
+}
+
+void OwnedCatalog::NoteStateChange(OwnedBat* bat, OwnedState next) {
+  if (bat->state == OwnedState::kHot && next != OwnedState::kHot) hot_bytes_ -= bat->size;
+  if (bat->state != OwnedState::kHot && next == OwnedState::kHot) hot_bytes_ += bat->size;
+  bat->state = next;
+}
+
+std::vector<OwnedBat*> OwnedCatalog::PendingOldestFirst() {
+  std::vector<OwnedBat*> pending;
+  for (auto& [id, bat] : bats_) {
+    if (bat.state == OwnedState::kPending) pending.push_back(&bat);
+  }
+  std::stable_sort(pending.begin(), pending.end(), [](const OwnedBat* a, const OwnedBat* b) {
+    if (a->pending_since != b->pending_since) return a->pending_since < b->pending_since;
+    return a->id < b->id;
+  });
+  return pending;
+}
+
+std::vector<OwnedBat*> OwnedCatalog::Hot() {
+  std::vector<OwnedBat*> hot;
+  for (auto& [id, bat] : bats_) {
+    if (bat.state == OwnedState::kHot) hot.push_back(&bat);
+  }
+  return hot;
+}
+
+std::vector<const OwnedBat*> OwnedCatalog::All() const {
+  std::vector<const OwnedBat*> out;
+  out.reserve(bats_.size());
+  for (const auto& [id, bat] : bats_) out.push_back(&bat);
+  return out;
+}
+
+bool RequestEntry::AllDelivered() const {
+  for (const auto& [q, st] : queries) {
+    if (!st.delivered) return false;
+  }
+  return true;
+}
+
+bool RequestEntry::HasBlockedPins() const {
+  for (const auto& [q, st] : queries) {
+    if (st.pin_called && !st.delivered) return true;
+  }
+  return false;
+}
+
+RequestEntry* RequestTable::GetOrCreate(BatId bat, SimTime now) {
+  auto [it, inserted] = entries_.try_emplace(bat);
+  if (inserted) {
+    it->second.bat_id = bat;
+    it->second.first_registered = now;
+  }
+  return &it->second;
+}
+
+RequestEntry* RequestTable::Find(BatId bat) {
+  auto it = entries_.find(bat);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const RequestEntry* RequestTable::Find(BatId bat) const {
+  auto it = entries_.find(bat);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool RequestTable::Erase(BatId bat) { return entries_.erase(bat) > 0; }
+
+void PinTable::Block(BatId bat, QueryId query) {
+  waiting_[bat].push_back(query);
+  ++total_;
+}
+
+std::vector<QueryId> PinTable::TakeBlocked(BatId bat) {
+  auto it = waiting_.find(bat);
+  if (it == waiting_.end()) return {};
+  std::vector<QueryId> out = std::move(it->second);
+  total_ -= out.size();
+  waiting_.erase(it);
+  return out;
+}
+
+bool PinTable::Unblock(BatId bat, QueryId query) {
+  auto it = waiting_.find(bat);
+  if (it == waiting_.end()) return false;
+  auto& v = it->second;
+  auto pos = std::find(v.begin(), v.end(), query);
+  if (pos == v.end()) return false;
+  v.erase(pos);
+  --total_;
+  if (v.empty()) waiting_.erase(it);
+  return true;
+}
+
+bool PinTable::HasBlocked(BatId bat) const {
+  auto it = waiting_.find(bat);
+  return it != waiting_.end() && !it->second.empty();
+}
+
+size_t PinTable::blocked_count(BatId bat) const {
+  auto it = waiting_.find(bat);
+  return it == waiting_.end() ? 0 : it->second.size();
+}
+
+void BatCache::Insert(BatId bat, uint64_t size, uint32_t pins, SimTime now) {
+  auto [it, inserted] = entries_.try_emplace(bat);
+  if (inserted) {
+    it->second.size = size;
+    cached_bytes_ += size;
+  }
+  it->second.pin_count += pins;
+  it->second.inserted_at = now;
+}
+
+bool BatCache::AddPinIfPresent(BatId bat) {
+  auto it = entries_.find(bat);
+  if (it == entries_.end()) return false;
+  ++it->second.pin_count;
+  return true;
+}
+
+bool BatCache::ReleasePin(BatId bat) {
+  auto it = entries_.find(bat);
+  if (it == entries_.end()) return false;
+  DCY_DCHECK(it->second.pin_count > 0);
+  if (--it->second.pin_count == 0) {
+    cached_bytes_ -= it->second.size;
+    entries_.erase(it);
+  }
+  return true;
+}
+
+}  // namespace dcy::core

@@ -1,0 +1,52 @@
+// Observer interface for protocol events. The experiment collectors in
+// src/simdc implement this to build the per-BAT series of Figures 9-11
+// without the protocol code knowing about any experiment.
+#pragma once
+
+#include "common/units.h"
+#include "core/types.h"
+
+namespace dcy::core {
+
+/// \brief Protocol event observer; all callbacks have empty defaults so
+/// embedders override only what they measure.
+class StatsSink {
+ public:
+  virtual ~StatsSink() = default;
+
+  /// A request message entered the ring (first dispatch or resend).
+  virtual void OnRequestDispatched(NodeId /*node*/, BatId /*bat*/, bool /*resend*/) {}
+  /// A fresh S2 entry was registered at a node. This is the quantity the
+  /// paper's Figure 9a plots as "number of requests": persistent entries
+  /// for in-vogue BATs are counted once however many queries they serve
+  /// ("the requests stay longer in the node", §5.3).
+  virtual void OnRequestEntryCreated(NodeId /*node*/, BatId /*bat*/) {}
+  /// A BAT passed a node where it satisfied `blocked_pins` blocked pins
+  /// (a "touch"; copies++ happened iff blocked_pins > 0, Fig. 4).
+  virtual void OnBatTouched(NodeId /*node*/, BatId /*bat*/, uint32_t /*blocked_pins*/) {}
+  /// Owner loaded the BAT into the ring.
+  virtual void OnBatLoaded(NodeId /*owner*/, BatId /*bat*/, uint64_t /*size*/) {}
+  /// Owner removed the BAT from the ring after `cycles` cycles; `loi` is the
+  /// level of interest that fell below the threshold.
+  virtual void OnBatUnloaded(NodeId /*owner*/, BatId /*bat*/, uint64_t /*size*/,
+                             uint32_t /*cycles*/, double /*loi*/) {}
+  /// Owner observed a completed cycle (header.cycles after increment).
+  virtual void OnCycleCompleted(NodeId /*owner*/, BatId /*bat*/, uint32_t /*cycles*/,
+                                SimTime /*rotation_time*/) {}
+  /// A query's pin was satisfied `wait` after the pin call blocked
+  /// (wait == 0 for cache/local hits).
+  virtual void OnPinSatisfied(NodeId /*node*/, QueryId /*query*/, BatId /*bat*/,
+                              SimTime /*wait*/) {}
+  /// Data handed to a query `latency` after request registration — the
+  /// quantity maximised per BAT in the paper's Figure 10.
+  virtual void OnRequestSatisfied(NodeId /*node*/, BatId /*bat*/, SimTime /*latency*/) {}
+  /// The BAT was tagged pending at the owner (load postponed, ring full).
+  virtual void OnBatPending(NodeId /*owner*/, BatId /*bat*/) {}
+  /// Lost-BAT detection fired at the owner (fault injection runs only).
+  virtual void OnBatPresumedLost(NodeId /*owner*/, BatId /*bat*/) {}
+  /// A request returned to its origin: the BAT does not exist (Fig. 3,
+  /// first outcome). The associated queries received errors.
+  virtual void OnRequestReturnedToOrigin(NodeId /*node*/, BatId /*bat*/) {}
+};
+
+}  // namespace dcy::core

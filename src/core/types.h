@@ -1,0 +1,57 @@
+// Shared protocol types: BAT identity, the administrative header that
+// travels with every BAT (paper §4.3), and the request message.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/units.h"
+
+namespace dcy::core {
+
+/// Identifier of a data fragment (a BAT) in the distributed database.
+using BatId = uint32_t;
+/// Identifier of a ring node.
+using NodeId = uint32_t;
+/// Identifier of a query, unique across the whole ring.
+using QueryId = uint64_t;
+
+constexpr BatId kInvalidBat = std::numeric_limits<BatId>::max();
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr QueryId kInvalidQuery = std::numeric_limits<QueryId>::max();
+
+/// \brief Administrative header carried by a BAT through the storage ring
+/// (paper §4.3): "BAT messages contain the fields owner, bat_id, bat_size,
+/// loi, copies, hops, and cycles."
+struct BatHeader {
+  /// The node that loaded the BAT into the ring and owns its cold copy.
+  NodeId owner = kInvalidNode;
+  BatId bat_id = kInvalidBat;
+  /// Payload size in bytes (drives serialization time and queue load).
+  uint64_t bat_size = 0;
+  /// Level of interest accumulated over previous cycles (Eq. 1).
+  double loi = 0.0;
+  /// Nodes that used the BAT for query processing since the last owner pass.
+  uint32_t copies = 0;
+  /// Hops travelled since the last owner pass (age within the cycle).
+  uint32_t hops = 0;
+  /// Completed ring cycles since the BAT was loaded.
+  uint32_t cycles = 0;
+};
+
+/// \brief A BAT request travelling anti-clockwise towards the owner
+/// (paper §4.3): "BAT request messages contain the variables owner and
+/// bat_id" — `origin` is the requesting node (the paper overloads "owner").
+struct RequestMsg {
+  /// The node where the request originated. A request arriving back at its
+  /// origin means the BAT does not exist (Fig. 3, first outcome).
+  NodeId origin = kInvalidNode;
+  BatId bat_id = kInvalidBat;
+};
+
+/// Wire size of a request message (header-only traffic).
+constexpr uint64_t kRequestWireBytes = 64;
+/// Wire overhead added to a BAT payload for its administrative header.
+constexpr uint64_t kBatHeaderWireBytes = 64;
+
+}  // namespace dcy::core

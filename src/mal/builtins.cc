@@ -1,0 +1,345 @@
+// Standard MAL builtins: the binary-algebra operators of the paper's plans
+// plus the datacyclotron.* calls injected by the DcOptimizer.
+#include <ostream>
+
+#include "bat/operators.h"
+#include "common/logging.h"
+#include "mal/interpreter.h"
+
+namespace dcy::mal {
+
+namespace {
+
+using bat::BatPtr;
+using bat::Value;
+
+Status WrongArgs(const char* what) { return Status::InvalidArgument(what); }
+
+Result<BatPtr> AsBat(const Datum& d) {
+  if (const auto* b = std::get_if<BatPtr>(&d)) return *b;
+  return Status::InvalidArgument(std::string("expected BAT, got ") + DatumKind(d));
+}
+
+Result<int64_t> AsInt(const Datum& d) {
+  if (const auto* i = std::get_if<int64_t>(&d)) return *i;
+  return Status::InvalidArgument(std::string("expected int, got ") + DatumKind(d));
+}
+
+Result<std::string> AsStr(const Datum& d) {
+  if (const auto* s = std::get_if<std::string>(&d)) return *s;
+  return Status::InvalidArgument(std::string("expected str, got ") + DatumKind(d));
+}
+
+Result<bat::Oid> AsOid(const Datum& d) {
+  if (const auto* o = std::get_if<OidLit>(&d)) return o->value;
+  if (const auto* i = std::get_if<int64_t>(&d)) return static_cast<bat::Oid>(*i);
+  return Status::InvalidArgument(std::string("expected oid, got ") + DatumKind(d));
+}
+
+/// Converts a literal datum to a bat::Value for selections/arithmetic.
+Result<Value> AsValue(const Datum& d) {
+  if (const auto* i = std::get_if<int64_t>(&d)) return Value::MakeLng(*i);
+  if (const auto* f = std::get_if<double>(&d)) return Value::MakeDbl(*f);
+  if (const auto* s = std::get_if<std::string>(&d)) return Value::MakeStr(*s);
+  if (const auto* o = std::get_if<OidLit>(&d)) return Value::MakeOid(o->value);
+  return Status::InvalidArgument(std::string("expected scalar, got ") + DatumKind(d));
+}
+
+Datum FromValue(const Value& v) {
+  switch (v.type) {
+    case bat::ValType::kDbl: return Datum(v.d);
+    case bat::ValType::kStr: return Datum(v.s);
+    case bat::ValType::kOid: return Datum(OidLit{static_cast<bat::Oid>(v.i)});
+    default: return Datum(v.i);
+  }
+}
+
+/// Adapts Result<BatPtr>(BatPtr) unary operators.
+template <typename F>
+BuiltinFn Unary(F f) {
+  return [f](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 1) return WrongArgs("expected 1 argument");
+    DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+    auto r = f(b);
+    if (!r.ok()) return r.status();
+    return Datum(r.value());
+  };
+}
+
+/// Adapts Result<BatPtr>(BatPtr, BatPtr) binary operators.
+template <typename F>
+BuiltinFn Binary(F f) {
+  return [f](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2) return WrongArgs("expected 2 arguments");
+    DCY_ASSIGN_OR_RETURN(BatPtr l, AsBat(args[0]));
+    DCY_ASSIGN_OR_RETURN(BatPtr r, AsBat(args[1]));
+    auto out = f(l, r);
+    if (!out.ok()) return out.status();
+    return Datum(out.value());
+  };
+}
+
+/// Adapts scalar aggregates.
+template <typename F>
+BuiltinFn Aggregate(F f) {
+  return [f](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 1) return WrongArgs("expected 1 argument");
+    DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+    auto r = f(b);
+    if (!r.ok()) return r.status();
+    return FromValue(r.value());
+  };
+}
+
+BuiltinFn ArithBat(bat::ArithOp op) {
+  return [op](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2) return WrongArgs("expected 2 arguments");
+    DCY_ASSIGN_OR_RETURN(BatPtr a, AsBat(args[0]));
+    if (std::holds_alternative<BatPtr>(args[1])) {
+      DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[1]));
+      auto r = bat::Arith(a, b, op);
+      if (!r.ok()) return r.status();
+      return Datum(r.value());
+    }
+    DCY_ASSIGN_OR_RETURN(Value v, AsValue(args[1]));
+    auto r = bat::ArithConst(a, v, op);
+    if (!r.ok()) return r.status();
+    return Datum(r.value());
+  };
+}
+
+Registry BuildGlobalRegistry() {
+  Registry reg;
+
+  // --- sql / io -------------------------------------------------------------
+  reg.Register("sql.bind", [](Context& ctx, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 4) return WrongArgs("sql.bind(schema,table,column,kind)");
+    if (ctx.catalog == nullptr) return Status::FailedPrecondition("no catalog bound");
+    DCY_ASSIGN_OR_RETURN(std::string schema, AsStr(args[0]));
+    DCY_ASSIGN_OR_RETURN(std::string table, AsStr(args[1]));
+    DCY_ASSIGN_OR_RETURN(std::string column, AsStr(args[2]));
+    auto b = ctx.catalog->GetByName(schema + "." + table + "." + column);
+    if (!b.ok()) return b.status();
+    return Datum(b.value());
+  });
+
+  reg.Register("sql.resultSet", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    // sql.resultSet(#cols, #rows-hint, first-col-bat): create an empty
+    // result set; sql.rsCol attaches columns.
+    if (args.empty()) return WrongArgs("sql.resultSet(...)");
+    return Datum(std::make_shared<ResultSet>());
+  });
+
+  reg.Register("sql.rsCol", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() < 7) return WrongArgs("sql.rsCol(rs,tbl,col,type,w,s,bat)");
+    const auto* rs = std::get_if<ResultSetPtr>(&args[0]);
+    if (rs == nullptr) return WrongArgs("sql.rsCol: first arg must be a result set");
+    DCY_ASSIGN_OR_RETURN(std::string table, AsStr(args[1]));
+    DCY_ASSIGN_OR_RETURN(std::string column, AsStr(args[2]));
+    DCY_ASSIGN_OR_RETURN(std::string type, AsStr(args[3]));
+    DCY_ASSIGN_OR_RETURN(BatPtr values, AsBat(args[6]));
+    (*rs)->columns.push_back(ResultSet::Column{table, column, type, values});
+    return Datum{};
+  });
+
+  reg.Register("io.stdout", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (!args.empty()) return WrongArgs("io.stdout()");
+    return Datum(StreamHandle{1});
+  });
+
+  reg.Register("sql.exportResult", [](Context& ctx, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2) return WrongArgs("sql.exportResult(stream,rs)");
+    const auto* rs = std::get_if<ResultSetPtr>(&args[1]);
+    if (rs == nullptr) return WrongArgs("sql.exportResult: second arg must be a result set");
+    if (ctx.out != nullptr) {
+      std::ostream& out = *ctx.out;
+      for (size_t c = 0; c < (*rs)->columns.size(); ++c) {
+        out << (c > 0 ? "\t" : "") << (*rs)->columns[c].table << "."
+            << (*rs)->columns[c].name;
+      }
+      out << "\n";
+      const size_t rows = (*rs)->columns.empty() ? 0 : (*rs)->columns[0].values->size();
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < (*rs)->columns.size(); ++c) {
+          out << (c > 0 ? "\t" : "")
+              << (*rs)->columns[c].values->tail()->GetValue(r).ToString();
+        }
+        out << "\n";
+      }
+    }
+    return Datum{};
+  });
+
+  // --- bat / algebra ----------------------------------------------------------
+  reg.Register("bat.reverse", Unary([](const BatPtr& b) -> Result<BatPtr> {
+                 return bat::Reverse(b);
+               }));
+  reg.Register("bat.mirror", Unary([](const BatPtr& b) -> Result<BatPtr> {
+                 return bat::Mirror(b);
+               }));
+
+  reg.Register("algebra.join", Binary(bat::Join));
+  reg.Register("algebra.leftjoin", Binary(bat::LeftJoin));
+  reg.Register("algebra.semijoin", Binary(bat::SemiJoin));
+  reg.Register("algebra.kdiff", Binary(bat::KDiff));
+  reg.Register("algebra.kunion", Binary(bat::KUnion));
+
+  reg.Register("algebra.markT", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2) return WrongArgs("algebra.markT(bat, base)");
+    DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+    DCY_ASSIGN_OR_RETURN(bat::Oid base, AsOid(args[1]));
+    return Datum(bat::MarkT(b, base));
+  });
+  reg.Register("algebra.markH", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2) return WrongArgs("algebra.markH(bat, base)");
+    DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+    DCY_ASSIGN_OR_RETURN(bat::Oid base, AsOid(args[1]));
+    return Datum(bat::MarkH(b, base));
+  });
+
+  reg.Register("algebra.select", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() == 2) {
+      DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+      DCY_ASSIGN_OR_RETURN(Value v, AsValue(args[1]));
+      auto r = bat::Select(b, v);
+      if (!r.ok()) return r.status();
+      return Datum(r.value());
+    }
+    if (args.size() == 3) {
+      DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+      DCY_ASSIGN_OR_RETURN(Value lo, AsValue(args[1]));
+      DCY_ASSIGN_OR_RETURN(Value hi, AsValue(args[2]));
+      auto r = bat::SelectRange(b, lo, hi);
+      if (!r.ok()) return r.status();
+      return Datum(r.value());
+    }
+    return WrongArgs("algebra.select(bat, v) or (bat, lo, hi)");
+  });
+
+  reg.Register("algebra.uselect", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2) return WrongArgs("algebra.uselect(bat, v)");
+    DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+    DCY_ASSIGN_OR_RETURN(Value v, AsValue(args[1]));
+    auto r = bat::USelect(b, v);
+    if (!r.ok()) return r.status();
+    return Datum(r.value());
+  });
+
+  reg.Register("algebra.slice", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 3) return WrongArgs("algebra.slice(bat, lo, hi)");
+    DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+    DCY_ASSIGN_OR_RETURN(int64_t lo, AsInt(args[1]));
+    DCY_ASSIGN_OR_RETURN(int64_t hi, AsInt(args[2]));
+    auto r = bat::Slice(b, static_cast<size_t>(lo), static_cast<size_t>(hi));
+    if (!r.ok()) return r.status();
+    return Datum(r.value());
+  });
+
+  reg.Register("algebra.sort", Unary([](const BatPtr& b) { return bat::Sort(b); }));
+
+  reg.Register("algebra.topn", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2) return WrongArgs("algebra.topn(bat, n)");
+    DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+    DCY_ASSIGN_OR_RETURN(int64_t n, AsInt(args[1]));
+    auto r = bat::TopN(b, static_cast<size_t>(n));
+    if (!r.ok()) return r.status();
+    return Datum(r.value());
+  });
+
+  reg.Register("algebra.project", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2) return WrongArgs("algebra.project(bat, v)");
+    DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+    DCY_ASSIGN_OR_RETURN(Value v, AsValue(args[1]));
+    return Datum(bat::ProjectConst(b, v));
+  });
+
+  // --- group / aggr -------------------------------------------------------------
+  reg.Register("group.id", Unary([](const BatPtr& b) { return bat::GroupId(b); }));
+  reg.Register("group.values", Unary([](const BatPtr& b) { return bat::GroupValues(b); }));
+
+  reg.Register("aggr.count", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 1) return WrongArgs("aggr.count(bat)");
+    DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+    return Datum(static_cast<int64_t>(bat::Count(b)));
+  });
+  reg.Register("aggr.sum", Aggregate([](const BatPtr& b) { return bat::Sum(b); }));
+  reg.Register("aggr.min", Aggregate([](const BatPtr& b) { return bat::Min(b); }));
+  reg.Register("aggr.max", Aggregate([](const BatPtr& b) { return bat::Max(b); }));
+  reg.Register("aggr.avg", Aggregate([](const BatPtr& b) { return bat::Avg(b); }));
+
+  reg.Register("aggr.sumPerGroup", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 3) return WrongArgs("aggr.sumPerGroup(values, gids, ngroups)");
+    DCY_ASSIGN_OR_RETURN(BatPtr values, AsBat(args[0]));
+    DCY_ASSIGN_OR_RETURN(BatPtr gids, AsBat(args[1]));
+    DCY_ASSIGN_OR_RETURN(int64_t n, AsInt(args[2]));
+    auto r = bat::SumPerGroup(values, gids, static_cast<size_t>(n));
+    if (!r.ok()) return r.status();
+    return Datum(r.value());
+  });
+  reg.Register("aggr.countPerGroup", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 2) return WrongArgs("aggr.countPerGroup(gids, ngroups)");
+    DCY_ASSIGN_OR_RETURN(BatPtr gids, AsBat(args[0]));
+    DCY_ASSIGN_OR_RETURN(int64_t n, AsInt(args[1]));
+    auto r = bat::CountPerGroup(gids, static_cast<size_t>(n));
+    if (!r.ok()) return r.status();
+    return Datum(r.value());
+  });
+
+  // --- batcalc ---------------------------------------------------------------------
+  reg.Register("batcalc.add", ArithBat(bat::ArithOp::kAdd));
+  reg.Register("batcalc.sub", ArithBat(bat::ArithOp::kSub));
+  reg.Register("batcalc.mul", ArithBat(bat::ArithOp::kMul));
+  reg.Register("batcalc.div", ArithBat(bat::ArithOp::kDiv));
+
+  // --- datacyclotron (§4.1) -----------------------------------------------------
+  reg.Register("datacyclotron.request",
+               [](Context& ctx, std::vector<Datum>& args) -> Result<Datum> {
+                 if (args.size() != 4) {
+                   return WrongArgs("datacyclotron.request(schema,table,column,kind)");
+                 }
+                 if (ctx.dc == nullptr) {
+                   return Status::FailedPrecondition("no Data Cyclotron bound");
+                 }
+                 DCY_ASSIGN_OR_RETURN(std::string schema, AsStr(args[0]));
+                 DCY_ASSIGN_OR_RETURN(std::string table, AsStr(args[1]));
+                 DCY_ASSIGN_OR_RETURN(std::string column, AsStr(args[2]));
+                 DCY_ASSIGN_OR_RETURN(int64_t kind, AsInt(args[3]));
+                 auto h = ctx.dc->Request(schema, table, column, kind);
+                 if (!h.ok()) return h.status();
+                 return Datum(h.value());
+               });
+
+  reg.Register("datacyclotron.pin",
+               [](Context& ctx, std::vector<Datum>& args) -> Result<Datum> {
+                 if (args.size() != 1) return WrongArgs("datacyclotron.pin(handle)");
+                 if (ctx.dc == nullptr) {
+                   return Status::FailedPrecondition("no Data Cyclotron bound");
+                 }
+                 const auto* h = std::get_if<RequestHandle>(&args[0]);
+                 if (h == nullptr) return WrongArgs("pin expects a request handle");
+                 auto b = ctx.dc->Pin(*h);
+                 if (!b.ok()) return b.status();
+                 return Datum(b.value());
+               });
+
+  reg.Register("datacyclotron.unpin",
+               [](Context& ctx, std::vector<Datum>& args) -> Result<Datum> {
+                 if (args.size() != 1) return WrongArgs("datacyclotron.unpin(bat)");
+                 if (ctx.dc == nullptr) {
+                   return Status::FailedPrecondition("no Data Cyclotron bound");
+                 }
+                 DCY_RETURN_NOT_OK(ctx.dc->Unpin(args[0]));
+                 return Datum{};
+               });
+
+  return reg;
+}
+
+}  // namespace
+
+const Registry& Registry::Global() {
+  static const Registry registry = BuildGlobalRegistry();
+  return registry;
+}
+
+}  // namespace dcy::mal

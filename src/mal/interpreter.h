@@ -1,0 +1,94 @@
+// MAL plan execution: a builtin registry (sql.*, algebra.*, bat.*, aggr.*,
+// group.*, batcalc.*, io.*, datacyclotron.*), a sequential interpreter, and
+// a dataflow interpreter that runs independent instructions on a worker
+// pool ("The MAL plan is executed using concurrent interpreter threads
+// following the dataflow dependencies", paper §4.1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bat/catalog.h"
+#include "common/status.h"
+#include "mal/program.h"
+#include "mal/value.h"
+
+namespace dcy::mal {
+
+/// \brief The Data Cyclotron integration surface of the interpreter: the
+/// three calls the DcOptimizer injects (§4.1). The live runtime implements
+/// this against its DcNode; plans executed locally leave it null and use
+/// sql.bind directly.
+class DcHooks {
+ public:
+  virtual ~DcHooks() = default;
+
+  /// datacyclotron.request(schema, table, column, kind) -> handle.
+  virtual Result<RequestHandle> Request(const std::string& schema, const std::string& table,
+                                        const std::string& column, int64_t kind) = 0;
+  /// datacyclotron.pin(handle) -> BAT; may block until the fragment passes.
+  virtual Result<bat::BatPtr> Pin(const RequestHandle& handle) = 0;
+  /// datacyclotron.unpin(pinned BAT or handle).
+  virtual Status Unpin(const Datum& pinned) = 0;
+};
+
+/// \brief Everything builtins may touch during execution.
+struct Context {
+  bat::BatCatalog* catalog = nullptr;  ///< local persistent BATs (sql.bind)
+  DcHooks* dc = nullptr;               ///< ring integration; null = local-only
+  std::ostream* out = nullptr;         ///< io.stdout sink (null = discard)
+};
+
+using BuiltinFn = std::function<Result<Datum>(Context&, std::vector<Datum>&)>;
+
+/// \brief Name -> builtin map. `Global()` holds every standard operator.
+class Registry {
+ public:
+  void Register(const std::string& full_name, BuiltinFn fn);
+  const BuiltinFn* Find(const std::string& full_name) const;
+  std::vector<std::string> Names() const;
+
+  /// The process-wide registry with all standard builtins installed.
+  static const Registry& Global();
+
+ private:
+  std::map<std::string, BuiltinFn> fns_;
+};
+
+/// \brief Executes parsed programs.
+class Interpreter {
+ public:
+  Interpreter(const Registry* registry, Context context)
+      : registry_(registry), context_(context) {}
+
+  /// Runs instructions in order. Returns the value of the last assigned
+  /// variable (or nil).
+  Result<Datum> Run(const Program& program);
+
+  /// Runs with dataflow parallelism on `workers` threads. Blocking pin()
+  /// calls suspend only their worker. Falls back to sequential for
+  /// workers <= 1.
+  Result<Datum> RunDataflow(const Program& program, size_t workers);
+
+  /// Variable bindings after the last Run (for tests/inspection).
+  const std::unordered_map<std::string, Datum>& variables() const { return vars_; }
+
+ private:
+  Result<Datum> ExecInstruction(const Instruction& ins,
+                                std::unordered_map<std::string, Datum>* vars);
+
+  const Registry* registry_;
+  Context context_;
+  std::unordered_map<std::string, Datum> vars_;
+};
+
+/// Builds the dataflow dependency lists for a program: deps[i] = indices of
+/// instructions that must complete before instruction i (producer edges,
+/// pseudo-write edges for void calls, and anti-dependencies for unpin).
+std::vector<std::vector<size_t>> BuildDependencies(const Program& program);
+
+}  // namespace dcy::mal

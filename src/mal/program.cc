@@ -1,0 +1,295 @@
+#include "mal/program.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/logging.h"
+
+namespace dcy::mal {
+
+const char* DatumKind(const Datum& d) {
+  switch (d.index()) {
+    case 0: return "nil";
+    case 1: return "int";
+    case 2: return "dbl";
+    case 3: return "str";
+    case 4: return "oid";
+    case 5: return "bat";
+    case 6: return "request";
+    case 7: return "stream";
+    case 8: return "resultset";
+  }
+  return "?";
+}
+
+std::string DatumToString(const Datum& d) {
+  if (std::holds_alternative<std::monostate>(d)) return "nil";
+  if (const auto* i = std::get_if<int64_t>(&d)) return std::to_string(*i);
+  if (const auto* f = std::get_if<double>(&d)) return std::to_string(*f);
+  if (const auto* s = std::get_if<std::string>(&d)) return "\"" + *s + "\"";
+  if (const auto* o = std::get_if<OidLit>(&d)) return std::to_string(o->value) + "@0";
+  if (std::holds_alternative<bat::BatPtr>(d)) return "<bat>";
+  if (const auto* r = std::get_if<RequestHandle>(&d)) {
+    return "<request:" + std::to_string(r->bat) + ">";
+  }
+  if (std::holds_alternative<StreamHandle>(d)) return "<stream>";
+  return "<resultset>";
+}
+
+std::string Instruction::ToString() const {
+  std::string out;
+  if (!ret.empty()) out += ret + " := ";
+  out += FullName() + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i].is_var() ? args[i].var : DatumToString(args[i].literal);
+  }
+  out += ");";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out = "function " + name + "():void;\n";
+  for (const auto& ins : instructions) out += "    " + ins.ToString() + "\n";
+  const size_t dot = name.find('.');
+  out += "end " + (dot == std::string::npos ? name : name.substr(dot + 1)) + ";\n";
+  return out;
+}
+
+int Program::MaxVarNumber() const {
+  int max_n = 0;
+  auto consider = [&max_n](const std::string& v) {
+    if (v.size() >= 2 && v[0] == 'X') {
+      bool digits = true;
+      for (size_t i = 1; i < v.size(); ++i) digits = digits && std::isdigit(v[i]) != 0;
+      if (digits) max_n = std::max(max_n, std::stoi(v.substr(1)));
+    }
+  };
+  for (const auto& ins : instructions) {
+    consider(ins.ret);
+    for (const auto& a : ins.args) {
+      if (a.is_var()) consider(a.var);
+    }
+  }
+  return max_n;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Lexer {
+  const std::string& text;
+  size_t pos = 0;
+
+  explicit Lexer(const std::string& t) : text(t) {}
+
+  void SkipWs() {
+    while (pos < text.size()) {
+      if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      } else if (text[pos] == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Eof() {
+    SkipWs();
+    return pos >= text.size();
+  }
+
+  char Peek() {
+    SkipWs();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    SkipWs();
+    const size_t n = std::string(w).size();
+    if (text.compare(pos, n, w) == 0) {
+      const char after = pos + n < text.size() ? text[pos + n] : '\0';
+      if (!std::isalnum(static_cast<unsigned char>(after)) && after != '_') {
+        pos += n;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Result<std::string> Ident() {
+    SkipWs();
+    if (pos >= text.size() ||
+        (!std::isalpha(static_cast<unsigned char>(text[pos])) && text[pos] != '_')) {
+      return Status::InvalidArgument("expected identifier at offset " + std::to_string(pos));
+    }
+    size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) || text[pos] == '_')) {
+      ++pos;
+    }
+    return text.substr(start, pos - start);
+  }
+
+  Result<Datum> Literal() {
+    SkipWs();
+    if (pos >= text.size()) return Status::InvalidArgument("expected literal at end");
+    const char c = text[pos];
+    if (c == '"') {
+      ++pos;
+      std::string s;
+      while (pos < text.size() && text[pos] != '"') {
+        if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+        s += text[pos++];
+      }
+      if (pos >= text.size()) return Status::InvalidArgument("unterminated string");
+      ++pos;  // closing quote
+      return Datum(s);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+      size_t start = pos;
+      if (c == '-' || c == '+') ++pos;
+      bool is_float = false;
+      while (pos < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.')) {
+        if (text[pos] == '.') is_float = true;
+        ++pos;
+      }
+      const std::string num = text.substr(start, pos - start);
+      if (pos < text.size() && text[pos] == '@') {
+        ++pos;  // oid literal: <n>@<base>
+        while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+        return Datum(OidLit{static_cast<bat::Oid>(std::stoull(num))});
+      }
+      if (is_float) return Datum(std::stod(num));
+      return Datum(static_cast<int64_t>(std::stoll(num)));
+    }
+    if (ConsumeWord("nil")) return Datum(std::monostate{});
+    return Status::InvalidArgument(std::string("unexpected literal start '") + c + "'");
+  }
+};
+
+Result<Instruction> ParseCall(Lexer& lex, std::string first_ident) {
+  Instruction ins;
+  // first_ident is either a return variable (followed by :=) or a module.
+  lex.SkipWs();
+  if (lex.text.compare(lex.pos, 2, ":=") == 0) {
+    lex.pos += 2;
+    ins.ret = std::move(first_ident);
+    DCY_ASSIGN_OR_RETURN(ins.module, lex.Ident());
+  } else {
+    ins.module = std::move(first_ident);
+  }
+  if (!lex.Consume('.')) return Status::InvalidArgument("expected '.' after module name");
+  DCY_ASSIGN_OR_RETURN(ins.fn, lex.Ident());
+  if (!lex.Consume('(')) return Status::InvalidArgument("expected '(' in call");
+  if (!lex.Consume(')')) {
+    while (true) {
+      const char c = lex.Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        DCY_ASSIGN_OR_RETURN(std::string ident, lex.Ident());
+        if (ident == "nil") {
+          ins.args.push_back(Arg::Lit(Datum(std::monostate{})));
+        } else {
+          ins.args.push_back(Arg::Var(std::move(ident)));
+        }
+      } else {
+        DCY_ASSIGN_OR_RETURN(Datum lit, lex.Literal());
+        ins.args.push_back(Arg::Lit(std::move(lit)));
+      }
+      if (lex.Consume(',')) continue;
+      if (lex.Consume(')')) break;
+      return Status::InvalidArgument("expected ',' or ')' in argument list");
+    }
+  }
+  if (!lex.Consume(';')) return Status::InvalidArgument("expected ';' after call");
+  return ins;
+}
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& text) {
+  Program prog;
+  Lexer lex(text);
+
+  // Optional header: function user.name(...):void;
+  if (lex.ConsumeWord("function")) {
+    DCY_ASSIGN_OR_RETURN(std::string mod, lex.Ident());
+    if (!lex.Consume('.')) return Status::InvalidArgument("expected '.' in function name");
+    DCY_ASSIGN_OR_RETURN(std::string fn, lex.Ident());
+    prog.name = mod + "." + fn;
+    // Skip the signature up to ';'.
+    while (!lex.Eof() && lex.text[lex.pos] != ';') ++lex.pos;
+    if (!lex.Consume(';')) return Status::InvalidArgument("expected ';' after signature");
+  } else {
+    prog.name = "user.main";
+  }
+
+  while (!lex.Eof()) {
+    if (lex.ConsumeWord("end")) {
+      // `end name;` — consume to ';' and stop.
+      while (!lex.Eof() && lex.text[lex.pos] != ';') ++lex.pos;
+      lex.Consume(';');
+      break;
+    }
+    DCY_ASSIGN_OR_RETURN(std::string ident, lex.Ident());
+    DCY_ASSIGN_OR_RETURN(Instruction ins, ParseCall(lex, std::move(ident)));
+    prog.instructions.push_back(std::move(ins));
+  }
+  return prog;
+}
+
+bool AlphaEquivalent(const Program& a, const Program& b, std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (a.instructions.size() != b.instructions.size()) {
+    return fail("instruction count differs: " + std::to_string(a.instructions.size()) +
+                " vs " + std::to_string(b.instructions.size()));
+  }
+  std::map<std::string, std::string> a2b, b2a;
+  auto map_var = [&](const std::string& va, const std::string& vb) {
+    auto ia = a2b.find(va);
+    auto ib = b2a.find(vb);
+    if (ia == a2b.end() && ib == b2a.end()) {
+      a2b[va] = vb;
+      b2a[vb] = va;
+      return true;
+    }
+    return ia != a2b.end() && ib != b2a.end() && ia->second == vb && ib->second == va;
+  };
+  for (size_t i = 0; i < a.instructions.size(); ++i) {
+    const Instruction& x = a.instructions[i];
+    const Instruction& y = b.instructions[i];
+    const std::string at = "instruction " + std::to_string(i) + " (" + x.ToString() + ")";
+    if (x.FullName() != y.FullName()) return fail(at + ": call differs from " + y.ToString());
+    if (x.ret.empty() != y.ret.empty()) return fail(at + ": return arity differs");
+    if (!x.ret.empty() && !map_var(x.ret, y.ret)) return fail(at + ": return var clash");
+    if (x.args.size() != y.args.size()) return fail(at + ": arg count differs");
+    for (size_t k = 0; k < x.args.size(); ++k) {
+      if (x.args[k].is_var() != y.args[k].is_var()) return fail(at + ": arg kind differs");
+      if (x.args[k].is_var()) {
+        if (!map_var(x.args[k].var, y.args[k].var)) return fail(at + ": var mapping clash");
+      } else if (!(DatumToString(x.args[k].literal) == DatumToString(y.args[k].literal))) {
+        return fail(at + ": literal differs");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dcy::mal

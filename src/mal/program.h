@@ -1,0 +1,74 @@
+// Parsed MAL plan representation + parser for the textual syntax used in
+// the paper's Tables 1 and 2:
+//
+//   function user.s1_2():void;
+//   X1 := sql.bind("sys","t","id",0);
+//   ...
+//   sql.exportResult(X22,X16);
+//   end s1_2;
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "mal/value.h"
+
+namespace dcy::mal {
+
+/// An instruction argument: a variable reference or a literal.
+struct Arg {
+  enum class Kind { kVar, kLiteral };
+  Kind kind = Kind::kLiteral;
+  std::string var;  // kVar
+  Datum literal;    // kLiteral
+
+  static Arg Var(std::string name) {
+    Arg a;
+    a.kind = Kind::kVar;
+    a.var = std::move(name);
+    return a;
+  }
+  static Arg Lit(Datum d) {
+    Arg a;
+    a.kind = Kind::kLiteral;
+    a.literal = std::move(d);
+    return a;
+  }
+  bool is_var() const { return kind == Kind::kVar; }
+};
+
+/// One MAL statement: `ret := module.fn(args...)` (ret may be empty).
+struct Instruction {
+  std::string ret;  // empty for void calls
+  std::string module;
+  std::string fn;
+  std::vector<Arg> args;
+
+  std::string FullName() const { return module + "." + fn; }
+  std::string ToString() const;
+};
+
+/// A parsed MAL function body.
+struct Program {
+  std::string name;  // e.g. "user.s1_2"
+  std::vector<Instruction> instructions;
+
+  /// Regenerates MAL text (used to print optimizer output, cf. Table 2).
+  std::string ToString() const;
+
+  /// Highest numeric suffix among variables named X<n>; 0 if none. The
+  /// DcOptimizer allocates fresh variables above it.
+  int MaxVarNumber() const;
+};
+
+/// Parses MAL text into a Program. Accepts `#` comments and blank lines.
+Result<Program> ParseProgram(const std::string& text);
+
+/// \brief Structural (alpha-) equivalence: same instruction sequence with a
+/// consistent variable renaming. Used to compare optimizer output against
+/// the paper's Table 2 regardless of fresh-variable numbering.
+bool AlphaEquivalent(const Program& a, const Program& b, std::string* why = nullptr);
+
+}  // namespace dcy::mal

@@ -1,0 +1,56 @@
+// Runtime values flowing through MAL plan variables.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bat/bat.h"
+#include "core/types.h"
+
+namespace dcy::mal {
+
+/// \brief Handle returned by datacyclotron.request(): identifies the ring
+/// fragment the plan will later pin.
+struct RequestHandle {
+  core::BatId bat = core::kInvalidBat;
+  bool operator==(const RequestHandle& o) const { return bat == o.bat; }
+};
+
+/// \brief An oid literal (`0@0` in MAL text).
+struct OidLit {
+  bat::Oid value = 0;
+  bool operator==(const OidLit& o) const { return value == o.value; }
+};
+
+/// \brief Sentinel for io.stdout() stream handles.
+struct StreamHandle {
+  int fd = 1;
+  bool operator==(const StreamHandle& o) const { return fd == o.fd; }
+};
+
+/// \brief A result table under construction (sql.resultSet / sql.rsCol).
+struct ResultSet {
+  struct Column {
+    std::string table;
+    std::string name;
+    std::string type;
+    bat::BatPtr values;
+  };
+  std::vector<Column> columns;
+};
+using ResultSetPtr = std::shared_ptr<ResultSet>;
+
+/// \brief A MAL variable's value.
+using Datum = std::variant<std::monostate, int64_t, double, std::string, OidLit,
+                           bat::BatPtr, RequestHandle, StreamHandle, ResultSetPtr>;
+
+/// Human-readable tag for diagnostics.
+const char* DatumKind(const Datum& d);
+
+/// Renders a datum as MAL literal text where possible.
+std::string DatumToString(const Datum& d);
+
+}  // namespace dcy::mal

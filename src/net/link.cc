@@ -1,0 +1,46 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dcy::net {
+
+bool SimplexLink::Send(uint64_t size_bytes, std::function<void()> on_delivered) {
+  if (options_.queue_capacity_bytes != 0 &&
+      queued_bytes_ + size_bytes > options_.queue_capacity_bytes) {
+    ++stats_.messages_dropped_queue;
+    return false;
+  }
+  ++stats_.messages_sent;
+  queued_bytes_ += size_bytes;
+
+  const SimTime start = std::max(sim_->Now(), busy_until_);
+  const SimTime tx = SerializationTime(size_bytes);
+  const SimTime tx_end = start + tx;
+  busy_until_ = tx_end;
+  stats_.busy_time += tx;
+
+  // Last byte leaves the sender buffer at tx_end.
+  sim_->ScheduleAt(tx_end, [this, size_bytes] {
+    DCY_DCHECK(queued_bytes_ >= size_bytes);
+    queued_bytes_ -= size_bytes;
+  });
+
+  const bool lost = options_.loss_probability > 0.0 && rng_ != nullptr &&
+                    rng_->Bernoulli(options_.loss_probability);
+  if (lost) {
+    ++stats_.messages_lost_wire;
+    return true;  // sender cannot tell; the message just never arrives
+  }
+
+  sim_->ScheduleAt(tx_end + options_.propagation_delay,
+                   [this, size_bytes, cb = std::move(on_delivered)] {
+                     ++stats_.messages_delivered;
+                     stats_.bytes_delivered += size_bytes;
+                     cb();
+                   });
+  return true;
+}
+
+}  // namespace dcy::net

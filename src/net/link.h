@@ -1,0 +1,74 @@
+// Simulated point-to-point links, modelled the way the paper configures
+// NS-2 (§5 Setup): duplex links with a bandwidth, a propagation delay, and
+// a DropTail (tail-drop on full queue) buffer policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace dcy::net {
+
+/// \brief One direction of a link: serializes messages FIFO at the link
+/// bandwidth, then delivers them after the propagation delay.
+///
+/// Queue accounting: a message occupies the sender-side buffer from Send()
+/// until its last byte has been serialized onto the wire. `queued_bytes()`
+/// is therefore the quantity the paper calls the node's "BAT queue load"
+/// when this link is the node's clockwise data channel.
+class SimplexLink {
+ public:
+  struct Options {
+    /// Serialization rate. The paper's setup: 10 Gb/s = 1.25e9 B/s.
+    double bandwidth_bytes_per_sec = GbpsToBytesPerSec(10.0);
+    /// One-way propagation delay. The paper's setup: 350 us.
+    SimTime propagation_delay = FromMicros(350);
+    /// DropTail threshold in bytes; 0 disables the limit.
+    uint64_t queue_capacity_bytes = 0;
+    /// Fault injection: probability that a message is silently lost on the
+    /// wire (after serialization). 0 in all paper-faithful experiments.
+    double loss_probability = 0.0;
+  };
+
+  struct Stats {
+    uint64_t messages_sent = 0;
+    uint64_t messages_delivered = 0;
+    uint64_t messages_dropped_queue = 0;  // DropTail
+    uint64_t messages_lost_wire = 0;      // fault injection
+    uint64_t bytes_delivered = 0;
+    SimTime busy_time = 0;  // total serialization time
+  };
+
+  /// `rng` may be null when loss_probability == 0.
+  SimplexLink(sim::Simulator* sim, Options options, Rng* rng = nullptr)
+      : sim_(sim), options_(options), rng_(rng) {}
+
+  /// Enqueues a message of `size_bytes`; `on_delivered` runs at the receiver
+  /// when the last byte arrives. Returns false if DropTail rejected it.
+  bool Send(uint64_t size_bytes, std::function<void()> on_delivered);
+
+  /// Bytes buffered at the sender (waiting + currently serializing).
+  uint64_t queued_bytes() const { return queued_bytes_; }
+
+  const Options& options() const { return options_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Time to push `size_bytes` onto the wire at this link's bandwidth.
+  SimTime SerializationTime(uint64_t size_bytes) const {
+    return static_cast<SimTime>(static_cast<double>(size_bytes) /
+                                options_.bandwidth_bytes_per_sec * 1e9);
+  }
+
+ private:
+  sim::Simulator* sim_;
+  Options options_;
+  Rng* rng_;
+  Stats stats_;
+  uint64_t queued_bytes_ = 0;
+  SimTime busy_until_ = 0;
+};
+
+}  // namespace dcy::net

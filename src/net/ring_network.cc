@@ -1,0 +1,40 @@
+#include "net/ring_network.h"
+
+#include "common/logging.h"
+
+namespace dcy::net {
+
+RingNetwork::RingNetwork(sim::Simulator* sim, Options options, Rng* rng)
+    : options_(options) {
+  DCY_CHECK(options.num_nodes >= 2) << "a ring needs at least two nodes";
+  data_links_.reserve(options.num_nodes);
+  request_links_.reserve(options.num_nodes);
+  for (uint32_t i = 0; i < options.num_nodes; ++i) {
+    data_links_.push_back(std::make_unique<SimplexLink>(sim, options.data, rng));
+    request_links_.push_back(std::make_unique<SimplexLink>(sim, options.request, rng));
+  }
+}
+
+bool RingNetwork::SendData(NodeIndex from, uint64_t size_bytes,
+                           std::function<void()> deliver) {
+  DCY_DCHECK(from < num_nodes());
+  return data_links_[from]->Send(size_bytes, std::move(deliver));
+}
+
+bool RingNetwork::SendRequest(NodeIndex from, uint64_t size_bytes,
+                              std::function<void()> deliver) {
+  DCY_DCHECK(from < num_nodes());
+  return request_links_[from]->Send(size_bytes, std::move(deliver));
+}
+
+uint64_t RingNetwork::TotalDataQueueBytes() const {
+  uint64_t total = 0;
+  for (const auto& l : data_links_) total += l->queued_bytes();
+  return total;
+}
+
+SimTime RingNetwork::IdleHopTime(uint64_t size_bytes) const {
+  return data_links_[0]->SerializationTime(size_bytes) + options_.data.propagation_delay;
+}
+
+}  // namespace dcy::net

@@ -1,0 +1,72 @@
+// The storage-ring fabric: N nodes joined by duplex links. Per the paper
+// (§4, footnote 2): BATs flow clockwise on one channel, BAT requests flow
+// anti-clockwise on the other, so data and requests never compete for
+// bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.h"
+
+namespace dcy::net {
+
+using NodeIndex = uint32_t;
+
+/// \brief Ring of simulated duplex links with a clockwise data channel and
+/// an anti-clockwise request channel.
+///
+/// This class is payload-agnostic: senders pass a byte size (for timing and
+/// queue accounting) plus a closure that the receiving node runs on
+/// delivery. The Data Cyclotron layer closes over its typed messages.
+class RingNetwork {
+ public:
+  struct Options {
+    uint32_t num_nodes = 10;
+    /// Data (clockwise) channel; the paper: 10 Gb/s, 350 us, 200 MB queue.
+    SimplexLink::Options data;
+    /// Request (anti-clockwise) channel; requests are tiny, so the paper
+    /// never saturates it. Default: same wire, 4 MB queue.
+    SimplexLink::Options request;
+  };
+
+  RingNetwork(sim::Simulator* sim, Options options, Rng* rng = nullptr);
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(data_links_.size()); }
+
+  NodeIndex Successor(NodeIndex n) const { return (n + 1) % num_nodes(); }
+  NodeIndex Predecessor(NodeIndex n) const { return (n + num_nodes() - 1) % num_nodes(); }
+
+  /// Sends a data message from `from` to its successor. `deliver` runs when
+  /// the message fully arrives there. Returns false on DropTail rejection.
+  bool SendData(NodeIndex from, uint64_t size_bytes, std::function<void()> deliver);
+
+  /// Sends a request message from `from` to its predecessor.
+  bool SendRequest(NodeIndex from, uint64_t size_bytes, std::function<void()> deliver);
+
+  /// Bytes buffered on `node`'s outgoing data channel — the quantity the
+  /// paper calls the node's BAT queue load.
+  uint64_t DataQueueBytes(NodeIndex node) const { return data_links_[node]->queued_bytes(); }
+
+  uint64_t DataQueueCapacity() const { return options_.data.queue_capacity_bytes; }
+
+  /// Sum of all nodes' data-channel buffers (ring occupancy lower bound).
+  uint64_t TotalDataQueueBytes() const;
+
+  const SimplexLink& data_link(NodeIndex node) const { return *data_links_[node]; }
+  const SimplexLink& request_link(NodeIndex node) const { return *request_links_[node]; }
+
+  /// Time for one message of `size_bytes` to traverse a single hop when the
+  /// ring is otherwise idle (serialization + propagation).
+  SimTime IdleHopTime(uint64_t size_bytes) const;
+
+ private:
+  Options options_;
+  // data_links_[i]: i -> i+1 (clockwise); request_links_[i]: i -> i-1.
+  std::vector<std::unique_ptr<SimplexLink>> data_links_;
+  std::vector<std::unique_ptr<SimplexLink>> request_links_;
+};
+
+}  // namespace dcy::net

@@ -1,0 +1,30 @@
+// The Data Cyclotron plan rewriter (paper §4.1, Tables 1-2):
+//   * every sql.bind is replaced by a datacyclotron.request hoisted to the
+//     top of the plan (a fresh variable holds the request handle),
+//   * a datacyclotron.pin is injected immediately before the first use of
+//     each bound variable (the pin reuses the original variable name, so
+//     the rest of the plan is untouched),
+//   * a datacyclotron.unpin is injected after the last use — by default at
+//     the end of the plan, exactly as the paper's Table 2 does (results may
+//     alias the pinned fragments until exported).
+#pragma once
+
+#include "common/status.h"
+#include "mal/program.h"
+
+namespace dcy::opt {
+
+struct DcOptimizerOptions {
+  /// Where to place unpin() calls:
+  enum class UnpinPlacement {
+    kPlanEnd,        ///< before `end`, as in the paper's Table 2 (default)
+    kAfterLastUse,   ///< immediately after the last instruction using the BAT
+  };
+  UnpinPlacement unpin_placement = UnpinPlacement::kPlanEnd;
+};
+
+/// Rewrites `program`; plans without sql.bind calls are returned unchanged.
+Result<mal::Program> DcOptimize(const mal::Program& program,
+                                const DcOptimizerOptions& options = {});
+
+}  // namespace dcy::opt

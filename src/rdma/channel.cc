@@ -1,0 +1,108 @@
+#include "rdma/channel.h"
+
+#include <cstring>
+#include <thread>
+
+namespace dcy::rdma {
+
+const char* TransferModeName(TransferMode m) {
+  switch (m) {
+    case TransferMode::kZeroCopy: return "rdma-zero-copy";
+    case TransferMode::kNicOffload: return "nic-offload";
+    case TransferMode::kLegacy: return "legacy-tcp";
+  }
+  return "?";
+}
+
+Buffer Channel::TransferPayload(const Buffer& payload) {
+  if (payload == nullptr || options_.mode == TransferMode::kZeroCopy) {
+    // Direct data placement: the RNIC wrote straight into the registered
+    // region; neither host CPU touches the bytes (§2.2).
+    return payload;
+  }
+  const size_t n = payload->size();
+  const size_t seg = options_.segment_bytes;
+  std::string received;
+  received.resize(n);
+  if (options_.mode == TransferMode::kLegacy) {
+    // Sender-side copy into "socket buffers", segment by segment, with a
+    // context switch per segment.
+    std::string wire;
+    wire.resize(n);
+    for (size_t off = 0; off < n; off += seg) {
+      const size_t len = std::min(seg, n - off);
+      std::memcpy(wire.data() + off, payload->data() + off, len);
+      stats_.bytes_copied.fetch_add(len, std::memory_order_relaxed);
+      stats_.yields.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+    // Receiver-side copy from the socket buffer into application memory.
+    for (size_t off = 0; off < n; off += seg) {
+      const size_t len = std::min(seg, n - off);
+      std::memcpy(received.data() + off, wire.data() + off, len);
+      stats_.bytes_copied.fetch_add(len, std::memory_order_relaxed);
+    }
+  } else {  // kNicOffload: the NIC handles the stack; one copy remains.
+    for (size_t off = 0; off < n; off += seg) {
+      const size_t len = std::min(seg, n - off);
+      std::memcpy(received.data() + off, payload->data() + off, len);
+      stats_.bytes_copied.fetch_add(len, std::memory_order_relaxed);
+    }
+  }
+  return MakeBuffer(std::move(received));
+}
+
+bool Channel::Send(uint32_t opcode, std::string meta, Buffer payload) {
+  const uint64_t size = payload != nullptr ? payload->size() : 0;
+  Buffer delivered = TransferPayload(payload);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_send_.wait(lock, [&] {
+      return closed_ || queued_bytes_.load(std::memory_order_relaxed) + size <=
+                            options_.capacity_bytes || queue_.empty();
+    });
+    if (closed_) return false;
+    queue_.push_back(Message{opcode, std::move(meta), std::move(delivered)});
+    queued_bytes_.fetch_add(size, std::memory_order_relaxed);
+  }
+  stats_.messages.fetch_add(1, std::memory_order_relaxed);
+  stats_.payload_bytes.fetch_add(size, std::memory_order_relaxed);
+  can_recv_.notify_one();
+  return true;
+}
+
+std::optional<Message> Channel::Receive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_recv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  const uint64_t size = m.payload != nullptr ? m.payload->size() : 0;
+  queued_bytes_.fetch_sub(size, std::memory_order_relaxed);
+  lock.unlock();
+  can_send_.notify_all();
+  return m;
+}
+
+std::optional<Message> Channel::TryReceive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  const uint64_t size = m.payload != nullptr ? m.payload->size() : 0;
+  queued_bytes_.fetch_sub(size, std::memory_order_relaxed);
+  lock.unlock();
+  can_send_.notify_all();
+  return m;
+}
+
+void Channel::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  can_send_.notify_all();
+  can_recv_.notify_all();
+}
+
+}  // namespace dcy::rdma

@@ -1,0 +1,500 @@
+#include "runtime/ring_cluster.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "bat/serialize.h"
+#include "common/logging.h"
+
+namespace dcy::runtime {
+
+namespace {
+
+constexpr uint32_t kOpBat = 1;
+constexpr uint32_t kOpRequest = 2;
+
+std::string EncodeBatHeader(const core::BatHeader& h) {
+  std::string s(sizeof(core::BatHeader), '\0');
+  std::memcpy(s.data(), &h, sizeof(h));
+  return s;
+}
+
+core::BatHeader DecodeBatHeader(const std::string& s) {
+  core::BatHeader h;
+  DCY_CHECK(s.size() >= sizeof(h));
+  std::memcpy(&h, s.data(), sizeof(h));
+  return h;
+}
+
+std::string EncodeRequest(const core::RequestMsg& m) {
+  std::string s(sizeof(core::RequestMsg), '\0');
+  std::memcpy(s.data(), &m, sizeof(m));
+  return s;
+}
+
+core::RequestMsg DecodeRequest(const std::string& s) {
+  core::RequestMsg m;
+  DCY_CHECK(s.size() >= sizeof(m));
+  std::memcpy(&m, s.data(), sizeof(m));
+  return m;
+}
+
+SimTime SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ===========================================================================
+// Node
+// ===========================================================================
+
+class RingCluster::Node final : public core::DcEnv {
+ public:
+  Node(RingCluster* cluster, core::NodeId id)
+      : cluster_(cluster),
+        id_(id),
+        catalog_(cluster->options_.spill_dir.empty()
+                     ? ""
+                     : cluster->options_.spill_dir + "/node" + std::to_string(id)) {
+    const Options& opts = cluster->options_;
+    if (opts.adaptive_loit) {
+      loit_ = std::make_unique<core::AdaptiveLoit>(opts.adaptive);
+    } else {
+      loit_ = std::make_unique<core::StaticLoit>(opts.static_loit);
+    }
+    core::DcNodeOptions node_opts = opts.node;
+    node_opts.node_id = id;
+    node_opts.ring_size = opts.num_nodes;
+    dc_ = std::make_unique<core::DcNode>(node_opts, this, loit_.get());
+
+    rdma::Channel::Options data_opts;
+    data_opts.mode = opts.mode;
+    data_opts.capacity_bytes = opts.bat_queue_capacity * 4;  // hard backpressure
+    data_in_ = std::make_unique<rdma::Channel>(data_opts);
+    rdma::Channel::Options req_opts;
+    req_opts.mode = rdma::TransferMode::kZeroCopy;
+    request_in_ = std::make_unique<rdma::Channel>(req_opts);
+  }
+
+  // ---- wiring ---------------------------------------------------------------
+
+  rdma::Channel* data_in() { return data_in_.get(); }
+  rdma::Channel* request_in() { return request_in_.get(); }
+  void SetNeighbours(Node* successor, Node* predecessor) {
+    successor_ = successor;
+    predecessor_ = predecessor;
+  }
+
+  bat::BatCatalog& catalog() { return catalog_; }
+  core::DcNode& dc() { return *dc_; }
+
+  // ---- lifecycle -------------------------------------------------------------
+
+  void Start() {
+    stop_.store(false);
+    service_ = std::thread([this] { ServiceLoop(); });
+  }
+
+  void Stop() {
+    stop_.store(true);
+    data_in_->Close();
+    request_in_->Close();
+    mailbox_cv_.notify_all();
+    if (service_.joinable()) service_.join();
+  }
+
+  /// Runs `task` on the service thread (the only thread touching dc_).
+  void Post(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mu_);
+      mailbox_.push_back(std::move(task));
+    }
+    mailbox_cv_.notify_one();
+  }
+
+  /// Posts `task` and waits for it to finish.
+  void PostSync(std::function<void()> task) {
+    std::promise<void> done;
+    Post([&task, &done] {
+      task();
+      done.set_value();
+    });
+    done.get_future().wait();
+  }
+
+  // ---- query-session support ---------------------------------------------------
+
+  /// Registers a waiter resolved by DeliverToQuery/FailQuery.
+  std::future<Result<bat::BatPtr>> AddWaiter(core::QueryId q, core::BatId b) {
+    std::lock_guard<std::mutex> lock(waiters_mu_);
+    auto& p = waiters_[{q, b}];
+    return p.get_future();
+  }
+
+  /// Drops a waiter that was satisfied through the immediate path.
+  void RemoveWaiter(core::QueryId q, core::BatId b) {
+    std::lock_guard<std::mutex> lock(waiters_mu_);
+    waiters_.erase({q, b});
+  }
+
+  // ---- DcEnv (service thread only) ----------------------------------------------
+
+  SimTime Now() override { return SteadyNowNs(); }
+
+  void SendRequestMsg(const core::RequestMsg& msg) override {
+    // Requests travel anti-clockwise.
+    predecessor_->request_in()->Send(kOpRequest, EncodeRequest(msg), nullptr);
+  }
+
+  void SendBatMsg(const core::BatHeader& header, bool is_load) override {
+    rdma::Buffer payload;
+    if (is_load) {
+      auto b = catalog_.GetById(header.bat_id);
+      if (!b.ok()) {
+        DCY_LOG(kError) << "node " << id_ << " cannot load BAT " << header.bat_id << ": "
+                        << b.status().ToString();
+        return;
+      }
+      payload = rdma::MakeBuffer(bat::Serialize(**b));
+    } else {
+      payload = current_payload_;
+      DCY_CHECK(payload != nullptr) << "forwarding a BAT without payload";
+    }
+    // meta = administrative header, payload = encoded BAT (zero-copy).
+    successor_->data_in()->Send(kOpBat, EncodeBatHeader(header), payload);
+  }
+
+  void DeliverToQuery(core::QueryId query, core::BatId bat) override {
+    Result<bat::BatPtr> value = [&]() -> Result<bat::BatPtr> {
+      auto it = decoded_.find(bat);
+      if (it != decoded_.end()) return it->second;
+      return Status::NotFound("decoded BAT " + std::to_string(bat) + " missing");
+    }();
+    ResolveWaiter(query, bat, std::move(value));
+  }
+
+  void FailQuery(core::QueryId query, core::BatId bat) override {
+    ResolveWaiter(query, bat,
+                  Status::NotFound("BAT " + std::to_string(bat) + " does not exist"));
+  }
+
+  uint64_t BatQueueLoadBytes() override { return successor_->data_in()->queued_bytes(); }
+
+  uint64_t BatQueueCapacityBytes() override { return cluster_->options_.bat_queue_capacity; }
+
+  /// Decoded-BAT cache upkeep: drop entries the protocol cache released.
+  void TrimDecoded() {
+    for (auto it = decoded_.begin(); it != decoded_.end();) {
+      if (!dc_->cache().Contains(it->first)) {
+        it = decoded_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+ private:
+  void ResolveWaiter(core::QueryId query, core::BatId bat, Result<bat::BatPtr> value) {
+    std::promise<Result<bat::BatPtr>> promise;
+    {
+      std::lock_guard<std::mutex> lock(waiters_mu_);
+      auto it = waiters_.find({query, bat});
+      if (it == waiters_.end()) return;  // nobody waiting (local pin path)
+      promise = std::move(it->second);
+      waiters_.erase(it);
+    }
+    promise.set_value(std::move(value));
+  }
+
+  void HandleData(const rdma::Message& m) {
+    const core::BatHeader header = DecodeBatHeader(m.meta);
+    current_payload_ = m.payload;
+    // Decode up front if local queries are blocked on it (delivery needs the
+    // typed BAT) — cheap check, decode once.
+    if (dc_->pins().HasBlocked(header.bat_id) && decoded_.count(header.bat_id) == 0) {
+      auto decoded = bat::Deserialize(*m.payload);
+      if (decoded.ok()) decoded_[header.bat_id] = *decoded;
+    }
+    dc_->OnBatMsg(header);
+    current_payload_ = nullptr;
+    TrimDecoded();
+  }
+
+  void ServiceLoop() {
+    const auto& node_opts = dc_->options();
+    SimTime next_load_all = SteadyNowNs() + node_opts.load_all_period;
+    SimTime next_maintenance = SteadyNowNs() + node_opts.maintenance_period;
+    SimTime next_adapt = SteadyNowNs() + node_opts.adapt_period;
+
+    while (!stop_.load(std::memory_order_relaxed)) {
+      bool did_work = false;
+
+      std::function<void()> task;
+      {
+        std::lock_guard<std::mutex> lock(mailbox_mu_);
+        if (!mailbox_.empty()) {
+          task = std::move(mailbox_.front());
+          mailbox_.pop_front();
+        }
+      }
+      if (task) {
+        task();
+        did_work = true;
+      }
+
+      if (auto m = request_in_->TryReceive()) {
+        dc_->OnRequestMsg(DecodeRequest(m->meta));
+        did_work = true;
+      }
+      if (auto m = data_in_->TryReceive()) {
+        HandleData(*m);
+        did_work = true;
+      }
+
+      const SimTime now = SteadyNowNs();
+      if (now >= next_load_all) {
+        dc_->OnLoadAllTimer();
+        next_load_all = now + node_opts.load_all_period;
+        did_work = true;
+      }
+      if (now >= next_maintenance) {
+        dc_->OnMaintenanceTimer();
+        next_maintenance = now + node_opts.maintenance_period;
+        did_work = true;
+      }
+      if (now >= next_adapt) {
+        dc_->OnAdaptTimer();
+        next_adapt = now + node_opts.adapt_period;
+        did_work = true;
+      }
+
+      if (!did_work) {
+        std::unique_lock<std::mutex> lock(mailbox_mu_);
+        mailbox_cv_.wait_for(lock, std::chrono::microseconds(200));
+      }
+    }
+  }
+
+  RingCluster* cluster_;
+  core::NodeId id_;
+  bat::BatCatalog catalog_;
+  std::unique_ptr<core::LoitPolicy> loit_;
+  std::unique_ptr<core::DcNode> dc_;
+  Node* successor_ = nullptr;
+  Node* predecessor_ = nullptr;
+
+  std::unique_ptr<rdma::Channel> data_in_;     // from predecessor
+  std::unique_ptr<rdma::Channel> request_in_;  // from successor
+
+  std::thread service_;
+  std::atomic<bool> stop_{false};
+  std::mutex mailbox_mu_;
+  std::condition_variable mailbox_cv_;
+  std::deque<std::function<void()>> mailbox_;
+
+  rdma::Buffer current_payload_;
+  std::unordered_map<core::BatId, bat::BatPtr> decoded_;
+
+  std::mutex waiters_mu_;
+  std::map<std::pair<core::QueryId, core::BatId>, std::promise<Result<bat::BatPtr>>>
+      waiters_;
+};
+
+// ===========================================================================
+// Session hooks: the datacyclotron.* builtins of one query execution.
+// ===========================================================================
+
+namespace {
+
+class SessionHooks final : public mal::DcHooks {
+ public:
+  SessionHooks(RingCluster* cluster, RingCluster::Node* node, bat::BatCatalog* catalog,
+               const std::unordered_map<std::string, core::BatId>* directory,
+               core::QueryId query)
+      : cluster_(cluster), node_(node), catalog_(catalog), directory_(directory),
+        query_(query) {}
+
+  ~SessionHooks() override {
+    // Release anything the plan failed to unpin (aborted executions).
+    for (const auto& [bat, _] : pinned_) {
+      node_->Post([node = node_, q = query_, bat = bat] { node->dc().Unpin(q, bat); });
+    }
+  }
+
+  Result<mal::RequestHandle> Request(const std::string& schema, const std::string& table,
+                                     const std::string& column, int64_t) override {
+    const std::string name = schema + "." + table + "." + column;
+    auto it = directory_->find(name);
+    if (it == directory_->end()) return Status::NotFound("no fragment named " + name);
+    const core::BatId bat = it->second;
+    node_->Post([node = node_, q = query_, bat] { node->dc().Request(q, bat); });
+    return mal::RequestHandle{bat};
+  }
+
+  Result<bat::BatPtr> Pin(const mal::RequestHandle& handle) override {
+    const core::BatId bat = handle.bat;
+    // Register the waiter *before* pinning so a delivery racing the pin
+    // cannot be missed.
+    auto future = node_->AddWaiter(query_, bat);
+    std::promise<Result<bat::BatPtr>> immediate;
+    auto immediate_future = immediate.get_future();
+    node_->PostSync([&, this] {
+      if (node_->dc().Pin(query_, bat)) {
+        // Available now: owned locally or cached.
+        auto local = catalog_->GetById(bat);
+        if (local.ok()) {
+          immediate.set_value(*local);
+          return;
+        }
+        // Not owned: it must be in the decoded cache via DeliverToQuery's
+        // bookkeeping — fall through to the waiter resolution by asking the
+        // protocol to deliver from cache.
+        node_->DeliverToQuery(query_, bat);
+        immediate.set_value(Status::FailedPrecondition("resolved via waiter"));
+      } else {
+        immediate.set_value(Status::FailedPrecondition("blocked"));
+      }
+    });
+    Result<bat::BatPtr> quick = immediate_future.get();
+    bat::BatPtr value;
+    if (quick.ok()) {
+      node_->RemoveWaiter(query_, bat);
+      value = *quick;
+    } else {
+      auto delivered = future.get();  // blocks until the fragment passes
+      if (!delivered.ok()) return delivered.status();
+      value = *delivered;
+    }
+    pinned_[bat] = value;
+    by_pointer_[value.get()] = bat;
+    return value;
+  }
+
+  Status Unpin(const mal::Datum& pinned) override {
+    core::BatId bat = core::kInvalidBat;
+    if (const auto* h = std::get_if<mal::RequestHandle>(&pinned)) {
+      bat = h->bat;
+    } else if (const auto* b = std::get_if<bat::BatPtr>(&pinned)) {
+      auto it = by_pointer_.find(b->get());
+      if (it == by_pointer_.end()) {
+        return Status::InvalidArgument("unpin of a BAT this query never pinned");
+      }
+      bat = it->second;
+      by_pointer_.erase(it);
+    } else {
+      return Status::InvalidArgument("unpin expects a BAT or request handle");
+    }
+    pinned_.erase(bat);
+    node_->Post([node = node_, q = query_, bat] { node->dc().Unpin(q, bat); });
+    return Status::OK();
+  }
+
+ private:
+  RingCluster* cluster_;
+  RingCluster::Node* node_;
+  bat::BatCatalog* catalog_;
+  const std::unordered_map<std::string, core::BatId>* directory_;
+  core::QueryId query_;
+  std::unordered_map<core::BatId, bat::BatPtr> pinned_;
+  std::unordered_map<const bat::Bat*, core::BatId> by_pointer_;
+};
+
+}  // namespace
+
+// ===========================================================================
+// RingCluster
+// ===========================================================================
+
+RingCluster::RingCluster(Options options) : options_(options) {
+  DCY_CHECK(options_.num_nodes >= 2);
+  nodes_.reserve(options_.num_nodes);
+  for (uint32_t i = 0; i < options_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(this, i));
+  }
+  for (uint32_t i = 0; i < options_.num_nodes; ++i) {
+    Node* succ = nodes_[(i + 1) % options_.num_nodes].get();
+    Node* pred = nodes_[(i + options_.num_nodes - 1) % options_.num_nodes].get();
+    nodes_[i]->SetNeighbours(succ, pred);
+  }
+}
+
+RingCluster::~RingCluster() { Stop(); }
+
+Status RingCluster::LoadBat(core::NodeId owner, const std::string& name, bat::BatPtr bat) {
+  if (owner >= options_.num_nodes) return Status::InvalidArgument("bad owner node");
+  std::lock_guard<std::mutex> lock(directory_mu_);
+  if (directory_.count(name) > 0) return Status::AlreadyExists(name);
+  const core::BatId id = next_bat_.fetch_add(1);
+  const uint64_t size = bat->ByteSize();
+  DCY_RETURN_NOT_OK(nodes_[owner]->catalog().Register(name, id, std::move(bat)));
+  if (started_.load()) {
+    nodes_[owner]->PostSync([&] { nodes_[owner]->dc().AddOwnedBat(id, size); });
+  } else {
+    nodes_[owner]->dc().AddOwnedBat(id, size);
+  }
+  directory_[name] = id;
+  sizes_[id] = size;
+  return Status::OK();
+}
+
+void RingCluster::Start() {
+  if (started_.exchange(true)) return;
+  for (auto& node : nodes_) node->Start();
+}
+
+void RingCluster::Stop() {
+  if (!started_.exchange(false)) return;
+  for (auto& node : nodes_) node->Stop();
+}
+
+Result<QueryOutcome> RingCluster::ExecuteMal(core::NodeId node_id,
+                                             const std::string& mal_text, bool optimize) {
+  if (node_id >= options_.num_nodes) return Status::InvalidArgument("bad node id");
+  if (!started_.load()) return Status::FailedPrecondition("cluster not started");
+
+  DCY_ASSIGN_OR_RETURN(mal::Program program, mal::ParseProgram(mal_text));
+  if (optimize) {
+    DCY_ASSIGN_OR_RETURN(program, opt::DcOptimize(program));
+  }
+
+  QueryOutcome outcome;
+  outcome.query_id = next_query_.fetch_add(1);
+  Node* node = nodes_[node_id].get();
+
+  std::ostringstream printed;
+  SessionHooks hooks(this, node, &node->catalog(), &directory_, outcome.query_id);
+  mal::Context ctx;
+  ctx.catalog = &node->catalog();
+  ctx.dc = &hooks;
+  ctx.out = &printed;
+
+  const auto start = std::chrono::steady_clock::now();
+  mal::Interpreter interp(&mal::Registry::Global(), ctx);
+  auto result = interp.RunDataflow(program, options_.plan_workers);
+  if (!result.ok()) return result.status();
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  outcome.printed = printed.str();
+  outcome.result = std::move(result).value();
+  return outcome;
+}
+
+core::DcNodeMetrics RingCluster::NodeMetrics(core::NodeId node) const {
+  DCY_CHECK(node < nodes_.size());
+  core::DcNodeMetrics snapshot;
+  nodes_[node]->PostSync([&] { snapshot = nodes_[node]->dc().metrics(); });
+  return snapshot;
+}
+
+uint64_t RingCluster::TotalDataBytesMoved() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += node->data_in()->stats().payload_bytes.load();
+  }
+  return total;
+}
+
+}  // namespace dcy::runtime

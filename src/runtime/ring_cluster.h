@@ -1,0 +1,105 @@
+// The live Data Cyclotron runtime: a ring of node threads moving real BAT
+// payloads over the RDMA-emulating channels, running the *same* protocol
+// state machine (core::DcNode) that the simulator validates, and executing
+// real MAL plans rewritten by the DcOptimizer.
+//
+// Threading model: each node runs one service thread that owns its DcNode
+// (single-writer, as in the simulator); query sessions run on caller
+// threads and talk to the service thread through a mailbox, blocking in
+// pin() on a future until the fragment flows by — exactly the paper's §4.1
+// execution contract.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bat/catalog.h"
+#include "common/status.h"
+#include "core/dc_node.h"
+#include "mal/interpreter.h"
+#include "opt/dc_optimizer.h"
+#include "rdma/channel.h"
+
+namespace dcy::runtime {
+
+/// \brief Outcome of one query execution on the ring.
+struct QueryOutcome {
+  std::string printed;        ///< io.stdout output of the plan
+  mal::Datum result;          ///< last assigned variable
+  core::QueryId query_id = 0;
+  double wall_seconds = 0.0;
+};
+
+/// \brief A complete in-process ring.
+class RingCluster {
+ public:
+  /// One ring member (opaque; owned by the cluster).
+  class Node;
+
+  struct Options {
+    uint32_t num_nodes = 3;
+    rdma::TransferMode mode = rdma::TransferMode::kZeroCopy;
+    /// Logical BAT-queue capacity per node (admission + LOIT input).
+    uint64_t bat_queue_capacity = 64 * kMB;
+    bool adaptive_loit = true;
+    double static_loit = 0.1;
+    core::AdaptiveLoit::Options adaptive;
+    core::DcNodeOptions node;  // node_id/ring_size filled per node
+    /// Spill directory root ("" keeps all cold data in memory).
+    std::string spill_dir;
+    /// Worker threads per query plan (dataflow execution).
+    size_t plan_workers = 4;
+  };
+
+  explicit RingCluster(Options options);
+  ~RingCluster();
+
+  RingCluster(const RingCluster&) = delete;
+  RingCluster& operator=(const RingCluster&) = delete;
+
+  /// Registers a persistent BAT on `owner` (before or after Start).
+  /// The qualified name must be "schema.table.column".
+  Status LoadBat(core::NodeId owner, const std::string& name, bat::BatPtr bat);
+
+  /// Starts the node service threads.
+  void Start();
+  /// Stops and joins everything (idempotent; also run by the destructor).
+  void Stop();
+
+  /// Parses, DC-optimizes (unless the plan has no sql.bind), and executes a
+  /// MAL plan "at" the given node. Blocking; thread-safe.
+  Result<QueryOutcome> ExecuteMal(core::NodeId node, const std::string& mal_text,
+                                  bool optimize = true);
+
+  uint32_t num_nodes() const { return options_.num_nodes; }
+  /// Protocol metrics of a node (snapshot; service thread keeps mutating).
+  core::DcNodeMetrics NodeMetrics(core::NodeId node) const;
+  /// Total payload bytes moved clockwise so far.
+  uint64_t TotalDataBytesMoved() const;
+  const Options& options() const { return options_; }
+
+ private:
+  friend class Node;
+
+  Options options_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  /// Global name -> fragment directory (immutable after LoadBat calls).
+  std::mutex directory_mu_;
+  std::unordered_map<std::string, core::BatId> directory_;
+  std::unordered_map<core::BatId, uint64_t> sizes_;
+  std::atomic<core::BatId> next_bat_{1};
+  std::atomic<core::QueryId> next_query_{1};
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace dcy::runtime

@@ -1,0 +1,111 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace dcy::sim {
+
+EventId Simulator::ScheduleAt(SimTime when, Callback fn) {
+  DCY_CHECK(when >= now_) << "cannot schedule into the past: " << when << " < " << now_;
+  const uint64_t seq = next_seq_++;
+  const EventId id = seq;  // seq doubles as the id; both are unique
+  queue_.push(Entry{when, seq, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Simulator::PopRunnable(Entry* out) {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    auto c = cancelled_.find(e.id);
+    if (c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    *out = e;
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::Step() {
+  Entry e;
+  if (!PopRunnable(&e)) return false;
+  now_ = e.when;
+  auto it = callbacks_.find(e.id);
+  DCY_DCHECK(it != callbacks_.end());
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  ++fired_;
+  fn();
+  return true;
+}
+
+uint64_t Simulator::Run() {
+  uint64_t n = 0;
+  while (Step()) ++n;
+  return n;
+}
+
+uint64_t Simulator::RunUntil(SimTime deadline) {
+  uint64_t n = 0;
+  Entry e;
+  while (PopRunnable(&e)) {
+    if (e.when > deadline) {
+      // Put it back; it stays pending for a later Run call.
+      queue_.push(e);
+      break;
+    }
+    now_ = e.when;
+    auto it = callbacks_.find(e.id);
+    DCY_DCHECK(it != callbacks_.end());
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++fired_;
+    ++n;
+    fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+void PeriodicTimer::Start() {
+  if (in_tick_) {
+    stop_requested_ = false;  // restart requested from within the callback
+    return;
+  }
+  if (running()) return;
+  pending_ = sim_->Schedule(period_, [this] { Tick(); });
+}
+
+void PeriodicTimer::Stop() {
+  if (in_tick_) {
+    stop_requested_ = true;  // honoured after the callback returns
+    return;
+  }
+  if (!running()) return;
+  sim_->Cancel(pending_);
+  pending_ = kInvalidEvent;
+}
+
+void PeriodicTimer::Tick() {
+  pending_ = kInvalidEvent;
+  in_tick_ = true;
+  fn_();
+  in_tick_ = false;
+  if (stop_requested_) {
+    stop_requested_ = false;
+    return;
+  }
+  pending_ = sim_->Schedule(period_, [this] { Tick(); });
+}
+
+}  // namespace dcy::sim

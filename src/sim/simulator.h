@@ -1,0 +1,111 @@
+// Deterministic discrete-event simulation kernel.
+//
+// This is the repo's substitute for NS-2, which the paper used to evaluate
+// the Data Cyclotron protocols (§5). It provides exactly what the paper
+// needed from NS-2: a virtual clock, scheduled callbacks, and deterministic
+// ordering — nothing network-specific lives here (see src/net for links).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.h"
+
+namespace dcy::sim {
+
+/// Opaque handle used to cancel a scheduled event.
+using EventId = uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+/// \brief Priority-queue driven event loop with a virtual nanosecond clock.
+///
+/// Events scheduled for the same instant fire in scheduling order (FIFO by
+/// sequence number), which makes every simulation reproducible for a fixed
+/// seed regardless of platform.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ns from now. Requires delay >= 0.
+  EventId Schedule(SimTime delay, Callback fn) { return ScheduleAt(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` at absolute time `when`. Requires when >= Now().
+  EventId ScheduleAt(SimTime when, Callback fn);
+
+  /// Cancels a pending event; returns false if it already ran/was cancelled.
+  bool Cancel(EventId id);
+
+  /// Runs until the event queue empties. Returns the number of events fired.
+  uint64_t Run();
+
+  /// Runs until the queue empties or virtual time would exceed `deadline`.
+  /// Events at exactly `deadline` do fire.
+  uint64_t RunUntil(SimTime deadline);
+
+  /// Fires exactly one event if any is pending; returns false when idle.
+  bool Step();
+
+  /// Number of events waiting (including cancelled-but-not-popped ones).
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+  uint64_t total_fired() const { return fired_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    // Ordered as a min-heap: earliest time first, then FIFO by seq.
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  bool PopRunnable(Entry* out);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Callbacks stored aside so cancel() can drop them without heap surgery.
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// \brief Re-arms itself every `period` ns until Stop(); convenience for the
+/// protocol timers (loadAll, LOIT adaptation, resend scans).
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator* sim, SimTime period, Simulator::Callback fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { Stop(); }
+
+  /// Starts ticking; the first tick fires one period from now.
+  void Start();
+  void Stop();
+  bool running() const { return pending_ != kInvalidEvent; }
+
+ private:
+  void Tick();
+
+  Simulator* sim_;
+  SimTime period_;
+  Simulator::Callback fn_;
+  EventId pending_ = kInvalidEvent;
+  bool in_tick_ = false;
+  bool stop_requested_ = false;
+};
+
+}  // namespace dcy::sim

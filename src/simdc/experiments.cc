@@ -1,0 +1,205 @@
+#include "simdc/experiments.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "workload/dataset.h"
+
+namespace dcy::simdc {
+
+namespace {
+
+ExperimentResult Finish(SimCluster* cluster, std::unique_ptr<ExperimentCollector> collector,
+                        bool drained) {
+  collector->FinishSampling(&cluster->simulator());
+  ExperimentResult r;
+  r.registered = cluster->total_registered();
+  r.finished = cluster->total_finished();
+  r.failed = cluster->total_failed();
+  r.last_finish = cluster->last_finish_time();
+  r.sim_end = cluster->simulator().Now();
+  r.cpu_busy = cluster->total_cpu_busy();
+  r.data_drops = cluster->total_data_drops();
+  r.drained = drained;
+  r.collector = std::move(collector);
+  return r;
+}
+
+}  // namespace
+
+ExperimentResult RunUniformExperiment(const UniformExperimentOptions& options) {
+  const auto scaled = [&](double v) { return v * options.scale; };
+
+  ClusterOptions copts;
+  copts.num_nodes = options.num_nodes;
+  copts.bat_queue_capacity =
+      static_cast<uint64_t>(scaled(static_cast<double>(options.queue_capacity)));
+  // Scaling preserves the paper's dimensionless ratios: fewer BATs and a
+  // smaller ring, but the same rotation time (capacity/bandwidth) and the
+  // same per-BAT touch rate -- so LOI dynamics are unchanged.
+  copts.link_gbps = scaled(10.0);
+  copts.disk_bytes_per_sec = scaled(400e6);
+  copts.adaptive_loit = false;
+  copts.static_loit = options.loit;
+  copts.node = options.node;
+  copts.seed = options.data_seed;
+
+  const uint32_t num_bats = static_cast<uint32_t>(scaled(options.num_bats));
+  Rng data_rng(options.data_seed);
+  workload::Dataset dataset = workload::MakeUniformDataset(
+      num_bats, options.min_bat, options.max_bat, options.num_nodes, &data_rng);
+
+  ExperimentCollector::Options col_opts;
+  col_opts.num_bats = num_bats;
+  auto collector = std::make_unique<ExperimentCollector>(col_opts);
+
+  SimCluster cluster(copts, collector.get());
+  workload::InstallDataset(dataset, &cluster);
+
+  workload::UniformWorkloadOptions wopts;
+  wopts.rate_per_node = scaled(options.rate_per_node);
+  wopts.duration = options.duration;
+  wopts.seed = options.workload_seed;
+  auto per_node = workload::GenerateUniformWorkload(wopts, dataset, options.num_nodes);
+  for (uint32_t n = 0; n < options.num_nodes; ++n) {
+    cluster.driver(n).SubmitWorkload(std::move(per_node[n]));
+  }
+
+  cluster.Start();
+  collector->StartSampling(&cluster.simulator());
+  const bool drained = cluster.RunUntilQueriesDrain(options.deadline);
+  return Finish(&cluster, std::move(collector), drained);
+}
+
+ExperimentResult RunSkewedExperiment(const SkewedExperimentOptions& options) {
+  ClusterOptions copts;
+  copts.num_nodes = options.num_nodes;
+  copts.bat_queue_capacity = options.queue_capacity;
+  copts.adaptive_loit = options.adaptive_loit;  // §5.2: ladder {0.1, 0.6, 1.1}
+  copts.static_loit = options.static_loit;
+  copts.seed = options.data_seed;
+
+  Rng data_rng(options.data_seed);
+  workload::Dataset dataset = workload::MakeUniformDataset(
+      options.num_bats, options.min_bat, options.max_bat, options.num_nodes, &data_rng);
+
+  workload::SkewedWorkloadOptions wopts = options.workload;
+  for (auto& sw : wopts.subs) sw.total_rate *= options.scale;
+
+  ExperimentCollector::Options col_opts;
+  col_opts.num_bats = options.num_bats;
+  col_opts.num_tags = 5;  // 0 = shared, 1..4 = DH_1..DH_4
+  col_opts.bat_tag = [wopts](core::BatId bat) { return workload::SkewedBatTag(wopts, bat); };
+  auto collector = std::make_unique<ExperimentCollector>(col_opts);
+
+  SimCluster cluster(copts, collector.get());
+  workload::InstallDataset(dataset, &cluster);
+
+  auto per_node = workload::GenerateSkewedWorkload(wopts, dataset, options.num_nodes);
+  for (uint32_t n = 0; n < options.num_nodes; ++n) {
+    cluster.driver(n).SubmitWorkload(std::move(per_node[n]));
+  }
+
+  cluster.Start();
+  collector->StartSampling(&cluster.simulator());
+  const bool drained = cluster.RunUntilQueriesDrain(options.deadline);
+  return Finish(&cluster, std::move(collector), drained);
+}
+
+ExperimentResult RunGaussianExperiment(const GaussianExperimentOptions& options) {
+  const auto scaled = [&](double v) { return v * options.scale; };
+
+  ClusterOptions copts;
+  copts.num_nodes = options.num_nodes;
+  copts.bat_queue_capacity =
+      static_cast<uint64_t>(scaled(static_cast<double>(options.queue_capacity)));
+  copts.link_gbps = scaled(10.0);
+  copts.disk_bytes_per_sec = scaled(400e6);
+  copts.adaptive_loit = true;
+  copts.seed = options.data_seed;
+
+  const uint32_t num_bats = static_cast<uint32_t>(scaled(options.num_bats));
+  Rng data_rng(options.data_seed);
+  workload::Dataset dataset = workload::MakeUniformDataset(
+      num_bats, options.min_bat, options.max_bat, options.num_nodes, &data_rng);
+
+  ExperimentCollector::Options col_opts;
+  col_opts.num_bats = num_bats;
+  auto collector = std::make_unique<ExperimentCollector>(col_opts);
+
+  SimCluster cluster(copts, collector.get());
+  workload::InstallDataset(dataset, &cluster);
+
+  workload::GaussianWorkloadOptions wopts;
+  wopts.rate_per_node = scaled(options.rate_per_node);
+  wopts.total_rate = scaled(options.total_rate);
+  wopts.duration = options.duration;
+  wopts.mean = scaled(options.mean);
+  wopts.stddev = scaled(options.stddev);
+  wopts.seed = options.workload_seed;
+  auto per_node = workload::GenerateGaussianWorkload(wopts, dataset, options.num_nodes);
+  for (uint32_t n = 0; n < options.num_nodes; ++n) {
+    cluster.driver(n).SubmitWorkload(std::move(per_node[n]));
+  }
+
+  cluster.Start();
+  collector->StartSampling(&cluster.simulator());
+  const bool drained = cluster.RunUntilQueriesDrain(options.deadline);
+  return Finish(&cluster, std::move(collector), drained);
+}
+
+TpchRow RunTpchExperiment(const TpchExperimentOptions& options) {
+  ClusterOptions copts;
+  // The protocol needs a ring; a "single node" run is modelled as a ring of
+  // one node's workload with all data local (ownership on node 0).
+  copts.num_nodes = std::max(options.num_nodes, 2u);
+  copts.bat_queue_capacity = options.queue_capacity;
+  copts.adaptive_loit = true;
+  copts.cores_per_node = options.cores_per_node;
+  copts.seed = options.data_seed;
+
+  const bool single = options.num_nodes == 1;
+  workload::TpchWorkload wl =
+      workload::GenerateTpchWorkload(options.tpch, single ? 1 : options.num_nodes);
+
+  ExperimentCollector::Options col_opts;
+  col_opts.num_bats = wl.dataset.num_bats();
+  auto collector = std::make_unique<ExperimentCollector>(col_opts);
+  SimCluster cluster(copts, collector.get());
+  workload::InstallDataset(wl.dataset, &cluster);
+
+  for (uint32_t n = 0; n < (single ? 1u : options.num_nodes); ++n) {
+    cluster.driver(n).SubmitWorkload(std::move(wl.queries[n]));
+  }
+
+  cluster.Start();
+  const bool drained = cluster.RunUntilQueriesDrain(options.deadline);
+
+  TpchRow row;
+  row.label = options.tpch.cpu_inflation > 1.0
+                  ? "MonetDB"
+                  : std::to_string(options.num_nodes);
+  row.num_nodes = options.num_nodes;
+  row.exec_sec = ToSeconds(cluster.last_finish_time());
+  const double total_queries = static_cast<double>(cluster.total_finished());
+  row.throughput = row.exec_sec > 0 ? total_queries / row.exec_sec : 0.0;
+  row.throughput_per_node = row.throughput / options.num_nodes;
+  // CPU% counts only useful work: the MonetDB row's inflation overhead is
+  // exactly the paper's thread-management loss.
+  const double wall_cores =
+      row.exec_sec * options.cores_per_node * (single ? 1.0 : options.num_nodes);
+  row.cpu_percent = wall_cores > 0 ? 100.0 * wl.useful_cpu_seconds / wall_cores : 0.0;
+  row.drained = drained;
+  return row;
+}
+
+std::string FormatTpchRow(const TpchRow& row) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-8s %9.1f %12.1f %16.1f %7.1f%s", row.label.c_str(),
+                row.exec_sec, row.throughput, row.throughput_per_node, row.cpu_percent,
+                row.drained ? "" : "   [NOT DRAINED]");
+  return buf;
+}
+
+}  // namespace dcy::simdc

@@ -1,0 +1,118 @@
+// Experiment runners: one function per paper experiment, each encoding the
+// §5 setup exactly once. The bench binaries (bench/) print the resulting
+// series/tables; the integration tests run scaled-down versions through the
+// same code paths.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simdc/collector.h"
+#include "simdc/sim_cluster.h"
+#include "workload/synthetic.h"
+#include "workload/tpch.h"
+
+namespace dcy::simdc {
+
+/// Result of one simulated run: the collector (all per-BAT and time-series
+/// metrics) plus scalar run facts.
+struct ExperimentResult {
+  std::unique_ptr<ExperimentCollector> collector;
+  uint64_t registered = 0;
+  uint64_t finished = 0;
+  uint64_t failed = 0;
+  SimTime last_finish = 0;
+  SimTime sim_end = 0;
+  SimTime cpu_busy = 0;
+  uint64_t data_drops = 0;
+  bool drained = false;
+};
+
+/// \brief §5.1 "Limited Ring Capacity" (Figs. 6 & 7): 10 nodes, 1000 BATs
+/// 1-10 MB, 200 MB queues, 80 q/s/node for 60 s, static LOIT.
+struct UniformExperimentOptions {
+  double loit = 0.5;
+  uint32_t num_nodes = 10;
+  uint32_t num_bats = 1000;
+  uint64_t min_bat = 1 * kMB;
+  uint64_t max_bat = 10 * kMB;
+  uint64_t queue_capacity = 200 * kMB;
+  double rate_per_node = 80.0;
+  SimTime duration = 60 * kSecond;
+  SimTime deadline = 400 * kSecond;  // hard stop for the drain phase
+  uint64_t data_seed = 42;
+  uint64_t workload_seed = 1;
+  /// Protocol tunables (ablation switches live here).
+  core::DcNodeOptions node;
+  /// Scales the experiment down for tests: multiplies BAT count, rate and
+  /// duration by `scale` (1.0 = paper size).
+  double scale = 1.0;
+};
+ExperimentResult RunUniformExperiment(const UniformExperimentOptions& options);
+
+/// \brief §5.2 "Skewed Workloads" (Fig. 8): Table 3 sub-workloads with the
+/// adaptive LOIT ladder {0.1, 0.6, 1.1} and 80 %/40 % watermarks.
+struct SkewedExperimentOptions {
+  uint32_t num_nodes = 10;
+  uint32_t num_bats = 1000;
+  uint64_t min_bat = 1 * kMB;
+  uint64_t max_bat = 10 * kMB;
+  uint64_t queue_capacity = 200 * kMB;
+  workload::SkewedWorkloadOptions workload;
+  /// A1 ablation: false runs the same scenario with a static threshold.
+  bool adaptive_loit = true;
+  double static_loit = 0.5;
+  SimTime deadline = 400 * kSecond;
+  uint64_t data_seed = 42;
+  double scale = 1.0;  // scales rates only (the time axis is Table 3's)
+};
+ExperimentResult RunSkewedExperiment(const SkewedExperimentOptions& options);
+
+/// \brief §5.3 Gaussian access (Fig. 9) and the §6.3 pulsating-ring study
+/// (Figs. 10 & 11): N(500, 50^2) access; optionally a fixed total rate so
+/// the workload stays constant while the ring grows from 5 to 20 nodes.
+struct GaussianExperimentOptions {
+  uint32_t num_nodes = 10;
+  uint32_t num_bats = 1000;
+  uint64_t min_bat = 1 * kMB;
+  uint64_t max_bat = 10 * kMB;
+  uint64_t queue_capacity = 200 * kMB;
+  double rate_per_node = 80.0;
+  double total_rate = 0.0;  // when > 0: constant system-wide load (§6.3)
+  SimTime duration = 60 * kSecond;
+  double mean = 500.0;
+  double stddev = 50.0;
+  SimTime deadline = 400 * kSecond;
+  uint64_t data_seed = 42;
+  uint64_t workload_seed = 1;
+  double scale = 1.0;
+};
+ExperimentResult RunGaussianExperiment(const GaussianExperimentOptions& options);
+
+/// \brief §5.4 TPC-H (Table 4): one row of the table.
+struct TpchExperimentOptions {
+  uint32_t num_nodes = 1;
+  uint32_t cores_per_node = 4;
+  workload::TpchOptions tpch;
+  /// TPC-H nodes have "sizable main memories" (§1): the BAT queue is not
+  /// the §5.1 stress bottleneck here.
+  uint64_t queue_capacity = 2 * kGB;
+  SimTime deadline = 4000 * kSecond;
+  uint64_t data_seed = 42;
+};
+struct TpchRow {
+  std::string label;
+  uint32_t num_nodes = 0;
+  double exec_sec = 0.0;
+  double throughput = 0.0;
+  double throughput_per_node = 0.0;
+  double cpu_percent = 0.0;
+  bool drained = false;
+};
+TpchRow RunTpchExperiment(const TpchExperimentOptions& options);
+
+/// Formats a TpchRow like the paper's Table 4.
+std::string FormatTpchRow(const TpchRow& row);
+
+}  // namespace dcy::simdc

@@ -1,0 +1,139 @@
+#include "simdc/query_model.h"
+
+#include "common/logging.h"
+
+namespace dcy::simdc {
+
+void CpuScheduler::Submit(SimTime duration, std::function<void()> done) {
+  if (cores_ == 0 || running_ < cores_) {
+    RunTask(duration, std::move(done));
+  } else {
+    waiting_.emplace_back(duration, std::move(done));
+  }
+}
+
+void CpuScheduler::RunTask(SimTime duration, std::function<void()> done) {
+  ++running_;
+  busy_time_ += duration;
+  sim_->Schedule(duration, [this, done = std::move(done)] {
+    --running_;
+    if (!waiting_.empty() && (cores_ == 0 || running_ < cores_)) {
+      auto [d, cb] = std::move(waiting_.front());
+      waiting_.pop_front();
+      RunTask(d, std::move(cb));
+    }
+    done();
+  });
+}
+
+QueryDriver::QueryDriver(sim::Simulator* sim, core::DcNode* node, uint32_t cores,
+                         QueryObserver* observer)
+    : sim_(sim), node_(node), cpu_(sim, cores), observer_(observer) {}
+
+void QueryDriver::SubmitWorkload(std::vector<QuerySpec> specs) {
+  expected_ += specs.size();
+  for (QuerySpec& spec : specs) {
+    DCY_CHECK(spec.arrival >= sim_->Now());
+    sim_->ScheduleAt(spec.arrival, [this, s = std::move(spec)]() mutable { Arrive(std::move(s)); });
+  }
+}
+
+void QueryDriver::Arrive(QuerySpec spec) {
+  ++registered_;
+  if (observer_ != nullptr) observer_->OnQueryRegistered(node_->node_id(), spec);
+
+  const core::QueryId id = spec.id;
+  auto [it, inserted] = active_.emplace(id, ActiveQuery{std::move(spec), 0, false});
+  DCY_CHECK(inserted) << "duplicate query id " << id;
+  ActiveQuery* aq = &it->second;
+
+  // The DcOptimizer hoists every request to the start of the plan (§4.1).
+  for (const QueryStep& step : aq->spec.steps) node_->Request(id, step.bat);
+
+  const SimTime pre = aq->spec.cpu_before;
+  if (pre > 0) {
+    cpu_.Submit(pre, [this, id] {
+      auto found = active_.find(id);
+      if (found != active_.end()) PinCurrentStep(&found->second);
+    });
+  } else {
+    PinCurrentStep(aq);
+  }
+}
+
+void QueryDriver::PinCurrentStep(ActiveQuery* aq) {
+  if (aq->failed || aq->next_step >= aq->spec.steps.size()) {
+    Finish(aq->spec.id);
+    return;
+  }
+  const QueryStep& step = aq->spec.steps[aq->next_step];
+  if (node_->Pin(aq->spec.id, step.bat)) {
+    ProcessCurrentStep(aq);
+  }
+  // else: blocked in S3; OnDelivered resumes us.
+}
+
+void QueryDriver::ProcessCurrentStep(ActiveQuery* aq) {
+  const core::QueryId id = aq->spec.id;
+  const core::BatId bat = aq->spec.steps[aq->next_step].bat;
+  const SimTime work = aq->spec.steps[aq->next_step].cpu_after;
+  ++aq->next_step;
+  aq->processing = true;
+  cpu_.Submit(work, [this, id, bat] {
+    auto found = active_.find(id);
+    if (found == active_.end()) return;  // aborted meanwhile; Finish cleaned up
+    found->second.processing = false;
+    // The DcOptimizer injects unpin() at the *last reference* of a variable
+    // (§4.1); in this sequential model that is right after the operator
+    // consuming the BAT finishes, releasing the cached copy early.
+    node_->Unpin(id, bat);
+    PinCurrentStep(&found->second);
+  });
+}
+
+void QueryDriver::OnDelivered(core::QueryId query, core::BatId bat) {
+  auto found = active_.find(query);
+  if (found == active_.end()) return;  // finished/aborted meanwhile
+  ActiveQuery* aq = &found->second;
+  DCY_CHECK(aq->next_step < aq->spec.steps.size());
+  DCY_CHECK(aq->spec.steps[aq->next_step].bat == bat)
+      << "delivery for BAT " << bat << " but query " << query << " waits on step "
+      << aq->next_step;
+  ProcessCurrentStep(aq);
+}
+
+void QueryDriver::OnFailed(core::QueryId query, core::BatId bat) {
+  (void)bat;
+  auto found = active_.find(query);
+  if (found == active_.end()) return;
+  found->second.failed = true;
+  Finish(query);
+}
+
+void QueryDriver::Finish(core::QueryId id) {
+  auto found = active_.find(id);
+  DCY_CHECK(found != active_.end());
+  ActiveQuery& aq = found->second;
+
+  // Completed steps already unpinned themselves; on failure, release the
+  // in-processing step (whose unpin callback will no longer run), the
+  // blocked pin, and the never-reached requests so S2 entries can retire.
+  const size_t first_held = aq.next_step - (aq.processing ? 1 : 0);
+  for (size_t s = first_held; s < aq.spec.steps.size(); ++s) {
+    node_->Unpin(id, aq.spec.steps[s].bat);
+  }
+
+  if (aq.failed) {
+    ++failed_;
+  } else {
+    ++finished_;
+  }
+  last_finish_ = sim_->Now();
+  if (observer_ != nullptr) {
+    observer_->OnQueryFinished(node_->node_id(), aq.spec, aq.spec.arrival, sim_->Now(),
+                               aq.failed);
+  }
+  active_.erase(found);
+}
+
+}  // namespace dcy::simdc

@@ -1,0 +1,127 @@
+// Query lifecycle model used by the simulation experiments (§5).
+//
+// A simulated query mirrors a DcOptimizer-rewritten MAL plan (paper Table 2):
+// all datacyclotron.request() calls fire at registration, then the query
+// walks its steps sequentially — pin(BAT), then occupy a CPU core for the
+// operator time — and unpins everything when it finishes (as the rewritten
+// plan does). §5.1-§5.3 use an unbounded CPU; §5.4 uses 4 cores per node.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "core/dc_node.h"
+#include "sim/simulator.h"
+
+namespace dcy::simdc {
+
+/// One sequential step of a simulated query.
+struct QueryStep {
+  core::BatId bat = core::kInvalidBat;
+  /// CPU time consumed after this BAT is pinned (the paper's OpT_x).
+  SimTime cpu_after = 0;
+};
+
+/// \brief A complete simulated query, produced by the workload generators.
+struct QuerySpec {
+  core::QueryId id = core::kInvalidQuery;
+  SimTime arrival = 0;
+  /// CPU time before the first pin (OpT1 runs after registration, §5.4).
+  SimTime cpu_before = 0;
+  std::vector<QueryStep> steps;
+  /// Workload tag for per-hot-set accounting (Fig. 8); 0 when unused.
+  uint32_t tag = 0;
+};
+
+/// \brief FIFO multi-core CPU model; `cores == 0` means unbounded (the
+/// §5.1-§5.3 experiments model processing as pure latency).
+class CpuScheduler {
+ public:
+  CpuScheduler(sim::Simulator* sim, uint32_t cores) : sim_(sim), cores_(cores) {}
+
+  /// Runs `done` after `duration` of CPU time once a core is free.
+  void Submit(SimTime duration, std::function<void()> done);
+
+  /// Total core-busy time accumulated (drives the Table 4 CPU% column).
+  SimTime busy_time() const { return busy_time_; }
+  uint32_t cores() const { return cores_; }
+  size_t queued() const { return waiting_.size(); }
+
+ private:
+  void RunTask(SimTime duration, std::function<void()> done);
+
+  sim::Simulator* sim_;
+  uint32_t cores_;
+  uint32_t running_ = 0;
+  SimTime busy_time_ = 0;
+  std::deque<std::pair<SimTime, std::function<void()>>> waiting_;
+};
+
+/// \brief Observer for query completion events (implemented by the
+/// experiment collector).
+class QueryObserver {
+ public:
+  virtual ~QueryObserver() = default;
+  virtual void OnQueryRegistered(core::NodeId /*node*/, const QuerySpec& /*spec*/) {}
+  virtual void OnQueryFinished(core::NodeId /*node*/, const QuerySpec& /*spec*/,
+                               SimTime /*arrival*/, SimTime /*finish*/, bool /*failed*/) {}
+};
+
+/// \brief Drives all queries submitted to one node: registers requests,
+/// walks pin/process steps, reacts to deliveries and failures.
+class QueryDriver {
+ public:
+  QueryDriver(sim::Simulator* sim, core::DcNode* node, uint32_t cores,
+              QueryObserver* observer = nullptr);
+
+  /// Schedules every query in `specs` for its arrival time. Must be called
+  /// before the simulation starts (or at least before the arrival times).
+  void SubmitWorkload(std::vector<QuerySpec> specs);
+
+  /// DcEnv plumbing: a blocked pin for `query` was satisfied.
+  void OnDelivered(core::QueryId query, core::BatId bat);
+  /// DcEnv plumbing: the BAT does not exist; the query aborts.
+  void OnFailed(core::QueryId query, core::BatId bat);
+
+  uint64_t finished() const { return finished_; }
+  uint64_t failed() const { return failed_; }
+  uint64_t registered() const { return registered_; }
+  /// Queries submitted via SubmitWorkload (arrived or not yet).
+  uint64_t expected() const { return expected_; }
+  uint64_t in_flight() const { return active_.size(); }
+  SimTime last_finish_time() const { return last_finish_; }
+  const CpuScheduler& cpu() const { return cpu_; }
+
+ private:
+  struct ActiveQuery {
+    QuerySpec spec;
+    size_t next_step = 0;   // step whose pin is due (or in progress)
+    bool failed = false;
+    /// True while step next_step-1 occupies a core (its unpin is pending).
+    bool processing = false;
+  };
+
+  void Arrive(QuerySpec spec);
+  /// Pins step `aq->next_step` (blocking on the ring if needed).
+  void PinCurrentStep(ActiveQuery* aq);
+  /// Runs the CPU segment after a satisfied pin, then advances.
+  void ProcessCurrentStep(ActiveQuery* aq);
+  void Finish(core::QueryId id);
+
+  sim::Simulator* sim_;
+  core::DcNode* node_;
+  CpuScheduler cpu_;
+  QueryObserver* observer_;
+
+  std::unordered_map<core::QueryId, ActiveQuery> active_;
+  uint64_t finished_ = 0;
+  uint64_t failed_ = 0;
+  uint64_t registered_ = 0;
+  uint64_t expected_ = 0;
+  SimTime last_finish_ = 0;
+};
+
+}  // namespace dcy::simdc

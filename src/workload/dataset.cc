@@ -1,0 +1,32 @@
+#include "workload/dataset.h"
+
+#include "common/logging.h"
+
+namespace dcy::workload {
+
+uint64_t Dataset::total_bytes() const {
+  uint64_t total = 0;
+  for (const auto& b : bats) total += b.size;
+  return total;
+}
+
+Dataset MakeUniformDataset(uint32_t num_bats, uint64_t min_size, uint64_t max_size,
+                           uint32_t num_nodes, Rng* rng) {
+  DCY_CHECK(num_bats > 0);
+  DCY_CHECK(min_size <= max_size);
+  DCY_CHECK(num_nodes > 0);
+  Dataset ds;
+  ds.bats.resize(num_bats);
+  for (uint32_t i = 0; i < num_bats; ++i) {
+    ds.bats[i].id = i;
+    ds.bats[i].size = rng->UniformU64(min_size, max_size);
+    ds.bats[i].owner = static_cast<core::NodeId>(rng->UniformU64(0, num_nodes - 1));
+  }
+  return ds;
+}
+
+void InstallDataset(const Dataset& dataset, simdc::SimCluster* cluster) {
+  for (const auto& b : dataset.bats) cluster->AddBat(b.id, b.size, b.owner);
+}
+
+}  // namespace dcy::workload

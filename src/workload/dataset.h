@@ -1,0 +1,40 @@
+// Dataset construction: the paper's base data set is "8 GB composed of 1000
+// BATs with sizes varying from 1 MB to 10 MB ... uniformly distributed over
+// all nodes" (§5 Setup).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/types.h"
+#include "simdc/sim_cluster.h"
+
+namespace dcy::workload {
+
+/// \brief Static description of the distributed database: every BAT's size
+/// and owning node.
+struct Dataset {
+  struct BatSpec {
+    core::BatId id = core::kInvalidBat;
+    uint64_t size = 0;
+    core::NodeId owner = core::kInvalidNode;
+  };
+
+  std::vector<BatSpec> bats;  // indexed by BatId
+
+  uint32_t num_bats() const { return static_cast<uint32_t>(bats.size()); }
+  uint64_t total_bytes() const;
+  core::NodeId owner_of(core::BatId id) const { return bats[id].owner; }
+  uint64_t size_of(core::BatId id) const { return bats[id].size; }
+};
+
+/// Builds the §5 dataset: `num_bats` BATs with uniform sizes in
+/// [min_size, max_size], owners assigned uniformly at random.
+Dataset MakeUniformDataset(uint32_t num_bats, uint64_t min_size, uint64_t max_size,
+                           uint32_t num_nodes, Rng* rng);
+
+/// Registers every BAT of `dataset` with its owner node in the cluster.
+void InstallDataset(const Dataset& dataset, simdc::SimCluster* cluster);
+
+}  // namespace dcy::workload

@@ -1,0 +1,162 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dcy::workload {
+
+namespace {
+
+/// Draws `k` distinct BATs via `sample()`, skipping BATs owned by `node`
+/// (the paper's workloads touch remote BATs only), and scores each with a
+/// uniform processing time from `shape`.
+std::vector<simdc::QueryStep> MakeSteps(const QueryShape& shape, const Dataset& dataset,
+                                        core::NodeId node, Rng* rng,
+                                        const std::function<core::BatId()>& sample) {
+  const uint32_t k =
+      static_cast<uint32_t>(rng->UniformU64(shape.min_bats, shape.max_bats));
+  std::vector<simdc::QueryStep> steps;
+  steps.reserve(k);
+  std::vector<core::BatId> chosen;
+  int attempts = 0;
+  while (steps.size() < k && attempts < 1000) {
+    ++attempts;
+    const core::BatId bat = sample();
+    if (dataset.owner_of(bat) == node) continue;
+    if (std::find(chosen.begin(), chosen.end(), bat) != chosen.end()) continue;
+    chosen.push_back(bat);
+    steps.push_back(simdc::QueryStep{
+        bat, rng->UniformInt(shape.min_proc, shape.max_proc)});
+  }
+  DCY_CHECK(!steps.empty()) << "could not sample any remote BAT for node " << node;
+  return steps;
+}
+
+/// Number of arrivals of a `rate`/s process over `duration`, exact.
+uint64_t ArrivalCount(double rate, SimTime duration) {
+  return static_cast<uint64_t>(std::llround(rate * ToSeconds(duration)));
+}
+
+/// Arrival time of the i-th of `count` evenly spaced arrivals in
+/// [start, start+duration).
+SimTime ArrivalTime(SimTime start, SimTime duration, uint64_t i, uint64_t count) {
+  return start + static_cast<SimTime>(static_cast<double>(duration) *
+                                      static_cast<double>(i) / static_cast<double>(count));
+}
+
+}  // namespace
+
+NodeWorkloads GenerateUniformWorkload(const UniformWorkloadOptions& options,
+                                      const Dataset& dataset, uint32_t num_nodes) {
+  Rng rng(options.seed);
+  NodeWorkloads out(num_nodes);
+  const uint64_t count = ArrivalCount(options.rate_per_node, options.duration);
+  core::QueryId next_id = 1;
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    for (uint64_t i = 0; i < count; ++i) {
+      simdc::QuerySpec spec;
+      spec.id = next_id++;
+      spec.arrival = ArrivalTime(0, options.duration, i, count);
+      spec.steps = MakeSteps(options.shape, dataset, node, &rng, [&] {
+        return static_cast<core::BatId>(rng.UniformU64(0, dataset.num_bats() - 1));
+      });
+      out[node].push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+NodeWorkloads GenerateGaussianWorkload(const GaussianWorkloadOptions& options,
+                                       const Dataset& dataset, uint32_t num_nodes) {
+  Rng rng(options.seed);
+  NodeWorkloads out(num_nodes);
+  const double per_node_rate =
+      options.total_rate > 0 ? options.total_rate / num_nodes : options.rate_per_node;
+  const uint64_t count = ArrivalCount(per_node_rate, options.duration);
+  core::QueryId next_id = 1;
+  const auto sample_gaussian = [&]() -> core::BatId {
+    if (options.background_uniform_fraction > 0 &&
+        rng.Bernoulli(options.background_uniform_fraction)) {
+      return static_cast<core::BatId>(rng.UniformU64(0, dataset.num_bats() - 1));
+    }
+    const double draw = rng.Gaussian(options.mean, options.stddev);
+    const int64_t id = std::llround(draw);
+    const int64_t max_id = static_cast<int64_t>(dataset.num_bats()) - 1;
+    return static_cast<core::BatId>(std::clamp<int64_t>(id, 0, max_id));
+  };
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    for (uint64_t i = 0; i < count; ++i) {
+      simdc::QuerySpec spec;
+      spec.id = next_id++;
+      spec.arrival = ArrivalTime(0, options.duration, i, count);
+      spec.steps = MakeSteps(options.shape, dataset, node, &rng, sample_gaussian);
+      out[node].push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+bool InSkewedSubset(const SkewedWorkloadOptions& options, uint32_t sub_index,
+                    core::BatId bat) {
+  DCY_CHECK(sub_index >= 1 && sub_index <= options.subs.size());
+  const uint32_t skew = options.subs[sub_index - 1].skew;
+  return bat % skew == 0;
+}
+
+uint32_t SkewedBatTag(const SkewedWorkloadOptions& options, core::BatId bat) {
+  // Membership bitmap over sub-workloads.
+  uint32_t members = 0;
+  for (uint32_t i = 0; i < options.subs.size(); ++i) {
+    if (bat % options.subs[i].skew == 0) members |= 1u << i;
+  }
+  if (members == 0) return 0;
+  // DH_4 (skew 9) is naturally inside D_1 (skew 3): a BAT divisible by 9 and
+  // by 3 only belongs to the disjoint set of SW4 (paper §5.2).
+  if (options.subs.size() >= 4 && members == ((1u << 0) | (1u << 3))) return 4;
+  // Otherwise "disjoint" means: member of exactly one D_i.
+  for (uint32_t i = 0; i < options.subs.size(); ++i) {
+    if (members == (1u << i)) return i + 1;
+  }
+  return 0;  // shared between several hot sets
+}
+
+NodeWorkloads GenerateSkewedWorkload(const SkewedWorkloadOptions& options,
+                                     const Dataset& dataset, uint32_t num_nodes) {
+  Rng rng(options.seed);
+  NodeWorkloads out(num_nodes);
+  core::QueryId next_id = 1;
+  for (uint32_t si = 0; si < options.subs.size(); ++si) {
+    const SkewedSubWorkload& sw = options.subs[si];
+    // Pre-compute D_i (the accessible subset) once.
+    std::vector<core::BatId> subset;
+    for (core::BatId b = 0; b < dataset.num_bats(); ++b) {
+      if (b % sw.skew == 0) subset.push_back(b);
+    }
+    DCY_CHECK(!subset.empty());
+    // Table 3 rates are system-wide: spread arrivals round-robin over nodes.
+    const uint64_t count = ArrivalCount(sw.total_rate, sw.end - sw.start);
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint32_t node = static_cast<uint32_t>(i % num_nodes);
+      simdc::QuerySpec spec;
+      spec.id = next_id++;
+      spec.arrival = ArrivalTime(sw.start, sw.end - sw.start, i, count);
+      spec.tag = si + 1;
+      spec.steps = MakeSteps(options.shape, dataset, node, &rng, [&] {
+        return subset[rng.UniformU64(0, subset.size() - 1)];
+      });
+      out[node].push_back(std::move(spec));
+    }
+  }
+  // Arrival lists must be time-ordered per node for readability; the
+  // simulator does not require it but tests do.
+  for (auto& v : out) {
+    std::stable_sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+      return a.arrival < b.arrival;
+    });
+  }
+  return out;
+}
+
+}  // namespace dcy::workload

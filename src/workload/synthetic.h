@@ -1,0 +1,98 @@
+// Synthetic workload generators reproducing the paper's three simulation
+// scenarios:
+//   §5.1 uniform access      -> GenerateUniformWorkload (Figs. 6, 7)
+//   §5.2 skewed hot sets     -> GenerateSkewedWorkload (Fig. 8, Table 3)
+//   §5.3 Gaussian access     -> GenerateGaussianWorkload (Figs. 9, 10, 11)
+//
+// All generators emit, per node, a list of QuerySpec: queries requesting
+// 1-5 BATs, each scored with a 100-200 ms processing time (§5.1).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "simdc/query_model.h"
+#include "workload/dataset.h"
+
+namespace dcy::workload {
+
+/// Shape of a synthetic query (§5.1 defaults).
+struct QueryShape {
+  uint32_t min_bats = 1;
+  uint32_t max_bats = 5;
+  SimTime min_proc = FromMillis(100);
+  SimTime max_proc = FromMillis(200);
+};
+
+/// Per-node query streams: result[node] is that node's arrival list.
+using NodeWorkloads = std::vector<std::vector<simdc::QuerySpec>>;
+
+/// \brief §5.1: `rate_per_node` queries/s fired on each node over
+/// [0, duration), uniform BAT choice. Queries never touch BATs owned by
+/// their own node ("queries that access remote BATs only").
+struct UniformWorkloadOptions {
+  double rate_per_node = 80.0;           // paper: 80 q/s on each of 10 nodes
+  SimTime duration = 60 * kSecond;       // paper: 60 s => 48 000 queries
+  QueryShape shape;
+  uint64_t seed = 1;
+};
+NodeWorkloads GenerateUniformWorkload(const UniformWorkloadOptions& options,
+                                      const Dataset& dataset, uint32_t num_nodes);
+
+/// \brief §5.3: same as §5.1 but BAT access follows a Gaussian centred on
+/// BAT id 500 with standard deviation 50; all nodes share the distribution.
+struct GaussianWorkloadOptions {
+  double rate_per_node = 80.0;
+  SimTime duration = 60 * kSecond;
+  double mean = 500.0;   // paper: centred around BAT id 500
+  double stddev = 50.0;  // paper: standard deviation 50
+  /// Fraction of accesses drawn uniformly over the whole database. The
+  /// paper's Fig. 9 shows the unpopular BATs (far outside 3 sigma) with
+  /// "less than 20 touches" and non-zero load counts across the full id
+  /// range, which a pure Gaussian cannot produce: ~10 % uniform background
+  /// over 144 000 draws yields exactly that ~14 touches/BAT floor.
+  double background_uniform_fraction = 0.1;
+  QueryShape shape;
+  uint64_t seed = 1;
+  /// When set, the *total* arrival rate is `total_rate` spread over all
+  /// nodes instead of rate_per_node each — used by the §6.3 pulsating-ring
+  /// experiment, which keeps the workload constant while the ring grows.
+  double total_rate = 0.0;
+};
+NodeWorkloads GenerateGaussianWorkload(const GaussianWorkloadOptions& options,
+                                       const Dataset& dataset, uint32_t num_nodes);
+
+/// \brief §5.2 / Table 3: four skewed workloads with disjoint hot sets.
+///
+/// SW_i draws uniformly from D_i = { b : b mod skew_i == 0 }; the disjoint
+/// hot set DH_i is the part of D_i shared with no other workload (DH_4,
+/// with skew 9, is naturally contained in DH_1, skew 3 — as in the paper).
+struct SkewedSubWorkload {
+  uint32_t skew = 3;
+  SimTime start = 0;
+  SimTime end = 30 * kSecond;
+  double total_rate = 200.0;  // queries/s across the whole ring (Table 3)
+};
+struct SkewedWorkloadOptions {
+  std::vector<SkewedSubWorkload> subs = {
+      {3, 0, 30 * kSecond, 200.0},                          // SW1
+      {5, 15 * kSecond, 45 * kSecond, 300.0},               // SW2
+      {7, FromMillis(37500), FromMillis(67500), 400.0},     // SW3
+      {9, FromMillis(67500), FromMillis(97500), 500.0},     // SW4
+  };
+  QueryShape shape;
+  uint64_t seed = 1;
+};
+NodeWorkloads GenerateSkewedWorkload(const SkewedWorkloadOptions& options,
+                                     const Dataset& dataset, uint32_t num_nodes);
+
+/// Tags a BAT with the disjoint hot set it belongs to: 1..4 for DH_1..DH_4,
+/// 0 for BATs in no DH (shared or unused). Matches the Fig. 8a series.
+uint32_t SkewedBatTag(const SkewedWorkloadOptions& options, core::BatId bat);
+
+/// True if `bat` is in D_i (accessible by sub-workload i, 1-based).
+bool InSkewedSubset(const SkewedWorkloadOptions& options, uint32_t sub_index,
+                    core::BatId bat);
+
+}  // namespace dcy::workload

@@ -1,0 +1,290 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace dcy::workload {
+
+namespace {
+
+// Row counts at SF-1 (TPC-H specification).
+constexpr uint64_t kLineitemRows = 6001215;
+constexpr uint64_t kOrdersRows = 1500000;
+constexpr uint64_t kPartsuppRows = 800000;
+constexpr uint64_t kCustomerRows = 150000;
+constexpr uint64_t kPartRows = 200000;
+constexpr uint64_t kSupplierRows = 10000;
+constexpr uint64_t kNationRows = 25;
+constexpr uint64_t kRegionRows = 5;
+
+std::vector<TpchColumn> BuildColumns() {
+  std::vector<TpchColumn> cols = {
+      // lineitem
+      {"lineitem.l_orderkey", kLineitemRows}, {"lineitem.l_partkey", kLineitemRows},
+      {"lineitem.l_suppkey", kLineitemRows}, {"lineitem.l_quantity", kLineitemRows},
+      {"lineitem.l_extendedprice", kLineitemRows}, {"lineitem.l_discount", kLineitemRows},
+      {"lineitem.l_tax", kLineitemRows}, {"lineitem.l_returnflag", kLineitemRows},
+      {"lineitem.l_linestatus", kLineitemRows}, {"lineitem.l_shipdate", kLineitemRows},
+      {"lineitem.l_commitdate", kLineitemRows}, {"lineitem.l_receiptdate", kLineitemRows},
+      {"lineitem.l_shipmode", kLineitemRows}, {"lineitem.l_shipinstruct", kLineitemRows},
+      // orders
+      {"orders.o_orderkey", kOrdersRows}, {"orders.o_custkey", kOrdersRows},
+      {"orders.o_orderdate", kOrdersRows}, {"orders.o_totalprice", kOrdersRows},
+      {"orders.o_orderstatus", kOrdersRows}, {"orders.o_orderpriority", kOrdersRows},
+      {"orders.o_comment", kOrdersRows},
+      // partsupp
+      {"partsupp.ps_partkey", kPartsuppRows}, {"partsupp.ps_suppkey", kPartsuppRows},
+      {"partsupp.ps_availqty", kPartsuppRows}, {"partsupp.ps_supplycost", kPartsuppRows},
+      // customer
+      {"customer.c_custkey", kCustomerRows}, {"customer.c_nationkey", kCustomerRows},
+      {"customer.c_acctbal", kCustomerRows}, {"customer.c_mktsegment", kCustomerRows},
+      {"customer.c_phone", kCustomerRows},
+      // part
+      {"part.p_partkey", kPartRows}, {"part.p_brand", kPartRows},
+      {"part.p_type", kPartRows}, {"part.p_size", kPartRows},
+      {"part.p_container", kPartRows}, {"part.p_name", kPartRows},
+      // supplier
+      {"supplier.s_suppkey", kSupplierRows}, {"supplier.s_nationkey", kSupplierRows},
+      {"supplier.s_acctbal", kSupplierRows}, {"supplier.s_comment", kSupplierRows},
+      // nation / region (tiny)
+      {"nation.n_nationkey", kNationRows}, {"nation.n_regionkey", kNationRows},
+      {"region.r_regionkey", kRegionRows},
+      // FK join indexes ("the indexes created for the TPC-H tables to speed
+      // up foreign key processing", §5.4)
+      {"idx.lineitem_orders", kLineitemRows}, {"idx.lineitem_part", kLineitemRows},
+      {"idx.lineitem_supplier", kLineitemRows}, {"idx.orders_customer", kOrdersRows},
+      {"idx.partsupp_part", kPartsuppRows}, {"idx.partsupp_supplier", kPartsuppRows},
+      {"idx.customer_nation", kCustomerRows}, {"idx.supplier_nation", kSupplierRows},
+  };
+  return cols;
+}
+
+std::vector<TpchTemplate> BuildTemplates() {
+  // Column footprints follow the query text; relative costs follow the
+  // typical MonetDB execution-time profile of the 22 queries (heavy
+  // full-lineitem aggregations Q1/Q9/Q18/Q21 vs. catalog-sized Q2/Q11).
+  std::vector<TpchTemplate> t = {
+      {"Q1",
+       {"lineitem.l_shipdate", "lineitem.l_returnflag", "lineitem.l_linestatus",
+        "lineitem.l_quantity", "lineitem.l_extendedprice", "lineitem.l_discount",
+        "lineitem.l_tax"},
+       5.0},
+      {"Q2",
+       {"part.p_partkey", "part.p_size", "part.p_type", "partsupp.ps_partkey",
+        "partsupp.ps_supplycost", "supplier.s_suppkey", "supplier.s_acctbal",
+        "idx.partsupp_part", "idx.partsupp_supplier", "idx.supplier_nation",
+        "nation.n_regionkey", "region.r_regionkey"},
+       0.4},
+      {"Q3",
+       {"customer.c_mktsegment", "orders.o_orderdate", "orders.o_custkey",
+        "lineitem.l_orderkey", "lineitem.l_extendedprice", "lineitem.l_discount",
+        "lineitem.l_shipdate", "idx.lineitem_orders", "idx.orders_customer"},
+       1.2},
+      {"Q4",
+       {"orders.o_orderdate", "orders.o_orderpriority", "lineitem.l_commitdate",
+        "lineitem.l_receiptdate", "idx.lineitem_orders"},
+       0.8},
+      {"Q5",
+       {"customer.c_nationkey", "orders.o_orderdate", "lineitem.l_extendedprice",
+        "lineitem.l_discount", "supplier.s_nationkey", "idx.lineitem_orders",
+        "idx.orders_customer", "idx.lineitem_supplier", "nation.n_regionkey",
+        "region.r_regionkey"},
+       1.5},
+      {"Q6",
+       {"lineitem.l_shipdate", "lineitem.l_discount", "lineitem.l_quantity",
+        "lineitem.l_extendedprice"},
+       0.5},
+      {"Q7",
+       {"supplier.s_nationkey", "customer.c_nationkey", "lineitem.l_shipdate",
+        "lineitem.l_extendedprice", "lineitem.l_discount", "idx.lineitem_supplier",
+        "idx.lineitem_orders", "idx.orders_customer", "nation.n_nationkey"},
+       1.6},
+      {"Q8",
+       {"part.p_type", "lineitem.l_extendedprice", "lineitem.l_discount",
+        "orders.o_orderdate", "customer.c_nationkey", "supplier.s_nationkey",
+        "idx.lineitem_part", "idx.lineitem_supplier", "idx.lineitem_orders",
+        "idx.orders_customer", "nation.n_regionkey", "region.r_regionkey"},
+       1.3},
+      {"Q9",
+       {"part.p_name", "lineitem.l_extendedprice", "lineitem.l_discount",
+        "lineitem.l_quantity", "partsupp.ps_supplycost", "orders.o_orderdate",
+        "supplier.s_nationkey", "idx.lineitem_part", "idx.lineitem_supplier",
+        "idx.lineitem_orders", "nation.n_nationkey"},
+       4.0},
+      {"Q10",
+       {"customer.c_custkey", "customer.c_acctbal", "customer.c_nationkey",
+        "orders.o_orderdate", "lineitem.l_returnflag", "lineitem.l_extendedprice",
+        "lineitem.l_discount", "idx.lineitem_orders", "idx.orders_customer",
+        "nation.n_nationkey"},
+       1.2},
+      {"Q11",
+       {"partsupp.ps_availqty", "partsupp.ps_supplycost", "supplier.s_nationkey",
+        "idx.partsupp_supplier", "nation.n_nationkey"},
+       0.5},
+      {"Q12",
+       {"lineitem.l_shipmode", "lineitem.l_commitdate", "lineitem.l_receiptdate",
+        "lineitem.l_shipdate", "orders.o_orderpriority", "idx.lineitem_orders"},
+       0.9},
+      {"Q13",
+       {"customer.c_custkey", "orders.o_custkey", "orders.o_comment",
+        "idx.orders_customer"},
+       1.8},
+      {"Q14",
+       {"lineitem.l_shipdate", "lineitem.l_extendedprice", "lineitem.l_discount",
+        "part.p_type", "idx.lineitem_part"},
+       0.7},
+      {"Q15",
+       {"lineitem.l_shipdate", "lineitem.l_extendedprice", "lineitem.l_discount",
+        "lineitem.l_suppkey", "supplier.s_suppkey"},
+       0.8},
+      {"Q16",
+       {"partsupp.ps_partkey", "part.p_brand", "part.p_type", "part.p_size",
+        "supplier.s_comment", "idx.partsupp_part"},
+       0.9},
+      {"Q17",
+       {"lineitem.l_quantity", "lineitem.l_extendedprice", "part.p_brand",
+        "part.p_container", "idx.lineitem_part"},
+       1.4},
+      {"Q18",
+       {"customer.c_custkey", "orders.o_orderdate", "orders.o_totalprice",
+        "lineitem.l_quantity", "idx.lineitem_orders", "idx.orders_customer"},
+       3.0},
+      {"Q19",
+       {"lineitem.l_quantity", "lineitem.l_extendedprice", "lineitem.l_discount",
+        "lineitem.l_shipinstruct", "lineitem.l_shipmode", "part.p_brand",
+        "part.p_container", "part.p_size", "idx.lineitem_part"},
+       1.0},
+      {"Q20",
+       {"lineitem.l_shipdate", "lineitem.l_quantity", "partsupp.ps_availqty",
+        "part.p_name", "supplier.s_nationkey", "idx.partsupp_part",
+        "idx.partsupp_supplier", "nation.n_nationkey"},
+       1.1},
+      {"Q21",
+       {"supplier.s_nationkey", "lineitem.l_receiptdate", "lineitem.l_commitdate",
+        "orders.o_orderstatus", "idx.lineitem_supplier", "idx.lineitem_orders",
+        "nation.n_nationkey"},
+       3.5},
+      {"Q22",
+       {"customer.c_phone", "customer.c_acctbal", "orders.o_custkey",
+        "idx.orders_customer"},
+       0.6},
+  };
+  return t;
+}
+
+}  // namespace
+
+const std::vector<TpchColumn>& TpchColumns() {
+  static const std::vector<TpchColumn> cols = BuildColumns();
+  return cols;
+}
+
+const std::vector<TpchTemplate>& TpchTemplates() {
+  static const std::vector<TpchTemplate> templates = BuildTemplates();
+  return templates;
+}
+
+TpchWorkload GenerateTpchWorkload(const TpchOptions& options, uint32_t num_nodes) {
+  DCY_CHECK(num_nodes >= 1);
+  Rng rng(options.seed);
+  TpchWorkload out;
+
+  // --- 1. Partition every logical column into ring BATs. -------------------
+  std::map<std::string, std::vector<core::BatId>> column_parts;
+  core::BatId next_bat = 0;
+  uint32_t owner_rr = 0;
+  for (const TpchColumn& col : TpchColumns()) {
+    const uint64_t bytes =
+        col.rows_at_sf1 * options.scale_factor * static_cast<uint64_t>(col.width);
+    const uint64_t parts =
+        std::max<uint64_t>(1, (bytes + options.max_bat_bytes - 1) / options.max_bat_bytes);
+    const uint64_t per_part = (bytes + parts - 1) / parts;
+    for (uint64_t p = 0; p < parts; ++p) {
+      const uint64_t size = std::min(per_part, bytes - p * per_part);
+      Dataset::BatSpec spec;
+      spec.id = next_bat++;
+      spec.size = std::max<uint64_t>(size, 1);
+      spec.owner = owner_rr++ % num_nodes;
+      out.dataset.bats.push_back(spec);
+      out.bat_names.push_back(col.name + "#" + std::to_string(p));
+      column_parts[col.name].push_back(spec.id);
+    }
+  }
+
+  // --- 2. Rank templates by cost and calibrate the cost unit. --------------
+  const auto& templates = TpchTemplates();
+  std::vector<size_t> rank(templates.size());  // rank -> template index
+  std::iota(rank.begin(), rank.end(), size_t{0});
+  std::sort(rank.begin(), rank.end(), [&](size_t a, size_t b) {
+    return templates[a].relative_cost < templates[b].relative_cost;  // fastest first
+  });
+
+  // Probability of each rank under the paper's Gaussian(mean, stddev) pick.
+  std::vector<double> rank_weight(templates.size());
+  for (size_t r = 0; r < rank_weight.size(); ++r) {
+    const double z = (static_cast<double>(r + 1) - options.sched_mean) / options.sched_stddev;
+    rank_weight[r] = std::exp(-0.5 * z * z);
+  }
+  double expected_rel_cost = 0.0;
+  double weight_sum = 0.0;
+  for (size_t r = 0; r < rank_weight.size(); ++r) {
+    expected_rel_cost += rank_weight[r] * templates[rank[r]].relative_cost;
+    weight_sum += rank_weight[r];
+  }
+  expected_rel_cost /= weight_sum;
+  // cost unit so that E[cpu per query] == target_mean_cpu_sec.
+  const double cost_unit = options.target_mean_cpu_sec / expected_rel_cost;
+
+  // --- 3. Emit per-node query streams. --------------------------------------
+  out.queries.resize(num_nodes);
+  const SimTime interval = static_cast<SimTime>(1e9 / options.registration_rate);
+  core::QueryId next_id = 1;
+  for (uint32_t node = 0; node < num_nodes; ++node) {
+    for (uint32_t q = 0; q < options.queries_per_node; ++q) {
+      // Paper: "scheduling of the queries follows a Gaussian distribution
+      // with mean 10 and standard deviation 2. On this distribution the
+      // fastest queries are the ones with higher probability."
+      const size_t r = rng.WeightedIndex(rank_weight);
+      const TpchTemplate& tpl = templates[rank[r]];
+
+      simdc::QuerySpec spec;
+      spec.id = next_id++;
+      spec.arrival = static_cast<SimTime>(q) * interval;
+      spec.tag = static_cast<uint32_t>(rank[r]);  // template index
+
+      // Expand the template's columns into partition pins; queries touch
+      // remote and local partitions alike here (locality is whatever the
+      // round-robin ownership yields, as with the paper's random spread).
+      std::vector<core::BatId> bats;
+      for (const std::string& col : tpl.columns) {
+        const auto it = column_parts.find(col);
+        DCY_CHECK(it != column_parts.end()) << "unknown column " << col;
+        bats.insert(bats.end(), it->second.begin(), it->second.end());
+      }
+
+      const double total_cpu_sec = tpl.relative_cost * cost_unit * options.cpu_inflation;
+      out.useful_cpu_seconds += tpl.relative_cost * cost_unit;
+      const SimTime total_cpu = FromSeconds(total_cpu_sec);
+      const SimTime pre = static_cast<SimTime>(options.pre_pin_fraction *
+                                               static_cast<double>(total_cpu));
+      const SimTime per_step = (total_cpu - pre) / static_cast<SimTime>(bats.size());
+      spec.cpu_before = pre;
+      spec.steps.reserve(bats.size());
+      for (size_t i = 0; i < bats.size(); ++i) {
+        // Give the remainder to the last step so the total is exact.
+        const SimTime cpu = i + 1 == bats.size()
+                                ? total_cpu - pre - per_step * static_cast<SimTime>(bats.size() - 1)
+                                : per_step;
+        spec.steps.push_back(simdc::QueryStep{bats[i], cpu});
+      }
+      out.queries[node].push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+}  // namespace dcy::workload

@@ -1,0 +1,82 @@
+// Tests for the baseline comparators (A4): both must drain the workload,
+// and their known weaknesses must show on a skewed access pattern.
+#include <gtest/gtest.h>
+
+#include "baseline/baselines.h"
+#include "workload/synthetic.h"
+
+namespace dcy::baseline {
+namespace {
+
+struct Scenario {
+  workload::Dataset dataset;
+  workload::NodeWorkloads workloads;
+  LinkModel link;
+
+  explicit Scenario(double stddev_frac = 0.05) {
+    Rng rng(42);
+    dataset = workload::MakeUniformDataset(100, 1 * kMB, 10 * kMB, 10, &rng);
+    workload::GaussianWorkloadOptions w;
+    w.rate_per_node = 8;
+    w.duration = 20 * kSecond;
+    w.mean = 50;
+    w.stddev = 100 * stddev_frac;
+    w.seed = 7;
+    workloads = workload::GenerateGaussianWorkload(w, dataset, 10);
+    link.bandwidth_bytes_per_sec = GbpsToBytesPerSec(1.0);
+    link.disk_bytes_per_sec = 40e6;
+  }
+};
+
+TEST(BaselineTest, StickyDrainsEverything) {
+  Scenario s;
+  auto r = RunStickyBaseline(s.dataset, s.workloads, s.link, FromSeconds(4000));
+  uint64_t expected = 0;
+  for (const auto& n : s.workloads) expected += n.size();
+  EXPECT_EQ(r.finished, expected);
+  EXPECT_GT(r.lifetime_sec.mean(), 0.0);
+  EXPECT_GE(r.p95_lifetime_sec, r.lifetime_sec.mean() * 0.5);
+}
+
+TEST(BaselineTest, BroadcastDrainsEverything) {
+  Scenario s;
+  auto r = RunBroadcastBaseline(s.dataset, s.workloads, s.link, FromSeconds(4000));
+  uint64_t expected = 0;
+  for (const auto& n : s.workloads) expected += n.size();
+  EXPECT_EQ(r.finished, expected);
+}
+
+TEST(BaselineTest, BroadcastLatencyBoundedByCycleTime) {
+  Scenario s;
+  auto r = RunBroadcastBaseline(s.dataset, s.workloads, s.link, FromSeconds(4000));
+  // Cycle = total bytes / bandwidth; each of <=5 steps waits at most one
+  // cycle plus processing (~0.2 s): a hard upper bound on the mean.
+  const double cycle =
+      static_cast<double>(s.dataset.total_bytes()) / s.link.bandwidth_bytes_per_sec;
+  EXPECT_LT(r.lifetime_sec.mean(), 5 * (cycle + 0.25));
+  EXPECT_GT(r.lifetime_sec.mean(), 0.2);  // can't beat processing time
+}
+
+TEST(BaselineTest, StickySuffersOnHotOwners) {
+  // Concentrating the access distribution makes the hot owner's NIC the
+  // bottleneck: sticky latency must degrade as skew sharpens.
+  Scenario broad(0.50);
+  Scenario sharp(0.02);
+  auto relaxed = RunStickyBaseline(broad.dataset, broad.workloads, broad.link,
+                                   FromSeconds(4000));
+  auto contended = RunStickyBaseline(sharp.dataset, sharp.workloads, sharp.link,
+                                     FromSeconds(4000));
+  EXPECT_GT(contended.lifetime_sec.mean(), relaxed.lifetime_sec.mean());
+}
+
+TEST(BaselineTest, DeterministicForSameInputs) {
+  Scenario s;
+  auto a = RunStickyBaseline(s.dataset, s.workloads, s.link, FromSeconds(4000));
+  auto b = RunStickyBaseline(s.dataset, s.workloads, s.link, FromSeconds(4000));
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_DOUBLE_EQ(a.lifetime_sec.mean(), b.lifetime_sec.mean());
+  EXPECT_EQ(a.last_finish, b.last_finish);
+}
+
+}  // namespace
+}  // namespace dcy::baseline

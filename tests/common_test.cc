@@ -1,0 +1,240 @@
+// Unit tests for src/common: Status/Result, RNG determinism and
+// distributions, histograms, time series, flags.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace dcy {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("bat 42");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "bat 42");
+  EXPECT_EQ(st.ToString(), "NotFound: bat 42");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::Corruption("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnknown); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "");
+  }
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x) {
+  DCY_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_TRUE(UsesReturnNotOk(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x * 2;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad = ParsePositive(0);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+}
+
+Result<std::string> Describe(int x) {
+  DCY_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return std::string("value=") + std::to_string(doubled);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<std::string> good = Describe(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), "value=10");
+  EXPECT_FALSE(Describe(-5).ok());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::vector<int> seen(11, 0);
+  for (int i = 0; i < 20000; ++i) ++seen[static_cast<size_t>(rng.UniformInt(0, 10))];
+  for (int c : seen) EXPECT_GT(c, 0);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.Gaussian(10.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(stat.mean(), 0.25, 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> count(3, 0);
+  for (int i = 0; i < 40000; ++i) ++count[rng.WeightedIndex(w)];
+  EXPECT_EQ(count[1], 0);
+  EXPECT_NEAR(static_cast<double>(count[2]) / count[0], 3.0, 0.3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(RunningStatTest, Moments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.5);
+  h.Add(-3.0);   // clamps into bucket 0
+  h.Add(100.0);  // clamps into last bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+  EXPECT_EQ(h.stat().count(), 4u);
+}
+
+TEST(HistogramTest, PercentileMonotone) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.Add(i % 100);
+  const double p50 = h.Percentile(50);
+  const double p90 = h.Percentile(90);
+  const double p99 = h.Percentile(99);
+  EXPECT_LT(p50, p90);
+  EXPECT_LT(p90, p99);
+  EXPECT_NEAR(p50, 50.0, 2.0);
+}
+
+TEST(TimeSeriesTest, StepInterpolation) {
+  TimeSeries ts;
+  ts.Add(0.0, 1.0);
+  ts.Add(10.0, 5.0);
+  EXPECT_EQ(ts.At(-1.0), 0.0);
+  EXPECT_EQ(ts.At(0.0), 1.0);
+  EXPECT_EQ(ts.At(9.99), 1.0);
+  EXPECT_EQ(ts.At(10.0), 5.0);
+  EXPECT_EQ(ts.At(100.0), 5.0);
+}
+
+TEST(SeriesTableTest, TsvHasHeaderAndRows) {
+  SeriesTable t;
+  t.Series("a").Add(0.0, 1.0);
+  t.Series("b").Add(1.0, 2.0);
+  const std::string tsv = t.ToTsv(0.0, 2.0, 1.0);
+  EXPECT_NE(tsv.find("time\ta\tb"), std::string::npos);
+  // 1 header + 3 sample rows.
+  EXPECT_EQ(std::count(tsv.begin(), tsv.end(), '\n'), 4);
+}
+
+TEST(FlagsTest, ParsesKeyValueForms) {
+  const char* argv[] = {"prog", "--nodes=12", "--rate=3.5", "--verbose", "positional",
+                        "--name=ring"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("nodes", 0), 12);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate", 0.0), 3.5);
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetString("name", ""), "ring");
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_FALSE(flags.Has("positional"));
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(FromSeconds(1.5), 1500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(250 * kMillisecond), 0.25);
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerSec(10.0), 1.25e9);
+  EXPECT_EQ(200 * kMB, 200'000'000ULL);
+}
+
+}  // namespace
+}  // namespace dcy

@@ -1,0 +1,165 @@
+// Unit tests for the S1/S2/S3 catalog structures and the local BAT cache.
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+
+namespace dcy::core {
+namespace {
+
+TEST(OwnedCatalogTest, AddFindRemove) {
+  OwnedCatalog s1;
+  EXPECT_TRUE(s1.Add(1, 100));
+  EXPECT_TRUE(s1.Add(2, 200));
+  EXPECT_FALSE(s1.Add(1, 999));  // duplicate
+  EXPECT_EQ(s1.size(), 2u);
+  EXPECT_EQ(s1.total_bytes(), 300u);
+  ASSERT_NE(s1.Find(1), nullptr);
+  EXPECT_EQ(s1.Find(1)->size, 100u);
+  EXPECT_TRUE(s1.Remove(1));
+  EXPECT_FALSE(s1.Remove(1));
+  EXPECT_EQ(s1.total_bytes(), 200u);
+  EXPECT_FALSE(s1.Contains(1));
+}
+
+TEST(OwnedCatalogTest, HotBytesTracksStateChanges) {
+  OwnedCatalog s1;
+  s1.Add(1, 100);
+  s1.Add(2, 200);
+  OwnedBat* a = s1.Find(1);
+  OwnedBat* b = s1.Find(2);
+  EXPECT_EQ(s1.hot_bytes(), 0u);
+  s1.NoteStateChange(a, OwnedState::kHot);
+  EXPECT_EQ(s1.hot_bytes(), 100u);
+  s1.NoteStateChange(b, OwnedState::kHot);
+  EXPECT_EQ(s1.hot_bytes(), 300u);
+  s1.NoteStateChange(a, OwnedState::kCold);
+  EXPECT_EQ(s1.hot_bytes(), 200u);
+  s1.NoteStateChange(b, OwnedState::kPending);  // hot -> pending also leaves
+  EXPECT_EQ(s1.hot_bytes(), 0u);
+}
+
+TEST(OwnedCatalogTest, RemovingHotBatReleasesHotBytes) {
+  OwnedCatalog s1;
+  s1.Add(7, 500);
+  s1.NoteStateChange(s1.Find(7), OwnedState::kHot);
+  EXPECT_EQ(s1.hot_bytes(), 500u);
+  s1.Remove(7);
+  EXPECT_EQ(s1.hot_bytes(), 0u);
+}
+
+TEST(OwnedCatalogTest, PendingOrderedByAgeThenId) {
+  OwnedCatalog s1;
+  for (BatId id : {5u, 3u, 9u, 1u}) s1.Add(id, 10);
+  auto tag = [&](BatId id, SimTime t) {
+    OwnedBat* b = s1.Find(id);
+    s1.NoteStateChange(b, OwnedState::kPending);
+    b->pending_since = t;
+  };
+  tag(5, 300);
+  tag(3, 100);
+  tag(9, 100);
+  tag(1, 200);
+  auto pending = s1.PendingOldestFirst();
+  ASSERT_EQ(pending.size(), 4u);
+  EXPECT_EQ(pending[0]->id, 3u);  // oldest, lower id first on ties
+  EXPECT_EQ(pending[1]->id, 9u);
+  EXPECT_EQ(pending[2]->id, 1u);
+  EXPECT_EQ(pending[3]->id, 5u);
+}
+
+TEST(OwnedCatalogTest, HotEnumeration) {
+  OwnedCatalog s1;
+  s1.Add(1, 10);
+  s1.Add(2, 10);
+  s1.Add(3, 10);
+  s1.NoteStateChange(s1.Find(1), OwnedState::kHot);
+  s1.NoteStateChange(s1.Find(3), OwnedState::kHot);
+  auto hot = s1.Hot();
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0]->id, 1u);
+  EXPECT_EQ(hot[1]->id, 3u);
+}
+
+TEST(RequestTableTest, GetOrCreateIsIdempotent) {
+  RequestTable s2;
+  RequestEntry* a = s2.GetOrCreate(42, 100);
+  RequestEntry* b = s2.GetOrCreate(42, 999);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->first_registered, 100);
+  EXPECT_EQ(s2.size(), 1u);
+  EXPECT_TRUE(s2.Erase(42));
+  EXPECT_FALSE(s2.Erase(42));
+}
+
+TEST(RequestEntryTest, AllDeliveredAndBlockedPins) {
+  RequestEntry e;
+  e.queries[1] = {};
+  e.queries[2] = {};
+  EXPECT_FALSE(e.AllDelivered());
+  EXPECT_FALSE(e.HasBlockedPins());  // nobody pinned yet
+
+  e.queries[1].pin_called = true;
+  EXPECT_TRUE(e.HasBlockedPins());  // pinned, not delivered => blocked
+
+  e.queries[1].delivered = true;
+  EXPECT_FALSE(e.HasBlockedPins());
+  EXPECT_FALSE(e.AllDelivered());  // query 2 still outstanding
+
+  e.queries[2].delivered = true;
+  EXPECT_TRUE(e.AllDelivered());
+}
+
+TEST(PinTableTest, BlockTakeUnblock) {
+  PinTable s3;
+  s3.Block(10, 100);
+  s3.Block(10, 101);
+  s3.Block(20, 102);
+  EXPECT_EQ(s3.total_blocked(), 3u);
+  EXPECT_EQ(s3.blocked_count(10), 2u);
+  EXPECT_TRUE(s3.HasBlocked(20));
+
+  auto taken = s3.TakeBlocked(10);
+  EXPECT_EQ(taken, (std::vector<QueryId>{100, 101}));
+  EXPECT_FALSE(s3.HasBlocked(10));
+  EXPECT_EQ(s3.total_blocked(), 1u);
+
+  EXPECT_TRUE(s3.Unblock(20, 102));
+  EXPECT_FALSE(s3.Unblock(20, 102));
+  EXPECT_EQ(s3.total_blocked(), 0u);
+  EXPECT_TRUE(s3.TakeBlocked(99).empty());
+}
+
+TEST(BatCacheTest, RefCountingEvictsAtZero) {
+  BatCache cache;
+  cache.Insert(5, 1000, 2, 0);  // two pins hold it
+  EXPECT_TRUE(cache.Contains(5));
+  EXPECT_EQ(cache.cached_bytes(), 1000u);
+
+  EXPECT_TRUE(cache.AddPinIfPresent(5));  // third pin
+  EXPECT_TRUE(cache.ReleasePin(5));
+  EXPECT_TRUE(cache.ReleasePin(5));
+  EXPECT_TRUE(cache.Contains(5));  // one pin left
+  EXPECT_TRUE(cache.ReleasePin(5));
+  EXPECT_FALSE(cache.Contains(5));
+  EXPECT_EQ(cache.cached_bytes(), 0u);
+  EXPECT_FALSE(cache.ReleasePin(5));
+  EXPECT_FALSE(cache.AddPinIfPresent(5));
+}
+
+TEST(BatCacheTest, ReinsertAccumulatesPins) {
+  BatCache cache;
+  cache.Insert(5, 1000, 1, 0);
+  cache.Insert(5, 1000, 2, 10);  // the BAT passed again; 2 more pins
+  EXPECT_EQ(cache.cached_bytes(), 1000u);  // size counted once
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(cache.ReleasePin(5));
+  EXPECT_FALSE(cache.Contains(5));
+}
+
+TEST(OwnedStateTest, Names) {
+  EXPECT_STREQ(OwnedStateName(OwnedState::kCold), "cold");
+  EXPECT_STREQ(OwnedStateName(OwnedState::kPending), "pending");
+  EXPECT_STREQ(OwnedStateName(OwnedState::kHot), "hot");
+}
+
+}  // namespace
+}  // namespace dcy::core

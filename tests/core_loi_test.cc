@@ -1,0 +1,110 @@
+// Unit tests for the LOI formula (paper Eq. 1 / Fig. 5) and the LOIT
+// threshold policies (§4.4, §5.2).
+#include <gtest/gtest.h>
+
+#include "core/loi.h"
+
+namespace dcy::core {
+namespace {
+
+TEST(LoiTest, FirstCycleEqualsCavg) {
+  // loi=0, cycles=1: newLOI = 0/1 + copies/hops.
+  EXPECT_DOUBLE_EQ(ComputeNewLoi(0.0, 9, 9, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ComputeNewLoi(0.0, 3, 9, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(ComputeNewLoi(0.0, 0, 9, 1), 0.0);
+}
+
+TEST(LoiTest, MatchesFigure5Expression) {
+  // Fig. 5 line 04: (loi + (copies/hops)*cycles)/cycles.
+  const double loi = 0.7;
+  const uint32_t copies = 4, hops = 9, cycles = 3;
+  const double expected =
+      (loi + (static_cast<double>(copies) / hops) * cycles) / cycles;
+  EXPECT_DOUBLE_EQ(ComputeNewLoi(loi, copies, hops, cycles), expected);
+}
+
+TEST(LoiTest, HistoryDecaysWithAge) {
+  // "Old BATs carry a low level of interest, unless re-newed in each pass."
+  double loi = 1.0;
+  for (uint32_t cycle = 2; cycle <= 10; ++cycle) {
+    const double next = ComputeNewLoi(loi, 0, 9, cycle);
+    EXPECT_LT(next, loi);  // unused BATs decay monotonically
+    loi = next;
+  }
+  EXPECT_LT(loi, 0.01);
+}
+
+TEST(LoiTest, FullInterestConvergesTowardsOne) {
+  // A BAT pinned by every node each cycle: newLOI -> 1 from above.
+  double loi = 0.0;
+  for (uint32_t cycle = 1; cycle <= 200; ++cycle) loi = ComputeNewLoi(loi, 9, 9, cycle);
+  EXPECT_NEAR(loi, 1.0, 0.02);
+}
+
+TEST(LoiTest, LatestCycleWeighsMost) {
+  // Same history, different last cycle: more copies => higher LOI.
+  const double busy = ComputeNewLoi(0.5, 8, 9, 4);
+  const double idle = ComputeNewLoi(0.5, 1, 9, 4);
+  EXPECT_GT(busy, idle);
+}
+
+TEST(LoiTest, ZeroHopsGuard) {
+  EXPECT_DOUBLE_EQ(ComputeNewLoi(0.6, 0, 0, 2), 0.3);
+}
+
+TEST(StaticLoitTest, IgnoresUpdates) {
+  StaticLoit loit(0.5);
+  EXPECT_DOUBLE_EQ(loit.threshold(), 0.5);
+  loit.Update(0.99);
+  loit.Update(0.01);
+  EXPECT_DOUBLE_EQ(loit.threshold(), 0.5);
+}
+
+TEST(AdaptiveLoitTest, StepsUpAboveHighWatermark) {
+  AdaptiveLoit loit(AdaptiveLoit::Options{});
+  EXPECT_DOUBLE_EQ(loit.threshold(), 0.1);
+  loit.Update(0.85);
+  EXPECT_DOUBLE_EQ(loit.threshold(), 0.6);
+  loit.Update(0.85);
+  EXPECT_DOUBLE_EQ(loit.threshold(), 1.1);
+}
+
+TEST(AdaptiveLoitTest, SaturatesAtTopLevel) {
+  AdaptiveLoit loit(AdaptiveLoit::Options{});
+  for (int i = 0; i < 10; ++i) loit.Update(0.95);
+  EXPECT_DOUBLE_EQ(loit.threshold(), 1.1);
+}
+
+TEST(AdaptiveLoitTest, StepsDownBelowLowWatermark) {
+  AdaptiveLoit::Options opts;
+  opts.initial_level = 2;
+  AdaptiveLoit loit(opts);
+  EXPECT_DOUBLE_EQ(loit.threshold(), 1.1);
+  loit.Update(0.3);
+  EXPECT_DOUBLE_EQ(loit.threshold(), 0.6);
+  loit.Update(0.39);
+  EXPECT_DOUBLE_EQ(loit.threshold(), 0.1);
+  loit.Update(0.0);
+  EXPECT_DOUBLE_EQ(loit.threshold(), 0.1);  // floor
+}
+
+TEST(AdaptiveLoitTest, HysteresisBandHolds) {
+  AdaptiveLoit::Options opts;
+  opts.initial_level = 1;
+  AdaptiveLoit loit(opts);
+  // Between the watermarks nothing moves.
+  for (double f : {0.41, 0.5, 0.6, 0.7, 0.79, 0.8}) loit.Update(f);
+  EXPECT_DOUBLE_EQ(loit.threshold(), 0.6);
+  EXPECT_EQ(loit.transitions(), 0u);
+}
+
+TEST(AdaptiveLoitTest, CountsTransitions) {
+  AdaptiveLoit loit(AdaptiveLoit::Options{});
+  loit.Update(0.9);
+  loit.Update(0.1);
+  loit.Update(0.9);
+  EXPECT_EQ(loit.transitions(), 3u);
+}
+
+}  // namespace
+}  // namespace dcy::core

@@ -1,0 +1,106 @@
+// Property sweeps over the experiment runners: for a range of seeds and
+// configurations, every paper scenario must drain, conserve hot-set
+// accounting, and be reproducible.
+#include <gtest/gtest.h>
+
+#include "simdc/experiments.h"
+
+namespace dcy::simdc {
+namespace {
+
+class UniformSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UniformSweep, DrainsAndConserves) {
+  UniformExperimentOptions opts;
+  opts.scale = 0.05;
+  opts.loit = 0.3 + 0.1 * static_cast<double>(GetParam() % 5);
+  opts.data_seed = GetParam();
+  opts.workload_seed = GetParam() * 31 + 7;
+  ExperimentResult r = RunUniformExperiment(opts);
+
+  EXPECT_TRUE(r.drained) << "seed " << GetParam();
+  EXPECT_EQ(r.finished + r.failed, r.registered);
+  EXPECT_EQ(r.failed, 0u);
+  // Hot-set conservation: loads = unloads + lost + still-hot.
+  EXPECT_EQ(r.collector->total_loads(),
+            r.collector->total_unloads() + r.collector->total_presumed_lost() +
+                r.collector->current_ring_bats());
+  // Lossless links: nothing presumed lost, nothing dropped.
+  EXPECT_EQ(r.data_drops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniformSweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(ExperimentRunnerTest, UniformDeterministicAcrossRuns) {
+  UniformExperimentOptions opts;
+  opts.scale = 0.05;
+  auto a = RunUniformExperiment(opts);
+  auto b = RunUniformExperiment(opts);
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.last_finish, b.last_finish);
+  EXPECT_EQ(a.collector->total_loads(), b.collector->total_loads());
+  EXPECT_EQ(a.collector->total_dispatches(), b.collector->total_dispatches());
+}
+
+TEST(ExperimentRunnerTest, SkewedDrainsWithAdaptiveAndStatic) {
+  for (bool adaptive : {true, false}) {
+    SkewedExperimentOptions opts;
+    opts.scale = 0.05;
+    opts.adaptive_loit = adaptive;
+    opts.static_loit = 0.6;
+    ExperimentResult r = RunSkewedExperiment(opts);
+    EXPECT_TRUE(r.drained) << (adaptive ? "adaptive" : "static");
+    EXPECT_EQ(r.finished, r.registered);
+  }
+}
+
+TEST(ExperimentRunnerTest, GaussianDrains) {
+  GaussianExperimentOptions opts;
+  opts.scale = 0.05;
+  ExperimentResult r = RunGaussianExperiment(opts);
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.finished, r.registered);
+  // Touch mass concentrates on the in-vogue ids.
+  const auto& touches = r.collector->touches();
+  uint64_t center = 0, total = 0;
+  const double mean = 500 * opts.scale, sigma = 50 * opts.scale;
+  for (size_t b = 0; b < touches.size(); ++b) {
+    total += touches[b];
+    if (std::abs(static_cast<double>(b) - mean) <= 3 * sigma) center += touches[b];
+  }
+  EXPECT_GT(total, 0u);
+  // At tiny scale the 10 % uniform background carries more relative mass.
+  EXPECT_GT(static_cast<double>(center) / static_cast<double>(total), 0.7);
+}
+
+TEST(ExperimentRunnerTest, TpchSingleNodeHitsCalibration) {
+  TpchExperimentOptions opts;
+  opts.num_nodes = 1;
+  opts.tpch.queries_per_node = 150;
+  TpchRow row = RunTpchExperiment(opts);
+  EXPECT_TRUE(row.drained);
+  // Single node, all data local: CPU utilization must be near-perfect and
+  // throughput ≈ cores / mean-cpu-per-query ≈ 3.8 q/s (paper row 1).
+  EXPECT_GT(row.cpu_percent, 95.0);
+  EXPECT_NEAR(row.throughput, 3.8, 0.6);
+}
+
+TEST(ExperimentRunnerTest, TpchScaleOutShape) {
+  auto run = [](uint32_t nodes) {
+    TpchExperimentOptions opts;
+    opts.num_nodes = nodes;
+    opts.tpch.queries_per_node = 150;
+    return RunTpchExperiment(opts);
+  };
+  TpchRow one = run(1);
+  TpchRow three = run(3);
+  ASSERT_TRUE(one.drained && three.drained);
+  // Aggregate throughput scales up; per-node throughput does not exceed the
+  // single-node rate; CPU% decays with ring latency.
+  EXPECT_GT(three.throughput, 2.0 * one.throughput);
+  EXPECT_LE(three.throughput_per_node, one.throughput_per_node * 1.02);
+  EXPECT_LT(three.cpu_percent, one.cpu_percent);
+}
+
+}  // namespace
+}  // namespace dcy::simdc

@@ -1,0 +1,149 @@
+// Unit tests for the simulated network: serialization timing, FIFO queueing,
+// DropTail, loss injection, and the ring topology wiring.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "net/link.h"
+#include "net/ring_network.h"
+
+namespace dcy::net {
+namespace {
+
+SimplexLink::Options FastLink() {
+  SimplexLink::Options o;
+  o.bandwidth_bytes_per_sec = 1e9;  // 1 GB/s => 1 ns per byte
+  o.propagation_delay = 1000;       // 1 us
+  o.queue_capacity_bytes = 0;
+  return o;
+}
+
+TEST(SimplexLinkTest, DeliveryTimeIsSerializationPlusDelay) {
+  sim::Simulator sim;
+  SimplexLink link(&sim, FastLink());
+  SimTime delivered_at = -1;
+  link.Send(1000, [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  // 1000 B at 1 GB/s = 1000 ns serialization + 1000 ns delay.
+  EXPECT_EQ(delivered_at, 2000);
+}
+
+TEST(SimplexLinkTest, BackToBackMessagesSerialize) {
+  sim::Simulator sim;
+  SimplexLink link(&sim, FastLink());
+  std::vector<SimTime> deliveries;
+  link.Send(1000, [&] { deliveries.push_back(sim.Now()); });
+  link.Send(1000, [&] { deliveries.push_back(sim.Now()); });
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 2000);
+  EXPECT_EQ(deliveries[1], 3000);  // second waits for the wire
+}
+
+TEST(SimplexLinkTest, QueueDrainsAsBytesLeave) {
+  sim::Simulator sim;
+  SimplexLink link(&sim, FastLink());
+  link.Send(1000, [] {});
+  link.Send(500, [] {});
+  EXPECT_EQ(link.queued_bytes(), 1500u);
+  sim.RunUntil(1000);  // first message fully serialized
+  EXPECT_EQ(link.queued_bytes(), 500u);
+  sim.Run();
+  EXPECT_EQ(link.queued_bytes(), 0u);
+}
+
+TEST(SimplexLinkTest, DropTailRejectsWhenFull) {
+  sim::Simulator sim;
+  auto opts = FastLink();
+  opts.queue_capacity_bytes = 1200;
+  SimplexLink link(&sim, opts);
+  EXPECT_TRUE(link.Send(1000, [] {}));
+  EXPECT_FALSE(link.Send(500, [] {}));  // 1500 > 1200
+  EXPECT_TRUE(link.Send(200, [] {}));   // fits exactly
+  EXPECT_EQ(link.stats().messages_dropped_queue, 1u);
+  sim.Run();
+  EXPECT_EQ(link.stats().messages_delivered, 2u);
+}
+
+TEST(SimplexLinkTest, LossInjectionDropsOnWire) {
+  sim::Simulator sim;
+  auto opts = FastLink();
+  opts.loss_probability = 1.0;
+  Rng rng(3);
+  SimplexLink link(&sim, opts, &rng);
+  bool delivered = false;
+  EXPECT_TRUE(link.Send(100, [&] { delivered = true; }));  // sender cannot tell
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(link.stats().messages_lost_wire, 1u);
+  EXPECT_EQ(link.queued_bytes(), 0u);  // bytes still drained from the queue
+}
+
+TEST(SimplexLinkTest, StatsAccumulate) {
+  sim::Simulator sim;
+  SimplexLink link(&sim, FastLink());
+  for (int i = 0; i < 5; ++i) link.Send(100, [] {});
+  sim.Run();
+  EXPECT_EQ(link.stats().messages_sent, 5u);
+  EXPECT_EQ(link.stats().messages_delivered, 5u);
+  EXPECT_EQ(link.stats().bytes_delivered, 500u);
+  EXPECT_EQ(link.stats().busy_time, 500);
+}
+
+RingNetwork::Options SmallRing(uint32_t n) {
+  RingNetwork::Options o;
+  o.num_nodes = n;
+  o.data.bandwidth_bytes_per_sec = 1e9;
+  o.data.propagation_delay = 1000;
+  o.data.queue_capacity_bytes = 0;
+  o.request = o.data;
+  return o;
+}
+
+TEST(RingNetworkTest, SuccessorPredecessorWrap) {
+  sim::Simulator sim;
+  RingNetwork ring(&sim, SmallRing(4));
+  EXPECT_EQ(ring.Successor(0), 1u);
+  EXPECT_EQ(ring.Successor(3), 0u);
+  EXPECT_EQ(ring.Predecessor(0), 3u);
+  EXPECT_EQ(ring.Predecessor(2), 1u);
+}
+
+TEST(RingNetworkTest, DataTravelsClockwise) {
+  sim::Simulator sim;
+  RingNetwork ring(&sim, SmallRing(3));
+  bool arrived = false;
+  ring.SendData(2, 100, [&] { arrived = true; });
+  // Message occupies node 2's outgoing data queue until serialized.
+  EXPECT_EQ(ring.DataQueueBytes(2), 100u);
+  EXPECT_EQ(ring.DataQueueBytes(0), 0u);
+  sim.Run();
+  EXPECT_TRUE(arrived);
+  EXPECT_EQ(ring.TotalDataQueueBytes(), 0u);
+}
+
+TEST(RingNetworkTest, RequestChannelIndependentOfData) {
+  sim::Simulator sim;
+  RingNetwork ring(&sim, SmallRing(3));
+  // Saturate node 0's data channel; requests must still flow immediately.
+  ring.SendData(0, 1000000, [] {});
+  SimTime request_at = -1;
+  ring.SendRequest(0, 64, [&] { request_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(request_at, 64 + 1000);  // unaffected by the 1 MB data transfer
+}
+
+TEST(RingNetworkTest, IdleHopTime) {
+  sim::Simulator sim;
+  RingNetwork ring(&sim, SmallRing(3));
+  EXPECT_EQ(ring.IdleHopTime(1000), 1000 + 1000);
+}
+
+TEST(RingNetworkTest, RejectsSingleNodeRing) {
+  sim::Simulator sim;
+  EXPECT_DEATH({ RingNetwork ring(&sim, SmallRing(1)); }, "at least two");
+}
+
+}  // namespace
+}  // namespace dcy::net

@@ -1,0 +1,146 @@
+// Tests for the RDMA-emulating channel: ordering, blocking, close
+// semantics, and the per-mode copy cost model behind Figure 1.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "rdma/channel.h"
+
+namespace dcy::rdma {
+namespace {
+
+Channel::Options Opts(TransferMode mode) {
+  Channel::Options o;
+  o.mode = mode;
+  o.capacity_bytes = 1 << 20;
+  o.segment_bytes = 1024;
+  return o;
+}
+
+TEST(ChannelTest, InOrderDelivery) {
+  Channel ch(Opts(TransferMode::kZeroCopy));
+  for (int i = 0; i < 10; ++i) {
+    ch.Send(static_cast<uint32_t>(i), MakeBuffer(std::to_string(i)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto m = ch.TryReceive();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->opcode, static_cast<uint32_t>(i));
+    EXPECT_EQ(*m->payload, std::to_string(i));
+  }
+  EXPECT_FALSE(ch.TryReceive().has_value());
+}
+
+TEST(ChannelTest, MetaTravelsWithPayload) {
+  Channel ch(Opts(TransferMode::kZeroCopy));
+  ch.Send(7, "header-bytes", MakeBuffer("bulk"));
+  auto m = ch.Receive();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->meta, "header-bytes");
+  EXPECT_EQ(*m->payload, "bulk");
+}
+
+TEST(ChannelTest, ZeroCopySharesTheBuffer) {
+  Channel ch(Opts(TransferMode::kZeroCopy));
+  Buffer original = MakeBuffer(std::string(4096, 'x'));
+  ch.Send(1, original);
+  auto m = ch.TryReceive();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload.get(), original.get());  // same registered region
+  EXPECT_EQ(ch.stats().bytes_copied.load(), 0u);
+}
+
+TEST(ChannelTest, NicOffloadCopiesOnce) {
+  Channel ch(Opts(TransferMode::kNicOffload));
+  Buffer original = MakeBuffer(std::string(4096, 'x'));
+  ch.Send(1, original);
+  auto m = ch.TryReceive();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NE(m->payload.get(), original.get());
+  EXPECT_EQ(*m->payload, *original);
+  EXPECT_EQ(ch.stats().bytes_copied.load(), 4096u);
+}
+
+TEST(ChannelTest, LegacyCopiesTwiceAndYields) {
+  Channel ch(Opts(TransferMode::kLegacy));
+  Buffer original = MakeBuffer(std::string(4096, 'x'));
+  ch.Send(1, original);
+  auto m = ch.TryReceive();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->payload, *original);
+  EXPECT_EQ(ch.stats().bytes_copied.load(), 2u * 4096u);
+  EXPECT_EQ(ch.stats().yields.load(), 4u);  // 4096 / 1024 segments
+}
+
+TEST(ChannelTest, QueuedBytesTrackOccupancy) {
+  Channel ch(Opts(TransferMode::kZeroCopy));
+  ch.Send(1, MakeBuffer(std::string(100, 'a')));
+  ch.Send(1, MakeBuffer(std::string(50, 'b')));
+  EXPECT_EQ(ch.queued_bytes(), 150u);
+  ch.TryReceive();
+  EXPECT_EQ(ch.queued_bytes(), 50u);
+}
+
+TEST(ChannelTest, ReceiveBlocksUntilSend) {
+  Channel ch(Opts(TransferMode::kZeroCopy));
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.Send(42, MakeBuffer("late"));
+  });
+  auto m = ch.Receive();  // blocks
+  producer.join();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->opcode, 42u);
+}
+
+TEST(ChannelTest, CloseWakesReceivers) {
+  Channel ch(Opts(TransferMode::kZeroCopy));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.Close();
+  });
+  auto m = ch.Receive();
+  closer.join();
+  EXPECT_FALSE(m.has_value());
+  EXPECT_FALSE(ch.Send(1, MakeBuffer("after close")));
+}
+
+TEST(ChannelTest, BackpressureBlocksSender) {
+  auto opts = Opts(TransferMode::kZeroCopy);
+  opts.capacity_bytes = 100;
+  Channel ch(opts);
+  ch.Send(1, MakeBuffer(std::string(100, 'x')));  // fills the channel
+  std::atomic<bool> second_sent{false};
+  std::thread sender([&] {
+    ch.Send(2, MakeBuffer(std::string(100, 'y')));  // must wait
+    second_sent.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_sent.load());
+  ch.TryReceive();  // frees capacity
+  sender.join();
+  EXPECT_TRUE(second_sent.load());
+}
+
+TEST(ChannelTest, ManyProducersOneConsumer) {
+  Channel ch(Opts(TransferMode::kZeroCopy));
+  constexpr int kPerProducer = 200;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ch.Send(static_cast<uint32_t>(p), MakeBuffer("m"));
+      }
+    });
+  }
+  int received = 0;
+  while (received < 4 * kPerProducer) {
+    if (ch.Receive().has_value()) ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ch.stats().messages.load(), 800u);
+}
+
+}  // namespace
+}  // namespace dcy::rdma

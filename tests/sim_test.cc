@@ -1,0 +1,144 @@
+// Unit tests for the discrete-event kernel: ordering, determinism,
+// cancellation, run-until semantics, periodic timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace dcy::sim {
+namespace {
+
+TEST(SimulatorTest, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.Schedule(5, [&order, i] { order.push_back(i); });
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingAdvancesClock) {
+  Simulator sim;
+  SimTime inner_fired_at = -1;
+  sim.Schedule(10, [&] { sim.Schedule(5, [&] { inner_fired_at = sim.Now(); }); });
+  sim.Run();
+  EXPECT_EQ(inner_fired_at, 15);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtSameTime) {
+  Simulator sim;
+  SimTime t = -1;
+  sim.Schedule(7, [&] { sim.Schedule(0, [&] { t = sim.Now(); }); });
+  sim.Run();
+  EXPECT_EQ(t, 7);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double-cancel is a no-op
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelOneOfMany) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(1, [&] { order.push_back(1); });
+  EventId id = sim.Schedule(2, [&] { order.push_back(2); });
+  sim.Schedule(3, [&] { order.push_back(3); });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t = 10; t <= 100; t += 10) sim.ScheduleAt(t, [&, t] { fired.push_back(t); });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired.size(), 5u);  // 10..50 inclusive
+  EXPECT_EQ(sim.Now(), 50);
+  sim.Run();
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+TEST(SimulatorTest, StepRunsExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1, [&] { ++count; });
+  sim.Schedule(2, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, CountsFiredEvents) {
+  Simulator sim;
+  for (int i = 0; i < 42; ++i) sim.Schedule(i, [] {});
+  EXPECT_EQ(sim.Run(), 42u);
+  EXPECT_EQ(sim.total_fired(), 42u);
+}
+
+TEST(PeriodicTimerTest, TicksAtPeriod) {
+  Simulator sim;
+  std::vector<SimTime> ticks;
+  PeriodicTimer timer(&sim, 100, [&] { ticks.push_back(sim.Now()); });
+  timer.Start();
+  sim.RunUntil(350);
+  EXPECT_EQ(ticks, (std::vector<SimTime>{100, 200, 300}));
+  timer.Stop();
+  sim.RunUntil(1000);
+  EXPECT_EQ(ticks.size(), 3u);
+}
+
+TEST(PeriodicTimerTest, StopInsideCallback) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer* handle = nullptr;
+  PeriodicTimer timer(&sim, 10, [&] {
+    if (++ticks == 3) handle->Stop();
+  });
+  handle = &timer;
+  timer.Start();
+  sim.RunUntil(1000);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTimerTest, RestartAfterStop) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(&sim, 10, [&] { ++ticks; });
+  timer.Start();
+  sim.RunUntil(25);
+  timer.Stop();
+  sim.RunUntil(100);
+  EXPECT_EQ(ticks, 2);
+  timer.Start();
+  sim.RunUntil(125);
+  EXPECT_EQ(ticks, 4);  // ticks at 110, 120
+}
+
+}  // namespace
+}  // namespace dcy::sim

@@ -1,0 +1,298 @@
+// Unit tests for the workload generators (§5.1-§5.4 parameters).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/dataset.h"
+#include "workload/synthetic.h"
+#include "workload/tpch.h"
+
+namespace dcy::workload {
+namespace {
+
+TEST(DatasetTest, UniformDatasetMatchesPaperSetup) {
+  Rng rng(1);
+  Dataset ds = MakeUniformDataset(1000, 1 * kMB, 10 * kMB, 10, &rng);
+  EXPECT_EQ(ds.num_bats(), 1000u);
+  // "8 GB composed of 1000 BATs with sizes varying from 1 MB to 10 MB":
+  // the expected total is 5.5 GB * ~1000; allow the statistical spread.
+  EXPECT_GT(ds.total_bytes(), 5 * kGB);
+  EXPECT_LT(ds.total_bytes(), 6 * kGB);
+  for (const auto& b : ds.bats) {
+    EXPECT_GE(b.size, 1 * kMB);
+    EXPECT_LE(b.size, 10 * kMB);
+    EXPECT_LT(b.owner, 10u);
+  }
+  // "about 0.8 GB of data per node": every node owns something substantial.
+  std::vector<uint64_t> per_node(10, 0);
+  for (const auto& b : ds.bats) per_node[b.owner] += b.size;
+  for (uint64_t bytes : per_node) EXPECT_GT(bytes, 300 * kMB);
+}
+
+TEST(UniformWorkloadTest, RateAndShape) {
+  Rng rng(1);
+  Dataset ds = MakeUniformDataset(100, kMB, kMB, 4, &rng);
+  UniformWorkloadOptions opts;
+  opts.rate_per_node = 80;
+  opts.duration = 10 * kSecond;
+  opts.seed = 2;
+  auto per_node = GenerateUniformWorkload(opts, ds, 4);
+  ASSERT_EQ(per_node.size(), 4u);
+  std::set<core::QueryId> ids;
+  for (uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(per_node[n].size(), 800u);  // 80 q/s x 10 s
+    for (const auto& q : per_node[n]) {
+      ids.insert(q.id);
+      EXPECT_LT(q.arrival, opts.duration);
+      EXPECT_GE(q.steps.size(), 1u);
+      EXPECT_LE(q.steps.size(), 5u);
+      std::set<core::BatId> bats;
+      for (const auto& s : q.steps) {
+        bats.insert(s.bat);
+        EXPECT_NE(ds.owner_of(s.bat), n) << "workload must touch remote BATs only";
+        EXPECT_GE(s.cpu_after, FromMillis(100));
+        EXPECT_LE(s.cpu_after, FromMillis(200));
+      }
+      EXPECT_EQ(bats.size(), q.steps.size()) << "duplicate BATs in one query";
+    }
+  }
+  EXPECT_EQ(ids.size(), 3200u);  // globally unique
+}
+
+TEST(UniformWorkloadTest, DeterministicForSeed) {
+  Rng rng(1);
+  Dataset ds = MakeUniformDataset(50, kMB, kMB, 2, &rng);
+  UniformWorkloadOptions opts;
+  opts.rate_per_node = 10;
+  opts.duration = kSecond;
+  auto a = GenerateUniformWorkload(opts, ds, 2);
+  auto b = GenerateUniformWorkload(opts, ds, 2);
+  ASSERT_EQ(a[0].size(), b[0].size());
+  for (size_t i = 0; i < a[0].size(); ++i) {
+    EXPECT_EQ(a[0][i].steps.size(), b[0][i].steps.size());
+    for (size_t s = 0; s < a[0][i].steps.size(); ++s) {
+      EXPECT_EQ(a[0][i].steps[s].bat, b[0][i].steps[s].bat);
+    }
+  }
+}
+
+TEST(GaussianWorkloadTest, AccessConcentratesAroundMean) {
+  Rng rng(1);
+  Dataset ds = MakeUniformDataset(1000, kMB, kMB, 10, &rng);
+  GaussianWorkloadOptions opts;
+  opts.rate_per_node = 40;
+  opts.duration = 10 * kSecond;
+  opts.seed = 3;
+  auto per_node = GenerateGaussianWorkload(opts, ds, 10);
+  uint64_t in_vogue = 0, far_tail = 0, total = 0;
+  for (const auto& node : per_node) {
+    for (const auto& q : node) {
+      for (const auto& s : q.steps) {
+        ++total;
+        // Paper: the in-vogue group is BAT ids ~350..600 (within ~3 sigma).
+        if (s.bat >= 350 && s.bat <= 650) ++in_vogue;
+        if (s.bat < 200 || s.bat > 800) ++far_tail;
+      }
+    }
+  }
+  EXPECT_GT(total, 1000u);
+  // ~90% Gaussian bulk plus the ~10% uniform background the paper's
+  // Fig. 9 implies ("less than 20 touches" for the unpopular BATs).
+  const double in_vogue_frac = static_cast<double>(in_vogue) / static_cast<double>(total);
+  EXPECT_GT(in_vogue_frac, 0.88);
+  EXPECT_LT(in_vogue_frac, 0.97);
+  EXPECT_GT(far_tail, 0u);  // the background reaches the whole id range
+}
+
+TEST(GaussianWorkloadTest, PureGaussianWithoutBackground) {
+  Rng rng(1);
+  Dataset ds = MakeUniformDataset(1000, kMB, kMB, 10, &rng);
+  GaussianWorkloadOptions opts;
+  opts.rate_per_node = 40;
+  opts.duration = 10 * kSecond;
+  opts.background_uniform_fraction = 0.0;
+  opts.seed = 3;
+  auto per_node = GenerateGaussianWorkload(opts, ds, 10);
+  uint64_t in_vogue = 0, total = 0;
+  for (const auto& node : per_node) {
+    for (const auto& q : node) {
+      for (const auto& s : q.steps) {
+        ++total;
+        if (s.bat >= 350 && s.bat <= 650) ++in_vogue;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(in_vogue) / static_cast<double>(total), 0.99);
+}
+
+TEST(GaussianWorkloadTest, TotalRateSpreadsOverNodes) {
+  Rng rng(1);
+  Dataset ds = MakeUniformDataset(1000, kMB, kMB, 5, &rng);
+  GaussianWorkloadOptions opts;
+  opts.total_rate = 100;  // pulsating-ring mode: constant system load
+  opts.duration = 10 * kSecond;
+  auto per_node = GenerateGaussianWorkload(opts, ds, 5);
+  uint64_t total = 0;
+  for (const auto& node : per_node) total += node.size();
+  EXPECT_EQ(total, 1000u);  // 100 q/s x 10 s regardless of node count
+}
+
+TEST(SkewedWorkloadTest, Table3Parameters) {
+  SkewedWorkloadOptions opts;
+  ASSERT_EQ(opts.subs.size(), 4u);
+  EXPECT_EQ(opts.subs[0].skew, 3u);
+  EXPECT_EQ(opts.subs[1].skew, 5u);
+  EXPECT_EQ(opts.subs[2].skew, 7u);
+  EXPECT_EQ(opts.subs[3].skew, 9u);
+  EXPECT_EQ(opts.subs[1].start, 15 * kSecond);
+  EXPECT_EQ(opts.subs[3].end, FromMillis(97500));
+  EXPECT_DOUBLE_EQ(opts.subs[3].total_rate, 500.0);
+}
+
+TEST(SkewedWorkloadTest, QueriesRespectSubsets) {
+  Rng rng(1);
+  Dataset ds = MakeUniformDataset(1000, kMB, kMB, 10, &rng);
+  SkewedWorkloadOptions opts;
+  opts.seed = 4;
+  auto per_node = GenerateSkewedWorkload(opts, ds, 10);
+  uint64_t per_tag[5] = {0, 0, 0, 0, 0};
+  for (uint32_t n = 0; n < 10; ++n) {
+    for (const auto& q : per_node[n]) {
+      ASSERT_GE(q.tag, 1u);
+      ASSERT_LE(q.tag, 4u);
+      ++per_tag[q.tag];
+      const uint32_t skew = opts.subs[q.tag - 1].skew;
+      for (const auto& s : q.steps) {
+        EXPECT_EQ(s.bat % skew, 0u) << "SW" << q.tag << " escaped its subset D_i";
+      }
+      EXPECT_GE(q.arrival, opts.subs[q.tag - 1].start);
+      EXPECT_LT(q.arrival, opts.subs[q.tag - 1].end);
+    }
+  }
+  // Table 3: 30 s x 200/s, 30 s x 300/s, 30 s x 400/s, 30 s x 500/s.
+  EXPECT_EQ(per_tag[1], 6000u);
+  EXPECT_EQ(per_tag[2], 9000u);
+  EXPECT_EQ(per_tag[3], 12000u);
+  EXPECT_EQ(per_tag[4], 15000u);
+}
+
+TEST(SkewedWorkloadTest, DisjointHotSetTags) {
+  SkewedWorkloadOptions opts;
+  // 15 = 3*5 is shared between SW1 and SW2: no disjoint tag.
+  EXPECT_EQ(SkewedBatTag(opts, 15), 0u);
+  // 3 is divisible only by 3 -> DH1.
+  EXPECT_EQ(SkewedBatTag(opts, 3), 1u);
+  EXPECT_EQ(SkewedBatTag(opts, 25), 2u);   // 5^2: only SW2
+  EXPECT_EQ(SkewedBatTag(opts, 49), 3u);   // 7^2: only SW3
+  // 9 is divisible by 9 and necessarily by 3: the paper's "DH4 contained in
+  // DH1" case -> tag 4.
+  EXPECT_EQ(SkewedBatTag(opts, 9), 4u);
+  EXPECT_EQ(SkewedBatTag(opts, 99), 4u);   // 9*11
+  EXPECT_EQ(SkewedBatTag(opts, 45), 0u);   // 9*5: shared with SW2
+  EXPECT_EQ(SkewedBatTag(opts, 4), 0u);    // in no subset
+  EXPECT_EQ(SkewedBatTag(opts, 0), 0u);    // divisible by everything: shared
+}
+
+TEST(SkewedWorkloadTest, ArrivalsSortedPerNode) {
+  Rng rng(1);
+  Dataset ds = MakeUniformDataset(100, kMB, kMB, 4, &rng);
+  SkewedWorkloadOptions opts;
+  auto per_node = GenerateSkewedWorkload(opts, ds, 4);
+  for (const auto& node : per_node) {
+    for (size_t i = 1; i < node.size(); ++i) {
+      EXPECT_LE(node[i - 1].arrival, node[i].arrival);
+    }
+  }
+}
+
+TEST(TpchWorkloadTest, TemplatesCoverAll22Queries) {
+  const auto& templates = TpchTemplates();
+  ASSERT_EQ(templates.size(), 22u);
+  std::set<std::string> names;
+  for (const auto& t : templates) {
+    names.insert(t.name);
+    EXPECT_FALSE(t.columns.empty());
+    EXPECT_GT(t.relative_cost, 0.0);
+  }
+  EXPECT_EQ(names.size(), 22u);
+}
+
+TEST(TpchWorkloadTest, TemplatesReferenceKnownColumns) {
+  std::set<std::string> catalog;
+  for (const auto& c : TpchColumns()) catalog.insert(c.name);
+  for (const auto& t : TpchTemplates()) {
+    for (const auto& col : t.columns) {
+      EXPECT_TRUE(catalog.count(col)) << t.name << " references unknown " << col;
+    }
+  }
+}
+
+TEST(TpchWorkloadTest, PartitioningRespectsCap) {
+  TpchOptions opts;
+  opts.max_bat_bytes = 50 * kMB;
+  TpchWorkload wl = GenerateTpchWorkload(opts, 4);
+  for (const auto& b : wl.dataset.bats) {
+    EXPECT_LE(b.size, opts.max_bat_bytes);
+    EXPECT_GT(b.size, 0u);
+  }
+  // SF-5 lineitem columns (240 MB) must split into multiple partitions.
+  EXPECT_GT(wl.dataset.num_bats(), TpchColumns().size());
+}
+
+TEST(TpchWorkloadTest, CalibrationHitsTargetMeanCpu) {
+  TpchOptions opts;
+  opts.queries_per_node = 2000;
+  TpchWorkload wl = GenerateTpchWorkload(opts, 1);
+  const double mean_cpu = wl.useful_cpu_seconds / 2000.0;
+  // The Gaussian rank pick is stochastic; stay within 15% of the target.
+  EXPECT_NEAR(mean_cpu, opts.target_mean_cpu_sec, 0.15 * opts.target_mean_cpu_sec);
+}
+
+TEST(TpchWorkloadTest, RegistrationRateMatchesPaper) {
+  TpchOptions opts;
+  opts.queries_per_node = 1200;
+  opts.registration_rate = 8.0;
+  TpchWorkload wl = GenerateTpchWorkload(opts, 2);
+  ASSERT_EQ(wl.queries.size(), 2u);
+  EXPECT_EQ(wl.queries[0].size(), 1200u);
+  // "it takes 150 seconds to register all queries".
+  EXPECT_EQ(wl.queries[0].back().arrival, FromSeconds(1199.0 / 8.0));
+}
+
+TEST(TpchWorkloadTest, QueryCpuSplitAcrossSteps) {
+  TpchOptions opts;
+  opts.queries_per_node = 50;
+  TpchWorkload wl = GenerateTpchWorkload(opts, 1);
+  for (const auto& q : wl.queries[0]) {
+    EXPECT_GT(q.cpu_before, 0);
+    SimTime total = q.cpu_before;
+    for (const auto& s : q.steps) {
+      EXPECT_GE(s.cpu_after, 0);
+      total += s.cpu_after;
+    }
+    EXPECT_GT(total, 0);
+  }
+}
+
+TEST(TpchWorkloadTest, InflationScalesStepTimesNotUsefulWork) {
+  TpchOptions base;
+  base.queries_per_node = 100;
+  TpchOptions inflated = base;
+  inflated.cpu_inflation = 2.0;
+  TpchWorkload a = GenerateTpchWorkload(base, 1);
+  TpchWorkload b = GenerateTpchWorkload(inflated, 1);
+  EXPECT_NEAR(a.useful_cpu_seconds, b.useful_cpu_seconds, 1e-6);
+  SimTime ta = 0, tb = 0;
+  for (const auto& q : a.queries[0]) {
+    ta += q.cpu_before;
+    for (const auto& s : q.steps) ta += s.cpu_after;
+  }
+  for (const auto& q : b.queries[0]) {
+    tb += q.cpu_before;
+    for (const auto& s : q.steps) tb += s.cpu_after;
+  }
+  EXPECT_NEAR(static_cast<double>(tb) / static_cast<double>(ta), 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace dcy::workload

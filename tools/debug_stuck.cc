@@ -1,0 +1,65 @@
+// Diagnostic: run the §5.1 experiment inline and dump protocol state.
+#include <cstdio>
+#include "simdc/sim_cluster.h"
+#include "simdc/collector.h"
+#include "workload/dataset.h"
+#include "workload/synthetic.h"
+using namespace dcy;
+using namespace dcy::simdc;
+
+int main() {
+  ClusterOptions copts;
+  copts.num_nodes = 10;
+  copts.bat_queue_capacity = 20 * kMB;
+  copts.link_gbps = 1.0;
+  copts.disk_bytes_per_sec = 40e6;
+  copts.static_loit = 0.1;
+  copts.seed = 42;
+  Rng rng(42);
+  auto ds = workload::MakeUniformDataset(100, 1*kMB, 10*kMB, 10, &rng);
+  ExperimentCollector::Options co; co.num_bats = 100;
+  ExperimentCollector col(co);
+  SimCluster cluster(copts, &col);
+  workload::InstallDataset(ds, &cluster);
+  workload::UniformWorkloadOptions w;
+  w.rate_per_node = 8; w.duration = 60 * kSecond; w.seed = 1;
+  auto per_node = workload::GenerateUniformWorkload(w, ds, 10);
+  for (uint32_t n = 0; n < 10; ++n) cluster.driver(n).SubmitWorkload(std::move(per_node[n]));
+  cluster.Start();
+  col.StartSampling(&cluster.simulator());
+  bool ok = cluster.RunUntilQueriesDrain(FromSeconds(400));
+  std::printf("drained=%d finished=%llu/%llu t=%.1f drops=%llu lost=%llu\n", ok,
+      (unsigned long long)cluster.total_finished(), (unsigned long long)cluster.total_expected(),
+      ToSeconds(cluster.simulator().Now()), (unsigned long long)cluster.total_data_drops(),
+      (unsigned long long)col.total_presumed_lost());
+  std::printf("ring_bats=%llu ring_bytes=%llu\n", (unsigned long long)col.current_ring_bats(),
+      (unsigned long long)col.current_ring_bytes());
+  for (uint32_t n = 0; n < 10; ++n) {
+    auto& dc = cluster.node(n);
+    uint64_t blocked = dc.pins().total_blocked();
+    size_t s2 = dc.requests().size();
+    size_t pending = 0, hot = 0;
+    for (auto* b : const_cast<core::OwnedCatalog&>(dc.owned()).Hot()) { (void)b; hot++; }
+    for (const auto* b : dc.owned().All()) if (b->state == core::OwnedState::kPending) pending++;
+    std::printf("node %u: inflight=%llu s2=%zu blocked=%llu pending=%zu hot=%zu qload=%llu resends=%llu cache=%zu\n",
+        n, (unsigned long long)cluster.driver(n).in_flight(), s2,
+        (unsigned long long)blocked, pending, hot,
+        (unsigned long long)cluster.network().DataQueueBytes(n),
+        (unsigned long long)dc.metrics().resends, dc.cache().size());
+  }
+  // Dump a few stuck entries from node 0.
+  for (uint32_t n = 0; n < 10; ++n) {
+    int shown = 0;
+    for (auto& [bat, e] : cluster.node(n).requests().entries()) {
+      if (shown++ >= 3) break;
+      const auto* ob_owner = ds.bats[bat].owner < 10 ? &ds.bats[bat] : nullptr;
+      auto& owner_dc = cluster.node(ds.bats[bat].owner);
+      const auto* ob = owner_dc.owned().Find(bat);
+      std::printf("  node %u waits bat %u (owner %u state=%s) sent=%d dispatches=%llu queries=%zu blockedpins=%d\n",
+          n, bat, ds.bats[bat].owner, ob ? core::OwnedStateName(ob->state) : "?", e.sent,
+          (unsigned long long)e.dispatch_count, e.queries.size(), e.HasBlockedPins());
+      (void)ob_owner;
+    }
+  }
+  return 0;
+}
