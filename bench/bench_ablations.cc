@@ -4,7 +4,11 @@
 //   A2  request combining (Fig. 3 outcome 5) on vs off
 //   A3  loadAll() fit-skip vs strict FIFO for pending loads
 #include <cstdio>
+#include <functional>
+#include <string>
 
+#include "bench/harness.h"
+#include "bench/simdc_metrics.h"
 #include "common/flags.h"
 #include "simdc/experiments.h"
 
@@ -29,11 +33,21 @@ void Header() {
               "last_fin_s", "mean_life_s", "p95_s", "loads", "req_msgs");
 }
 
+// Runs one ablation variant as a harness case and prints its table row.
+void RunVariant(bench::Harness& harness, const std::string& case_name,
+                const std::map<std::string, std::string>& params, const char* row_name,
+                const std::function<ExperimentResult()>& run) {
+  PrintRow(row_name, bench::RunExperimentCase(harness, case_name, params, run));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::Harness harness("ablations", argc, argv, /*default_repeats=*/1,
+                         /*default_warmup=*/0);
   const double scale = flags.GetDouble("scale", 0.2);
+  const std::string scale_s = bench::Fmt("%.2f", scale);
 
   std::printf("# A1 -- LOIT policy under the shifting workloads of §5.2 (scale=%.2f)\n",
               scale);
@@ -41,7 +55,8 @@ int main(int argc, char** argv) {
   {
     SkewedExperimentOptions opts;
     opts.scale = scale;
-    PrintRow("adaptive {0.1,0.6,1.1}", RunSkewedExperiment(opts));
+    RunVariant(harness, "a1_loit_adaptive", {{"scale", scale_s}, {"policy", "adaptive"}},
+               "adaptive {0.1,0.6,1.1}", [&] { return RunSkewedExperiment(opts); });
   }
   for (double loit : {0.1, 0.6, 1.1}) {
     SkewedExperimentOptions opts;
@@ -50,7 +65,9 @@ int main(int argc, char** argv) {
     opts.static_loit = loit;
     char name[64];
     std::snprintf(name, sizeof(name), "static %.1f", loit);
-    PrintRow(name, RunSkewedExperiment(opts));
+    RunVariant(harness, "a1_loit_static_" + bench::Fmt("%.1f", loit),
+               {{"scale", scale_s}, {"policy", "static"}, {"loit", bench::Fmt("%.1f", loit)}},
+               name, [&] { return RunSkewedExperiment(opts); });
   }
 
   std::printf("\n# A2 -- request combining (Fig. 3 outcome 5), §5.1 scenario\n");
@@ -60,7 +77,10 @@ int main(int argc, char** argv) {
     opts.scale = scale;
     opts.loit = 0.5;
     opts.node.combine_requests = combine;
-    PrintRow(combine ? "combining on (paper)" : "combining off", RunUniformExperiment(opts));
+    RunVariant(harness, combine ? "a2_combining_on" : "a2_combining_off",
+               {{"scale", scale_s}, {"combine_requests", combine ? "true" : "false"}},
+               combine ? "combining on (paper)" : "combining off",
+               [&] { return RunUniformExperiment(opts); });
   }
 
   std::printf("\n# A3 -- pending-load policy (loadAll), §5.1 scenario, LOIT 0.3\n");
@@ -70,7 +90,10 @@ int main(int argc, char** argv) {
     opts.scale = scale;
     opts.loit = 0.3;
     opts.node.pending_fit_check = fit;
-    PrintRow(fit ? "fit-skip (paper)" : "strict FIFO", RunUniformExperiment(opts));
+    RunVariant(harness, fit ? "a3_fit_skip" : "a3_strict_fifo",
+               {{"scale", scale_s}, {"pending_fit_check", fit ? "true" : "false"}},
+               fit ? "fit-skip (paper)" : "strict FIFO",
+               [&] { return RunUniformExperiment(opts); });
   }
-  return 0;
+  return harness.Finish();
 }

@@ -7,8 +7,11 @@
 // suffers hot-owner queueing and the broadcast pump pays the full-database
 // cycle time, while the Data Cyclotron circulates only the hot set.
 #include <cstdio>
+#include <string>
 
 #include "baseline/baselines.h"
+#include "bench/harness.h"
+#include "bench/simdc_metrics.h"
 #include "common/flags.h"
 #include "simdc/experiments.h"
 
@@ -22,12 +25,25 @@ void PrintRow(const char* name, uint64_t finished, double last_finish_s, double 
               static_cast<unsigned long long>(finished), last_finish_s, mean_s, p95_s);
 }
 
+bench::RepResult RepFromBaseline(const baseline::BaselineResult& r) {
+  bench::RepResult rep;
+  rep.items = static_cast<double>(r.finished);
+  rep.metrics["finished"] = static_cast<double>(r.finished);
+  rep.metrics["last_finish_s"] = ToSeconds(r.last_finish);
+  rep.metrics["mean_life_s"] = r.lifetime_sec.mean();
+  rep.metrics["p95_life_s"] = r.p95_lifetime_sec;
+  return rep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::Harness harness("baseline_compare", argc, argv, /*default_repeats=*/1,
+                         /*default_warmup=*/0);
   const double scale = flags.GetDouble("scale", 0.2);
   const SimTime deadline = FromSeconds(flags.GetDouble("deadline_s", 400));
+  const std::string scale_s = bench::Fmt("%.2f", scale);
 
   std::printf("# A4 -- Data Cyclotron vs sticky-data vs broadcast pump\n");
   std::printf("# Gaussian workload (§5.3 shape), scale=%.2f\n\n", scale);
@@ -37,7 +53,9 @@ int main(int argc, char** argv) {
   // --- Data Cyclotron (the §5.3 runner). -----------------------------------
   simdc::GaussianExperimentOptions dc_opts;
   dc_opts.scale = scale;
-  simdc::ExperimentResult dc = simdc::RunGaussianExperiment(dc_opts);
+  simdc::ExperimentResult dc = bench::RunExperimentCase(
+      harness, "data_cyclotron", {{"scale", scale_s}, {"architecture", "data-cyclotron"}},
+      [&] { return simdc::RunGaussianExperiment(dc_opts); });
   {
     Histogram h(0.0, 400.0, 4000);
     for (double life : dc.collector->lifetimes_sec()) h.Add(life);
@@ -62,12 +80,21 @@ int main(int argc, char** argv) {
   link.bandwidth_bytes_per_sec = GbpsToBytesPerSec(10.0 * scale);
   link.disk_bytes_per_sec = 400e6 * scale;
 
-  auto sticky = baseline::RunStickyBaseline(dataset, workloads, link, deadline);
+  baseline::BaselineResult sticky;
+  harness.Run("sticky_data", {{"scale", scale_s}, {"architecture", "sticky-data"}}, [&] {
+    sticky = baseline::RunStickyBaseline(dataset, workloads, link, deadline);
+    return RepFromBaseline(sticky);
+  });
   PrintRow(sticky.name.c_str(), sticky.finished, ToSeconds(sticky.last_finish),
            sticky.lifetime_sec.mean(), sticky.p95_lifetime_sec);
 
-  auto pump = baseline::RunBroadcastBaseline(dataset, workloads, link, deadline);
+  baseline::BaselineResult pump;
+  harness.Run("broadcast_pump", {{"scale", scale_s}, {"architecture", "broadcast-pump"}},
+              [&] {
+                pump = baseline::RunBroadcastBaseline(dataset, workloads, link, deadline);
+                return RepFromBaseline(pump);
+              });
   PrintRow(pump.name.c_str(), pump.finished, ToSeconds(pump.last_finish),
            pump.lifetime_sec.mean(), pump.p95_lifetime_sec);
-  return 0;
+  return harness.Finish();
 }

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <map>
 
+#include "bench/harness.h"
+#include "bench/simdc_metrics.h"
 #include "common/flags.h"
 #include "simdc/experiments.h"
 
@@ -16,6 +18,8 @@ using namespace dcy::simdc;  // NOLINT
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::Harness harness("fig10_request_latency", argc, argv, /*default_repeats=*/1,
+                         /*default_warmup=*/0);
   const double scale = flags.GetDouble("scale", 1.0);
   const double total_rate = flags.GetDouble("total_rate", 800.0);
   const int bucket = static_cast<int>(flags.GetInt("bucket", 25));
@@ -29,7 +33,15 @@ int main(int argc, char** argv) {
     opts.num_nodes = nodes;
     opts.total_rate = total_rate;  // constant system-wide workload
     opts.scale = scale;
-    results.emplace(nodes, RunGaussianExperiment(opts));
+    results[nodes] = bench::RunExperimentCase(
+        harness, "nodes_" + std::to_string(nodes),
+        {{"nodes", std::to_string(nodes)},
+         {"total_rate", bench::Fmt("%.0f", total_rate)},
+         {"scale", bench::Fmt("%.2f", scale)}},
+        [&] { return RunGaussianExperiment(opts); },
+        [](const ExperimentResult& r, bench::RepResult* rep) {
+          rep->metrics["mean_rotation_s"] = r.collector->rotation_sec().mean();
+        });
   }
 
   std::printf("\n## Fig 10: max data-access latency per BAT (blocked-pin wait, seconds), bucketed by %d ids (TSV)\n",
@@ -81,5 +93,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.finished),
                 r.drained ? "" : "\t[NOT DRAINED]");
   }
-  return 0;
+  return harness.Finish();
 }

@@ -7,7 +7,10 @@
 // each 5 added nodes grew the BAT cycle duration by ~75%.
 #include <cstdio>
 #include <map>
+#include <string>
 
+#include "bench/harness.h"
+#include "bench/simdc_metrics.h"
 #include "common/flags.h"
 #include "simdc/experiments.h"
 
@@ -16,6 +19,8 @@ using namespace dcy::simdc;  // NOLINT
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::Harness harness("fig11_cycles", argc, argv, /*default_repeats=*/1,
+                         /*default_warmup=*/0);
   const double scale = flags.GetDouble("scale", 1.0);
   const double total_rate = flags.GetDouble("total_rate", 800.0);
   const int bucket = static_cast<int>(flags.GetInt("bucket", 25));
@@ -28,7 +33,18 @@ int main(int argc, char** argv) {
     opts.num_nodes = nodes;
     opts.total_rate = total_rate;
     opts.scale = scale;
-    results.emplace(nodes, RunGaussianExperiment(opts));
+    results[nodes] = bench::RunExperimentCase(
+        harness, "nodes_" + std::to_string(nodes),
+        {{"nodes", std::to_string(nodes)},
+         {"total_rate", bench::Fmt("%.0f", total_rate)},
+         {"scale", bench::Fmt("%.2f", scale)}},
+        [&] { return RunGaussianExperiment(opts); },
+        [](const ExperimentResult& r, bench::RepResult* rep) {
+          uint32_t peak = 0;
+          for (uint32_t c : r.collector->max_cycles()) peak = std::max(peak, c);
+          rep->metrics["peak_cycles"] = peak;
+          rep->metrics["mean_rotation_s"] = r.collector->rotation_sec().mean();
+        });
   }
 
   std::printf("\n## Fig 11: max cycles per BAT, bucketed by %d ids (TSV)\n", bucket);
@@ -58,5 +74,5 @@ int main(int argc, char** argv) {
                 prev_rot > 0 ? std::to_string(rot / prev_rot).c_str() : "-");
     prev_rot = rot;
   }
-  return 0;
+  return harness.Finish();
 }

@@ -4,51 +4,68 @@
 // (zero copy, direct data placement).
 //
 // The paper's point is the *ranking*: only RDMA removes the per-byte CPU
-// work. google-benchmark's CPU time plus the channel's bytes_copied counter
+// work. Wall time per message plus the channel's bytes_copied counter
 // reproduce exactly that.
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <string>
 
+#include "bench/harness.h"
+#include "common/flags.h"
 #include "rdma/channel.h"
 
 namespace {
 
+using dcy::bench::RepResult;
 using dcy::rdma::Channel;
 using dcy::rdma::MakeBuffer;
 using dcy::rdma::TransferMode;
 
-void TransferBench(benchmark::State& state, TransferMode mode) {
-  const size_t payload_bytes = static_cast<size_t>(state.range(0));
-  Channel::Options opts;
-  opts.mode = mode;
-  opts.capacity_bytes = 1ULL << 32;
-  Channel channel(opts);
-  const auto payload = MakeBuffer(std::string(payload_bytes, 'x'));
-
-  for (auto _ : state) {
-    channel.Send(1, payload);
-    auto m = channel.TryReceive();
-    benchmark::DoNotOptimize(m);
-  }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(payload_bytes));
-  state.counters["copied_bytes_per_msg"] = benchmark::Counter(
-      static_cast<double>(channel.stats().bytes_copied.load()) /
-      static_cast<double>(state.iterations()));
-  state.counters["ctx_switches_per_msg"] = benchmark::Counter(
-      static_cast<double>(channel.stats().yields.load()) /
-      static_cast<double>(state.iterations()));
-}
-
-void BM_LegacyTcp(benchmark::State& state) { TransferBench(state, TransferMode::kLegacy); }
-void BM_NicOffload(benchmark::State& state) {
-  TransferBench(state, TransferMode::kNicOffload);
-}
-void BM_Rdma(benchmark::State& state) { TransferBench(state, TransferMode::kZeroCopy); }
-
-BENCHMARK(BM_LegacyTcp)->Arg(1 << 20)->Arg(8 << 20)->Arg(32 << 20);
-BENCHMARK(BM_NicOffload)->Arg(1 << 20)->Arg(8 << 20)->Arg(32 << 20);
-BENCHMARK(BM_Rdma)->Arg(1 << 20)->Arg(8 << 20)->Arg(32 << 20);
+constexpr struct {
+  TransferMode mode;
+  const char* name;
+} kModes[] = {
+    {TransferMode::kLegacy, "legacy_tcp"},
+    {TransferMode::kNicOffload, "nic_offload"},
+    {TransferMode::kZeroCopy, "rdma"},
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dcy::Flags flags(argc, argv);
+  dcy::bench::Harness harness("fig1_rdma_cpu", argc, argv, /*default_repeats=*/5,
+                              /*default_warmup=*/1);
+  const int iters = static_cast<int>(flags.GetInt("iters", 32));
+
+  for (const auto& m : kModes) {
+    for (size_t payload_mib : {1, 8, 32}) {
+      const size_t payload_bytes = payload_mib << 20;
+      const auto payload = MakeBuffer(std::string(payload_bytes, 'x'));
+      harness.Run(
+          std::string(m.name) + "/" + std::to_string(payload_mib) + "MiB",
+          {{"mode", m.name},
+           {"payload_bytes", std::to_string(payload_bytes)},
+           {"iters", std::to_string(iters)}},
+          [&] {
+            Channel::Options opts;
+            opts.mode = m.mode;
+            opts.capacity_bytes = 1ULL << 32;
+            Channel channel(opts);
+            for (int i = 0; i < iters; ++i) {
+              channel.Send(1, payload);
+              channel.TryReceive();
+            }
+            RepResult rep;
+            rep.items = iters;
+            const double n = iters;
+            rep.metrics["bytes_per_msg"] = static_cast<double>(payload_bytes);
+            rep.metrics["copied_bytes_per_msg"] =
+                static_cast<double>(channel.stats().bytes_copied.load()) / n;
+            rep.metrics["ctx_switches_per_msg"] =
+                static_cast<double>(channel.stats().yields.load()) / n;
+            return rep;
+          });
+    }
+  }
+  return harness.Finish();
+}

@@ -3,11 +3,14 @@
 //   (b) the query life-time histogram for LOIT_n in {0.1, 0.5, 1.1}.
 //
 // Output: TSV series equivalent to the paper's plots, plus a summary table.
-// Flags: --scale=0.2 (default; 1.0 = full paper size), --nodes, --duration_s.
+// Flags: --scale=0.2 (default; 1.0 = full paper size), --nodes, --duration_s,
+// plus the shared harness flags (--repeat, --warmup, --json [path]).
 #include <cstdio>
 #include <map>
 #include <vector>
 
+#include "bench/harness.h"
+#include "bench/simdc_metrics.h"
 #include "common/flags.h"
 #include "common/stats.h"
 #include "simdc/experiments.h"
@@ -17,6 +20,8 @@ using namespace dcy::simdc;   // NOLINT
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::Harness harness("fig6_loit", argc, argv, /*default_repeats=*/1,
+                         /*default_warmup=*/0);
   const double scale = flags.GetDouble("scale", 0.2);
   const double duration_s = flags.GetDouble("duration_s", 60.0);
   const uint32_t nodes = static_cast<uint32_t>(flags.GetInt("nodes", 10));
@@ -32,7 +37,13 @@ int main(int argc, char** argv) {
     opts.num_nodes = nodes;
     opts.duration = FromSeconds(duration_s);
     opts.scale = scale;
-    results.emplace(l, RunUniformExperiment(opts));
+    results[l] = bench::RunExperimentCase(
+        harness, "loit_" + bench::Fmt("%.1f", l / 10.0),
+        {{"loit", bench::Fmt("%.1f", l / 10.0)},
+         {"scale", bench::Fmt("%.2f", scale)},
+         {"nodes", std::to_string(nodes)},
+         {"duration_s", bench::Fmt("%.0f", duration_s)}},
+        [&] { return RunUniformExperiment(opts); });
   }
 
   // --- Fig. 6a: cumulative executed queries over time per LOIT. ------------
@@ -83,5 +94,5 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.collector->total_pending_tags()),
                 r.drained ? "" : "\t[NOT DRAINED]");
   }
-  return 0;
+  return harness.Finish();
 }

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <map>
 
+#include "bench/harness.h"
+#include "bench/simdc_metrics.h"
 #include "common/flags.h"
 #include "simdc/experiments.h"
 
@@ -15,6 +17,8 @@ using namespace dcy::simdc;  // NOLINT
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::Harness harness("fig7_ring_load", argc, argv, /*default_repeats=*/1,
+                         /*default_warmup=*/0);
   const double scale = flags.GetDouble("scale", 0.2);
 
   std::printf("# Figure 7 -- ring load in bytes / #BATs over time (scale=%.2f)\n", scale);
@@ -24,7 +28,10 @@ int main(int argc, char** argv) {
     UniformExperimentOptions opts;
     opts.loit = l / 10.0;
     opts.scale = scale;
-    results.emplace(l, RunUniformExperiment(opts));
+    results[l] = bench::RunExperimentCase(
+        harness, "loit_" + bench::Fmt("%.1f", l / 10.0),
+        {{"loit", bench::Fmt("%.1f", l / 10.0)}, {"scale", bench::Fmt("%.2f", scale)}},
+        [&] { return RunUniformExperiment(opts); });
   }
 
   double horizon = 0;
@@ -64,5 +71,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return 0;
+  return harness.Finish();
 }

@@ -4,6 +4,8 @@
 //   (b) completed queries per sub-workload over time.
 #include <cstdio>
 
+#include "bench/harness.h"
+#include "bench/simdc_metrics.h"
 #include "common/flags.h"
 #include "simdc/experiments.h"
 
@@ -12,6 +14,8 @@ using namespace dcy::simdc;  // NOLINT
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::Harness harness("fig8_skewed", argc, argv, /*default_repeats=*/1,
+                         /*default_warmup=*/0);
   const double scale = flags.GetDouble("scale", 0.2);
 
   std::printf("# Figure 8 -- skewed workloads SW1..SW4 (Table 3), scale=%.2f\n", scale);
@@ -21,7 +25,9 @@ int main(int argc, char** argv) {
 
   SkewedExperimentOptions opts;
   opts.scale = scale;
-  ExperimentResult r = RunSkewedExperiment(opts);
+  ExperimentResult r = bench::RunExperimentCase(
+      harness, "skewed_adaptive", {{"scale", bench::Fmt("%.2f", scale)}},
+      [&] { return RunSkewedExperiment(opts); });
 
   const double horizon = ToSeconds(r.sim_end);
   const auto& ring = r.collector->ring_series().all();
@@ -57,5 +63,5 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.collector->total_loads()),
               static_cast<unsigned long long>(r.collector->total_unloads()),
               static_cast<unsigned long long>(r.collector->total_pending_tags()));
-  return 0;
+  return harness.Finish();
 }

@@ -9,6 +9,8 @@
 // bell's shoulders cycle in and out (high load counts).
 #include <cstdio>
 
+#include "bench/harness.h"
+#include "bench/simdc_metrics.h"
 #include "common/flags.h"
 #include "simdc/experiments.h"
 
@@ -17,6 +19,8 @@ using namespace dcy::simdc;  // NOLINT
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::Harness harness("fig9_gaussian", argc, argv, /*default_repeats=*/1,
+                         /*default_warmup=*/0);
   const double scale = flags.GetDouble("scale", 0.2);
   const int bucket = static_cast<int>(flags.GetInt("bucket", 10));
 
@@ -25,7 +29,9 @@ int main(int argc, char** argv) {
 
   GaussianExperimentOptions opts;
   opts.scale = scale;
-  ExperimentResult r = RunGaussianExperiment(opts);
+  ExperimentResult r = bench::RunExperimentCase(
+      harness, "gaussian", {{"scale", bench::Fmt("%.2f", scale)}},
+      [&] { return RunGaussianExperiment(opts); });
 
   const auto& touches = r.collector->touches();
   const auto& requests = r.collector->requests();
@@ -70,5 +76,5 @@ int main(int argc, char** argv) {
   std::printf("\nfinished=%llu/%llu drained=%d\n",
               static_cast<unsigned long long>(r.finished),
               static_cast<unsigned long long>(r.registered), r.drained ? 1 : 0);
-  return 0;
+  return harness.Finish();
 }

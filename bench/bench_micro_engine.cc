@@ -1,14 +1,20 @@
 // Micro-benchmarks of the BAT engine operators (M1): select / hash join /
 // merge join / sort / group-aggregate throughput.
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "bat/operators.h"
+#include "bench/harness.h"
+#include "common/flags.h"
 #include "common/random.h"
 
 namespace {
 
 using namespace dcy;       // NOLINT
 using namespace dcy::bat;  // NOLINT
+using bench::RepResult;
 
 BatPtr RandomIntBat(size_t n, int32_t domain, uint64_t seed) {
   Rng rng(seed);
@@ -17,72 +23,91 @@ BatPtr RandomIntBat(size_t n, int32_t domain, uint64_t seed) {
   return Bat::MakeColumn(MakeIntColumn(std::move(v)));
 }
 
-void BM_SelectRange(benchmark::State& state) {
-  auto b = RandomIntBat(static_cast<size_t>(state.range(0)), 1000, 1);
-  for (auto _ : state) {
-    auto r = SelectRange(b, Value::MakeInt(100), Value::MakeInt(300));
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+std::map<std::string, std::string> Params(size_t n, int iters) {
+  return {{"n", std::to_string(n)}, {"iters", std::to_string(iters)}};
 }
-BENCHMARK(BM_SelectRange)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
-
-void BM_HashJoin(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  auto l = RandomIntBat(n, static_cast<int32_t>(n / 4), 2);
-  auto r = Reverse(RandomIntBat(n / 4, static_cast<int32_t>(n / 4), 3));
-  for (auto _ : state) {
-    auto out = Join(l, r);
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_HashJoin)->Arg(1 << 12)->Arg(1 << 16);
-
-void BM_MergeJoin(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Rng rng(4);
-  std::vector<int32_t> lk(n), rk(n / 4);
-  for (auto& x : lk) x = static_cast<int32_t>(rng.UniformInt(0, static_cast<int64_t>(n)));
-  for (auto& x : rk) x = static_cast<int32_t>(rng.UniformInt(0, static_cast<int64_t>(n)));
-  std::sort(lk.begin(), lk.end());
-  std::sort(rk.begin(), rk.end());
-  Bat::Properties lp;
-  lp.tsorted = true;
-  lp.hsorted = true;
-  auto l = std::make_shared<Bat>(MakeDenseOid(0, n), MakeIntColumn(std::move(lk)), lp);
-  Bat::Properties rp;
-  rp.hsorted = true;
-  auto r = std::make_shared<Bat>(MakeIntColumn(std::move(rk)), MakeDenseOid(0, n / 4), rp);
-  for (auto _ : state) {
-    auto out = Join(BatPtr(l), BatPtr(r));
-    benchmark::DoNotOptimize(out);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_MergeJoin)->Arg(1 << 12)->Arg(1 << 16);
-
-void BM_Sort(benchmark::State& state) {
-  auto b = RandomIntBat(static_cast<size_t>(state.range(0)), 1 << 30, 5);
-  for (auto _ : state) {
-    auto r = Sort(b);
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Sort)->Arg(1 << 12)->Arg(1 << 16);
-
-void BM_GroupAggregate(benchmark::State& state) {
-  auto b = RandomIntBat(static_cast<size_t>(state.range(0)), 64, 6);
-  for (auto _ : state) {
-    auto gids = GroupId(b);
-    auto sums = SumPerGroup(b, *gids, 65);
-    benchmark::DoNotOptimize(sums);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_GroupAggregate)->Arg(1 << 12)->Arg(1 << 16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  bench::Harness harness("micro_engine", argc, argv, /*default_repeats=*/5,
+                         /*default_warmup=*/1);
+  const int iters = static_cast<int>(flags.GetInt("iters", 20));
+
+  for (size_t n : {size_t{1} << 12, size_t{1} << 16, size_t{1} << 20}) {
+    auto b = RandomIntBat(n, 1000, 1);
+    harness.Run("select_range/" + std::to_string(n), Params(n, iters), [&] {
+      for (int i = 0; i < iters; ++i) {
+        auto r = SelectRange(b, Value::MakeInt(100), Value::MakeInt(300));
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      return rep;
+    });
+  }
+
+  for (size_t n : {size_t{1} << 12, size_t{1} << 16}) {
+    auto l = RandomIntBat(n, static_cast<int32_t>(n / 4), 2);
+    auto r = Reverse(RandomIntBat(n / 4, static_cast<int32_t>(n / 4), 3));
+    harness.Run("hash_join/" + std::to_string(n), Params(n, iters), [&] {
+      for (int i = 0; i < iters; ++i) {
+        auto out = Join(l, r);
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      return rep;
+    });
+  }
+
+  for (size_t n : {size_t{1} << 12, size_t{1} << 16}) {
+    Rng rng(4);
+    std::vector<int32_t> lk(n), rk(n / 4);
+    for (auto& x : lk) x = static_cast<int32_t>(rng.UniformInt(0, static_cast<int64_t>(n)));
+    for (auto& x : rk) x = static_cast<int32_t>(rng.UniformInt(0, static_cast<int64_t>(n)));
+    std::sort(lk.begin(), lk.end());
+    std::sort(rk.begin(), rk.end());
+    Bat::Properties lp;
+    lp.tsorted = true;
+    lp.hsorted = true;
+    auto l = std::make_shared<Bat>(MakeDenseOid(0, n), MakeIntColumn(std::move(lk)), lp);
+    Bat::Properties rp;
+    rp.hsorted = true;
+    auto r = std::make_shared<Bat>(MakeIntColumn(std::move(rk)), MakeDenseOid(0, n / 4), rp);
+    harness.Run("merge_join/" + std::to_string(n), Params(n, iters), [&] {
+      for (int i = 0; i < iters; ++i) {
+        auto out = Join(BatPtr(l), BatPtr(r));
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      return rep;
+    });
+  }
+
+  for (size_t n : {size_t{1} << 12, size_t{1} << 16}) {
+    auto b = RandomIntBat(n, 1 << 30, 5);
+    harness.Run("sort/" + std::to_string(n), Params(n, iters), [&] {
+      for (int i = 0; i < iters; ++i) {
+        auto r = Sort(b);
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      return rep;
+    });
+  }
+
+  for (size_t n : {size_t{1} << 12, size_t{1} << 16}) {
+    auto b = RandomIntBat(n, 64, 6);
+    harness.Run("group_aggregate/" + std::to_string(n), Params(n, iters), [&] {
+      for (int i = 0; i < iters; ++i) {
+        auto gids = GroupId(b);
+        auto sums = SumPerGroup(b, *gids, 65);
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      return rep;
+    });
+  }
+
+  return harness.Finish();
+}

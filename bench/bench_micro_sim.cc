@@ -1,73 +1,98 @@
 // Micro-benchmarks of the simulation substrate (M2): event-queue throughput
 // and simulated-link message rates — the quantities that bound how large a
 // ring/workload the experiment harness can replay per wall-second.
-#include <benchmark/benchmark.h>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "bench/harness.h"
+#include "common/flags.h"
 #include "net/link.h"
 #include "sim/simulator.h"
 
 namespace {
 
 using namespace dcy;  // NOLINT
+using bench::RepResult;
 
-void BM_EventThroughput(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Simulator sim;
-    for (int i = 0; i < n; ++i) sim.Schedule(i, [] {});
-    benchmark::DoNotOptimize(sim.Run());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+std::map<std::string, std::string> Params(int n, int iters) {
+  return {{"n", std::to_string(n)}, {"iters", std::to_string(iters)}};
 }
-BENCHMARK(BM_EventThroughput)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
-
-void BM_SelfReschedulingEvent(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Simulator sim;
-    int remaining = n;
-    std::function<void()> tick = [&] {
-      if (--remaining > 0) sim.Schedule(10, tick);
-    };
-    sim.Schedule(10, tick);
-    sim.Run();
-    benchmark::DoNotOptimize(remaining);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_SelfReschedulingEvent)->Arg(1 << 14);
-
-void BM_LinkMessageRate(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Simulator sim;
-    net::SimplexLink::Options opts;
-    opts.bandwidth_bytes_per_sec = 1.25e9;
-    opts.propagation_delay = FromMicros(350);
-    net::SimplexLink link(&sim, opts);
-    int delivered = 0;
-    for (int i = 0; i < n; ++i) link.Send(5'000'000, [&] { ++delivered; });
-    sim.Run();
-    benchmark::DoNotOptimize(delivered);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_LinkMessageRate)->Arg(1 << 10)->Arg(1 << 13);
-
-void BM_CancelHeavyQueue(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::Simulator sim;
-    std::vector<sim::EventId> ids;
-    ids.reserve(static_cast<size_t>(n));
-    for (int i = 0; i < n; ++i) ids.push_back(sim.Schedule(i + 1, [] {}));
-    for (int i = 0; i < n; i += 2) sim.Cancel(ids[static_cast<size_t>(i)]);
-    benchmark::DoNotOptimize(sim.Run());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_CancelHeavyQueue)->Arg(1 << 14);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  bench::Harness harness("micro_sim", argc, argv, /*default_repeats=*/5,
+                         /*default_warmup=*/1);
+  const int iters = static_cast<int>(flags.GetInt("iters", 10));
+
+  for (int n : {1 << 10, 1 << 14, 1 << 17}) {
+    harness.Run("event_throughput/" + std::to_string(n), Params(n, iters), [&] {
+      for (int it = 0; it < iters; ++it) {
+        sim::Simulator sim;
+        for (int i = 0; i < n; ++i) sim.Schedule(i, [] {});
+        sim.Run();
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      return rep;
+    });
+  }
+
+  {
+    const int n = 1 << 14;
+    harness.Run("self_rescheduling_event/" + std::to_string(n), Params(n, iters), [&] {
+      for (int it = 0; it < iters; ++it) {
+        sim::Simulator sim;
+        int remaining = n;
+        std::function<void()> tick = [&] {
+          if (--remaining > 0) sim.Schedule(10, tick);
+        };
+        sim.Schedule(10, tick);
+        sim.Run();
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      return rep;
+    });
+  }
+
+  for (int n : {1 << 10, 1 << 13}) {
+    harness.Run("link_message_rate/" + std::to_string(n), Params(n, iters), [&] {
+      int delivered = 0;
+      for (int it = 0; it < iters; ++it) {
+        sim::Simulator sim;
+        net::SimplexLink::Options opts;
+        opts.bandwidth_bytes_per_sec = 1.25e9;
+        opts.propagation_delay = FromMicros(350);
+        net::SimplexLink link(&sim, opts);
+        for (int i = 0; i < n; ++i) link.Send(5'000'000, [&] { ++delivered; });
+        sim.Run();
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      rep.metrics["delivered_per_iter"] = static_cast<double>(delivered) / iters;
+      return rep;
+    });
+  }
+
+  {
+    const int n = 1 << 14;
+    harness.Run("cancel_heavy_queue/" + std::to_string(n), Params(n, iters), [&] {
+      for (int it = 0; it < iters; ++it) {
+        sim::Simulator sim;
+        std::vector<sim::EventId> ids;
+        ids.reserve(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) ids.push_back(sim.Schedule(i + 1, [] {}));
+        for (int i = 0; i < n; i += 2) sim.Cancel(ids[static_cast<size_t>(i)]);
+        sim.Run();
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      return rep;
+    });
+  }
+
+  return harness.Finish();
+}

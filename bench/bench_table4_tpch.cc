@@ -8,15 +8,35 @@
 // nodes at ~constant throughput/node, while exec time grows mildly and
 // CPU%% decays from ~99% towards ~85% as data-access latency rises.
 #include <cstdio>
+#include <string>
 
+#include "bench/harness.h"
+#include "bench/simdc_metrics.h"
 #include "common/flags.h"
 #include "simdc/experiments.h"
 
 using namespace dcy;         // NOLINT
 using namespace dcy::simdc;  // NOLINT
 
+namespace {
+
+dcy::bench::RepResult RepFromRow(const TpchRow& row, uint32_t queries) {
+  dcy::bench::RepResult rep;
+  rep.items = static_cast<double>(queries) * row.num_nodes;
+  rep.metrics["exec_sec"] = row.exec_sec;
+  rep.metrics["tpch_throughput"] = row.throughput;
+  rep.metrics["tpch_throughput_per_node"] = row.throughput_per_node;
+  rep.metrics["cpu_percent"] = row.cpu_percent;
+  rep.metrics["drained"] = row.drained ? 1.0 : 0.0;
+  return rep;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::Harness harness("table4_tpch", argc, argv, /*default_repeats=*/1,
+                         /*default_warmup=*/0);
   // Default scale: 300 queries/node (paper: 1200) for bench-suite runtimes.
   const uint32_t queries = static_cast<uint32_t>(flags.GetInt("queries_per_node", 300));
   const uint32_t max_nodes = static_cast<uint32_t>(flags.GetInt("max_nodes", 8));
@@ -34,14 +54,31 @@ int main(int argc, char** argv) {
     opts.num_nodes = 1;
     opts.tpch.queries_per_node = queries;
     opts.tpch.cpu_inflation = monetdb_inflation;
-    std::printf("%s\n", FormatTpchRow(RunTpchExperiment(opts)).c_str());
+    TpchRow row;
+    harness.Run("monetdb_baseline",
+                {{"nodes", "1"},
+                 {"queries_per_node", std::to_string(queries)},
+                 {"cpu_inflation", bench::Fmt("%.3f", monetdb_inflation)}},
+                [&] {
+                  row = RunTpchExperiment(opts);
+                  return RepFromRow(row, queries);
+                });
+    std::printf("%s\n", FormatTpchRow(row).c_str());
   }
 
   for (uint32_t nodes = 1; nodes <= max_nodes; ++nodes) {
     TpchExperimentOptions opts;
     opts.num_nodes = nodes;
     opts.tpch.queries_per_node = queries;
-    std::printf("%s\n", FormatTpchRow(RunTpchExperiment(opts)).c_str());
+    TpchRow row;
+    harness.Run("ring_" + std::to_string(nodes) + "_nodes",
+                {{"nodes", std::to_string(nodes)},
+                 {"queries_per_node", std::to_string(queries)}},
+                [&] {
+                  row = RunTpchExperiment(opts);
+                  return RepFromRow(row, queries);
+                });
+    std::printf("%s\n", FormatTpchRow(row).c_str());
   }
-  return 0;
+  return harness.Finish();
 }

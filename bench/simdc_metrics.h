@@ -1,0 +1,58 @@
+// Shared glue between the simdc experiment runners and the bench harness:
+// turns an ExperimentResult into the RepResult scalars every figure bench
+// reports (items = finished queries, plus the paper's summary columns).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "common/stats.h"
+#include "simdc/experiments.h"
+
+namespace dcy::bench {
+
+/// snprintf-style formatting for param map values ("%.2f" etc.).
+inline std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+inline RepResult RepFromExperiment(const simdc::ExperimentResult& r) {
+  RepResult rep;
+  rep.items = static_cast<double>(r.finished);
+  rep.metrics["registered"] = static_cast<double>(r.registered);
+  rep.metrics["finished"] = static_cast<double>(r.finished);
+  rep.metrics["failed"] = static_cast<double>(r.failed);
+  rep.metrics["last_finish_s"] = ToSeconds(r.last_finish);
+  rep.metrics["mean_life_s"] = r.collector->lifetime_stat().mean();
+  Histogram h(0.0, 400.0, 4000);
+  for (double life : r.collector->lifetimes_sec()) h.Add(life);
+  rep.metrics["p95_life_s"] = h.Percentile(95);
+  rep.metrics["loads"] = static_cast<double>(r.collector->total_loads());
+  rep.metrics["unloads"] = static_cast<double>(r.collector->total_unloads());
+  rep.metrics["request_msgs"] = static_cast<double>(r.collector->total_dispatches());
+  rep.metrics["drained"] = r.drained ? 1.0 : 0.0;
+  return rep;
+}
+
+/// Runs `run` as a harness case with the standard experiment metrics and
+/// hands back the last repetition's result (for the bench's TSV output).
+/// `extra` can add bench-specific metrics to each repetition.
+inline simdc::ExperimentResult RunExperimentCase(
+    Harness& harness, const std::string& name,
+    const std::map<std::string, std::string>& params,
+    const std::function<simdc::ExperimentResult()>& run,
+    const std::function<void(const simdc::ExperimentResult&, RepResult*)>& extra = {}) {
+  simdc::ExperimentResult result;
+  harness.Run(name, params, [&] {
+    result = run();
+    RepResult rep = RepFromExperiment(result);
+    if (extra) extra(result, &rep);
+    return rep;
+  });
+  return result;
+}
+
+}  // namespace dcy::bench

@@ -48,6 +48,9 @@ struct Walker {
       }
     }
     sim.RunUntil(deadline);
+    // The continuation captures its own shared_ptr; break the cycle or the
+    // whole closure graph (and every captured QuerySpec) leaks.
+    *step_done = nullptr;
   }
 };
 

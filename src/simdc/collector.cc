@@ -30,7 +30,9 @@ void ExperimentCollector::StartSampling(sim::Simulator* sim) {
 }
 
 void ExperimentCollector::FinishSampling(sim::Simulator* sim) {
-  if (sampler_ != nullptr) sampler_->Stop();
+  // Release the timer while `sim` is still alive: its destructor cancels the
+  // pending event, so it must never outlive the simulator it schedules on.
+  sampler_.reset();
   Sample(sim->Now());
 }
 

@@ -33,8 +33,12 @@ class ExperimentCollector : public core::StatsSink, public QueryObserver {
   explicit ExperimentCollector(Options options);
 
   /// Starts the periodic ring-load sampler (records a sample at t=0 too).
+  /// Every StartSampling must be paired with FinishSampling before `sim` is
+  /// destroyed: the sampler cancels its pending event on teardown. Prefer
+  /// ScopedSampling below, which enforces the pairing on every exit path.
   void StartSampling(sim::Simulator* sim);
-  /// Records one final sample (call after the run completes).
+  /// Records one final sample and releases the sampler (call after the run
+  /// completes, while the simulator is still alive).
   void FinishSampling(sim::Simulator* sim);
 
   // --- StatsSink ---------------------------------------------------------
@@ -136,6 +140,25 @@ class ExperimentCollector : public core::StatsSink, public QueryObserver {
   RunningStat lifetime_stat_;
 
   std::unique_ptr<sim::PeriodicTimer> sampler_;
+};
+
+/// \brief RAII pairing of StartSampling/FinishSampling. Declare it after the
+/// cluster/simulator so it unwinds first: the sampler is then released on
+/// every exit path (early returns, failed ASSERTs) while the simulator is
+/// still alive, instead of use-after-free-cancelling into a dead one.
+class ScopedSampling {
+ public:
+  ScopedSampling(ExperimentCollector* collector, sim::Simulator* sim)
+      : collector_(collector), sim_(sim) {
+    collector_->StartSampling(sim_);
+  }
+  ~ScopedSampling() { collector_->FinishSampling(sim_); }
+  ScopedSampling(const ScopedSampling&) = delete;
+  ScopedSampling& operator=(const ScopedSampling&) = delete;
+
+ private:
+  ExperimentCollector* collector_;
+  sim::Simulator* sim_;
 };
 
 }  // namespace dcy::simdc

@@ -64,7 +64,9 @@ TEST(SimClusterTest, AllQueriesFinish) {
   Harness h(SmallCluster());
   h.SubmitUniform(/*rate=*/20, /*duration=*/5 * kSecond);
   h.cluster->Start();
-  h.collector->StartSampling(&h.cluster->simulator());
+  // Declared after `h`: unwinds first, so the sampler is released while the
+  // simulator is still alive even when an ASSERT below returns early.
+  ScopedSampling sampling(h.collector.get(), &h.cluster->simulator());
   ASSERT_TRUE(h.cluster->RunUntilQueriesDrain(FromSeconds(300)));
   EXPECT_EQ(h.cluster->total_expected(), 4u * 100u);
   EXPECT_EQ(h.cluster->total_finished(), h.cluster->total_expected());

@@ -26,7 +26,7 @@ int main() {
   auto per_node = workload::GenerateUniformWorkload(w, ds, 10);
   for (uint32_t n = 0; n < 10; ++n) cluster.driver(n).SubmitWorkload(std::move(per_node[n]));
   cluster.Start();
-  col.StartSampling(&cluster.simulator());
+  ScopedSampling sampling(&col, &cluster.simulator());
   bool ok = cluster.RunUntilQueriesDrain(FromSeconds(400));
   std::printf("drained=%d finished=%llu/%llu t=%.1f drops=%llu lost=%llu\n", ok,
       (unsigned long long)cluster.total_finished(), (unsigned long long)cluster.total_expected(),
