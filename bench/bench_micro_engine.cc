@@ -1,11 +1,13 @@
 // Micro-benchmarks of the BAT engine operators (M1): select / hash join /
-// merge join / sort / group-aggregate throughput.
+// merge join / semijoin / sort / group-aggregate throughput, plus the bulk
+// BAT serializer on the ring hot path.
 #include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bat/operators.h"
+#include "bat/serialize.h"
 #include "bench/harness.h"
 #include "common/flags.h"
 #include "common/random.h"
@@ -105,6 +107,38 @@ int main(int argc, char** argv) {
       }
       RepResult rep;
       rep.items = static_cast<double>(n) * iters;
+      return rep;
+    });
+  }
+
+  for (size_t n : {size_t{1} << 12, size_t{1} << 16}) {
+    auto l = Reverse(RandomIntBat(n, static_cast<int32_t>(n / 2), 7));
+    auto r = Reverse(RandomIntBat(n / 4, static_cast<int32_t>(n / 2), 8));
+    harness.Run("semijoin/" + std::to_string(n), Params(n, iters), [&] {
+      for (int i = 0; i < iters; ++i) {
+        auto in = SemiJoin(l, r);
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      return rep;
+    });
+  }
+
+  // Ring hot path: encode + decode round trip of a column fragment, with a
+  // reused frame (the pooled-buffer pattern of runtime/ring_cluster).
+  for (size_t n : {size_t{1} << 12, size_t{1} << 16, size_t{1} << 20}) {
+    auto b = RandomIntBat(n, 1 << 30, 9);
+    std::string frame;
+    harness.Run("serialize_roundtrip/" + std::to_string(n), Params(n, iters), [&] {
+      uint64_t bytes = 0;
+      for (int i = 0; i < iters; ++i) {
+        SerializeInto(*b, &frame);
+        auto restored = Deserialize(frame);
+        bytes += frame.size();
+      }
+      RepResult rep;
+      rep.items = static_cast<double>(n) * iters;
+      rep.metrics["frame_bytes"] = static_cast<double>(bytes) / iters;
       return rep;
     });
   }

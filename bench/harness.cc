@@ -96,9 +96,9 @@ Harness::Harness(std::string name, int argc, char** argv, int default_repeats,
   }
 }
 
-const CaseResult& Harness::Run(const std::string& case_name,
-                               const std::map<std::string, std::string>& params,
-                               const std::function<RepResult()>& fn) {
+CaseResult Harness::Run(const std::string& case_name,
+                        const std::map<std::string, std::string>& params,
+                        const std::function<RepResult()>& fn) {
   for (int i = 0; i < warmup_; ++i) fn();
 
   CaseResult cr;
@@ -139,8 +139,8 @@ const CaseResult& Harness::Run(const std::string& case_name,
                  FormatNs(cr.p50_ns).c_str(), FormatNs(cr.p95_ns).c_str(), cr.throughput);
   }
 
-  cases_.push_back(std::move(cr));
-  return cases_.back();
+  cases_.push_back(cr);
+  return cr;
 }
 
 int Harness::Finish() {

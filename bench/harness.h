@@ -79,11 +79,11 @@ class Harness {
   const std::string& json_path() const { return json_path_; }
 
   /// Runs fn `warmup()` untimed + `repeats()` timed times and records the
-  /// aggregate. Returns the stored case (valid until the next Run call
-  /// reallocates; index into results() for long-lived access).
-  const CaseResult& Run(const std::string& case_name,
-                        const std::map<std::string, std::string>& params,
-                        const std::function<RepResult()>& fn);
+  /// aggregate. Returns a copy of the recorded case (the stored ones live in
+  /// results()).
+  CaseResult Run(const std::string& case_name,
+                 const std::map<std::string, std::string>& params,
+                 const std::function<RepResult()>& fn);
 
   const std::vector<CaseResult>& results() const { return cases_; }
 

@@ -38,14 +38,11 @@ Bat::Properties Bat::ScanProperties(const Column& head, const Column& tail) {
   return p;
 }
 
-bool Bat::HasDenseHead() const {
-  return dynamic_cast<const DenseOidColumn*>(head_.get()) != nullptr;
-}
+bool Bat::HasDenseHead() const { return head_->kind() == ColumnKind::kDense; }
 
 Oid Bat::HeadSeqbase() const {
-  auto* dense = dynamic_cast<const DenseOidColumn*>(head_.get());
-  DCY_CHECK(dense != nullptr) << "head is not dense";
-  return dense->seqbase();
+  DCY_CHECK(head_->kind() == ColumnKind::kDense) << "head is not dense";
+  return static_cast<const DenseOidColumn&>(*head_).seqbase();
 }
 
 std::string Bat::ToString(size_t limit) const {

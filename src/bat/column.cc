@@ -107,6 +107,141 @@ void ColumnBuilder::AppendValue(const Value& v) {
   }
 }
 
+namespace {
+
+/// kInt and kDate share int32 storage; everything else stores as itself.
+ValType StorageType(ValType t) { return t == ValType::kDate ? ValType::kInt : t; }
+
+template <typename T>
+void GatherInto(std::vector<T>* out, const T* src, const uint32_t* idx, size_t n) {
+  const size_t base = out->size();
+  out->resize(base + n);
+  T* dst = out->data() + base;
+  for (size_t i = 0; i < n; ++i) dst[i] = src[idx[i]];
+}
+
+}  // namespace
+
+void ColumnBuilder::Reserve(size_t n) {
+  switch (type_) {
+    case ValType::kOid: oids_.reserve(oids_.size() + n); break;
+    case ValType::kInt:
+    case ValType::kDate: ints_.reserve(ints_.size() + n); break;
+    case ValType::kLng: lngs_.reserve(lngs_.size() + n); break;
+    case ValType::kDbl: dbls_.reserve(dbls_.size() + n); break;
+    case ValType::kStr: offsets_.reserve(offsets_.size() + n); break;
+  }
+}
+
+void ColumnBuilder::AppendRaw(const void* data, size_t n) {
+  if (n == 0) return;
+  switch (type_) {
+    case ValType::kOid: {
+      const auto* p = static_cast<const Oid*>(data);
+      oids_.insert(oids_.end(), p, p + n);
+      break;
+    }
+    case ValType::kInt:
+    case ValType::kDate: {
+      const auto* p = static_cast<const int32_t*>(data);
+      ints_.insert(ints_.end(), p, p + n);
+      break;
+    }
+    case ValType::kLng: {
+      const auto* p = static_cast<const int64_t*>(data);
+      lngs_.insert(lngs_.end(), p, p + n);
+      break;
+    }
+    case ValType::kDbl: {
+      const auto* p = static_cast<const double*>(data);
+      dbls_.insert(dbls_.end(), p, p + n);
+      break;
+    }
+    case ValType::kStr: DCY_FATAL() << "AppendRaw on str builder";
+  }
+  count_ += n;
+}
+
+void ColumnBuilder::AppendColumnRange(const Column& c, size_t begin, size_t n) {
+  if (n == 0) return;
+  DCY_DCHECK(begin + n <= c.size());
+  switch (c.kind()) {
+    case ColumnKind::kStr: {
+      DCY_CHECK(type_ == ValType::kStr);
+      const auto& sc = static_cast<const StrColumn&>(c);
+      const uint32_t lo = sc.offsets()[begin];
+      const uint32_t hi = sc.offsets()[begin + n];
+      const uint32_t base = static_cast<uint32_t>(heap_.size());
+      heap_.append(sc.heap(), lo, hi - lo);
+      offsets_.reserve(offsets_.size() + n);
+      for (size_t i = 1; i <= n; ++i) {
+        offsets_.push_back(base + (sc.offsets()[begin + i] - lo));
+      }
+      count_ += n;
+      return;
+    }
+    case ColumnKind::kDense: {
+      DCY_CHECK(type_ == ValType::kOid);
+      const Oid seq = static_cast<const DenseOidColumn&>(c).seqbase() + begin;
+      oids_.reserve(oids_.size() + n);
+      for (size_t i = 0; i < n; ++i) oids_.push_back(seq + i);
+      count_ += n;
+      return;
+    }
+    case ColumnKind::kFixed: {
+      DCY_CHECK(StorageType(type_) == StorageType(c.type()));
+      AppendRaw(static_cast<const char*>(c.RawData()) + begin * ValTypeWidth(c.type()), n);
+      return;
+    }
+  }
+}
+
+void ColumnBuilder::AppendGather(const Column& c, const uint32_t* idx, size_t n) {
+  if (n == 0) return;
+  switch (c.kind()) {
+    case ColumnKind::kStr: {
+      DCY_CHECK(type_ == ValType::kStr);
+      const auto& sc = static_cast<const StrColumn&>(c);
+      const uint32_t* offs = sc.offsets().data();
+      offsets_.reserve(offsets_.size() + n);
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t lo = offs[idx[i]], hi = offs[idx[i] + 1];
+        heap_.append(sc.heap(), lo, hi - lo);
+        offsets_.push_back(static_cast<uint32_t>(heap_.size()));
+      }
+      break;
+    }
+    case ColumnKind::kDense: {
+      DCY_CHECK(type_ == ValType::kOid);
+      const Oid seq = static_cast<const DenseOidColumn&>(c).seqbase();
+      const size_t base = oids_.size();
+      oids_.resize(base + n);
+      for (size_t i = 0; i < n; ++i) oids_[base + i] = seq + idx[i];
+      break;
+    }
+    case ColumnKind::kFixed: {
+      DCY_CHECK(StorageType(type_) == StorageType(c.type()));
+      switch (StorageType(c.type())) {
+        case ValType::kOid:
+          GatherInto(&oids_, static_cast<const Oid*>(c.RawData()), idx, n);
+          break;
+        case ValType::kInt:
+          GatherInto(&ints_, static_cast<const int32_t*>(c.RawData()), idx, n);
+          break;
+        case ValType::kLng:
+          GatherInto(&lngs_, static_cast<const int64_t*>(c.RawData()), idx, n);
+          break;
+        case ValType::kDbl:
+          GatherInto(&dbls_, static_cast<const double*>(c.RawData()), idx, n);
+          break;
+        default: DCY_FATAL() << "bad fixed storage";
+      }
+      break;
+    }
+  }
+  count_ += n;
+}
+
 ColumnPtr ColumnBuilder::Finish() {
   count_ = 0;
   switch (type_) {
@@ -115,8 +250,12 @@ ColumnPtr ColumnBuilder::Finish() {
     case ValType::kDate: return std::make_shared<IntColumn>(type_, std::move(ints_));
     case ValType::kLng: return std::make_shared<LngColumn>(type_, std::move(lngs_));
     case ValType::kDbl: return std::make_shared<DblColumn>(type_, std::move(dbls_));
-    case ValType::kStr:
-      return std::make_shared<StrColumn>(std::move(offsets_), std::move(heap_));
+    case ValType::kStr: {
+      auto col = std::make_shared<StrColumn>(std::move(offsets_), std::move(heap_));
+      offsets_ = {0};  // restore the sentinel so the emptied builder is reusable
+      heap_.clear();
+      return col;
+    }
   }
   return nullptr;
 }

@@ -54,6 +54,28 @@ struct Value {
   std::string ToString() const;
 };
 
+/// Physical layout of a column, used by the vectorized kernels (bat/kernels.h)
+/// to pick raw-array fast paths without dynamic_cast.
+enum class ColumnKind : uint8_t {
+  kFixed,  ///< materialized fixed-width array (FixedColumn<T>)
+  kDense,  ///< virtual dense oid range (DenseOidColumn)
+  kStr,    ///< offsets + byte heap (StrColumn)
+};
+
+/// \brief Read-only typed view over a contiguous fixed-width payload; the
+/// currency of the vectorized kernels (C++17 stand-in for std::span).
+template <typename T>
+struct Span {
+  const T* data = nullptr;
+  size_t size = 0;
+
+  const T* begin() const { return data; }
+  const T* end() const { return data == nullptr ? nullptr : data + size; }
+  T operator[](size_t i) const { return data[i]; }
+  bool empty() const { return size == 0; }
+  explicit operator bool() const { return data != nullptr; }
+};
+
 /// \brief Abstract immutable column. Concrete layouts: fixed-width vectors,
 /// a dense oid range (virtual column), and a string heap.
 class Column {
@@ -62,6 +84,7 @@ class Column {
 
   ValType type() const { return type_; }
   size_t size() const { return size_; }
+  ColumnKind kind() const { return kind_; }
 
   /// Integer view of row i (valid for kOid/kInt/kLng/kDate).
   virtual int64_t GetInt64(size_t i) const = 0;
@@ -69,6 +92,20 @@ class Column {
   virtual double GetDouble(size_t i) const = 0;
   /// String view of row i (valid for kStr only).
   virtual std::string_view GetString(size_t i) const;
+
+  /// Raw pointer to the materialized fixed-width payload, or nullptr when
+  /// the column has none (dense oid range, string heap).
+  virtual const void* RawData() const { return nullptr; }
+
+  /// Typed span over the materialized fixed-width payload; empty (null data)
+  /// for dense and string columns. T must match the physical element width.
+  template <typename T>
+  Span<T> FixedData() const {
+    const void* p = RawData();
+    if (p == nullptr) return {};
+    DCY_DCHECK(sizeof(T) == ValTypeWidth(type_));
+    return {static_cast<const T*>(p), size_};
+  }
 
   /// Boxed value of row i.
   Value GetValue(size_t i) const;
@@ -80,10 +117,12 @@ class Column {
   bool IsSorted() const;
 
  protected:
-  Column(ValType type, size_t size) : type_(type), size_(size) {}
+  Column(ColumnKind kind, ValType type, size_t size)
+      : type_(type), size_(size), kind_(kind) {}
 
   ValType type_;
   size_t size_;
+  ColumnKind kind_;
 };
 
 using ColumnPtr = std::shared_ptr<const Column>;
@@ -93,11 +132,12 @@ template <typename T>
 class FixedColumn final : public Column {
  public:
   FixedColumn(ValType type, std::vector<T> values)
-      : Column(type, values.size()), values_(std::move(values)) {}
+      : Column(ColumnKind::kFixed, type, values.size()), values_(std::move(values)) {}
 
   int64_t GetInt64(size_t i) const override { return static_cast<int64_t>(values_[i]); }
   double GetDouble(size_t i) const override { return static_cast<double>(values_[i]); }
   uint64_t ByteSize() const override { return values_.size() * sizeof(T); }
+  const void* RawData() const override { return values_.data(); }
 
   const std::vector<T>& values() const { return values_; }
 
@@ -114,7 +154,8 @@ using DblColumn = FixedColumn<double>;
 /// MonetDB BAT. Materialization-free.
 class DenseOidColumn final : public Column {
  public:
-  DenseOidColumn(Oid seqbase, size_t n) : Column(ValType::kOid, n), seqbase_(seqbase) {}
+  DenseOidColumn(Oid seqbase, size_t n)
+      : Column(ColumnKind::kDense, ValType::kOid, n), seqbase_(seqbase) {}
 
   int64_t GetInt64(size_t i) const override { return static_cast<int64_t>(seqbase_ + i); }
   double GetDouble(size_t i) const override { return static_cast<double>(seqbase_ + i); }
@@ -130,7 +171,7 @@ class DenseOidColumn final : public Column {
 class StrColumn final : public Column {
  public:
   StrColumn(std::vector<uint32_t> offsets, std::string heap)
-      : Column(ValType::kStr, offsets.empty() ? 0 : offsets.size() - 1),
+      : Column(ColumnKind::kStr, ValType::kStr, offsets.empty() ? 0 : offsets.size() - 1),
         offsets_(std::move(offsets)),
         heap_(std::move(heap)) {}
 
@@ -166,6 +207,27 @@ class ColumnBuilder {
   void AppendDouble(double v);
   void AppendString(std::string_view v);
   void AppendValue(const Value& v);
+
+  /// Pre-sizes the backing storage for n upcoming appends.
+  void Reserve(size_t n);
+
+  /// Bulk-appends n elements of the builder's physical width from a raw
+  /// array (one memcpy-style insert; fixed-width builders only). T must
+  /// match the storage type: Oid / int32_t / int64_t / double.
+  template <typename T>
+  void AppendSpan(Span<T> s) {
+    AppendRaw(s.data, s.size);
+  }
+  void AppendRaw(const void* data, size_t n);
+
+  /// Bulk-appends rows [begin, begin + n) of `c` (same value type family as
+  /// the builder): raw memcpy for fixed columns, iota for dense oid ranges,
+  /// offset-rebased heap splice for strings.
+  void AppendColumnRange(const Column& c, size_t begin, size_t n);
+
+  /// Bulk-appends c[idx[i]] for i in [0, n) with type-specialized gather
+  /// loops (no per-row boxing).
+  void AppendGather(const Column& c, const uint32_t* idx, size_t n);
 
   size_t size() const { return count_; }
 

@@ -5,12 +5,23 @@
 #include <cstring>
 #include <numeric>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "bat/kernels.h"
 #include "common/logging.h"
+
+// The operators compose the vectorized kernels in bat/kernels.h: filters
+// produce selection vectors over raw arrays, joins probe a flat
+// open-addressing table on materialized int64 keys, and outputs are built by
+// bulk gather/append — no per-row Value boxing anywhere on the hot path. The
+// pre-vectorization row-at-a-time implementations live on as the
+// differential-test oracle in bat/scalar_reference.h.
 
 namespace dcy::bat {
 
 namespace {
+
+using kernels::FlatTable;
 
 /// Integer family (oid/int/lng/date) members are join-compatible.
 bool IsIntegerFamily(ValType t) {
@@ -31,108 +42,161 @@ Bat::Properties HeadOrderedProps(const Bat& l) {
   return p;
 }
 
-/// Emits [l.head[i], r.tail[j]] pairs for matches of l.tail[i] == r.head[j],
-/// probing l in order (stable on l).
-template <typename Key, typename LKey, typename RKey>
-BatPtr HashJoinImpl(const Bat& l, const Bat& r, LKey lkey, RKey rkey) {
-  std::unordered_map<Key, std::vector<size_t>> build;
-  build.reserve(r.size());
-  for (size_t j = 0; j < r.size(); ++j) build[rkey(j)].push_back(j);
-
-  ColumnBuilder head_out(l.head_type());
-  ColumnBuilder tail_out(r.tail_type());
-  for (size_t i = 0; i < l.size(); ++i) {
-    auto it = build.find(lkey(i));
-    if (it == build.end()) continue;
-    for (size_t j : it->second) {
-      head_out.AppendValue(l.head()->GetValue(i));
-      tail_out.AppendValue(r.tail()->GetValue(j));
-    }
-  }
-  return BatPtr(std::make_shared<Bat>(head_out.Finish(), tail_out.Finish(), HeadOrderedProps(l)));
+/// Gathers the rows in `sel` out of both columns (order-preserving filter).
+BatPtr FilterBySel(const Bat& b, const SelVec& sel) {
+  Bat::Properties p;
+  p.hsorted = b.props().hsorted;  // positional filters keep order
+  p.tsorted = b.props().tsorted;
+  p.hkey = b.props().hkey;
+  p.tkey = b.props().tkey;
+  return BatPtr(std::make_shared<Bat>(kernels::Gather(*b.head(), sel.data(), sel.size()),
+                                      kernels::Gather(*b.tail(), sel.data(), sel.size()),
+                                      p));
 }
 
-/// Merge join for sorted l.tail / r.head (paper §3.1: "sorted columns lead
-/// to sort-merge join operations").
-BatPtr MergeJoinImpl(const Bat& l, const Bat& r) {
-  ColumnBuilder head_out(l.head_type());
-  ColumnBuilder tail_out(r.tail_type());
+/// Like ExtractInt64Keys but doubles convert by value truncation (the
+/// GetInt64 semantics HeadSet membership uses), not by bit pattern.
+void ExtractCastInt64Keys(const Column& c, std::vector<int64_t>* keys) {
+  if (c.kind() == ColumnKind::kFixed && c.type() == ValType::kDbl) {
+    const size_t n = c.size();
+    keys->resize(n);
+    const auto* d = static_cast<const double*>(c.RawData());
+    for (size_t i = 0; i < n; ++i) (*keys)[i] = static_cast<int64_t>(d[i]);
+    return;
+  }
+  kernels::ExtractInt64Keys(c, keys);
+}
+
+/// Three-way compare that treats NaN pairs as equal, exactly like
+/// CompareRows; keeps the vectorized merge loop in lockstep with the scalar
+/// reference (and guarantees forward progress on NaN runs).
+template <typename K>
+int Cmp3(K a, K b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+/// Sorted-input merge emitting (l-row, r-row) match pairs; identical
+/// emission order to the scalar MergeJoinImpl.
+template <typename K>
+void MergeLoop(const K* lk, size_t ln, const K* rk, size_t rn, SelVec* li, SelVec* ri) {
   size_t i = 0, j = 0;
-  while (i < l.size() && j < r.size()) {
-    const int cmp = CompareRows(*l.tail(), i, *r.head(), j);
+  while (i < ln && j < rn) {
+    const int cmp = Cmp3(lk[i], rk[j]);
     if (cmp < 0) {
       ++i;
     } else if (cmp > 0) {
       ++j;
     } else {
-      // Emit the cross product of the equal runs.
       size_t j_end = j;
-      while (j_end < r.size() && CompareRows(*l.tail(), i, *r.head(), j_end) == 0) ++j_end;
+      while (j_end < rn && Cmp3(lk[i], rk[j_end]) == 0) ++j_end;
       size_t i_end = i;
-      while (i_end < l.size() && CompareRows(*l.tail(), i_end, *r.head(), j) == 0) ++i_end;
+      while (i_end < ln && Cmp3(lk[i_end], rk[j]) == 0) ++i_end;
       for (size_t a = i; a < i_end; ++a) {
         for (size_t b = j; b < j_end; ++b) {
-          head_out.AppendValue(l.head()->GetValue(a));
-          tail_out.AppendValue(r.tail()->GetValue(b));
+          li->push_back(static_cast<uint32_t>(a));
+          ri->push_back(static_cast<uint32_t>(b));
         }
       }
       i = i_end;
       j = j_end;
     }
   }
-  return BatPtr(std::make_shared<Bat>(head_out.Finish(), tail_out.Finish(), HeadOrderedProps(l)));
 }
 
-/// Set of the head values of r, for semijoin/kdiff/kunion.
-struct HeadSet {
-  std::unordered_map<int64_t, bool> ints;
-  std::unordered_map<std::string_view, bool> strs;
-  bool is_str = false;
+BatPtr EmitJoin(const Bat& l, const Bat& r, const SelVec& li, const SelVec& ri) {
+  return BatPtr(std::make_shared<Bat>(kernels::Gather(*l.head(), li.data(), li.size()),
+                                      kernels::Gather(*r.tail(), ri.data(), ri.size()),
+                                      HeadOrderedProps(l)));
+}
 
-  explicit HeadSet(const Bat& r) {
-    is_str = r.head_type() == ValType::kStr;
-    for (size_t j = 0; j < r.size(); ++j) {
-      if (is_str) {
-        strs.emplace(r.head()->GetString(j), true);
+BatPtr MergeJoinImpl(const Bat& l, const Bat& r) {
+  SelVec li, ri;
+  if (l.tail_type() == ValType::kStr) {
+    // String merge: compare heap views directly (no per-row boxing).
+    const auto& lt = static_cast<const StrColumn&>(*l.tail());
+    const auto& rh = static_cast<const StrColumn&>(*r.head());
+    size_t i = 0, j = 0;
+    while (i < l.size() && j < r.size()) {
+      const int cmp = lt.GetString(i).compare(rh.GetString(j));
+      if (cmp < 0) {
+        ++i;
+      } else if (cmp > 0) {
+        ++j;
       } else {
-        ints.emplace(r.head()->GetInt64(j), true);
+        size_t j_end = j;
+        while (j_end < r.size() && lt.GetString(i) == rh.GetString(j_end)) ++j_end;
+        size_t i_end = i;
+        while (i_end < l.size() && lt.GetString(i_end) == rh.GetString(j)) ++i_end;
+        for (size_t a = i; a < i_end; ++a) {
+          for (size_t b = j; b < j_end; ++b) {
+            li.push_back(static_cast<uint32_t>(a));
+            ri.push_back(static_cast<uint32_t>(b));
+          }
+        }
+        i = i_end;
+        j = j_end;
       }
     }
+  } else if (l.tail_type() == ValType::kDbl || r.head_type() == ValType::kDbl) {
+    // Order-preserving double keys (CompareRows compares mixed dbl pairs in
+    // the double domain).
+    std::vector<double> lk, rk;
+    kernels::ExtractDoubleKeys(*l.tail(), &lk);
+    kernels::ExtractDoubleKeys(*r.head(), &rk);
+    MergeLoop(lk.data(), lk.size(), rk.data(), rk.size(), &li, &ri);
+  } else {
+    std::vector<int64_t> lk, rk;
+    kernels::ExtractInt64Keys(*l.tail(), &lk);
+    kernels::ExtractInt64Keys(*r.head(), &rk);
+    MergeLoop(lk.data(), lk.size(), rk.data(), rk.size(), &li, &ri);
   }
-
-  bool Contains(const Column& head, size_t i) const {
-    if (is_str) return strs.count(head.GetString(i)) > 0;
-    return ints.count(head.GetInt64(i)) > 0;
-  }
-};
-
-BatPtr FilterByPositions(const Bat& b, const std::vector<size_t>& keep) {
-  ColumnBuilder head_out(b.head_type());
-  ColumnBuilder tail_out(b.tail_type());
-  for (size_t i : keep) {
-    head_out.AppendValue(b.head()->GetValue(i));
-    tail_out.AppendValue(b.tail()->GetValue(i));
-  }
-  Bat::Properties p;
-  p.hsorted = b.props().hsorted;  // positional filters keep order
-  p.tsorted = b.props().tsorted;
-  p.hkey = b.props().hkey;
-  p.tkey = b.props().tkey;
-  return BatPtr(std::make_shared<Bat>(head_out.Finish(), tail_out.Finish(), p));
+  return EmitJoin(l, r, li, ri);
 }
 
-bool ValueLE(const Value& a, const Value& b) {
-  if (a.type == ValType::kStr) return a.s <= b.s;
-  if (a.type == ValType::kDbl || b.type == ValType::kDbl) return a.AsDouble() <= b.AsDouble();
-  return a.AsInt64() <= b.AsInt64();
-}
-
-bool ValueEQ(const Column& c, size_t i, const Value& v) {
-  if (c.type() == ValType::kStr) return c.GetString(i) == v.s;
-  if (c.type() == ValType::kDbl || v.type == ValType::kDbl) {
-    return c.GetDouble(i) == v.AsDouble();
+BatPtr HashJoinImpl(const Bat& l, const Bat& r) {
+  SelVec li, ri;
+  if (l.tail_type() == ValType::kStr) {
+    // String build side: chain duplicate keys through next[] so probes emit
+    // ascending build rows; string_view keys borrow the heap (no per-row
+    // std::string allocation).
+    const size_t rn = r.size();
+    std::unordered_map<std::string_view, uint32_t> first;
+    first.reserve(rn);
+    std::vector<uint32_t> next(rn, FlatTable::kNone);
+    for (size_t j = rn; j-- > 0;) {
+      auto [it, inserted] =
+          first.try_emplace(r.head()->GetString(j), static_cast<uint32_t>(j));
+      if (!inserted) {
+        next[j] = it->second;
+        it->second = static_cast<uint32_t>(j);
+      }
+    }
+    for (size_t i = 0; i < l.size(); ++i) {
+      auto it = first.find(l.tail()->GetString(i));
+      if (it == first.end()) continue;
+      for (uint32_t j = it->second; j != FlatTable::kNone; j = next[j]) {
+        li.push_back(static_cast<uint32_t>(i));
+        ri.push_back(j);
+      }
+    }
+    return EmitJoin(l, r, li, ri);
   }
-  return c.GetInt64(i) == v.AsInt64();
+  // Int64 keys: integer families widen, doubles bit-cast (same equality the
+  // scalar reference hash join uses).
+  std::vector<int64_t> rk;
+  kernels::ExtractInt64Keys(*r.head(), &rk);
+  FlatTable table(rk);
+  std::vector<int64_t> lk;
+  kernels::ExtractInt64Keys(*l.tail(), &lk);
+  li.reserve(lk.size());  // FK-join guess: ~one match per probe row
+  ri.reserve(lk.size());
+  for (size_t i = 0; i < lk.size(); ++i) {
+    for (uint32_t j = table.Find(lk[i]); j != FlatTable::kNone; j = table.Next(j)) {
+      li.push_back(static_cast<uint32_t>(i));
+      ri.push_back(j);
+    }
+  }
+  return EmitJoin(l, r, li, ri);
 }
 
 Status CheckNumeric(const Bat& b, const char* op) {
@@ -140,6 +204,32 @@ Status CheckNumeric(const Bat& b, const char* op) {
     return Status::InvalidArgument(std::string(op) + " on string tail");
   }
   return Status::OK();
+}
+
+/// Membership filter for semijoin/kdiff: sel <- positions of l.head whose
+/// membership in r's head set equals `want`.
+Result<SelVec> HeadMembershipSel(const Bat& l, const Bat& r, bool want) {
+  SelVec sel;
+  if (l.head_type() == ValType::kStr) {
+    std::unordered_set<std::string_view> set;
+    set.reserve(r.size());
+    for (size_t j = 0; j < r.size(); ++j) set.insert(r.head()->GetString(j));
+    for (size_t i = 0; i < l.size(); ++i) {
+      if ((set.count(l.head()->GetString(i)) > 0) == want) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return sel;
+  }
+  std::vector<int64_t> rk;
+  ExtractCastInt64Keys(*r.head(), &rk);
+  FlatTable table(rk);
+  std::vector<int64_t> lk;
+  ExtractCastInt64Keys(*l.head(), &lk);
+  for (size_t i = 0; i < lk.size(); ++i) {
+    if (table.Contains(lk[i]) == want) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
 }
 
 }  // namespace
@@ -183,9 +273,9 @@ Result<BatPtr> Slice(const BatPtr& b, size_t lo, size_t hi) {
     return Status::OutOfRange("slice [" + std::to_string(lo) + "," + std::to_string(hi) +
                               ") of " + std::to_string(b->size()));
   }
-  std::vector<size_t> keep(hi - lo);
-  std::iota(keep.begin(), keep.end(), lo);
-  return FilterByPositions(*b, keep);
+  SelVec keep(hi - lo);
+  std::iota(keep.begin(), keep.end(), static_cast<uint32_t>(lo));
+  return FilterBySel(*b, keep);
 }
 
 Result<BatPtr> Join(const BatPtr& l, const BatPtr& r) {
@@ -193,30 +283,7 @@ Result<BatPtr> Join(const BatPtr& l, const BatPtr& r) {
   if (l->props().tsorted && r->props().hsorted) {
     return MergeJoinImpl(*l, *r);
   }
-  if (l->tail_type() == ValType::kStr) {
-    return HashJoinImpl<std::string>(
-        *l, *r, [&](size_t i) { return std::string(l->tail()->GetString(i)); },
-        [&](size_t j) { return std::string(r->head()->GetString(j)); });
-  }
-  if (l->tail_type() == ValType::kDbl) {
-    return HashJoinImpl<int64_t>(
-        *l, *r,
-        [&](size_t i) {
-          double d = l->tail()->GetDouble(i);
-          int64_t bits;
-          std::memcpy(&bits, &d, sizeof(bits));
-          return bits;
-        },
-        [&](size_t j) {
-          double d = r->head()->GetDouble(j);
-          int64_t bits;
-          std::memcpy(&bits, &d, sizeof(bits));
-          return bits;
-        });
-  }
-  return HashJoinImpl<int64_t>(
-      *l, *r, [&](size_t i) { return l->tail()->GetInt64(i); },
-      [&](size_t j) { return r->head()->GetInt64(j); });
+  return HashJoinImpl(*l, *r);
 }
 
 Result<BatPtr> LeftJoin(const BatPtr& l, const BatPtr& r) {
@@ -227,22 +294,14 @@ Result<BatPtr> LeftJoin(const BatPtr& l, const BatPtr& r) {
 
 Result<BatPtr> SemiJoin(const BatPtr& l, const BatPtr& r) {
   DCY_RETURN_NOT_OK(CheckJoinable(l->head_type(), r->head_type()));
-  HeadSet set(*r);
-  std::vector<size_t> keep;
-  for (size_t i = 0; i < l->size(); ++i) {
-    if (set.Contains(*l->head(), i)) keep.push_back(i);
-  }
-  return FilterByPositions(*l, keep);
+  DCY_ASSIGN_OR_RETURN(SelVec keep, HeadMembershipSel(*l, *r, /*want=*/true));
+  return FilterBySel(*l, keep);
 }
 
 Result<BatPtr> KDiff(const BatPtr& l, const BatPtr& r) {
   DCY_RETURN_NOT_OK(CheckJoinable(l->head_type(), r->head_type()));
-  HeadSet set(*r);
-  std::vector<size_t> keep;
-  for (size_t i = 0; i < l->size(); ++i) {
-    if (!set.Contains(*l->head(), i)) keep.push_back(i);
-  }
-  return FilterByPositions(*l, keep);
+  DCY_ASSIGN_OR_RETURN(SelVec keep, HeadMembershipSel(*l, *r, /*want=*/false));
+  return FilterBySel(*l, keep);
 }
 
 Result<BatPtr> KUnion(const BatPtr& l, const BatPtr& r) {
@@ -250,37 +309,34 @@ Result<BatPtr> KUnion(const BatPtr& l, const BatPtr& r) {
   if (l->tail_type() != r->tail_type()) {
     return Status::InvalidArgument("kunion tail type mismatch");
   }
-  HeadSet set(*l);
+  DCY_ASSIGN_OR_RETURN(SelVec fresh, HeadMembershipSel(*r, *l, /*want=*/false));
+
   ColumnBuilder head_out(l->head_type());
   ColumnBuilder tail_out(l->tail_type());
-  for (size_t i = 0; i < l->size(); ++i) {
-    head_out.AppendValue(l->head()->GetValue(i));
-    tail_out.AppendValue(l->tail()->GetValue(i));
+  head_out.Reserve(l->size() + fresh.size());
+  tail_out.Reserve(l->size() + fresh.size());
+  head_out.AppendColumnRange(*l->head(), 0, l->size());
+  tail_out.AppendColumnRange(*l->tail(), 0, l->size());
+  if (r->head_type() == l->head_type()) {
+    head_out.AppendGather(*r->head(), fresh.data(), fresh.size());
+  } else {
+    // Mixed integer-family heads (e.g. int vs lng): widen row-wise.
+    for (uint32_t j : fresh) head_out.AppendInt64(r->head()->GetInt64(j));
   }
-  for (size_t j = 0; j < r->size(); ++j) {
-    if (!set.Contains(*r->head(), j)) {
-      head_out.AppendValue(r->head()->GetValue(j));
-      tail_out.AppendValue(r->tail()->GetValue(j));
-    }
-  }
+  tail_out.AppendGather(*r->tail(), fresh.data(), fresh.size());
   return BatPtr(std::make_shared<Bat>(head_out.Finish(), tail_out.Finish(), Bat::Properties{}));
 }
 
 Result<BatPtr> Select(const BatPtr& b, const Value& v) {
-  std::vector<size_t> keep;
-  for (size_t i = 0; i < b->size(); ++i) {
-    if (ValueEQ(*b->tail(), i, v)) keep.push_back(i);
-  }
-  return FilterByPositions(*b, keep);
+  SelVec keep;
+  kernels::SelectEq(*b->tail(), v, &keep);
+  return FilterBySel(*b, keep);
 }
 
 Result<BatPtr> SelectRange(const BatPtr& b, const Value& lo, const Value& hi) {
-  std::vector<size_t> keep;
-  for (size_t i = 0; i < b->size(); ++i) {
-    const Value x = b->tail()->GetValue(i);
-    if (ValueLE(lo, x) && ValueLE(x, hi)) keep.push_back(i);
-  }
-  return FilterByPositions(*b, keep);
+  SelVec keep;
+  kernels::SelectRange(*b->tail(), lo, hi, &keep);
+  return FilterBySel(*b, keep);
 }
 
 Result<BatPtr> USelect(const BatPtr& b, const Value& v) {
@@ -294,53 +350,53 @@ Result<BatPtr> USelect(const BatPtr& b, const Value& v) {
 }
 
 Result<BatPtr> GroupId(const BatPtr& b) {
-  ColumnBuilder gid_out(ValType::kOid);
+  const size_t n = b->size();
+  std::vector<Oid> gids(n);
   if (b->tail_type() == ValType::kStr) {
-    std::unordered_map<std::string, Oid> groups;
-    for (size_t i = 0; i < b->size(); ++i) {
-      auto [it, _] = groups.try_emplace(std::string(b->tail()->GetString(i)),
-                                        static_cast<Oid>(groups.size()));
-      gid_out.AppendInt64(static_cast<int64_t>(it->second));
+    std::unordered_map<std::string_view, Oid> groups;
+    groups.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto [it, _] =
+          groups.try_emplace(b->tail()->GetString(i), static_cast<Oid>(groups.size()));
+      gids[i] = it->second;
     }
   } else {
+    // Bit-cast keys (doubles by pattern), one flat array pass.
+    std::vector<int64_t> keys;
+    kernels::ExtractInt64Keys(*b->tail(), &keys);
     std::unordered_map<int64_t, Oid> groups;
-    for (size_t i = 0; i < b->size(); ++i) {
-      int64_t key;
-      if (b->tail_type() == ValType::kDbl) {
-        double d = b->tail()->GetDouble(i);
-        std::memcpy(&key, &d, sizeof(key));
-      } else {
-        key = b->tail()->GetInt64(i);
-      }
-      auto [it, _] = groups.try_emplace(key, static_cast<Oid>(groups.size()));
-      gid_out.AppendInt64(static_cast<int64_t>(it->second));
+    groups.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto [it, _] = groups.try_emplace(keys[i], static_cast<Oid>(groups.size()));
+      gids[i] = it->second;
     }
   }
   Bat::Properties p;
   p.hsorted = b->props().hsorted;
   p.hkey = b->props().hkey;
-  return BatPtr(std::make_shared<Bat>(b->head(), gid_out.Finish(), p));
+  return BatPtr(std::make_shared<Bat>(
+      b->head(), std::make_shared<OidColumn>(ValType::kOid, std::move(gids)), p));
 }
 
 Result<BatPtr> GroupValues(const BatPtr& b) {
   DCY_ASSIGN_OR_RETURN(BatPtr gids, GroupId(b));
   // First row of each group provides the representative value.
+  const auto gid_span = gids->tail()->FixedData<Oid>();
   size_t num_groups = 0;
-  for (size_t i = 0; i < gids->size(); ++i) {
-    num_groups = std::max<size_t>(num_groups,
-                                  static_cast<size_t>(gids->tail()->GetInt64(i)) + 1);
+  for (size_t i = 0; i < gid_span.size; ++i) {
+    num_groups = std::max<size_t>(num_groups, static_cast<size_t>(gid_span[i]) + 1);
   }
+  std::vector<uint32_t> first(num_groups, 0);
   std::vector<bool> seen(num_groups, false);
-  ColumnBuilder val_out(b->tail_type());
-  std::vector<Value> reps(num_groups);
-  for (size_t i = 0; i < b->size(); ++i) {
-    const size_t g = static_cast<size_t>(gids->tail()->GetInt64(i));
+  for (size_t i = 0; i < gid_span.size; ++i) {
+    const size_t g = static_cast<size_t>(gid_span[i]);
     if (!seen[g]) {
       seen[g] = true;
-      reps[g] = b->tail()->GetValue(i);
+      first[g] = static_cast<uint32_t>(i);
     }
   }
-  for (size_t g = 0; g < num_groups; ++g) val_out.AppendValue(reps[g]);
+  ColumnBuilder val_out(b->tail_type());
+  val_out.AppendGather(*b->tail(), first.data(), first.size());
   Bat::Properties p;
   p.hsorted = p.hkey = true;
   return BatPtr(std::make_shared<Bat>(MakeDenseOid(0, num_groups), val_out.Finish(), p));
@@ -348,44 +404,102 @@ Result<BatPtr> GroupValues(const BatPtr& b) {
 
 uint64_t Count(const BatPtr& b) { return b->size(); }
 
+namespace {
+
+/// Single fused pass: sums the column in the accumulator type Acc without
+/// materializing a key vector (dense ranges in closed form).
+template <typename Acc>
+Acc FusedSum(const Column& t) {
+  const size_t n = t.size();
+  if (t.kind() == ColumnKind::kDense) {
+    const auto seq =
+        static_cast<int64_t>(static_cast<const DenseOidColumn&>(t).seqbase());
+    // n*seq + 0+1+...+(n-1)
+    return static_cast<Acc>(seq) * static_cast<Acc>(n) +
+           static_cast<Acc>(n) * static_cast<Acc>(n - (n > 0 ? 1 : 0)) / 2;
+  }
+  Acc s = 0;
+  switch (t.type()) {
+    case ValType::kOid:
+      for (const Oid x : t.FixedData<Oid>()) s += static_cast<Acc>(static_cast<int64_t>(x));
+      break;
+    case ValType::kInt:
+    case ValType::kDate:
+      for (const int32_t x : t.FixedData<int32_t>()) s += static_cast<Acc>(x);
+      break;
+    case ValType::kLng:
+      for (const int64_t x : t.FixedData<int64_t>()) s += static_cast<Acc>(x);
+      break;
+    case ValType::kDbl:
+      for (const double x : t.FixedData<double>()) s += static_cast<Acc>(x);
+      break;
+    case ValType::kStr: DCY_FATAL() << "sum on string column";
+  }
+  return s;
+}
+
+}  // namespace
+
 Result<Value> Sum(const BatPtr& b) {
   DCY_RETURN_NOT_OK(CheckNumeric(*b, "sum"));
-  if (b->tail_type() == ValType::kDbl) {
-    double s = 0;
-    for (size_t i = 0; i < b->size(); ++i) s += b->tail()->GetDouble(i);
-    return Value::MakeDbl(s);
-  }
-  int64_t s = 0;
-  for (size_t i = 0; i < b->size(); ++i) s += b->tail()->GetInt64(i);
-  return Value::MakeLng(s);
+  const Column& t = *b->tail();
+  if (t.type() == ValType::kDbl) return Value::MakeDbl(FusedSum<double>(t));
+  return Value::MakeLng(FusedSum<int64_t>(t));
 }
 
-Result<Value> Min(const BatPtr& b) {
-  DCY_RETURN_NOT_OK(CheckNumeric(*b, "min"));
-  if (b->size() == 0) return Status::InvalidArgument("min of empty BAT");
+namespace {
+
+template <typename T>
+size_t ArgExtreme(const T* d, size_t n, bool max) {
   size_t best = 0;
-  for (size_t i = 1; i < b->size(); ++i) {
-    if (CompareRows(*b->tail(), i, *b->tail(), best) < 0) best = i;
+  for (size_t i = 1; i < n; ++i) {
+    if (max ? d[i] > d[best] : d[i] < d[best]) best = i;
   }
-  return b->tail()->GetValue(best);
+  return best;
 }
 
-Result<Value> Max(const BatPtr& b) {
-  DCY_RETURN_NOT_OK(CheckNumeric(*b, "max"));
-  if (b->size() == 0) return Status::InvalidArgument("max of empty BAT");
+Result<Value> Extreme(const BatPtr& b, bool max, const char* op) {
+  DCY_RETURN_NOT_OK(CheckNumeric(*b, op));
+  if (b->size() == 0) return Status::InvalidArgument(std::string(op) + " of empty BAT");
+  const Column& t = *b->tail();
   size_t best = 0;
-  for (size_t i = 1; i < b->size(); ++i) {
-    if (CompareRows(*b->tail(), i, *b->tail(), best) > 0) best = i;
+  switch (t.kind()) {
+    case ColumnKind::kDense:
+      best = max ? t.size() - 1 : 0;
+      break;
+    case ColumnKind::kFixed:
+      switch (t.type()) {
+        case ValType::kOid:
+          best = ArgExtreme(static_cast<const Oid*>(t.RawData()), t.size(), max);
+          break;
+        case ValType::kInt:
+        case ValType::kDate:
+          best = ArgExtreme(static_cast<const int32_t*>(t.RawData()), t.size(), max);
+          break;
+        case ValType::kLng:
+          best = ArgExtreme(static_cast<const int64_t*>(t.RawData()), t.size(), max);
+          break;
+        case ValType::kDbl:
+          best = ArgExtreme(static_cast<const double*>(t.RawData()), t.size(), max);
+          break;
+        default: break;
+      }
+      break;
+    case ColumnKind::kStr: break;  // excluded by CheckNumeric
   }
-  return b->tail()->GetValue(best);
+  return t.GetValue(best);
 }
+
+}  // namespace
+
+Result<Value> Min(const BatPtr& b) { return Extreme(b, /*max=*/false, "min"); }
+
+Result<Value> Max(const BatPtr& b) { return Extreme(b, /*max=*/true, "max"); }
 
 Result<Value> Avg(const BatPtr& b) {
   DCY_RETURN_NOT_OK(CheckNumeric(*b, "avg"));
   if (b->size() == 0) return Status::InvalidArgument("avg of empty BAT");
-  double s = 0;
-  for (size_t i = 0; i < b->size(); ++i) s += b->tail()->GetDouble(i);
-  return Value::MakeDbl(s / static_cast<double>(b->size()));
+  return Value::MakeDbl(FusedSum<double>(*b->tail()) / static_cast<double>(b->size()));
 }
 
 Result<BatPtr> SumPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_groups) {
@@ -393,40 +507,71 @@ Result<BatPtr> SumPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_
   if (values->size() != gids->size()) {
     return Status::InvalidArgument("sumPerGroup: values/gids not aligned");
   }
+  std::vector<int64_t> g;
+  ExtractCastInt64Keys(*gids->tail(), &g);  // GetInt64 semantics: dbl gids truncate
+  std::vector<double> v;
+  kernels::ExtractDoubleKeys(*values->tail(), &v);
   std::vector<double> sums(num_groups, 0.0);
-  for (size_t i = 0; i < values->size(); ++i) {
-    const size_t g = static_cast<size_t>(gids->tail()->GetInt64(i));
-    if (g >= num_groups) return Status::OutOfRange("group id out of range");
-    sums[g] += values->tail()->GetDouble(i);
+  for (size_t i = 0; i < v.size(); ++i) {
+    const auto gi = static_cast<uint64_t>(g[i]);
+    if (gi >= num_groups) return Status::OutOfRange("group id out of range");
+    sums[gi] += v[i];
   }
-  ColumnBuilder out(ValType::kDbl);
-  for (double s : sums) out.AppendDouble(s);
   Bat::Properties p;
   p.hsorted = p.hkey = true;
-  return BatPtr(std::make_shared<Bat>(MakeDenseOid(0, num_groups), out.Finish(), p));
+  return BatPtr(std::make_shared<Bat>(
+      MakeDenseOid(0, num_groups),
+      std::make_shared<DblColumn>(ValType::kDbl, std::move(sums)), p));
 }
 
 Result<BatPtr> CountPerGroup(const BatPtr& gids, size_t num_groups) {
+  std::vector<int64_t> g;
+  ExtractCastInt64Keys(*gids->tail(), &g);  // GetInt64 semantics: dbl gids truncate
   std::vector<int64_t> counts(num_groups, 0);
-  for (size_t i = 0; i < gids->size(); ++i) {
-    const size_t g = static_cast<size_t>(gids->tail()->GetInt64(i));
-    if (g >= num_groups) return Status::OutOfRange("group id out of range");
-    ++counts[g];
+  for (size_t i = 0; i < g.size(); ++i) {
+    const auto gi = static_cast<uint64_t>(g[i]);
+    if (gi >= num_groups) return Status::OutOfRange("group id out of range");
+    ++counts[gi];
   }
-  ColumnBuilder out(ValType::kLng);
-  for (int64_t c : counts) out.AppendInt64(c);
   Bat::Properties p;
   p.hsorted = p.hkey = true;
-  return BatPtr(std::make_shared<Bat>(MakeDenseOid(0, num_groups), out.Finish(), p));
+  return BatPtr(std::make_shared<Bat>(
+      MakeDenseOid(0, num_groups),
+      std::make_shared<LngColumn>(ValType::kLng, std::move(counts)), p));
 }
 
+namespace {
+
+/// Stable argsort of the tail on raw keys; ascending CompareRows order.
+SelVec SortedPositions(const Column& tail) {
+  SelVec idx(tail.size());
+  std::iota(idx.begin(), idx.end(), uint32_t{0});
+  if (tail.type() == ValType::kStr) {
+    const auto& sc = static_cast<const StrColumn&>(tail);
+    std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t c) {
+      return sc.GetString(a) < sc.GetString(c);
+    });
+  } else if (tail.type() == ValType::kDbl) {
+    std::vector<double> keys;
+    kernels::ExtractDoubleKeys(tail, &keys);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](uint32_t a, uint32_t c) { return keys[a] < keys[c]; });
+  } else if (tail.kind() == ColumnKind::kDense) {
+    // Already ascending.
+  } else {
+    std::vector<int64_t> keys;
+    kernels::ExtractInt64Keys(tail, &keys);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](uint32_t a, uint32_t c) { return keys[a] < keys[c]; });
+  }
+  return idx;
+}
+
+}  // namespace
+
 Result<BatPtr> Sort(const BatPtr& b) {
-  std::vector<size_t> idx(b->size());
-  std::iota(idx.begin(), idx.end(), size_t{0});
-  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t c) {
-    return CompareRows(*b->tail(), a, *b->tail(), c) < 0;
-  });
-  BatPtr out = FilterByPositions(*b, idx);
+  SelVec idx = SortedPositions(*b->tail());
+  BatPtr out = FilterBySel(*b, idx);
   Bat::Properties p = out->props();
   p.tsorted = true;
   p.hsorted = false;
@@ -434,72 +579,148 @@ Result<BatPtr> Sort(const BatPtr& b) {
 }
 
 Result<BatPtr> TopN(const BatPtr& b, size_t n, bool descending) {
-  std::vector<size_t> idx(b->size());
-  std::iota(idx.begin(), idx.end(), size_t{0});
+  SelVec idx(b->size());
+  std::iota(idx.begin(), idx.end(), uint32_t{0});
   const size_t k = std::min(n, b->size());
-  std::partial_sort(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k), idx.end(),
-                    [&](size_t a, size_t c) {
-                      const int cmp = CompareRows(*b->tail(), a, *b->tail(), c);
-                      return descending ? cmp > 0 : cmp < 0;
-                    });
+  const Column& tail = *b->tail();
+  auto partial = [&](auto less) {
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k), idx.end(),
+                      less);
+  };
+  if (tail.type() == ValType::kStr) {
+    const auto& sc = static_cast<const StrColumn&>(tail);
+    partial([&](uint32_t a, uint32_t c) {
+      const int cmp = sc.GetString(a).compare(sc.GetString(c));
+      return descending ? cmp > 0 : cmp < 0;
+    });
+  } else if (tail.type() == ValType::kDbl) {
+    std::vector<double> keys;
+    kernels::ExtractDoubleKeys(tail, &keys);
+    partial([&](uint32_t a, uint32_t c) {
+      return descending ? keys[c] < keys[a] : keys[a] < keys[c];
+    });
+  } else {
+    std::vector<int64_t> keys;
+    kernels::ExtractInt64Keys(tail, &keys);
+    partial([&](uint32_t a, uint32_t c) {
+      return descending ? keys[c] < keys[a] : keys[a] < keys[c];
+    });
+  }
   idx.resize(k);
-  return FilterByPositions(*b, idx);
+  BatPtr out = FilterBySel(*b, idx);
+  // partial_sort permutes rows: the inherited order flags no longer hold.
+  // Ascending top-n is genuinely tail-sorted; descending is not.
+  Bat::Properties p = out->props();
+  p.hsorted = false;
+  p.tsorted = !descending;
+  return BatPtr(std::make_shared<Bat>(out->head(), out->tail(), p));
 }
+
+namespace {
+
+Result<ColumnPtr> ArithKernel(const std::vector<double>& x, const std::vector<double>& y,
+                              ArithOp op) {
+  std::vector<double> out(x.size());
+  switch (op) {
+    case ArithOp::kAdd:
+      for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+      break;
+    case ArithOp::kSub:
+      for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+      break;
+    case ArithOp::kMul:
+      for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] * y[i];
+      break;
+    case ArithOp::kDiv:
+      for (size_t i = 0; i < x.size(); ++i) {
+        if (y[i] == 0) return Status::InvalidArgument("division by zero");
+        out[i] = x[i] / y[i];
+      }
+      break;
+  }
+  return ColumnPtr(std::make_shared<DblColumn>(ValType::kDbl, std::move(out)));
+}
+
+}  // namespace
 
 Result<BatPtr> Arith(const BatPtr& a, const BatPtr& b, ArithOp op) {
   DCY_RETURN_NOT_OK(CheckNumeric(*a, "arith"));
   DCY_RETURN_NOT_OK(CheckNumeric(*b, "arith"));
   if (a->size() != b->size()) return Status::InvalidArgument("arith: size mismatch");
-  ColumnBuilder out(ValType::kDbl);
-  for (size_t i = 0; i < a->size(); ++i) {
-    const double x = a->tail()->GetDouble(i);
-    const double y = b->tail()->GetDouble(i);
-    switch (op) {
-      case ArithOp::kAdd: out.AppendDouble(x + y); break;
-      case ArithOp::kSub: out.AppendDouble(x - y); break;
-      case ArithOp::kMul: out.AppendDouble(x * y); break;
-      case ArithOp::kDiv:
-        if (y == 0) return Status::InvalidArgument("division by zero");
-        out.AppendDouble(x / y);
-        break;
-    }
-  }
+  std::vector<double> x, y;
+  kernels::ExtractDoubleKeys(*a->tail(), &x);
+  kernels::ExtractDoubleKeys(*b->tail(), &y);
+  DCY_ASSIGN_OR_RETURN(ColumnPtr out, ArithKernel(x, y, op));
   Bat::Properties p;
   p.hsorted = a->props().hsorted;
   p.hkey = a->props().hkey;
-  return BatPtr(std::make_shared<Bat>(a->head(), out.Finish(), p));
+  return BatPtr(std::make_shared<Bat>(a->head(), std::move(out), p));
 }
 
 Result<BatPtr> ArithConst(const BatPtr& a, const Value& v, ArithOp op) {
   DCY_RETURN_NOT_OK(CheckNumeric(*a, "arithConst"));
-  ColumnBuilder out(ValType::kDbl);
   const double y = v.AsDouble();
-  for (size_t i = 0; i < a->size(); ++i) {
-    const double x = a->tail()->GetDouble(i);
-    switch (op) {
-      case ArithOp::kAdd: out.AppendDouble(x + y); break;
-      case ArithOp::kSub: out.AppendDouble(x - y); break;
-      case ArithOp::kMul: out.AppendDouble(x * y); break;
-      case ArithOp::kDiv:
-        if (y == 0) return Status::InvalidArgument("division by zero");
-        out.AppendDouble(x / y);
-        break;
-    }
+  if (op == ArithOp::kDiv && y == 0) return Status::InvalidArgument("division by zero");
+  std::vector<double> x;
+  kernels::ExtractDoubleKeys(*a->tail(), &x);
+  std::vector<double> out(x.size());
+  switch (op) {
+    case ArithOp::kAdd:
+      for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y;
+      break;
+    case ArithOp::kSub:
+      for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y;
+      break;
+    case ArithOp::kMul:
+      for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] * y;
+      break;
+    case ArithOp::kDiv:
+      for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] / y;
+      break;
   }
   Bat::Properties p;
   p.hsorted = a->props().hsorted;
   p.hkey = a->props().hkey;
-  return BatPtr(std::make_shared<Bat>(a->head(), out.Finish(), p));
+  return BatPtr(std::make_shared<Bat>(
+      a->head(), std::make_shared<DblColumn>(ValType::kDbl, std::move(out)), p));
 }
 
 BatPtr ProjectConst(const BatPtr& b, const Value& v) {
-  ColumnBuilder out(v.type);
-  for (size_t i = 0; i < b->size(); ++i) out.AppendValue(v);
+  const size_t n = b->size();
+  ColumnPtr tail;
+  switch (v.type) {
+    case ValType::kOid:
+      tail = std::make_shared<OidColumn>(
+          ValType::kOid, std::vector<Oid>(n, static_cast<Oid>(v.i)));
+      break;
+    case ValType::kInt:
+    case ValType::kDate:
+      tail = std::make_shared<IntColumn>(
+          v.type, std::vector<int32_t>(n, static_cast<int32_t>(v.i)));
+      break;
+    case ValType::kLng:
+      tail = std::make_shared<LngColumn>(ValType::kLng, std::vector<int64_t>(n, v.i));
+      break;
+    case ValType::kDbl:
+      tail = std::make_shared<DblColumn>(ValType::kDbl, std::vector<double>(n, v.d));
+      break;
+    case ValType::kStr: {
+      std::vector<uint32_t> offsets(n + 1);
+      std::string heap;
+      heap.reserve(n * v.s.size());
+      for (size_t i = 0; i < n; ++i) {
+        heap.append(v.s);
+        offsets[i + 1] = static_cast<uint32_t>(heap.size());
+      }
+      tail = std::make_shared<StrColumn>(std::move(offsets), std::move(heap));
+      break;
+    }
+  }
   Bat::Properties p;
   p.hsorted = b->props().hsorted;
   p.hkey = b->props().hkey;
   p.tsorted = true;
-  return BatPtr(std::make_shared<Bat>(b->head(), out.Finish(), p));
+  return BatPtr(std::make_shared<Bat>(b->head(), std::move(tail), p));
 }
 
 }  // namespace dcy::bat

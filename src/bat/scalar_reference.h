@@ -1,0 +1,31 @@
+// Row-at-a-time reference implementations of the hot BAT operators, retained
+// verbatim from the pre-vectorization engine. They are the oracle for the
+// randomized differential tests in tests/bat_kernels_test.cc: the vectorized
+// operators in bat/operators.cc must produce bit-identical BATs (same rows,
+// same order). Not used on any production path.
+#pragma once
+
+#include "bat/bat.h"
+#include "common/status.h"
+
+namespace dcy::bat::scalar {
+
+/// select(b, v): rows with tail == v (boxed Value comparisons).
+Result<BatPtr> Select(const BatPtr& b, const Value& v);
+
+/// select(b, lo, hi): rows with lo <= tail <= hi, inclusive.
+Result<BatPtr> SelectRange(const BatPtr& b, const Value& lo, const Value& hi);
+
+/// join(l, r): merge join when both join columns are sorted, hash join
+/// otherwise, exactly as the vectorized Join dispatches.
+Result<BatPtr> Join(const BatPtr& l, const BatPtr& r);
+
+/// semijoin / kdiff / kunion on head membership.
+Result<BatPtr> SemiJoin(const BatPtr& l, const BatPtr& r);
+Result<BatPtr> KDiff(const BatPtr& l, const BatPtr& r);
+Result<BatPtr> KUnion(const BatPtr& l, const BatPtr& r);
+
+/// sort(b): stable ascending sort on the tail.
+Result<BatPtr> Sort(const BatPtr& b);
+
+}  // namespace dcy::bat::scalar

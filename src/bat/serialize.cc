@@ -13,49 +13,89 @@ constexpr uint16_t kVersion = 1;
 
 enum class HeadKind : uint8_t { kDense = 0, kMaterialized = 1 };
 
-void PutBytes(std::string* out, const void* p, size_t n) {
-  out->append(static_cast<const char*>(p), n);
-}
+constexpr size_t kPreludeBytes = 4 + 2 + 1 + 1;  // magic, version, props, head kind
+constexpr size_t kCrcBytes = 4;
+
+/// \brief Append writer over a buffer whose exact final size is reserved up
+/// front: every byte is written exactly once (no value-initializing resize
+/// pass over the frame, and the reserved capacity rules out reallocation).
+class Cursor {
+ public:
+  Cursor(std::string* buf, size_t total) : buf_(buf) {
+    buf_->clear();
+    buf_->reserve(total);
+  }
+
+  void PutBytes(const void* p, size_t n) { buf_->append(static_cast<const char*>(p), n); }
+
+  template <typename T>
+  void Put(T v) {
+    PutBytes(&v, sizeof(v));
+  }
+
+  /// Extends by n bytes in place and returns the write pointer (for bulk
+  /// loops that fill the region directly).
+  char* Skip(size_t n) {
+    const size_t pos = buf_->size();
+    buf_->resize(pos + n);
+    return buf_->data() + pos;
+  }
+
+  size_t pos() const { return buf_->size(); }
+
+ private:
+  std::string* buf_;
+};
 
 template <typename T>
-void Put(std::string* out, T v) {
-  PutBytes(out, &v, sizeof(v));
-}
-
-template <typename T>
-Status Get(const std::string& in, size_t* pos, T* v) {
+Status Get(std::string_view in, size_t* pos, T* v) {
   if (*pos + sizeof(T) > in.size()) return Status::Corruption("truncated BAT buffer");
   std::memcpy(v, in.data() + *pos, sizeof(T));
   *pos += sizeof(T);
   return Status::OK();
 }
 
-void PutColumn(std::string* out, const Column& c) {
-  Put<uint8_t>(out, static_cast<uint8_t>(c.type()));
-  Put<uint64_t>(out, c.size());
+/// On-wire size of one column body (type byte + row count + payload).
+size_t ColumnWireSize(const Column& c) {
+  constexpr size_t kColHeader = 1 + 8;  // type byte + uint64 row count
   if (c.type() == ValType::kStr) {
     const auto& sc = static_cast<const StrColumn&>(c);
-    Put<uint64_t>(out, sc.offsets().size());
-    PutBytes(out, sc.offsets().data(), sc.offsets().size() * sizeof(uint32_t));
-    Put<uint64_t>(out, sc.heap().size());
-    PutBytes(out, sc.heap().data(), sc.heap().size());
+    return kColHeader + 8 + sc.offsets().size() * sizeof(uint32_t) + 8 + sc.heap().size();
+  }
+  return kColHeader + c.size() * ValTypeWidth(c.type());
+}
+
+void PutColumn(Cursor* out, const Column& c) {
+  out->Put<uint8_t>(static_cast<uint8_t>(c.type()));
+  out->Put<uint64_t>(c.size());
+  if (c.type() == ValType::kStr) {
+    const auto& sc = static_cast<const StrColumn&>(c);
+    out->Put<uint64_t>(sc.offsets().size());
+    out->PutBytes(sc.offsets().data(), sc.offsets().size() * sizeof(uint32_t));
+    out->Put<uint64_t>(sc.heap().size());
+    out->PutBytes(sc.heap().data(), sc.heap().size());
     return;
   }
-  // Fixed width: write raw values via the int/double accessors so dense
-  // columns (no backing array) serialize too.
+  const size_t payload = c.size() * ValTypeWidth(c.type());
+  if (payload == 0) return;
+  if (c.kind() == ColumnKind::kFixed) {
+    // Materialized fixed width: the whole payload in one memcpy.
+    out->PutBytes(c.RawData(), payload);
+    return;
+  }
+  // Dense oid range (no backing array): stream the iota straight into the
+  // frame. Dense *heads* never reach here (encoded as seqbase+count); this
+  // covers dense tails such as uselect/mark results.
+  DCY_DCHECK(c.kind() == ColumnKind::kDense);
+  const Oid seq = static_cast<const DenseOidColumn&>(c).seqbase();
+  char* dst = out->Skip(payload);
   for (size_t i = 0; i < c.size(); ++i) {
-    switch (c.type()) {
-      case ValType::kOid: Put<uint64_t>(out, static_cast<uint64_t>(c.GetInt64(i))); break;
-      case ValType::kInt:
-      case ValType::kDate: Put<int32_t>(out, static_cast<int32_t>(c.GetInt64(i))); break;
-      case ValType::kLng: Put<int64_t>(out, c.GetInt64(i)); break;
-      case ValType::kDbl: Put<double>(out, c.GetDouble(i)); break;
-      case ValType::kStr: break;  // unreachable
-    }
+    const uint64_t v = seq + i;  // memcpy: the frame offset is unaligned
+    std::memcpy(dst + i * sizeof(v), &v, sizeof(v));
   }
 }
 
-Result<ColumnPtr> GetColumn(const std::string& in, size_t* pos) {
+Result<ColumnPtr> GetColumn(std::string_view in, size_t* pos) {
   uint8_t type_raw = 0;
   uint64_t n = 0;
   DCY_RETURN_NOT_OK(Get(in, pos, &type_raw));
@@ -64,55 +104,47 @@ Result<ColumnPtr> GetColumn(const std::string& in, size_t* pos) {
     return Status::Corruption("bad column type");
   }
   const ValType type = static_cast<ValType>(type_raw);
+  // Overflow-safe row bound: every row costs at least 4 payload bytes, so a
+  // count beyond the remaining buffer is corrupt (and would overflow the
+  // size arithmetic below).
+  if (n > in.size() / 4) return Status::Corruption("implausible row count");
   if (type == ValType::kStr) {
     uint64_t num_offsets = 0;
     DCY_RETURN_NOT_OK(Get(in, pos, &num_offsets));
     if (num_offsets != n + 1) return Status::Corruption("bad offset count");
-    std::vector<uint32_t> offsets(num_offsets);
-    if (*pos + num_offsets * sizeof(uint32_t) > in.size()) {
+    if (num_offsets * sizeof(uint32_t) > in.size() - *pos) {
       return Status::Corruption("truncated offsets");
     }
+    std::vector<uint32_t> offsets(num_offsets);
     std::memcpy(offsets.data(), in.data() + *pos, num_offsets * sizeof(uint32_t));
     *pos += num_offsets * sizeof(uint32_t);
     uint64_t heap_size = 0;
     DCY_RETURN_NOT_OK(Get(in, pos, &heap_size));
-    if (*pos + heap_size > in.size()) return Status::Corruption("truncated heap");
+    if (heap_size > in.size() - *pos) return Status::Corruption("truncated heap");
     std::string heap(in.data() + *pos, heap_size);
     *pos += heap_size;
     return ColumnPtr(std::make_shared<StrColumn>(std::move(offsets), std::move(heap)));
   }
-  ColumnBuilder builder(type);
-  for (uint64_t i = 0; i < n; ++i) {
-    switch (type) {
-      case ValType::kOid: {
-        uint64_t v = 0;
-        DCY_RETURN_NOT_OK(Get(in, pos, &v));
-        builder.AppendInt64(static_cast<int64_t>(v));
-        break;
-      }
-      case ValType::kInt:
-      case ValType::kDate: {
-        int32_t v = 0;
-        DCY_RETURN_NOT_OK(Get(in, pos, &v));
-        builder.AppendInt64(v);
-        break;
-      }
-      case ValType::kLng: {
-        int64_t v = 0;
-        DCY_RETURN_NOT_OK(Get(in, pos, &v));
-        builder.AppendInt64(v);
-        break;
-      }
-      case ValType::kDbl: {
-        double v = 0;
-        DCY_RETURN_NOT_OK(Get(in, pos, &v));
-        builder.AppendDouble(v);
-        break;
-      }
-      case ValType::kStr: break;  // unreachable
-    }
+  // Fixed width: one bounds check, one memcpy into the backing vector.
+  const size_t payload = n * ValTypeWidth(type);
+  if (payload > in.size() - *pos) return Status::Corruption("truncated column payload");
+  const char* src = in.data() + *pos;
+  *pos += payload;
+  auto copy_vec = [&](auto tag) {
+    using T = decltype(tag);
+    std::vector<T> v(n);
+    if (payload > 0) std::memcpy(v.data(), src, payload);
+    return ColumnPtr(std::make_shared<FixedColumn<T>>(type, std::move(v)));
+  };
+  switch (type) {
+    case ValType::kOid: return copy_vec(Oid{});
+    case ValType::kInt:
+    case ValType::kDate: return copy_vec(int32_t{});
+    case ValType::kLng: return copy_vec(int64_t{});
+    case ValType::kDbl: return copy_vec(double{});
+    case ValType::kStr: break;  // unreachable
   }
-  return builder.Finish();
+  return Status::Corruption("bad column type");
 }
 
 uint8_t PackProps(const Bat::Properties& p) {
@@ -132,47 +164,88 @@ Bat::Properties UnpackProps(uint8_t v) {
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t n) {
-  static uint32_t table[256];
+  // Slicing-by-8: processes 8 input bytes per step through 8 derived tables
+  // (~6-8x the classic byte-at-a-time loop). Same IEEE polynomial and
+  // values; the frames this guards are multi-MB BATs, so the CRC is a
+  // first-order cost of every ring hop.
+  static uint32_t table[8][256];
   static bool init = [] {
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      table[i] = c;
+      table[0][i] = c;
+    }
+    for (int s = 1; s < 8; ++s) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        table[s][i] = (table[s - 1][i] >> 8) ^ table[0][table[s - 1][i] & 0xFF];
+      }
     }
     return true;
   }();
   (void)init;
   uint32_t crc = 0xFFFFFFFFu;
   const auto* p = static_cast<const uint8_t*>(data);
-  for (size_t i = 0; i < n; ++i) crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+#if !defined(__BYTE_ORDER__) || __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (n >= 8) {
+    uint32_t lo, hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = table[7][lo & 0xFF] ^ table[6][(lo >> 8) & 0xFF] ^
+          table[5][(lo >> 16) & 0xFF] ^ table[4][lo >> 24] ^ table[3][hi & 0xFF] ^
+          table[2][(hi >> 8) & 0xFF] ^ table[1][(hi >> 16) & 0xFF] ^ table[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) crc = table[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
   return crc ^ 0xFFFFFFFFu;
+}
+
+size_t EncodedSize(const Bat& b) {
+  size_t total = kPreludeBytes;
+  if (b.HasDenseHead()) {
+    total += 8 + 8;  // seqbase + count
+  } else {
+    total += ColumnWireSize(*b.head());
+  }
+  total += ColumnWireSize(*b.tail());
+  return total + kCrcBytes;
+}
+
+void SerializeInto(const Bat& b, std::string* out) {
+  const size_t total = EncodedSize(b);
+  Cursor cur(out, total);
+  cur.Put<uint32_t>(kMagic);
+  cur.Put<uint16_t>(kVersion);
+  cur.Put<uint8_t>(PackProps(b.props()));
+
+  if (b.HasDenseHead()) {
+    cur.Put<uint8_t>(static_cast<uint8_t>(HeadKind::kDense));
+    cur.Put<uint64_t>(b.HeadSeqbase());
+    cur.Put<uint64_t>(b.size());
+  } else {
+    cur.Put<uint8_t>(static_cast<uint8_t>(HeadKind::kMaterialized));
+    PutColumn(&cur, *b.head());
+  }
+  PutColumn(&cur, *b.tail());
+  cur.Put<uint32_t>(Crc32(out->data(), cur.pos()));
+  DCY_DCHECK(out->size() == total);
 }
 
 std::string Serialize(const Bat& b) {
   std::string out;
-  out.reserve(b.ByteSize() + 64);
-  Put<uint32_t>(&out, kMagic);
-  Put<uint16_t>(&out, kVersion);
-  Put<uint8_t>(&out, PackProps(b.props()));
-
-  if (b.HasDenseHead()) {
-    Put<uint8_t>(&out, static_cast<uint8_t>(HeadKind::kDense));
-    Put<uint64_t>(&out, b.HeadSeqbase());
-    Put<uint64_t>(&out, b.size());
-  } else {
-    Put<uint8_t>(&out, static_cast<uint8_t>(HeadKind::kMaterialized));
-    PutColumn(&out, *b.head());
-  }
-  PutColumn(&out, *b.tail());
-  Put<uint32_t>(&out, Crc32(out.data(), out.size()));
+  SerializeInto(b, &out);
   return out;
 }
 
-Result<BatPtr> Deserialize(const std::string& buffer) {
-  if (buffer.size() < 4 + 2 + 1 + 1 + 4) return Status::Corruption("BAT buffer too small");
+Result<BatPtr> Deserialize(std::string_view buffer) {
+  if (buffer.size() < kPreludeBytes + kCrcBytes) {
+    return Status::Corruption("BAT buffer too small");
+  }
   uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, buffer.data() + buffer.size() - 4, 4);
-  if (Crc32(buffer.data(), buffer.size() - 4) != stored_crc) {
+  std::memcpy(&stored_crc, buffer.data() + buffer.size() - kCrcBytes, kCrcBytes);
+  if (Crc32(buffer.data(), buffer.size() - kCrcBytes) != stored_crc) {
     return Status::Corruption("BAT buffer CRC mismatch");
   }
 

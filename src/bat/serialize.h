@@ -1,22 +1,33 @@
 // BAT <-> wire-buffer serialization for ring transport and cold storage.
 // The format is a self-describing little-endian layout with a CRC32 footer;
 // the zero-copy RDMA path (src/rdma) hands the encoded buffer across nodes
-// without re-encoding.
+// without re-encoding. Encoding is bulk: the exact frame size is computed up
+// front, the buffer is sized once, and fixed-width columns land with a
+// single memcpy (dense oid ranges encode as two words of metadata).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "bat/bat.h"
 #include "common/status.h"
 
 namespace dcy::bat {
 
+/// Exact encoded frame size of `b` (header, both columns, CRC footer).
+size_t EncodedSize(const Bat& b);
+
+/// Encodes into `*out`, replacing its contents. The buffer is resized to
+/// EncodedSize(b) exactly — callers reusing pooled frames pay no
+/// reallocation once the frame has grown to the working-set BAT size.
+void SerializeInto(const Bat& b, std::string* out);
+
 /// Encodes a BAT (header, both columns, properties, CRC).
 std::string Serialize(const Bat& b);
 
 /// Decodes; verifies magic, version and CRC.
-Result<BatPtr> Deserialize(const std::string& buffer);
+Result<BatPtr> Deserialize(std::string_view buffer);
 
 /// CRC32 (IEEE, table-driven) over a byte range.
 uint32_t Crc32(const void* data, size_t n);

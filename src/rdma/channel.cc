@@ -14,6 +14,46 @@ const char* TransferModeName(TransferMode m) {
   return "?";
 }
 
+std::shared_ptr<std::string> BufferPool::Acquire(size_t reserve) {
+  std::unique_ptr<std::string> frame;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!state_->free.empty()) {
+      frame = std::move(state_->free.back());
+      state_->free.pop_back();
+    }
+  }
+  if (frame == nullptr) {
+    frame = std::make_unique<std::string>();
+    state_->allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  frame->clear();
+  if (reserve > 0) frame->reserve(reserve);
+  // The deleter parks the frame back in the freelist; if the pool died while
+  // the frame was in flight, it simply frees.
+  std::weak_ptr<State> weak_state = state_;
+  std::string* raw = frame.release();
+  return std::shared_ptr<std::string>(raw, [weak_state](std::string* s) {
+    if (auto state = weak_state.lock()) {
+      // Park unless the freelist is full or the frame ballooned past the
+      // byte bound (burst payloads should not pin their capacity).
+      if (s->capacity() <= state->max_frame_bytes) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->free.size() < state->max_frames) {
+          state->free.emplace_back(s);
+          return;
+        }
+      }
+    }
+    delete s;
+  });
+}
+
+size_t BufferPool::idle_frames() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->free.size();
+}
+
 Buffer Channel::TransferPayload(const Buffer& payload) {
   if (payload == nullptr || options_.mode == TransferMode::kZeroCopy) {
     // Direct data placement: the RNIC wrote straight into the registered
@@ -22,12 +62,15 @@ Buffer Channel::TransferPayload(const Buffer& payload) {
   }
   const size_t n = payload->size();
   const size_t seg = options_.segment_bytes;
-  std::string received;
-  received.resize(n);
+  // Application receive buffer comes from the channel's frame pool, so
+  // steady-state traffic stops allocating once frames reach working size.
+  std::shared_ptr<std::string> received = pool_.Acquire(n);
+  received->resize(n);
   if (options_.mode == TransferMode::kLegacy) {
     // Sender-side copy into "socket buffers", segment by segment, with a
-    // context switch per segment.
-    std::string wire;
+    // context switch per segment. The socket buffer is thread-local scratch,
+    // reused across sends.
+    thread_local std::string wire;
     wire.resize(n);
     for (size_t off = 0; off < n; off += seg) {
       const size_t len = std::min(seg, n - off);
@@ -39,20 +82,25 @@ Buffer Channel::TransferPayload(const Buffer& payload) {
     // Receiver-side copy from the socket buffer into application memory.
     for (size_t off = 0; off < n; off += seg) {
       const size_t len = std::min(seg, n - off);
-      std::memcpy(received.data() + off, wire.data() + off, len);
+      std::memcpy(received->data() + off, wire.data() + off, len);
       stats_.bytes_copied.fetch_add(len, std::memory_order_relaxed);
+    }
+    // Don't let one burst payload pin its capacity for the thread lifetime.
+    if (wire.capacity() > (4u << 20)) {
+      wire.clear();
+      wire.shrink_to_fit();
     }
   } else {  // kNicOffload: the NIC handles the stack; one copy remains.
     for (size_t off = 0; off < n; off += seg) {
       const size_t len = std::min(seg, n - off);
-      std::memcpy(received.data() + off, payload->data() + off, len);
+      std::memcpy(received->data() + off, payload->data() + off, len);
       stats_.bytes_copied.fetch_add(len, std::memory_order_relaxed);
     }
   }
-  return MakeBuffer(std::move(received));
+  return received;
 }
 
-bool Channel::Send(uint32_t opcode, std::string meta, Buffer payload) {
+bool Channel::Send(uint32_t opcode, const MetaBlob& meta, Buffer payload) {
   const uint64_t size = payload != nullptr ? payload->size() : 0;
   Buffer delivered = TransferPayload(payload);
   {
@@ -62,7 +110,7 @@ bool Channel::Send(uint32_t opcode, std::string meta, Buffer payload) {
                             options_.capacity_bytes || queue_.empty();
     });
     if (closed_) return false;
-    queue_.push_back(Message{opcode, std::move(meta), std::move(delivered)});
+    queue_.push_back(Message{opcode, meta, std::move(delivered)});
     queued_bytes_.fetch_add(size, std::memory_order_relaxed);
   }
   stats_.messages.fetch_add(1, std::memory_order_relaxed);

@@ -10,14 +10,20 @@
 //                 yield per segment standing in for context switches.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
 
 namespace dcy::rdma {
 
@@ -28,13 +34,100 @@ inline Buffer MakeBuffer(std::string data) {
   return std::make_shared<const std::string>(std::move(data));
 }
 
+/// \brief Freelist of registered frames. Acquire hands out a mutable
+/// std::string whose deleter returns the storage to the pool, so steady-state
+/// ring traffic reuses grown frames instead of allocating per hop. The handle
+/// converts implicitly to (const) Buffer once filled; the pool may be dropped
+/// while frames are in flight (they then free normally). Thread-safe.
+class BufferPool {
+ public:
+  /// `max_frames` bounds the freelist; surplus returns are freed.
+  /// `max_frame_bytes` keeps burst-sized frames from pinning their capacity:
+  /// a returning frame above the bound is freed instead of parked.
+  explicit BufferPool(size_t max_frames = 16, size_t max_frame_bytes = 64u << 20)
+      : state_(std::make_shared<State>(max_frames, max_frame_bytes)) {}
+
+  /// A pooled frame, cleared, with at least `reserve` bytes of capacity.
+  std::shared_ptr<std::string> Acquire(size_t reserve = 0);
+
+  /// Frames currently parked in the freelist.
+  size_t idle_frames() const;
+  /// Total frames ever allocated fresh (reuse diagnostics).
+  uint64_t allocations() const { return state_->allocations.load(std::memory_order_relaxed); }
+
+ private:
+  struct State {
+    State(size_t m, size_t b) : max_frames(m), max_frame_bytes(b) {}
+    std::mutex mu;
+    std::vector<std::unique_ptr<std::string>> free;
+    size_t max_frames;
+    size_t max_frame_bytes;
+    std::atomic<uint64_t> allocations{0};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+// CHECK-lite for the inline MetaBlob methods; keeps this header free of the
+// logging dependency.
+#define DCY_META_CHECK(cond) \
+  do {                       \
+    if (!(cond)) abort();    \
+  } while (0)
+
+/// \brief Fixed-capacity inline control header. BAT admin headers and ring
+/// requests fit the paper's 64-byte wire budget (core::kBatHeaderWireBytes),
+/// so per-message sends never touch the allocator.
+class MetaBlob {
+ public:
+  static constexpr size_t kCapacity = 64;
+
+  MetaBlob() = default;
+  // Explicit: the 64-byte capacity is a hard contract (overflow aborts), so
+  // conversions from unbounded strings must be visible at the call site.
+  explicit MetaBlob(const void* data, size_t n) : len_(static_cast<uint8_t>(n)) {
+    DCY_META_CHECK(n <= kCapacity);
+    std::memcpy(bytes_.data(), data, n);
+  }
+  explicit MetaBlob(std::string_view s) : MetaBlob(s.data(), s.size()) {}
+
+  /// Encodes a trivially copyable header struct.
+  template <typename T>
+  static MetaBlob Of(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= kCapacity);
+    return MetaBlob(&v, sizeof(T));
+  }
+
+  /// Decodes back into the header struct (size-checked).
+  template <typename T>
+  T As() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DCY_META_CHECK(len_ >= sizeof(T));
+    T v;
+    std::memcpy(&v, bytes_.data(), sizeof(T));
+    return v;
+  }
+
+  const char* data() const { return bytes_.data(); }
+  size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  std::string_view view() const { return {bytes_.data(), len_}; }
+
+  friend bool operator==(const MetaBlob& a, std::string_view b) { return a.view() == b; }
+
+ private:
+  std::array<char, kCapacity> bytes_{};
+  uint8_t len_ = 0;
+};
+#undef DCY_META_CHECK
+
 enum class TransferMode { kZeroCopy, kNicOffload, kLegacy };
 const char* TransferModeName(TransferMode m);
 
 /// \brief A message as delivered to the receiver.
 struct Message {
   uint32_t opcode = 0;   ///< application-defined discriminator
-  std::string meta;      ///< small control header (always copied)
+  MetaBlob meta;         ///< small inline control header (always copied)
   Buffer payload;        ///< bulk data (zero-copy in kZeroCopy mode)
 };
 
@@ -64,11 +157,14 @@ class Channel {
 
   /// Posts a message; blocks while the channel is over capacity. Returns
   /// false if the channel was closed.
-  bool Send(uint32_t opcode, Buffer payload) { return Send(opcode, "", std::move(payload)); }
+  bool Send(uint32_t opcode, Buffer payload) {
+    return Send(opcode, MetaBlob(), std::move(payload));
+  }
 
-  /// Posts a message with a small control header (e.g. the BAT's
-  /// administrative header) ahead of the bulk payload.
-  bool Send(uint32_t opcode, std::string meta, Buffer payload);
+  /// Posts a message with a small inline control header (e.g. the BAT's
+  /// administrative header) ahead of the bulk payload. The header is copied
+  /// by value — no allocation on the send path.
+  bool Send(uint32_t opcode, const MetaBlob& meta, Buffer payload);
 
   /// Blocks until a message arrives or the channel closes (nullopt).
   std::optional<Message> Receive();
@@ -85,13 +181,18 @@ class Channel {
   const Stats& stats() const { return stats_; }
   const Options& options() const { return options_; }
 
+  /// Receive-side frame pool used by the copying transfer modes (and
+  /// available to senders that frame payloads per message).
+  BufferPool& pool() { return pool_; }
+
  private:
   /// Applies the transfer-mode cost model and returns the receiver-side
-  /// payload (same buffer for zero-copy, a fresh copy otherwise).
+  /// payload (same buffer for zero-copy, a pooled copy otherwise).
   Buffer TransferPayload(const Buffer& payload);
 
   Options options_;
   Stats stats_;
+  BufferPool pool_;
   mutable std::mutex mu_;
   std::condition_variable can_send_;
   std::condition_variable can_recv_;

@@ -13,31 +13,12 @@ namespace {
 constexpr uint32_t kOpBat = 1;
 constexpr uint32_t kOpRequest = 2;
 
-std::string EncodeBatHeader(const core::BatHeader& h) {
-  std::string s(sizeof(core::BatHeader), '\0');
-  std::memcpy(s.data(), &h, sizeof(h));
-  return s;
-}
-
-core::BatHeader DecodeBatHeader(const std::string& s) {
-  core::BatHeader h;
-  DCY_CHECK(s.size() >= sizeof(h));
-  std::memcpy(&h, s.data(), sizeof(h));
-  return h;
-}
-
-std::string EncodeRequest(const core::RequestMsg& m) {
-  std::string s(sizeof(core::RequestMsg), '\0');
-  std::memcpy(s.data(), &m, sizeof(m));
-  return s;
-}
-
-core::RequestMsg DecodeRequest(const std::string& s) {
-  core::RequestMsg m;
-  DCY_CHECK(s.size() >= sizeof(m));
-  std::memcpy(&m, s.data(), sizeof(m));
-  return m;
-}
+// Headers ride in the channel's fixed-capacity inline MetaBlob — no
+// per-message std::string allocation on either side of a hop.
+static_assert(sizeof(core::BatHeader) <= rdma::MetaBlob::kCapacity,
+              "BatHeader must fit the inline meta frame");
+static_assert(sizeof(core::RequestMsg) <= rdma::MetaBlob::kCapacity,
+              "RequestMsg must fit the inline meta frame");
 
 SimTime SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -146,7 +127,7 @@ class RingCluster::Node final : public core::DcEnv {
 
   void SendRequestMsg(const core::RequestMsg& msg) override {
     // Requests travel anti-clockwise.
-    predecessor_->request_in()->Send(kOpRequest, EncodeRequest(msg), nullptr);
+    predecessor_->request_in()->Send(kOpRequest, rdma::MetaBlob::Of(msg), nullptr);
   }
 
   void SendBatMsg(const core::BatHeader& header, bool is_load) override {
@@ -158,13 +139,17 @@ class RingCluster::Node final : public core::DcEnv {
                         << b.status().ToString();
         return;
       }
-      payload = rdma::MakeBuffer(bat::Serialize(**b));
+      // Serialize into a pooled frame: the frame circulates the ring
+      // zero-copy and returns to this pool when the last hop releases it.
+      auto frame = frame_pool_.Acquire(bat::EncodedSize(**b));
+      bat::SerializeInto(**b, frame.get());
+      payload = std::move(frame);
     } else {
       payload = current_payload_;
       DCY_CHECK(payload != nullptr) << "forwarding a BAT without payload";
     }
     // meta = administrative header, payload = encoded BAT (zero-copy).
-    successor_->data_in()->Send(kOpBat, EncodeBatHeader(header), payload);
+    successor_->data_in()->Send(kOpBat, rdma::MetaBlob::Of(header), payload);
   }
 
   void DeliverToQuery(core::QueryId query, core::BatId bat) override {
@@ -210,7 +195,7 @@ class RingCluster::Node final : public core::DcEnv {
   }
 
   void HandleData(const rdma::Message& m) {
-    const core::BatHeader header = DecodeBatHeader(m.meta);
+    const auto header = m.meta.As<core::BatHeader>();
     current_payload_ = m.payload;
     // Decode up front if local queries are blocked on it (delivery needs the
     // typed BAT) — cheap check, decode once.
@@ -246,7 +231,7 @@ class RingCluster::Node final : public core::DcEnv {
       }
 
       if (auto m = request_in_->TryReceive()) {
-        dc_->OnRequestMsg(DecodeRequest(m->meta));
+        dc_->OnRequestMsg(m->meta.As<core::RequestMsg>());
         did_work = true;
       }
       if (auto m = data_in_->TryReceive()) {
@@ -296,6 +281,7 @@ class RingCluster::Node final : public core::DcEnv {
   std::deque<std::function<void()>> mailbox_;
 
   rdma::Buffer current_payload_;
+  rdma::BufferPool frame_pool_;  ///< serialization frames for owned loads
   std::unordered_map<core::BatId, bat::BatPtr> decoded_;
 
   std::mutex waiters_mu_;
@@ -368,26 +354,33 @@ class SessionHooks final : public mal::DcHooks {
       if (!delivered.ok()) return delivered.status();
       value = *delivered;
     }
-    pinned_[bat] = value;
-    by_pointer_[value.get()] = bat;
+    {
+      // Dataflow workers pin concurrently; the bookkeeping maps need a lock.
+      std::lock_guard<std::mutex> lock(mu_);
+      pinned_[bat] = value;
+      by_pointer_[value.get()] = bat;
+    }
     return value;
   }
 
   Status Unpin(const mal::Datum& pinned) override {
     core::BatId bat = core::kInvalidBat;
-    if (const auto* h = std::get_if<mal::RequestHandle>(&pinned)) {
-      bat = h->bat;
-    } else if (const auto* b = std::get_if<bat::BatPtr>(&pinned)) {
-      auto it = by_pointer_.find(b->get());
-      if (it == by_pointer_.end()) {
-        return Status::InvalidArgument("unpin of a BAT this query never pinned");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (const auto* h = std::get_if<mal::RequestHandle>(&pinned)) {
+        bat = h->bat;
+      } else if (const auto* b = std::get_if<bat::BatPtr>(&pinned)) {
+        auto it = by_pointer_.find(b->get());
+        if (it == by_pointer_.end()) {
+          return Status::InvalidArgument("unpin of a BAT this query never pinned");
+        }
+        bat = it->second;
+        by_pointer_.erase(it);
+      } else {
+        return Status::InvalidArgument("unpin expects a BAT or request handle");
       }
-      bat = it->second;
-      by_pointer_.erase(it);
-    } else {
-      return Status::InvalidArgument("unpin expects a BAT or request handle");
+      pinned_.erase(bat);
     }
-    pinned_.erase(bat);
     node_->Post([node = node_, q = query_, bat] { node->dc().Unpin(q, bat); });
     return Status::OK();
   }
@@ -398,6 +391,7 @@ class SessionHooks final : public mal::DcHooks {
   bat::BatCatalog* catalog_;
   const std::unordered_map<std::string, core::BatId>* directory_;
   core::QueryId query_;
+  std::mutex mu_;  ///< guards pinned_/by_pointer_ across dataflow workers
   std::unordered_map<core::BatId, bat::BatPtr> pinned_;
   std::unordered_map<const bat::Bat*, core::BatId> by_pointer_;
 };

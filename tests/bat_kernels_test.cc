@@ -1,0 +1,386 @@
+// Differential tests for the vectorized kernel engine: every hot operator is
+// pitted against the retained scalar reference (bat/scalar_reference.h) over
+// randomized inputs covering all ValTypes and degenerate shapes (empty,
+// duplicate-heavy, sorted), asserting bit-identical results. Plus direct
+// kernel unit tests (FlatTable, gather, selection vectors) and round trips
+// through the bulk serializer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bat/kernels.h"
+#include "bat/operators.h"
+#include "bat/scalar_reference.h"
+#include "bat/serialize.h"
+#include "common/random.h"
+
+namespace dcy::bat {
+namespace {
+
+// ---- input generation --------------------------------------------------------
+
+enum class Shape { kEmpty, kRandom, kDupHeavy, kSorted };
+
+const char* ShapeName(Shape s) {
+  switch (s) {
+    case Shape::kEmpty: return "empty";
+    case Shape::kRandom: return "random";
+    case Shape::kDupHeavy: return "dup-heavy";
+    case Shape::kSorted: return "sorted";
+  }
+  return "?";
+}
+
+/// Builds a random column of `type` with the given shape. Sorted shapes set
+/// the scan-derived properties so operators take the merge paths.
+ColumnPtr RandomColumn(ValType type, Shape shape, size_t n, Rng* rng) {
+  if (shape == Shape::kEmpty) n = 0;
+  const int64_t domain = shape == Shape::kDupHeavy ? 4 : 1000;
+  ColumnBuilder b(type);
+  std::vector<std::string> strs;
+  std::vector<int64_t> ints;
+  std::vector<double> dbls;
+  for (size_t i = 0; i < n; ++i) {
+    ints.push_back(rng->UniformInt(-domain, domain));
+    dbls.push_back(static_cast<double>(rng->UniformInt(-domain, domain)) / 2.0);
+    strs.push_back("s" + std::to_string(rng->UniformInt(0, domain)));
+  }
+  if (shape == Shape::kSorted) {
+    std::sort(ints.begin(), ints.end());
+    std::sort(dbls.begin(), dbls.end());
+    std::sort(strs.begin(), strs.end());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    switch (type) {
+      case ValType::kOid: b.AppendInt64(ints[i] + domain); break;  // non-negative
+      case ValType::kInt:
+      case ValType::kDate:
+      case ValType::kLng: b.AppendInt64(ints[i]); break;
+      case ValType::kDbl: b.AppendDouble(dbls[i]); break;
+      case ValType::kStr: b.AppendString(strs[i]); break;
+    }
+  }
+  return b.Finish();
+}
+
+BatPtr RandomBat(ValType tail_type, Shape shape, size_t n, Rng* rng,
+                 bool scan_props = false) {
+  ColumnPtr tail = RandomColumn(tail_type, shape, n, rng);
+  ColumnPtr head = MakeDenseOid(rng->UniformU64(0, 100), tail->size());
+  if (!scan_props) return Bat::MakeColumn(std::move(tail));
+  auto props = Bat::ScanProperties(*head, *tail);
+  return std::make_shared<Bat>(std::move(head), std::move(tail), props);
+}
+
+/// Bit-identical BAT equality: size, column types, and every row of both
+/// columns (boxed compare covers all types exactly).
+void ExpectSameBat(const BatPtr& got, const BatPtr& want, const std::string& ctx) {
+  ASSERT_EQ(got->size(), want->size()) << ctx;
+  ASSERT_EQ(got->head_type(), want->head_type()) << ctx;
+  ASSERT_EQ(got->tail_type(), want->tail_type()) << ctx;
+  for (size_t i = 0; i < want->size(); ++i) {
+    ASSERT_TRUE(got->head()->GetValue(i) == want->head()->GetValue(i))
+        << ctx << " head row " << i << ": " << got->head()->GetValue(i).ToString()
+        << " vs " << want->head()->GetValue(i).ToString();
+    ASSERT_TRUE(got->tail()->GetValue(i) == want->tail()->GetValue(i))
+        << ctx << " tail row " << i << ": " << got->tail()->GetValue(i).ToString()
+        << " vs " << want->tail()->GetValue(i).ToString();
+  }
+}
+
+void ExpectSameResult(const Result<BatPtr>& got, const Result<BatPtr>& want,
+                      const std::string& ctx) {
+  ASSERT_EQ(got.ok(), want.ok()) << ctx;
+  if (!want.ok()) return;
+  ExpectSameBat(*got, *want, ctx);
+}
+
+constexpr ValType kAllTypes[] = {ValType::kOid, ValType::kInt, ValType::kLng,
+                                 ValType::kDbl, ValType::kStr, ValType::kDate};
+constexpr Shape kAllShapes[] = {Shape::kEmpty, Shape::kRandom, Shape::kDupHeavy,
+                                Shape::kSorted};
+
+// ---- differential sweeps -----------------------------------------------------
+
+class KernelDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelDifferentialTest, SelectMatchesScalar) {
+  Rng rng(GetParam() * 1315423911ULL + 1);
+  for (ValType t : kAllTypes) {
+    for (Shape s : kAllShapes) {
+      const std::string ctx =
+          std::string("select ") + ValTypeName(t) + " " + ShapeName(s);
+      auto b = RandomBat(t, s, 1 + rng.UniformU64(0, 200), &rng);
+      // Probe a value likely present plus one likely absent.
+      for (int probe = 0; probe < 2; ++probe) {
+        Value v;
+        switch (t) {
+          case ValType::kOid: v = Value::MakeOid(probe == 0 ? 3 : 99999); break;
+          case ValType::kDbl: v = Value::MakeDbl(probe == 0 ? 1.5 : 1e12); break;
+          case ValType::kStr: v = Value::MakeStr(probe == 0 ? "s1" : "zzz"); break;
+          case ValType::kDate: v = Value::MakeDate(probe == 0 ? 2 : 99999); break;
+          default: v = Value::MakeLng(probe == 0 ? 2 : 99999); break;
+        }
+        ExpectSameResult(Select(b, v), scalar::Select(b, v), ctx);
+      }
+      // Range select, including inverted (empty) and double-bound mixes.
+      if (t == ValType::kStr) {
+        ExpectSameResult(SelectRange(b, Value::MakeStr("s1"), Value::MakeStr("s5")),
+                         scalar::SelectRange(b, Value::MakeStr("s1"), Value::MakeStr("s5")),
+                         ctx);
+      } else {
+        ExpectSameResult(SelectRange(b, Value::MakeLng(-3), Value::MakeLng(4)),
+                         scalar::SelectRange(b, Value::MakeLng(-3), Value::MakeLng(4)), ctx);
+        ExpectSameResult(SelectRange(b, Value::MakeLng(4), Value::MakeLng(-3)),
+                         scalar::SelectRange(b, Value::MakeLng(4), Value::MakeLng(-3)), ctx);
+        ExpectSameResult(
+            SelectRange(b, Value::MakeDbl(-2.5), Value::MakeLng(3)),
+            scalar::SelectRange(b, Value::MakeDbl(-2.5), Value::MakeLng(3)), ctx);
+      }
+    }
+  }
+}
+
+TEST_P(KernelDifferentialTest, JoinMatchesScalar) {
+  Rng rng(GetParam() * 2654435761ULL + 7);
+  for (ValType t : kAllTypes) {
+    for (Shape s : kAllShapes) {
+      const std::string ctx = std::string("join ") + ValTypeName(t) + " " + ShapeName(s);
+      // Hash path: unsorted flags.
+      auto l = RandomBat(t, s, 1 + rng.UniformU64(0, 150), &rng);
+      auto r = Reverse(RandomBat(t, s, 1 + rng.UniformU64(0, 150), &rng));
+      ExpectSameResult(Join(l, r), scalar::Join(l, r), ctx + " hash");
+
+      // Merge path: sorted tails/heads with scanned properties.
+      auto ls = RandomBat(t, Shape::kSorted, 1 + rng.UniformU64(0, 150), &rng,
+                          /*scan_props=*/true);
+      auto rs = Reverse(RandomBat(t, Shape::kSorted, 1 + rng.UniformU64(0, 150), &rng,
+                                  /*scan_props=*/true));
+      ASSERT_TRUE(ls->props().tsorted && rs->props().hsorted);
+      ExpectSameResult(Join(ls, rs), scalar::Join(ls, rs), ctx + " merge");
+    }
+  }
+}
+
+TEST_P(KernelDifferentialTest, SemiJoinKDiffKUnionMatchScalar) {
+  Rng rng(GetParam() * 40503ULL + 11);
+  for (ValType t : kAllTypes) {
+    for (Shape s : kAllShapes) {
+      const std::string ctx = std::string("headset ") + ValTypeName(t) + " " + ShapeName(s);
+      // Heads of type t: build [t-head, lng-tail] BATs via Reverse.
+      auto l = Reverse(RandomBat(t, s, 1 + rng.UniformU64(0, 150), &rng));
+      auto r = Reverse(RandomBat(t, s, 1 + rng.UniformU64(0, 150), &rng));
+      ExpectSameResult(SemiJoin(l, r), scalar::SemiJoin(l, r), ctx + " semijoin");
+      ExpectSameResult(KDiff(l, r), scalar::KDiff(l, r), ctx + " kdiff");
+      ExpectSameResult(KUnion(l, r), scalar::KUnion(l, r), ctx + " kunion");
+    }
+  }
+}
+
+TEST_P(KernelDifferentialTest, SortMatchesScalar) {
+  Rng rng(GetParam() * 69069ULL + 13);
+  for (ValType t : kAllTypes) {
+    for (Shape s : kAllShapes) {
+      const std::string ctx = std::string("sort ") + ValTypeName(t) + " " + ShapeName(s);
+      auto b = RandomBat(t, s, 1 + rng.UniformU64(0, 200), &rng);
+      ExpectSameResult(Sort(b), scalar::Sort(b), ctx);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelDifferentialTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- kernel unit tests -------------------------------------------------------
+
+TEST(FlatTableTest, DirectModeOnCompactDomain) {
+  std::vector<int64_t> keys = {5, 3, 5, 9, 3, 5};
+  kernels::FlatTable t(keys);
+  EXPECT_TRUE(t.is_direct());
+  // Chains walk ascending rows.
+  std::vector<uint32_t> rows;
+  for (uint32_t r = t.Find(5); r != kernels::FlatTable::kNone; r = t.Next(r)) {
+    rows.push_back(r);
+  }
+  EXPECT_EQ(rows, (std::vector<uint32_t>{0, 2, 5}));
+  EXPECT_EQ(t.Find(4), kernels::FlatTable::kNone);
+  EXPECT_EQ(t.Find(-1), kernels::FlatTable::kNone);
+  EXPECT_EQ(t.Find(1000000), kernels::FlatTable::kNone);
+}
+
+TEST(FlatTableTest, OpenAddressingOnSparseDomain) {
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back(static_cast<int64_t>(i) * 1000000007LL - 50);
+  keys.push_back(keys[7]);  // one duplicate
+  kernels::FlatTable t(keys);
+  EXPECT_FALSE(t.is_direct());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(t.Find(keys[static_cast<size_t>(i)]),
+              static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(t.Next(7), 100u);  // duplicate chains to the later row
+  EXPECT_EQ(t.Find(12345), kernels::FlatTable::kNone);
+}
+
+TEST(FlatTableTest, EmptyKeys) {
+  std::vector<int64_t> keys;
+  kernels::FlatTable t(keys);
+  EXPECT_EQ(t.Find(0), kernels::FlatTable::kNone);
+}
+
+TEST(GatherTest, DenseSourceCollapsesContiguousRuns) {
+  auto dense = MakeDenseOid(100, 10);
+  SelVec run = {3, 4, 5};
+  auto sliced = kernels::Gather(*dense, run.data(), run.size());
+  EXPECT_EQ(sliced->kind(), ColumnKind::kDense);
+  EXPECT_EQ(sliced->GetInt64(0), 103);
+  SelVec scattered = {1, 5, 2};
+  auto gathered = kernels::Gather(*dense, scattered.data(), scattered.size());
+  EXPECT_EQ(gathered->kind(), ColumnKind::kFixed);
+  EXPECT_EQ(gathered->GetInt64(2), 102);
+}
+
+TEST(GatherTest, StringGatherRebuildsHeap) {
+  auto c = MakeStrColumn({"aa", "", "cccc", "d"});
+  SelVec idx = {3, 0, 0, 2};
+  auto g = kernels::Gather(*c, idx.data(), idx.size());
+  ASSERT_EQ(g->size(), 4u);
+  EXPECT_EQ(g->GetString(0), "d");
+  EXPECT_EQ(g->GetString(1), "aa");
+  EXPECT_EQ(g->GetString(2), "aa");
+  EXPECT_EQ(g->GetString(3), "cccc");
+}
+
+TEST(ColumnBuilderTest, BulkAppendsMatchRowAppends) {
+  // AppendSpan / AppendColumnRange / AppendGather against per-row appends.
+  auto src = MakeLngColumn({10, 20, 30, 40});
+  ColumnBuilder bulk(ValType::kLng);
+  bulk.AppendSpan(src->FixedData<int64_t>());
+  bulk.AppendColumnRange(*src, 1, 2);
+  SelVec idx = {3, 0};
+  bulk.AppendGather(*src, idx.data(), idx.size());
+  auto got = bulk.Finish();
+  std::vector<int64_t> want = {10, 20, 30, 40, 20, 30, 40, 10};
+  ASSERT_EQ(got->size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got->GetInt64(i), want[i]);
+}
+
+TEST(ColumnBuilderTest, StrAndDenseColumnRange) {
+  auto sc = MakeStrColumn({"x", "yy", "zzz"});
+  ColumnBuilder b(ValType::kStr);
+  b.AppendColumnRange(*sc, 1, 2);
+  auto got = b.Finish();
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ(got->GetString(0), "yy");
+  EXPECT_EQ(got->GetString(1), "zzz");
+
+  auto dense = MakeDenseOid(7, 5);
+  ColumnBuilder ob(ValType::kOid);
+  ob.AppendColumnRange(*dense, 2, 3);
+  auto oids = ob.Finish();
+  ASSERT_EQ(oids->size(), 3u);
+  EXPECT_EQ(oids->GetInt64(0), 9);
+  EXPECT_EQ(oids->GetInt64(2), 11);
+}
+
+TEST(ColumnBuilderTest, StrBuilderIsReusableAfterFinish) {
+  ColumnBuilder b(ValType::kStr);
+  b.AppendString("a");
+  auto first = b.Finish();
+  b.AppendString("bc");
+  auto second = b.Finish();
+  ASSERT_EQ(second->size(), 1u);
+  EXPECT_EQ(second->GetString(0), "bc");
+  EXPECT_EQ(first->GetString(0), "a");
+}
+
+TEST(OperatorPropsTest, DescendingTopNIsNotMarkedSorted) {
+  auto sorted = Sort(Bat::MakeColumn(MakeIntColumn({3, 1, 2})));
+  ASSERT_TRUE(sorted.ok() && (*sorted)->props().tsorted);
+  auto desc = TopN(*sorted, 2, /*descending=*/true);
+  ASSERT_TRUE(desc.ok());
+  EXPECT_FALSE((*desc)->props().tsorted);  // 3,2 is descending
+  auto asc = TopN(*sorted, 2, /*descending=*/false);
+  ASSERT_TRUE(asc.ok());
+  EXPECT_TRUE((*asc)->props().tsorted);
+}
+
+TEST(OperatorPropsTest, DoubleGidsTruncateLikeGetInt64) {
+  // batcalc arithmetic emits dbl; grouped aggregates must truncate gids the
+  // way the scalar GetInt64 accessor did, not bit-cast them.
+  auto values = Bat::MakeColumn(MakeIntColumn({10, 20, 30}));
+  auto gids = Bat::MakeColumn(MakeDblColumn({0.0, 1.0, 1.0}));
+  auto sums = SumPerGroup(values, gids, 2);
+  ASSERT_TRUE(sums.ok()) << sums.status().ToString();
+  EXPECT_DOUBLE_EQ((*sums)->tail()->GetDouble(0), 10.0);
+  EXPECT_DOUBLE_EQ((*sums)->tail()->GetDouble(1), 50.0);
+  auto counts = CountPerGroup(gids, 2);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)->tail()->GetInt64(1), 2);
+}
+
+// ---- bulk serializer round trips ---------------------------------------------
+
+class BulkSerializeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkSerializeTest, RoundTripAllLayouts) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 3);
+  for (ValType t : kAllTypes) {
+    for (Shape s : kAllShapes) {
+      const std::string ctx =
+          std::string("serialize ") + ValTypeName(t) + " " + ShapeName(s);
+      // Dense-head BAT.
+      auto dense_head = RandomBat(t, s, rng.UniformU64(0, 100), &rng);
+      // Materialized-head BAT (reverse puts the typed column at the head).
+      auto mat_head = Reverse(dense_head);
+      for (const BatPtr& b : {dense_head, mat_head}) {
+        const std::string wire = Serialize(*b);
+        EXPECT_EQ(wire.size(), EncodedSize(*b)) << ctx;
+        auto restored = Deserialize(wire);
+        ASSERT_TRUE(restored.ok()) << ctx << ": " << restored.status().ToString();
+        ExpectSameBat(*restored, b, ctx);
+        EXPECT_EQ((*restored)->HasDenseHead(), b->HasDenseHead()) << ctx;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BulkSerializeTest, ::testing::Range(0, 6));
+
+TEST(BulkSerializeTest, DenseTailEncodesAsMaterializedOids) {
+  // uselect produces a dense tail; the wire format materializes it.
+  auto b = Bat::MakeColumn(MakeIntColumn({5, 3, 5}));
+  auto u = USelect(b, Value::MakeInt(5));
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ((*u)->tail()->kind(), ColumnKind::kDense);
+  const std::string wire = Serialize(**u);
+  EXPECT_EQ(wire.size(), EncodedSize(**u));
+  auto restored = Deserialize(wire);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameBat(*restored, *u, "dense tail");
+}
+
+TEST(BulkSerializeTest, SerializeIntoReusesFrameCapacity) {
+  auto b = Bat::MakeColumn(MakeLngColumn(std::vector<int64_t>(1000, 42)));
+  std::string frame;
+  SerializeInto(*b, &frame);
+  const size_t size1 = frame.size();
+  const void* data1 = frame.data();
+  SerializeInto(*b, &frame);  // same BAT: no reallocation on reuse
+  EXPECT_EQ(frame.size(), size1);
+  EXPECT_EQ(frame.data(), data1);
+  auto restored = Deserialize(frame);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)->size(), 1000u);
+}
+
+TEST(BulkSerializeTest, CorruptionStillDetected) {
+  auto b = Bat::MakeColumn(MakeDblColumn({1.5, -2.5, 3.5}));
+  std::string wire = Serialize(*b);
+  wire[wire.size() / 2] ^= 0x5A;
+  EXPECT_EQ(Deserialize(wire).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace dcy::bat

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Validates dcy-bench-v1 reports (BENCH_*.json) emitted by bench/harness.cc.
+
+Usage: validate_bench_json.py --expect N [FILE...]
+With no FILE arguments, globs BENCH_*.json in the current directory. Used by
+both CI bench jobs (smoke and bench-report) so the schema rules live in one
+place.
+"""
+import argparse
+import glob
+import json
+import sys
+
+REQUIRED_CASE_KEYS = ("name", "params", "repeats", "p50_ns", "p95_ns", "throughput")
+
+
+def validate(path: str) -> None:
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "dcy-bench-v1", f"{path}: bad schema {doc.get('schema')}"
+    assert doc.get("cases"), f"{path}: no cases"
+    for case in doc["cases"]:
+        for key in REQUIRED_CASE_KEYS:
+            assert key in case, f"{path}: case {case.get('name')} missing {key}"
+        assert case["p50_ns"] > 0, f"{path}: case {case['name']} has non-positive p50"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--expect", type=int, default=None,
+                        help="exact number of reports required")
+    parser.add_argument("files", nargs="*", help="reports (default: ./BENCH_*.json)")
+    args = parser.parse_args()
+    files = sorted(args.files) if args.files else sorted(glob.glob("BENCH_*.json"))
+    if args.expect is not None and len(files) != args.expect:
+        print(f"expected {args.expect} reports, got {len(files)}: {files}", file=sys.stderr)
+        return 1
+    for path in files:
+        validate(path)
+    print(f"{len(files)} bench reports conform to dcy-bench-v1")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
