@@ -1,6 +1,9 @@
 // Micro-benchmarks of the BAT engine operators (M1): select / hash join /
 // merge join / semijoin / sort / group-aggregate throughput, plus the bulk
-// BAT serializer on the ring hot path.
+// BAT serializer on the ring hot path, and the morsel-parallel engine with a
+// workers axis (par_* cases; --workers=N pins one point, --workers=0 sweeps
+// 1/2/4/8; --morsel_rows tunes the stealing granule, --scale shrinks the
+// parallel input for smoke runs).
 #include <algorithm>
 #include <memory>
 #include <string>
@@ -11,6 +14,7 @@
 #include "bench/harness.h"
 #include "common/flags.h"
 #include "common/random.h"
+#include "exec/executor.h"
 
 namespace {
 
@@ -27,6 +31,13 @@ BatPtr RandomIntBat(size_t n, int32_t domain, uint64_t seed) {
 
 std::map<std::string, std::string> Params(size_t n, int iters) {
   return {{"n", std::to_string(n)}, {"iters", std::to_string(iters)}};
+}
+
+std::map<std::string, std::string> ParParams(size_t n, size_t workers,
+                                             size_t morsel_rows) {
+  return {{"n", std::to_string(n)},
+          {"workers", std::to_string(workers)},
+          {"morsel_rows", std::to_string(morsel_rows)}};
 }
 
 }  // namespace
@@ -122,6 +133,67 @@ int main(int argc, char** argv) {
       rep.items = static_cast<double>(n) * iters;
       return rep;
     });
+  }
+
+  // Morsel-parallel engine: the same hot operators at ring-fragment scale
+  // (default 4M rows) across a worker axis, so run-over-run reports expose
+  // the scaling curve. workers=1 is the sequential engine (the parallel
+  // kernels fall back below min_parallel_rows and when only one worker
+  // would participate) — its p50 is the no-regression baseline.
+  {
+    const auto scale = flags.GetDouble("scale", 1.0);
+    const size_t par_rows = std::max<size_t>(
+        size_t{1} << 16, static_cast<size_t>(scale * static_cast<double>(1 << 22)));
+    const size_t morsel_rows =
+        static_cast<size_t>(flags.GetInt("morsel_rows", 64 * 1024));
+    const int64_t pinned = flags.GetInt("workers", 0);
+    std::vector<size_t> axis;
+    if (pinned > 0) {
+      axis.push_back(static_cast<size_t>(pinned));
+    } else {
+      axis = {1, 2, 4, 8};
+    }
+
+    auto probe = RandomIntBat(par_rows, static_cast<int32_t>(par_rows / 4), 10);
+    auto build = Reverse(RandomIntBat(par_rows / 4, static_cast<int32_t>(par_rows / 4), 11));
+    auto values = RandomIntBat(par_rows, 1 << 20, 12);
+    auto gids = RandomIntBat(par_rows, 255, 13);
+
+    for (size_t w : axis) {
+      exec::ExecPolicy policy;
+      policy.workers = w;
+      policy.morsel_rows = morsel_rows;
+      policy.min_parallel_rows = size_t{1} << 16;
+      exec::ScopedExecPolicy scoped(policy);
+      const std::string suffix = "/" + std::to_string(par_rows) + "/w" + std::to_string(w);
+
+      harness.Run("par_select_range" + suffix, ParParams(par_rows, w, morsel_rows), [&] {
+        auto r = SelectRange(values, Value::MakeInt(1 << 18), Value::MakeInt(3 << 18));
+        RepResult rep;
+        rep.items = static_cast<double>(par_rows);
+        rep.metrics["selected"] = r.ok() ? static_cast<double>((*r)->size()) : -1.0;
+        return rep;
+      });
+
+      harness.Run("par_hash_join" + suffix, ParParams(par_rows, w, morsel_rows), [&] {
+        auto out = Join(probe, build);
+        RepResult rep;
+        rep.items = static_cast<double>(par_rows);
+        rep.metrics["matches"] = out.ok() ? static_cast<double>((*out)->size()) : -1.0;
+        return rep;
+      });
+
+      harness.Run("par_aggregate" + suffix, ParParams(par_rows, w, morsel_rows), [&] {
+        auto total = Sum(values);
+        auto per_group = SumPerGroup(values, gids, 256);
+        auto counts = CountPerGroup(gids, 256);
+        RepResult rep;
+        rep.items = static_cast<double>(par_rows);
+        rep.metrics["sum_ok"] =
+            total.ok() && per_group.ok() && counts.ok() ? 1.0 : 0.0;
+        return rep;
+      });
+    }
   }
 
   // Ring hot path: encode + decode round trip of a column fragment, with a

@@ -9,6 +9,56 @@ namespace dcy::bat::kernels {
 
 namespace {
 
+/// Threads that would cooperate on a parallel kernel under `p`: p.workers,
+/// or the shared executor's width when p.workers == 0.
+size_t EffectiveWorkers(const exec::ExecPolicy& p) {
+  return p.workers == 0 ? exec::Executor::Default().workers() : p.workers;
+}
+
+}  // namespace
+
+MorselPlan PlanMorsels(size_t n) {
+  MorselPlan plan;
+  const exec::ExecPolicy policy = exec::GetExecPolicy();
+  if (n < policy.min_parallel_rows || n < 2) return plan;
+  const size_t workers = EffectiveWorkers(policy);
+  if (workers <= 1) return plan;
+  plan.parallel = true;
+  plan.workers = workers;
+  plan.grain = std::max<size_t>(1, policy.morsel_rows);
+  plan.morsels = (n + plan.grain - 1) / plan.grain;
+  return plan;
+}
+
+void ForEachMorsel(const MorselPlan& plan, size_t n,
+                   const std::function<void(size_t, size_t, size_t)>& fn) {
+  exec::Executor::Default().ParallelFor(
+      plan.morsels, 1,
+      [&](size_t mb, size_t me) {
+        for (size_t m = mb; m < me; ++m) {
+          const size_t begin = m * plan.grain;
+          fn(m, begin, std::min(n, begin + plan.grain));
+        }
+      },
+      plan.workers);
+}
+
+namespace {
+
+/// Runs `body(i)` for every row in [0, n): the shared dispatch of the
+/// adaptive element-wise kernels (gather, key extraction) — one tight
+/// sequential loop, or the same loop per morsel on the executor.
+template <typename Body>
+void ForEachRow(const MorselPlan& plan, size_t n, const Body& body) {
+  if (!plan.parallel) {
+    for (size_t i = 0; i < n; ++i) body(i);
+  } else {
+    ForEachMorsel(plan, n, [&](size_t, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) body(i);
+    });
+  }
+}
+
 /// Mirrors the scalar reference ValueLE (bat/scalar_reference.cc) for the
 /// boxed fallback on exotic type mixes.
 bool ValueLE(const Value& a, const Value& b) {
@@ -17,16 +67,17 @@ bool ValueLE(const Value& a, const Value& b) {
   return a.AsInt64() <= b.AsInt64();
 }
 
-/// Branchless filter append: writes every candidate position and bumps the
-/// cursor by the predicate, then shrinks — no per-row branch misprediction,
-/// no push_back growth checks.
+/// Branchless filter append over rows [begin, end), absolute positions:
+/// writes every candidate position and bumps the cursor by the predicate,
+/// then shrinks — no per-row branch misprediction, no push_back growth
+/// checks.
 template <typename Pred>
-void CompactLoop(size_t n, SelVec* sel, Pred pred) {
+void CompactLoop(size_t begin, size_t end, SelVec* sel, Pred pred) {
   const size_t base = sel->size();
-  sel->resize(base + n);
+  sel->resize(base + (end - begin));
   uint32_t* out = sel->data() + base;
   size_t k = 0;
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = begin; i < end; ++i) {
     out[k] = static_cast<uint32_t>(i);
     k += pred(i) ? 1 : 0;
   }
@@ -34,23 +85,25 @@ void CompactLoop(size_t n, SelVec* sel, Pred pred) {
 }
 
 template <typename T, typename K>
-void RangeLoop(const T* d, size_t n, K lo, K hi, SelVec* sel) {
-  CompactLoop(n, sel, [&](size_t i) {
+void RangeLoop(const T* d, size_t begin, size_t end, K lo, K hi, SelVec* sel) {
+  CompactLoop(begin, end, sel, [&](size_t i) {
     const K x = static_cast<K>(d[i]);
     return lo <= x && x <= hi;
   });
 }
 
-/// Integer column with at least one double bound: each bound compares in its
-/// own domain, exactly as ValueLE does pairwise.
-template <typename T>
-void MixedRangeLoop(const T* d, size_t n, const Value& lo, const Value& hi, SelVec* sel) {
+/// Integer rows with at least one double bound: each bound compares in its
+/// own domain, exactly as ValueLE does pairwise. `key(i)` yields the int64
+/// view of row i (array load or dense iota).
+template <typename KeyFn>
+void MixedRangeLoop(size_t begin, size_t end, const Value& lo, const Value& hi,
+                    SelVec* sel, KeyFn key) {
   const bool lo_dbl = lo.type == ValType::kDbl;
   const bool hi_dbl = hi.type == ValType::kDbl;
   const int64_t loi = lo.AsInt64(), hii = hi.AsInt64();
   const double lod = lo.AsDouble(), hid = hi.AsDouble();
-  for (size_t i = 0; i < n; ++i) {
-    const int64_t x = static_cast<int64_t>(d[i]);
+  for (size_t i = begin; i < end; ++i) {
+    const int64_t x = key(i);
     const bool ok = (lo_dbl ? lod <= static_cast<double>(x) : loi <= x) &&
                     (hi_dbl ? static_cast<double>(x) <= hid : x <= hii);
     if (ok) sel->push_back(static_cast<uint32_t>(i));
@@ -58,8 +111,8 @@ void MixedRangeLoop(const T* d, size_t n, const Value& lo, const Value& hi, SelV
 }
 
 template <typename T, typename K>
-void EqLoop(const T* d, size_t n, K v, SelVec* sel) {
-  CompactLoop(n, sel, [&](size_t i) { return static_cast<K>(d[i]) == v; });
+void EqLoop(const T* d, size_t begin, size_t end, K v, SelVec* sel) {
+  CompactLoop(begin, end, sel, [&](size_t i) { return static_cast<K>(d[i]) == v; });
 }
 
 /// Appends the contiguous run [i_lo, i_hi] of positions in one bulk fill.
@@ -73,7 +126,8 @@ void PushRun(int64_t i_lo, int64_t i_hi, SelVec* sel) {
 template <typename T>
 std::vector<T> GatherVec(const T* src, const uint32_t* idx, size_t n) {
   std::vector<T> out(n);
-  for (size_t i = 0; i < n; ++i) out[i] = src[idx[i]];
+  T* o = out.data();
+  ForEachRow(PlanMorsels(n), n, [&](size_t i) { o[i] = src[idx[i]]; });
   return out;
 }
 
@@ -94,7 +148,9 @@ ColumnPtr Gather(const Column& c, const uint32_t* idx, size_t n) {
         return MakeDenseOid(d.seqbase() + (n > 0 ? idx[0] : 0), n);
       }
       std::vector<Oid> out(n);
-      for (size_t i = 0; i < n; ++i) out[i] = d.seqbase() + idx[i];
+      Oid* o = out.data();
+      const Oid seq = d.seqbase();
+      ForEachRow(PlanMorsels(n), n, [&](size_t i) { o[i] = seq + idx[i]; });
       return std::make_shared<OidColumn>(ValType::kOid, std::move(out));
     }
     case ColumnKind::kStr: {
@@ -125,20 +181,25 @@ ColumnPtr Gather(const Column& c, const uint32_t* idx, size_t n) {
   return nullptr;
 }
 
-size_t SelectRange(const Column& c, const Value& lo, const Value& hi, SelVec* sel) {
+namespace {
+
+/// Filters rows [begin, end) only, appending absolute positions — the
+/// morsel building block of the adaptive selects below.
+/// SelectRange(c, ...) == SelectRangeSpan(c, 0, c.size(), ...).
+size_t SelectRangeSpan(const Column& c, size_t begin, size_t end, const Value& lo,
+                       const Value& hi, SelVec* sel) {
   const size_t before = sel->size();
-  const size_t n = c.size();
   if (c.type() == ValType::kStr) {
     if (lo.type == ValType::kStr && hi.type == ValType::kStr) {
       const auto& sc = static_cast<const StrColumn&>(c);
       const std::string_view lov = lo.s, hiv = hi.s;
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         const std::string_view v = sc.GetString(i);
         if (lov <= v && v <= hiv) sel->push_back(static_cast<uint32_t>(i));
       }
     } else {
       // Exotic mix; keep the boxed semantics bit-for-bit.
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         const Value x = c.GetValue(i);
         if (ValueLE(lo, x) && ValueLE(x, hi)) sel->push_back(static_cast<uint32_t>(i));
       }
@@ -146,61 +207,70 @@ size_t SelectRange(const Column& c, const Value& lo, const Value& hi, SelVec* se
     return sel->size() - before;
   }
   if (c.type() == ValType::kDbl) {
-    RangeLoop(static_cast<const double*>(c.RawData()), n, lo.AsDouble(), hi.AsDouble(), sel);
+    RangeLoop(static_cast<const double*>(c.RawData()), begin, end, lo.AsDouble(),
+              hi.AsDouble(), sel);
     return sel->size() - before;
   }
   const bool any_dbl_bound = lo.type == ValType::kDbl || hi.type == ValType::kDbl;
   if (c.kind() == ColumnKind::kDense) {
     const int64_t seq = static_cast<int64_t>(static_cast<const DenseOidColumn&>(c).seqbase());
     if (!any_dbl_bound) {
-      // Dense fast path: the qualifying rows are one contiguous run.
-      const int64_t i_lo = lo.AsInt64() <= seq ? 0 : lo.AsInt64() - seq;
-      const int64_t i_hi = std::min<int64_t>(static_cast<int64_t>(n) - 1, hi.AsInt64() - seq);
+      // Dense fast path: the qualifying rows are one contiguous run,
+      // clamped to this span.
+      const int64_t i_lo = std::max<int64_t>(
+          static_cast<int64_t>(begin), lo.AsInt64() <= seq ? 0 : lo.AsInt64() - seq);
+      const int64_t i_hi =
+          std::min<int64_t>(static_cast<int64_t>(end) - 1, hi.AsInt64() - seq);
       if (i_lo <= i_hi) PushRun(i_lo, i_hi, sel);
     } else {
-      std::vector<int64_t> keys;
-      ExtractInt64Keys(c, &keys);
-      MixedRangeLoop(keys.data(), n, lo, hi, sel);
+      MixedRangeLoop(begin, end, lo, hi, sel,
+                     [seq](size_t i) { return seq + static_cast<int64_t>(i); });
     }
     return sel->size() - before;
   }
   switch (c.type()) {
-    case ValType::kOid:
+    case ValType::kOid: {
+      const auto* d = static_cast<const Oid*>(c.RawData());
       if (any_dbl_bound) {
-        MixedRangeLoop(static_cast<const Oid*>(c.RawData()), n, lo, hi, sel);
+        MixedRangeLoop(begin, end, lo, hi, sel,
+                       [d](size_t i) { return static_cast<int64_t>(d[i]); });
       } else {
-        RangeLoop(static_cast<const Oid*>(c.RawData()), n, lo.AsInt64(), hi.AsInt64(), sel);
+        RangeLoop(d, begin, end, lo.AsInt64(), hi.AsInt64(), sel);
       }
       break;
+    }
     case ValType::kInt:
-    case ValType::kDate:
+    case ValType::kDate: {
+      const auto* d = static_cast<const int32_t*>(c.RawData());
       if (any_dbl_bound) {
-        MixedRangeLoop(static_cast<const int32_t*>(c.RawData()), n, lo, hi, sel);
+        MixedRangeLoop(begin, end, lo, hi, sel,
+                       [d](size_t i) { return static_cast<int64_t>(d[i]); });
       } else {
-        RangeLoop(static_cast<const int32_t*>(c.RawData()), n, lo.AsInt64(), hi.AsInt64(),
-                  sel);
+        RangeLoop(d, begin, end, lo.AsInt64(), hi.AsInt64(), sel);
       }
       break;
-    case ValType::kLng:
+    }
+    case ValType::kLng: {
+      const auto* d = static_cast<const int64_t*>(c.RawData());
       if (any_dbl_bound) {
-        MixedRangeLoop(static_cast<const int64_t*>(c.RawData()), n, lo, hi, sel);
+        MixedRangeLoop(begin, end, lo, hi, sel, [d](size_t i) { return d[i]; });
       } else {
-        RangeLoop(static_cast<const int64_t*>(c.RawData()), n, lo.AsInt64(), hi.AsInt64(),
-                  sel);
+        RangeLoop(d, begin, end, lo.AsInt64(), hi.AsInt64(), sel);
       }
       break;
+    }
     default: DCY_FATAL() << "SelectRange: bad dispatch";
   }
   return sel->size() - before;
 }
 
-size_t SelectEq(const Column& c, const Value& v, SelVec* sel) {
+size_t SelectEqSpan(const Column& c, size_t begin, size_t end, const Value& v,
+                    SelVec* sel) {
   const size_t before = sel->size();
-  const size_t n = c.size();
   if (c.type() == ValType::kStr) {
     const auto& sc = static_cast<const StrColumn&>(c);
     const std::string_view key = v.s;
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = begin; i < end; ++i) {
       if (sc.GetString(i) == key) sel->push_back(static_cast<uint32_t>(i));
     }
     return sel->size() - before;
@@ -210,14 +280,15 @@ size_t SelectEq(const Column& c, const Value& v, SelVec* sel) {
     const int64_t seq = static_cast<int64_t>(static_cast<const DenseOidColumn&>(c).seqbase());
     if (dbl_domain) {
       const double key = v.AsDouble();
-      for (size_t i = 0; i < n; ++i) {
+      for (size_t i = begin; i < end; ++i) {
         if (static_cast<double>(seq + static_cast<int64_t>(i)) == key) {
           sel->push_back(static_cast<uint32_t>(i));
         }
       }
     } else {
       const int64_t key = v.AsInt64();
-      if (key >= seq && key < seq + static_cast<int64_t>(n)) {
+      if (key >= seq + static_cast<int64_t>(begin) &&
+          key < seq + static_cast<int64_t>(end)) {
         sel->push_back(static_cast<uint32_t>(key - seq));
       }
     }
@@ -226,32 +297,91 @@ size_t SelectEq(const Column& c, const Value& v, SelVec* sel) {
   switch (c.type()) {
     case ValType::kOid:
       if (dbl_domain) {
-        EqLoop(static_cast<const Oid*>(c.RawData()), n, v.AsDouble(), sel);
+        EqLoop(static_cast<const Oid*>(c.RawData()), begin, end, v.AsDouble(), sel);
       } else {
-        EqLoop(static_cast<const Oid*>(c.RawData()), n, v.AsInt64(), sel);
+        EqLoop(static_cast<const Oid*>(c.RawData()), begin, end, v.AsInt64(), sel);
       }
       break;
     case ValType::kInt:
     case ValType::kDate:
       if (dbl_domain) {
-        EqLoop(static_cast<const int32_t*>(c.RawData()), n, v.AsDouble(), sel);
+        EqLoop(static_cast<const int32_t*>(c.RawData()), begin, end, v.AsDouble(), sel);
       } else {
-        EqLoop(static_cast<const int32_t*>(c.RawData()), n, v.AsInt64(), sel);
+        EqLoop(static_cast<const int32_t*>(c.RawData()), begin, end, v.AsInt64(), sel);
       }
       break;
     case ValType::kLng:
       if (dbl_domain) {
-        EqLoop(static_cast<const int64_t*>(c.RawData()), n, v.AsDouble(), sel);
+        EqLoop(static_cast<const int64_t*>(c.RawData()), begin, end, v.AsDouble(), sel);
       } else {
-        EqLoop(static_cast<const int64_t*>(c.RawData()), n, v.AsInt64(), sel);
+        EqLoop(static_cast<const int64_t*>(c.RawData()), begin, end, v.AsInt64(), sel);
       }
       break;
     case ValType::kDbl:
-      EqLoop(static_cast<const double*>(c.RawData()), n, v.AsDouble(), sel);
+      EqLoop(static_cast<const double*>(c.RawData()), begin, end, v.AsDouble(), sel);
       break;
     default: DCY_FATAL() << "SelectEq: bad dispatch";
   }
   return sel->size() - before;
+}
+
+}  // namespace
+
+size_t StitchSelVecs(const std::vector<SelVec>& parts, SelVec* sel) {
+  size_t total = 0;
+  for (const SelVec& p : parts) total += p.size();
+  if (total == 0) return 0;
+  const size_t base = sel->size();
+  sel->resize(base + total);
+  std::vector<size_t> offsets(parts.size());
+  size_t off = base;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    offsets[i] = off;
+    off += parts[i].size();
+  }
+  auto copy_part = [&](size_t i) {
+    if (!parts[i].empty()) {
+      std::memcpy(sel->data() + offsets[i], parts[i].data(),
+                  parts[i].size() * sizeof(uint32_t));
+    }
+  };
+  const MorselPlan plan = PlanMorsels(total);
+  if (!plan.parallel) {
+    for (size_t i = 0; i < parts.size(); ++i) copy_part(i);
+  } else {
+    exec::Executor::Default().ParallelFor(
+        parts.size(), 1,
+        [&](size_t b, size_t e) {
+          for (size_t i = b; i < e; ++i) copy_part(i);
+        },
+        plan.workers);
+  }
+  return total;
+}
+
+size_t SelectRange(const Column& c, const Value& lo, const Value& hi, SelVec* sel) {
+  const size_t n = c.size();
+  // Dense ranges resolve in O(matched run); never worth fanning out.
+  const MorselPlan plan =
+      c.kind() == ColumnKind::kDense ? MorselPlan{} : PlanMorsels(n);
+  if (!plan.parallel) return SelectRangeSpan(c, 0, n, lo, hi, sel);
+  std::vector<SelVec> parts(plan.morsels);
+  ForEachMorsel(plan, n, [&](size_t m, size_t b, size_t e) {
+    SelectRangeSpan(c, b, e, lo, hi, &parts[m]);
+  });
+  return StitchSelVecs(parts, sel);
+}
+
+size_t SelectEq(const Column& c, const Value& v, SelVec* sel) {
+  const size_t n = c.size();
+  const MorselPlan plan =
+      c.kind() == ColumnKind::kDense ? MorselPlan{} : PlanMorsels(n);
+  if (!plan.parallel) return SelectEqSpan(c, 0, n, v, sel);
+  std::vector<SelVec> parts(plan.morsels);
+  ForEachMorsel(plan, n, [&](size_t m, size_t b, size_t e) {
+    SelectEqSpan(c, b, e, v, &parts[m]);
+  });
+  return StitchSelVecs(parts, sel);
 }
 
 void ExtractInt64Keys(const Column& c, std::vector<int64_t>* keys) {
@@ -259,11 +389,12 @@ void ExtractInt64Keys(const Column& c, std::vector<int64_t>* keys) {
   keys->resize(n);
   if (n == 0 && c.type() != ValType::kStr) return;
   int64_t* out = keys->data();
+  const MorselPlan plan = PlanMorsels(n);
   switch (c.kind()) {
     case ColumnKind::kDense: {
       const int64_t seq =
           static_cast<int64_t>(static_cast<const DenseOidColumn&>(c).seqbase());
-      for (size_t i = 0; i < n; ++i) out[i] = seq + static_cast<int64_t>(i);
+      ForEachRow(plan, n, [&](size_t i) { out[i] = seq + static_cast<int64_t>(i); });
       return;
     }
     case ColumnKind::kFixed:
@@ -272,13 +403,14 @@ void ExtractInt64Keys(const Column& c, std::vector<int64_t>* keys) {
         case ValType::kLng:
         case ValType::kDbl:
           // Same 8-byte width: oid/lng verbatim, dbl by bit pattern (the
-          // hash-equality form the scalar reference join uses).
+          // hash-equality form the scalar reference join uses). A single
+          // memcpy is already memory-bound; no fan-out.
           std::memcpy(out, c.RawData(), n * sizeof(int64_t));
           return;
         case ValType::kInt:
         case ValType::kDate: {
           const auto* d = static_cast<const int32_t*>(c.RawData());
-          for (size_t i = 0; i < n; ++i) out[i] = d[i];
+          ForEachRow(plan, n, [&](size_t i) { out[i] = d[i]; });
           return;
         }
         case ValType::kStr: break;
@@ -294,10 +426,15 @@ void ExtractDoubleKeys(const Column& c, std::vector<double>* keys) {
   keys->resize(n);
   if (n == 0 && c.type() != ValType::kStr) return;
   double* out = keys->data();
+  const MorselPlan plan = PlanMorsels(n);
+  auto fill = [&](auto convert) {
+    ForEachRow(plan, n, [&](size_t i) { out[i] = convert(i); });
+  };
   switch (c.kind()) {
     case ColumnKind::kDense: {
       const auto& d = static_cast<const DenseOidColumn&>(c);
-      for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(d.seqbase() + i);
+      const Oid seq = d.seqbase();
+      fill([seq](size_t i) { return static_cast<double>(seq + i); });
       return;
     }
     case ColumnKind::kFixed:
@@ -307,18 +444,18 @@ void ExtractDoubleKeys(const Column& c, std::vector<double>* keys) {
           return;
         case ValType::kOid: {
           const auto* d = static_cast<const Oid*>(c.RawData());
-          for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(d[i]);
+          fill([d](size_t i) { return static_cast<double>(d[i]); });
           return;
         }
         case ValType::kInt:
         case ValType::kDate: {
           const auto* d = static_cast<const int32_t*>(c.RawData());
-          for (size_t i = 0; i < n; ++i) out[i] = d[i];
+          fill([d](size_t i) { return static_cast<double>(d[i]); });
           return;
         }
         case ValType::kLng: {
           const auto* d = static_cast<const int64_t*>(c.RawData());
-          for (size_t i = 0; i < n; ++i) out[i] = static_cast<double>(d[i]);
+          fill([d](size_t i) { return static_cast<double>(d[i]); });
           return;
         }
         case ValType::kStr: break;

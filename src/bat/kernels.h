@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bat/column.h"
+#include "exec/executor.h"
 
 namespace dcy::bat {
 
@@ -19,11 +20,41 @@ using SelVec = std::vector<uint32_t>;
 
 namespace kernels {
 
+// ---- morsel-driven parallelism ----------------------------------------------
+//
+// The adaptive kernels below (gather, selection, key extraction) partition
+// inputs at or above ExecPolicy::min_parallel_rows into morsel_rows-sized
+// spans executed on exec::Executor::Default(), stitching per-morsel results
+// in morsel order so the output is bit-identical to the sequential pass.
+// Smaller inputs run the sequential loops unchanged — zero overhead for the
+// point queries that dominate ring traffic. Operators (bat/operators.cc)
+// drive their own morsel loops (hash-join probe, partial aggregation) with
+// PlanMorsels / ForEachMorsel / StitchSelVecs.
+
+/// \brief Partitioning decision for one adaptive kernel invocation under the
+/// process ExecPolicy.
+struct MorselPlan {
+  bool parallel = false;  ///< false: take the sequential path
+  size_t workers = 1;     ///< participant cap for ParallelFor
+  size_t grain = 1;       ///< rows per morsel
+  size_t morsels = 1;
+};
+
+/// Sequential when n < min_parallel_rows or only one worker would join.
+MorselPlan PlanMorsels(size_t n);
+
+/// Runs fn(morsel, begin, end) for every morsel of `plan` over [0, n) on the
+/// shared executor; the calling thread participates, so a saturated pool
+/// degrades to sequential execution instead of deadlocking.
+void ForEachMorsel(const MorselPlan& plan, size_t n,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
 // ---- gather -----------------------------------------------------------------
 
 /// out[i] = c[idx[i]] via type-specialized tight loops. A dense oid source
 /// gathered with a contiguous index run collapses back to a dense column
-/// (slices stay materialization-free).
+/// (slices stay materialization-free). Large fixed-width gathers run
+/// morsel-parallel; strings stay sequential (heap append is order-carrying).
 ColumnPtr Gather(const Column& c, const uint32_t* idx, size_t n);
 
 /// True if idx is a contiguous ascending run (idx[i] == idx[0] + i).
@@ -35,20 +66,29 @@ bool IsContiguous(const uint32_t* idx, size_t n);
 /// scalar ValueLE semantics exactly (string bounds compare lexicographically;
 /// a double column or double bound compares in the double domain; integer
 /// families compare as int64). Returns the number of positions appended.
+/// Adaptive: large materialized columns are filtered morsel-parallel.
 size_t SelectRange(const Column& c, const Value& lo, const Value& hi, SelVec* sel);
 
 /// Appends to *sel the positions with c[i] == v (scalar ValueEQ semantics).
+/// Adaptive like SelectRange.
 size_t SelectEq(const Column& c, const Value& v, SelVec* sel);
+
+/// Stitches per-morsel selection vectors into *sel in morsel order (the
+/// order-preserving merge every parallel filter/probe uses); parallelizes
+/// the copy itself for large results. Returns rows appended.
+size_t StitchSelVecs(const std::vector<SelVec>& parts, SelVec* sel);
 
 // ---- join keys --------------------------------------------------------------
 
 /// Materializes the canonical int64 hash/equality key of every row: integer
 /// families widen, doubles bit-cast (equality-by-bit-pattern, matching the
 /// scalar hash join), dense ranges iota. Strings are not representable here;
-/// callers dispatch them to the string paths.
+/// callers dispatch them to the string paths. Adaptive: large extractions
+/// split into parallel morsels (output is positionally deterministic).
 void ExtractInt64Keys(const Column& c, std::vector<int64_t>* keys);
 
 /// Materializes doubles (order-preserving, for merge join on dbl columns).
+/// Adaptive like ExtractInt64Keys.
 void ExtractDoubleKeys(const Column& c, std::vector<double>* keys);
 
 // ---- flat hash table --------------------------------------------------------

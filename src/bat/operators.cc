@@ -1,6 +1,7 @@
 #include "bat/operators.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <numeric>
@@ -16,12 +17,22 @@
 // bulk gather/append — no per-row Value boxing anywhere on the hot path. The
 // pre-vectorization row-at-a-time implementations live on as the
 // differential-test oracle in bat/scalar_reference.h.
+//
+// Large inputs run morsel-parallel on the shared exec::Executor (see the
+// MorselPlan machinery in bat/kernels.h): hash-join probes and membership
+// filters emit per-morsel match vectors stitched in morsel order (output
+// bit-identical to the sequential pass), and aggregates accumulate
+// thread-local partials merged at the end (integer aggregates exact;
+// floating-point sums associate per-morsel, deterministically for a fixed
+// policy). Inputs below ExecPolicy::min_parallel_rows take the sequential
+// loops unchanged.
 
 namespace dcy::bat {
 
 namespace {
 
 using kernels::FlatTable;
+using kernels::MorselPlan;
 
 /// Integer family (oid/int/lng/date) members are join-compatible.
 bool IsIntegerFamily(ValType t) {
@@ -188,14 +199,36 @@ BatPtr HashJoinImpl(const Bat& l, const Bat& r) {
   FlatTable table(rk);
   std::vector<int64_t> lk;
   kernels::ExtractInt64Keys(*l.tail(), &lk);
-  li.reserve(lk.size());  // FK-join guess: ~one match per probe row
-  ri.reserve(lk.size());
-  for (size_t i = 0; i < lk.size(); ++i) {
-    for (uint32_t j = table.Find(lk[i]); j != FlatTable::kNone; j = table.Next(j)) {
-      li.push_back(static_cast<uint32_t>(i));
-      ri.push_back(j);
+  const MorselPlan plan = kernels::PlanMorsels(lk.size());
+  if (!plan.parallel) {
+    li.reserve(lk.size());  // FK-join guess: ~one match per probe row
+    ri.reserve(lk.size());
+    for (size_t i = 0; i < lk.size(); ++i) {
+      for (uint32_t j = table.Find(lk[i]); j != FlatTable::kNone; j = table.Next(j)) {
+        li.push_back(static_cast<uint32_t>(i));
+        ri.push_back(j);
+      }
     }
+    return EmitJoin(l, r, li, ri);
   }
+  // Parallel probe: the table is immutable now, so morsels of probe rows
+  // scan it concurrently; stitching the per-morsel match vectors in morsel
+  // order reproduces the sequential probe order exactly.
+  std::vector<SelVec> lparts(plan.morsels), rparts(plan.morsels);
+  kernels::ForEachMorsel(plan, lk.size(), [&](size_t m, size_t b, size_t e) {
+    SelVec& lp = lparts[m];
+    SelVec& rp = rparts[m];
+    lp.reserve(e - b);
+    rp.reserve(e - b);
+    for (size_t i = b; i < e; ++i) {
+      for (uint32_t j = table.Find(lk[i]); j != FlatTable::kNone; j = table.Next(j)) {
+        lp.push_back(static_cast<uint32_t>(i));
+        rp.push_back(j);
+      }
+    }
+  });
+  kernels::StitchSelVecs(lparts, &li);
+  kernels::StitchSelVecs(rparts, &ri);
   return EmitJoin(l, r, li, ri);
 }
 
@@ -226,9 +259,20 @@ Result<SelVec> HeadMembershipSel(const Bat& l, const Bat& r, bool want) {
   FlatTable table(rk);
   std::vector<int64_t> lk;
   ExtractCastInt64Keys(*l.head(), &lk);
-  for (size_t i = 0; i < lk.size(); ++i) {
-    if (table.Contains(lk[i]) == want) sel.push_back(static_cast<uint32_t>(i));
+  const MorselPlan plan = kernels::PlanMorsels(lk.size());
+  if (!plan.parallel) {
+    for (size_t i = 0; i < lk.size(); ++i) {
+      if (table.Contains(lk[i]) == want) sel.push_back(static_cast<uint32_t>(i));
+    }
+    return sel;
   }
+  std::vector<SelVec> parts(plan.morsels);
+  kernels::ForEachMorsel(plan, lk.size(), [&](size_t m, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      if (table.Contains(lk[i]) == want) parts[m].push_back(static_cast<uint32_t>(i));
+    }
+  });
+  kernels::StitchSelVecs(parts, &sel);
   return sel;
 }
 
@@ -406,8 +450,44 @@ uint64_t Count(const BatPtr& b) { return b->size(); }
 
 namespace {
 
-/// Single fused pass: sums the column in the accumulator type Acc without
-/// materializing a key vector (dense ranges in closed form).
+/// Fused sum of rows [begin, end) in the accumulator type Acc, without
+/// materializing a key vector.
+template <typename Acc>
+Acc FusedSumSpan(const Column& t, size_t begin, size_t end) {
+  Acc s = 0;
+  switch (t.type()) {
+    case ValType::kOid: {
+      const auto* d = static_cast<const Oid*>(t.RawData());
+      for (size_t i = begin; i < end; ++i) {
+        s += static_cast<Acc>(static_cast<int64_t>(d[i]));
+      }
+      break;
+    }
+    case ValType::kInt:
+    case ValType::kDate: {
+      const auto* d = static_cast<const int32_t*>(t.RawData());
+      for (size_t i = begin; i < end; ++i) s += static_cast<Acc>(d[i]);
+      break;
+    }
+    case ValType::kLng: {
+      const auto* d = static_cast<const int64_t*>(t.RawData());
+      for (size_t i = begin; i < end; ++i) s += static_cast<Acc>(d[i]);
+      break;
+    }
+    case ValType::kDbl: {
+      const auto* d = static_cast<const double*>(t.RawData());
+      for (size_t i = begin; i < end; ++i) s += static_cast<Acc>(d[i]);
+      break;
+    }
+    case ValType::kStr: DCY_FATAL() << "sum on string column";
+  }
+  return s;
+}
+
+/// Single fused pass over the whole column (dense ranges in closed form).
+/// Large materialized columns sum thread-local morsel partials merged in
+/// morsel order: exact for integer accumulators, deterministic per-policy
+/// association for doubles.
 template <typename Acc>
 Acc FusedSum(const Column& t) {
   const size_t n = t.size();
@@ -418,24 +498,26 @@ Acc FusedSum(const Column& t) {
     return static_cast<Acc>(seq) * static_cast<Acc>(n) +
            static_cast<Acc>(n) * static_cast<Acc>(n - (n > 0 ? 1 : 0)) / 2;
   }
+  const MorselPlan plan = kernels::PlanMorsels(n);
+  if (!plan.parallel) return FusedSumSpan<Acc>(t, 0, n);
+  std::vector<Acc> partials(plan.morsels, Acc{0});
+  kernels::ForEachMorsel(plan, n, [&](size_t m, size_t b, size_t e) {
+    partials[m] = FusedSumSpan<Acc>(t, b, e);
+  });
   Acc s = 0;
-  switch (t.type()) {
-    case ValType::kOid:
-      for (const Oid x : t.FixedData<Oid>()) s += static_cast<Acc>(static_cast<int64_t>(x));
-      break;
-    case ValType::kInt:
-    case ValType::kDate:
-      for (const int32_t x : t.FixedData<int32_t>()) s += static_cast<Acc>(x);
-      break;
-    case ValType::kLng:
-      for (const int64_t x : t.FixedData<int64_t>()) s += static_cast<Acc>(x);
-      break;
-    case ValType::kDbl:
-      for (const double x : t.FixedData<double>()) s += static_cast<Acc>(x);
-      break;
-    case ValType::kStr: DCY_FATAL() << "sum on string column";
-  }
+  for (const Acc p : partials) s += p;
   return s;
+}
+
+/// Grouped aggregates materialize one partial array per morsel; cap the
+/// fan-out so wide group domains cannot blow up memory (beyond the cap the
+/// sequential loop wins anyway — the merge would dominate).
+MorselPlan GroupedAggPlan(size_t rows, size_t num_groups) {
+  MorselPlan plan = kernels::PlanMorsels(rows);
+  if (plan.parallel && plan.morsels * num_groups > (size_t{1} << 22)) {
+    return MorselPlan{};
+  }
+  return plan;
 }
 
 }  // namespace
@@ -512,10 +594,34 @@ Result<BatPtr> SumPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_
   std::vector<double> v;
   kernels::ExtractDoubleKeys(*values->tail(), &v);
   std::vector<double> sums(num_groups, 0.0);
-  for (size_t i = 0; i < v.size(); ++i) {
-    const auto gi = static_cast<uint64_t>(g[i]);
-    if (gi >= num_groups) return Status::OutOfRange("group id out of range");
-    sums[gi] += v[i];
+  const MorselPlan plan = GroupedAggPlan(v.size(), num_groups);
+  if (!plan.parallel) {
+    for (size_t i = 0; i < v.size(); ++i) {
+      const auto gi = static_cast<uint64_t>(g[i]);
+      if (gi >= num_groups) return Status::OutOfRange("group id out of range");
+      sums[gi] += v[i];
+    }
+  } else {
+    // Thread-local partial sums per morsel, merged in morsel order
+    // (deterministic association for a fixed policy).
+    std::vector<std::vector<double>> partials(plan.morsels);
+    std::atomic<bool> out_of_range{false};
+    kernels::ForEachMorsel(plan, v.size(), [&](size_t m, size_t b, size_t e) {
+      std::vector<double>& part = partials[m];
+      part.assign(num_groups, 0.0);
+      for (size_t i = b; i < e; ++i) {
+        const auto gi = static_cast<uint64_t>(g[i]);
+        if (gi >= num_groups) {
+          out_of_range.store(true, std::memory_order_relaxed);
+          return;
+        }
+        part[gi] += v[i];
+      }
+    });
+    if (out_of_range.load()) return Status::OutOfRange("group id out of range");
+    for (const auto& part : partials) {
+      for (size_t gi = 0; gi < num_groups; ++gi) sums[gi] += part[gi];
+    }
   }
   Bat::Properties p;
   p.hsorted = p.hkey = true;
@@ -528,10 +634,32 @@ Result<BatPtr> CountPerGroup(const BatPtr& gids, size_t num_groups) {
   std::vector<int64_t> g;
   ExtractCastInt64Keys(*gids->tail(), &g);  // GetInt64 semantics: dbl gids truncate
   std::vector<int64_t> counts(num_groups, 0);
-  for (size_t i = 0; i < g.size(); ++i) {
-    const auto gi = static_cast<uint64_t>(g[i]);
-    if (gi >= num_groups) return Status::OutOfRange("group id out of range");
-    ++counts[gi];
+  const MorselPlan plan = GroupedAggPlan(g.size(), num_groups);
+  if (!plan.parallel) {
+    for (size_t i = 0; i < g.size(); ++i) {
+      const auto gi = static_cast<uint64_t>(g[i]);
+      if (gi >= num_groups) return Status::OutOfRange("group id out of range");
+      ++counts[gi];
+    }
+  } else {
+    std::vector<std::vector<int64_t>> partials(plan.morsels);
+    std::atomic<bool> out_of_range{false};
+    kernels::ForEachMorsel(plan, g.size(), [&](size_t m, size_t b, size_t e) {
+      std::vector<int64_t>& part = partials[m];
+      part.assign(num_groups, 0);
+      for (size_t i = b; i < e; ++i) {
+        const auto gi = static_cast<uint64_t>(g[i]);
+        if (gi >= num_groups) {
+          out_of_range.store(true, std::memory_order_relaxed);
+          return;
+        }
+        ++part[gi];
+      }
+    });
+    if (out_of_range.load()) return Status::OutOfRange("group id out of range");
+    for (const auto& part : partials) {
+      for (size_t gi = 0; gi < num_groups; ++gi) counts[gi] += part[gi];
+    }
   }
   Bat::Properties p;
   p.hsorted = p.hkey = true;

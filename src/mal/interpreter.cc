@@ -1,11 +1,10 @@
 #include "mal/interpreter.h"
 
-#include <atomic>
 #include <condition_variable>
 #include <mutex>
-#include <thread>
 
 #include "common/logging.h"
+#include "exec/executor.h"
 
 namespace dcy::mal {
 
@@ -116,66 +115,97 @@ Result<Datum> Interpreter::RunDataflow(const Program& program, size_t workers) {
     for (size_t d : deps[i]) dependents[d].push_back(i);
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<size_t> ready;
+  // Dataflow state shared between the calling thread and helper tasks on the
+  // process-wide executor. No per-query threads: helpers are plain tasks, so
+  // concurrent query sessions share one worker pool (and steady-state
+  // traffic creates zero threads — see ExecutorMetrics).
+  struct Flow {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<size_t> ready;
+    size_t completed = 0;
+    size_t runners = 0;  ///< helper tasks submitted and not yet finished
+    bool failed = false;
+    Status first_error;
+  } flow;
   for (size_t i = 0; i < n; ++i) {
-    if (missing[i] == 0) ready.push_back(i);
+    if (missing[i] == 0) flow.ready.push_back(i);
   }
-  size_t completed = 0;
-  Status first_error;
-  bool failed = false;
 
-  auto worker = [&] {
-    std::unique_lock<std::mutex> lock(mu);
-    while (true) {
-      cv.wait(lock, [&] { return !ready.empty() || completed == n || failed; });
-      if (completed == n || failed) return;
-      const size_t i = ready.back();
-      ready.pop_back();
-      lock.unlock();
+  exec::Executor& executor = exec::Executor::Default();
+  const size_t max_helpers = workers - 1;
 
+  // Runs ready instructions until none remain (or the query failed).
+  // Expects `lock` held; returns with it held.
+  std::function<void(std::unique_lock<std::mutex>&)> pump;
+  // Tops helper tasks up to min(max_helpers, outstanding ready work); call
+  // with the lock held.
+  auto spawn_helpers = [&] {
+    while (flow.runners < max_helpers && flow.runners < flow.ready.size()) {
+      ++flow.runners;
+      executor.Submit([&] {
+        std::unique_lock<std::mutex> lock(flow.mu);
+        pump(lock);
+        --flow.runners;
+        flow.cv.notify_all();
+      });
+    }
+  };
+  pump = [&](std::unique_lock<std::mutex>& lock) {
+    while (!flow.ready.empty() && !flow.failed) {
+      const size_t i = flow.ready.back();
+      flow.ready.pop_back();
+      // Copy argument bindings under the lock into a local map.
       std::unordered_map<std::string, Datum> local_args;
-      Result<Datum> result = [&]() -> Result<Datum> {
-        // Read variable bindings under the lock into a local map.
-        {
-          std::lock_guard<std::mutex> guard(mu);
-          for (const Arg& a : program.instructions[i].args) {
-            if (a.is_var()) {
-              auto it = vars_.find(a.var);
-              if (it != vars_.end()) local_args.emplace(a.var, it->second);
-            }
-          }
+      for (const Arg& a : program.instructions[i].args) {
+        if (a.is_var()) {
+          auto it = vars_.find(a.var);
+          if (it != vars_.end()) local_args.emplace(a.var, it->second);
+        }
+      }
+      lock.unlock();
+      Result<Datum> result = [&] {
+        if (program.instructions[i].FullName() == "datacyclotron.pin") {
+          // May stall until the fragment's next ring pass; announce it so
+          // reserve workers backfill the blocked capacity.
+          exec::Executor::BlockingScope blocking(executor);
+          return ExecInstruction(program.instructions[i], &local_args);
         }
         return ExecInstruction(program.instructions[i], &local_args);
       }();
-
       lock.lock();
       if (!result.ok()) {
-        if (!failed) {
-          failed = true;
-          first_error = result.status();
+        if (!flow.failed) {
+          flow.failed = true;
+          flow.first_error = result.status();
         }
       } else {
         if (!program.instructions[i].ret.empty()) {
           vars_[program.instructions[i].ret] = std::move(result).value();
         }
-        ++completed;
+        ++flow.completed;
         for (size_t d : dependents[i]) {
-          if (--missing[d] == 0) ready.push_back(d);
+          if (--missing[d] == 0) flow.ready.push_back(d);
         }
+        spawn_helpers();
       }
-      cv.notify_all();
+      flow.cv.notify_all();
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  {
+    std::unique_lock<std::mutex> lock(flow.mu);
+    spawn_helpers();
+    // The caller participates: a saturated executor degrades to sequential
+    // execution on this thread instead of deadlocking the query.
+    pump(lock);
+    flow.cv.wait(lock, [&] {
+      return flow.runners == 0 && (flow.failed || flow.completed == n);
+    });
+  }
 
-  if (failed) return first_error;
-  DCY_CHECK(completed == n) << "dataflow execution stalled (cyclic dependencies?)";
+  if (flow.failed) return flow.first_error;
+  DCY_CHECK(flow.completed == n) << "dataflow execution stalled (cyclic dependencies?)";
   // Return the last assigned variable, matching sequential semantics.
   for (auto it = program.instructions.rbegin(); it != program.instructions.rend(); ++it) {
     if (!it->ret.empty()) return vars_[it->ret];

@@ -69,8 +69,11 @@ class Interpreter {
   /// variable (or nil).
   Result<Datum> Run(const Program& program);
 
-  /// Runs with dataflow parallelism on `workers` threads. Blocking pin()
-  /// calls suspend only their worker. Falls back to sequential for
+  /// Runs with dataflow parallelism: up to `workers` instructions execute
+  /// concurrently as tasks on the process-wide exec::Executor (the calling
+  /// thread participates; no threads are created per query). Blocking pin()
+  /// calls occupy only their task slot — the executor backfills the blocked
+  /// capacity from its reserve pool. Falls back to sequential for
   /// workers <= 1.
   Result<Datum> RunDataflow(const Program& program, size_t workers);
 

@@ -128,7 +128,7 @@ std::optional<Message> Channel::Receive() {
   const uint64_t size = m.payload != nullptr ? m.payload->size() : 0;
   queued_bytes_.fetch_sub(size, std::memory_order_relaxed);
   lock.unlock();
-  can_send_.notify_all();
+  NotifySenders();
   return m;
 }
 
@@ -140,8 +140,55 @@ std::optional<Message> Channel::TryReceive() {
   const uint64_t size = m.payload != nullptr ? m.payload->size() : 0;
   queued_bytes_.fetch_sub(size, std::memory_order_relaxed);
   lock.unlock();
-  can_send_.notify_all();
+  NotifySenders();
   return m;
+}
+
+void Channel::NotifySenders() {
+  // notify_one would be wrong here: senders wait on per-message predicates
+  // (their own payload size against the remaining capacity), so one dequeue
+  // can unblock several small senders at once and a single wakeup would
+  // strand the rest until the next dequeue. What we *can* elide is the
+  // whole notification while the channel is still over capacity — no
+  // sender's predicate can hold, so waking them is pure stampede. A stale
+  // read here only ever errs toward a harmless extra notify_all.
+  if (queued_bytes_.load(std::memory_order_relaxed) <= options_.capacity_bytes) {
+    can_send_.notify_all();
+  }
+}
+
+size_t Channel::FinishDrain(std::deque<Message>* batch, std::vector<Message>* out) {
+  // The whole backlog is gone: arbitrary capacity freed, so every blocked
+  // sender may proceed; the message moves happen outside the lock.
+  if (batch->empty()) return 0;
+  can_send_.notify_all();
+  out->reserve(out->size() + batch->size());
+  for (Message& m : *batch) out->push_back(std::move(m));
+  return batch->size();
+}
+
+size_t Channel::TryReceiveAll(std::vector<Message>* out) {
+  std::deque<Message> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(queue_);
+    // All byte mutations happen under mu_, so zeroing here is exact.
+    queued_bytes_.store(0, std::memory_order_relaxed);
+  }
+  return FinishDrain(&batch, out);
+}
+
+size_t Channel::ReceiveAll(std::vector<Message>* out) {
+  std::deque<Message> batch;
+  {
+    // Swap under the wait's own lock: no window for another consumer to
+    // empty the queue between wakeup and drain, so 0 really means closed.
+    std::unique_lock<std::mutex> lock(mu_);
+    can_recv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    batch.swap(queue_);
+    queued_bytes_.store(0, std::memory_order_relaxed);
+  }
+  return FinishDrain(&batch, out);
 }
 
 void Channel::Close() {

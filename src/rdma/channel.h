@@ -172,6 +172,17 @@ class Channel {
   /// Non-blocking variant.
   std::optional<Message> TryReceive();
 
+  /// Drains the whole queued backlog into *out (appended, in order) under a
+  /// single lock acquisition — one mutex round-trip per ring-hop burst
+  /// instead of one per message. Returns the number of messages moved (0
+  /// when the queue is empty).
+  size_t TryReceiveAll(std::vector<Message>* out);
+
+  /// Blocking drain: waits until at least one message is queued (or the
+  /// channel closes — returns 0), then moves the entire backlog like
+  /// TryReceiveAll.
+  size_t ReceiveAll(std::vector<Message>* out);
+
   /// Wakes all blocked senders/receivers; subsequent Sends fail.
   void Close();
 
@@ -189,6 +200,16 @@ class Channel {
   /// Applies the transfer-mode cost model and returns the receiver-side
   /// payload (same buffer for zero-copy, a pooled copy otherwise).
   Buffer TransferPayload(const Buffer& payload);
+
+  /// Wakes blocked senders after a dequeue freed capacity. notify_all by
+  /// design: senders wait on per-message size predicates, so a single
+  /// wakeup could strand peers whose payloads now fit. Elided entirely
+  /// while still over capacity (no sender predicate can hold).
+  void NotifySenders();
+
+  /// Appends a swapped-out backlog to *out (outside the lock) and wakes all
+  /// senders; returns the number of messages moved.
+  size_t FinishDrain(std::deque<Message>* batch, std::vector<Message>* out);
 
   Options options_;
   Stats stats_;

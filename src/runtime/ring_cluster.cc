@@ -230,12 +230,20 @@ class RingCluster::Node final : public core::DcEnv {
         did_work = true;
       }
 
-      if (auto m = request_in_->TryReceive()) {
-        dc_->OnRequestMsg(m->meta.As<core::RequestMsg>());
+      // Drain whole backlogs in one lock acquisition per channel: at high
+      // message rates a rotation delivers bursts, and per-message locking
+      // was the dominant hop cost.
+      drain_.clear();
+      if (request_in_->TryReceiveAll(&drain_) > 0) {
+        for (const rdma::Message& m : drain_) {
+          dc_->OnRequestMsg(m.meta.As<core::RequestMsg>());
+        }
         did_work = true;
       }
-      if (auto m = data_in_->TryReceive()) {
-        HandleData(*m);
+      drain_.clear();
+      if (data_in_->TryReceiveAll(&drain_) > 0) {
+        for (rdma::Message& m : drain_) HandleData(m);
+        drain_.clear();  // release payload references promptly
         did_work = true;
       }
 
@@ -282,6 +290,7 @@ class RingCluster::Node final : public core::DcEnv {
 
   rdma::Buffer current_payload_;
   rdma::BufferPool frame_pool_;  ///< serialization frames for owned loads
+  std::vector<rdma::Message> drain_;  ///< service-loop batch receive scratch
   std::unordered_map<core::BatId, bat::BatPtr> decoded_;
 
   std::mutex waiters_mu_;
@@ -436,6 +445,10 @@ Status RingCluster::LoadBat(core::NodeId owner, const std::string& name, bat::Ba
 
 void RingCluster::Start() {
   if (started_.exchange(true)) return;
+  // The kernel policy is process-wide (the executor is shared); the last
+  // started cluster wins, which matches how benches and servers run one
+  // cluster per process.
+  exec::SetExecPolicy(options_.exec_policy);
   for (auto& node : nodes_) node->Start();
 }
 

@@ -26,6 +26,7 @@
 #include "bat/catalog.h"
 #include "common/status.h"
 #include "core/dc_node.h"
+#include "exec/executor.h"
 #include "mal/interpreter.h"
 #include "opt/dc_optimizer.h"
 #include "rdma/channel.h"
@@ -57,8 +58,14 @@ class RingCluster {
     core::DcNodeOptions node;  // node_id/ring_size filled per node
     /// Spill directory root ("" keeps all cold data in memory).
     std::string spill_dir;
-    /// Worker threads per query plan (dataflow execution).
+    /// Max instructions of one plan executing concurrently (dataflow width).
+    /// Plans run as tasks on the process-wide exec::Executor — no threads
+    /// are created per query.
     size_t plan_workers = 4;
+    /// Morsel-parallel kernel policy (workers / morsel_rows / threshold),
+    /// applied process-wide at Start(). Concurrent query sessions share the
+    /// executor's fixed pool instead of oversubscribing the machine.
+    exec::ExecPolicy exec_policy;
   };
 
   explicit RingCluster(Options options);

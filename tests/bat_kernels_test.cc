@@ -6,6 +6,7 @@
 // through the bulk serializer.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "bat/scalar_reference.h"
 #include "bat/serialize.h"
 #include "common/random.h"
+#include "exec/executor.h"
 
 namespace dcy::bat {
 namespace {
@@ -319,6 +321,167 @@ TEST(OperatorPropsTest, DoubleGidsTruncateLikeGetInt64) {
   ASSERT_TRUE(counts.ok());
   EXPECT_EQ((*counts)->tail()->GetInt64(1), 2);
 }
+
+// ---- parallel kernel differential sweeps -------------------------------------
+//
+// Re-runs the operator-vs-scalar differential checks with the morsel engine
+// forced on: policy workers in {1, 2, 8} with a tiny morsel size and
+// fallback threshold so the input sizes straddle the parallel cutoff
+// (below it the sequential kernels must run unchanged; at or above it the
+// stitched parallel output must stay bit-identical). Floating-point sums
+// re-associate per morsel, so those compare to tolerance instead.
+
+exec::ExecPolicy TinyMorselPolicy(size_t workers) {
+  exec::ExecPolicy p;
+  p.workers = workers;
+  p.morsel_rows = 64;
+  p.min_parallel_rows = 128;
+  return p;
+}
+
+constexpr size_t kParallelWorkerCounts[] = {1, 2, 8};
+// Straddles min_parallel_rows = 128 (and morsel boundaries at 64).
+constexpr size_t kStraddleSizes[] = {90, 127, 128, 129, 1000};
+
+class ParallelKernelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelKernelTest, SelectMatchesScalarAcrossWorkerCounts) {
+  for (size_t workers : kParallelWorkerCounts) {
+    exec::ScopedExecPolicy scoped(TinyMorselPolicy(workers));
+    Rng rng(GetParam() * 7919ULL + workers);
+    for (ValType t : kAllTypes) {
+      for (Shape s : kAllShapes) {
+        for (size_t n : kStraddleSizes) {
+          const std::string ctx = std::string("par-select w") + std::to_string(workers) +
+                                  " n" + std::to_string(n) + " " + ValTypeName(t) + " " +
+                                  ShapeName(s);
+          auto b = RandomBat(t, s, n, &rng);
+          Value v = t == ValType::kStr ? Value::MakeStr("s1")
+                                       : (t == ValType::kDbl ? Value::MakeDbl(1.5)
+                                                             : Value::MakeLng(2));
+          ExpectSameResult(Select(b, v), scalar::Select(b, v), ctx);
+          if (t == ValType::kStr) {
+            ExpectSameResult(SelectRange(b, Value::MakeStr("s1"), Value::MakeStr("s7")),
+                             scalar::SelectRange(b, Value::MakeStr("s1"), Value::MakeStr("s7")),
+                             ctx);
+          } else {
+            ExpectSameResult(SelectRange(b, Value::MakeLng(-5), Value::MakeLng(5)),
+                             scalar::SelectRange(b, Value::MakeLng(-5), Value::MakeLng(5)),
+                             ctx);
+            ExpectSameResult(
+                SelectRange(b, Value::MakeDbl(-2.5), Value::MakeLng(3)),
+                scalar::SelectRange(b, Value::MakeDbl(-2.5), Value::MakeLng(3)), ctx);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ParallelKernelTest, JoinAndMembershipMatchScalarAcrossWorkerCounts) {
+  for (size_t workers : kParallelWorkerCounts) {
+    exec::ScopedExecPolicy scoped(TinyMorselPolicy(workers));
+    Rng rng(GetParam() * 2718281ULL + workers);
+    for (ValType t : kAllTypes) {
+      for (Shape s : kAllShapes) {
+        for (size_t n : kStraddleSizes) {
+          const std::string ctx = std::string("par-join w") + std::to_string(workers) +
+                                  " n" + std::to_string(n) + " " + ValTypeName(t) + " " +
+                                  ShapeName(s);
+          // Hash join: probe side `n` rows straddles the parallel cutoff.
+          auto l = RandomBat(t, s, n, &rng);
+          auto r = Reverse(RandomBat(t, s, 1 + rng.UniformU64(0, 150), &rng));
+          ExpectSameResult(Join(l, r), scalar::Join(l, r), ctx + " hash");
+          // Membership probes (semijoin / kdiff) over the same shapes.
+          auto lh = Reverse(l);
+          auto rh = Reverse(RandomBat(t, s, 1 + rng.UniformU64(0, 150), &rng));
+          ExpectSameResult(SemiJoin(lh, rh), scalar::SemiJoin(lh, rh), ctx + " semijoin");
+          ExpectSameResult(KDiff(lh, rh), scalar::KDiff(lh, rh), ctx + " kdiff");
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ParallelKernelTest, AggregatesMatchSequentialAcrossWorkerCounts) {
+  Rng rng(GetParam() * 6700417ULL + 5);
+  for (ValType t : {ValType::kInt, ValType::kLng, ValType::kOid, ValType::kDbl}) {
+    for (size_t n : kStraddleSizes) {
+      auto b = RandomBat(t, Shape::kRandom, n, &rng);
+      constexpr size_t kGroups = 17;
+      std::vector<int32_t> gid_rows(b->size());
+      for (auto& g : gid_rows) {
+        g = static_cast<int32_t>(rng.UniformInt(0, kGroups - 1));
+      }
+      auto gids = Bat::MakeColumn(MakeIntColumn(std::move(gid_rows)));
+
+      // Oracle: the sequential path (workers = 1 forces it).
+      exec::ScopedExecPolicy seq(TinyMorselPolicy(1));
+      const auto sum_seq = Sum(b);
+      const auto avg_seq = Avg(b);
+      const auto per_group_seq = SumPerGroup(b, gids, kGroups);
+      const auto counts_seq = CountPerGroup(gids, kGroups);
+
+      for (size_t workers : {size_t{2}, size_t{8}}) {
+        exec::ScopedExecPolicy par(TinyMorselPolicy(workers));
+        const std::string ctx = std::string("par-agg w") + std::to_string(workers) +
+                                " n" + std::to_string(n) + " " + ValTypeName(t);
+        const auto sum_par = Sum(b);
+        ASSERT_EQ(sum_par.ok(), sum_seq.ok()) << ctx;
+        if (sum_seq.ok()) {
+          if (t == ValType::kDbl) {
+            // Morsel partials re-associate the FP sum; tolerance, not bits.
+            EXPECT_NEAR(sum_par->AsDouble(), sum_seq->AsDouble(),
+                        1e-9 * (1.0 + std::abs(sum_seq->AsDouble())))
+                << ctx;
+          } else {
+            EXPECT_EQ(sum_par->AsInt64(), sum_seq->AsInt64()) << ctx;  // exact
+          }
+        }
+        const auto avg_par = Avg(b);
+        ASSERT_EQ(avg_par.ok(), avg_seq.ok()) << ctx;
+        if (avg_seq.ok()) {
+          EXPECT_NEAR(avg_par->AsDouble(), avg_seq->AsDouble(),
+                      1e-9 * (1.0 + std::abs(avg_seq->AsDouble())))
+              << ctx;
+        }
+        const auto per_group_par = SumPerGroup(b, gids, kGroups);
+        ASSERT_EQ(per_group_par.ok(), per_group_seq.ok()) << ctx;
+        if (per_group_seq.ok()) {
+          ASSERT_EQ((*per_group_par)->size(), (*per_group_seq)->size()) << ctx;
+          for (size_t g = 0; g < kGroups; ++g) {
+            const double want = (*per_group_seq)->tail()->GetDouble(g);
+            EXPECT_NEAR((*per_group_par)->tail()->GetDouble(g), want,
+                        1e-9 * (1.0 + std::abs(want)))
+                << ctx << " group " << g;
+          }
+        }
+        const auto counts_par = CountPerGroup(gids, kGroups);
+        ASSERT_TRUE(counts_par.ok() && counts_seq.ok()) << ctx;
+        ExpectSameBat(*counts_par, *counts_seq, ctx + " counts");
+      }
+    }
+  }
+}
+
+TEST(ParallelKernelTest, GroupedAggregateRejectsOutOfRangeGidsInParallel) {
+  exec::ScopedExecPolicy scoped(TinyMorselPolicy(8));
+  std::vector<int32_t> gids_rows(1000, 0);
+  gids_rows[700] = 99;  // out of range, discovered mid-morsel
+  auto values = Bat::MakeColumn(MakeIntColumn(std::vector<int32_t>(1000, 1)));
+  auto gids = Bat::MakeColumn(MakeIntColumn(std::move(gids_rows)));
+  EXPECT_EQ(SumPerGroup(values, gids, 4).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(CountPerGroup(gids, 4).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ParallelKernelTest, StitchSelVecsPreservesOrderAndAppends) {
+  SelVec sel = {7};
+  std::vector<SelVec> parts = {{1, 2}, {}, {3}, {4, 5, 6}};
+  EXPECT_EQ(kernels::StitchSelVecs(parts, &sel), 6u);
+  EXPECT_EQ(sel, (SelVec{7, 1, 2, 3, 4, 5, 6}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelKernelTest, ::testing::Values(1, 2, 3, 5));
 
 // ---- bulk serializer round trips ---------------------------------------------
 

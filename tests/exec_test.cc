@@ -1,0 +1,225 @@
+// Tests for the process-wide work-stealing executor: ParallelFor coverage,
+// cross-worker stealing, the blocking-task escape hatch, the exactly-once
+// shutdown contract, and policy plumbing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace dcy::exec {
+namespace {
+
+TEST(ExecPolicyTest, SetAndGetRoundTrip) {
+  const ExecPolicy saved = GetExecPolicy();
+  ExecPolicy p;
+  p.workers = 7;
+  p.morsel_rows = 1234;
+  p.min_parallel_rows = 999;
+  SetExecPolicy(p);
+  const ExecPolicy got = GetExecPolicy();
+  EXPECT_EQ(got.workers, 7u);
+  EXPECT_EQ(got.morsel_rows, 1234u);
+  EXPECT_EQ(got.min_parallel_rows, 999u);
+  SetExecPolicy(saved);
+}
+
+TEST(ExecPolicyTest, ScopedOverrideRestores) {
+  const ExecPolicy before = GetExecPolicy();
+  {
+    ExecPolicy p;
+    p.workers = 3;
+    ScopedExecPolicy scoped(p);
+    EXPECT_EQ(GetExecPolicy().workers, 3u);
+  }
+  EXPECT_EQ(GetExecPolicy().workers, before.workers);
+}
+
+TEST(ExecutorTest, ThreadsAreCreatedOnceUpFront) {
+  Executor e(3);
+  EXPECT_EQ(e.workers(), 3u);
+  // 3 primaries + 3 parked reserves, all from the constructor.
+  EXPECT_EQ(e.metrics().threads_created, 6u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    e.Submit([&] { ran.fetch_add(1); });
+  }
+  while (ran.load() < 50) std::this_thread::yield();
+  EXPECT_EQ(e.metrics().threads_created, 6u);  // steady state: zero spawns
+  EXPECT_GE(e.metrics().tasks_executed, 50u);
+}
+
+TEST(ExecutorTest, ParallelForCoversEveryRowExactlyOnce) {
+  Executor e(4);
+  constexpr size_t kRows = 100000;
+  std::vector<std::atomic<int>> hits(kRows);
+  for (auto& h : hits) h.store(0);
+  e.ParallelFor(kRows, 1024, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kRows; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "row " << i;
+  }
+}
+
+TEST(ExecutorTest, ParallelForWorksFromExternalAndNestedContexts) {
+  Executor e(4);
+  // External caller (this thread is not a pool member).
+  std::atomic<int64_t> total{0};
+  e.ParallelFor(1000, 10, [&](size_t b, size_t end) {
+    int64_t s = 0;
+    for (size_t i = b; i < end; ++i) s += static_cast<int64_t>(i);
+    total.fetch_add(s);
+  });
+  EXPECT_EQ(total.load(), 999 * 1000 / 2);
+
+  // Nested: a pool task launches its own ParallelFor.
+  std::promise<int64_t> done;
+  e.Submit([&] {
+    std::atomic<int64_t> inner{0};
+    e.ParallelFor(1000, 10, [&](size_t b, size_t end) {
+      int64_t s = 0;
+      for (size_t i = b; i < end; ++i) s += static_cast<int64_t>(i);
+      inner.fetch_add(s);
+    });
+    done.set_value(inner.load());
+  });
+  EXPECT_EQ(done.get_future().get(), 999 * 1000 / 2);
+}
+
+TEST(ExecutorTest, ParallelForSequentialWhenCappedToOneWorker) {
+  Executor e(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  e.ParallelFor(
+      10000, 100,
+      [&](size_t, size_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      },
+      /*max_workers=*/1);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(*ids.begin(), caller);  // ran inline, no pool involvement
+}
+
+TEST(ExecutorTest, SiblingsStealFromABusyWorkersDeque) {
+  // State outlives the executor (declared first): the executor's destructor
+  // joins every worker before these are torn down.
+  std::atomic<int> children_done{0};
+  std::promise<void> parent_release;
+  std::shared_future<void> released = parent_release.get_future().share();
+  std::promise<void> flooded;
+  Executor e(4);
+  const auto before = e.metrics();
+  // One task floods its own deque with children, then camps on its thread;
+  // the children can only finish if siblings steal them.
+  e.Submit([&, released] {  // shared_future copied: thread-safe waiting
+    for (int i = 0; i < 64; ++i) {
+      e.Submit([&] { children_done.fetch_add(1); });
+    }
+    flooded.set_value();
+    released.wait();  // occupy this worker until the children are stolen
+  });
+  flooded.get_future().wait();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (children_done.load() < 64 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(children_done.load(), 64);
+  EXPECT_GT(e.metrics().tasks_stolen, before.tasks_stolen);
+  parent_release.set_value();
+}
+
+TEST(ExecutorTest, BlockingScopeLetsReservesRunTheBacklog) {
+  // State outlives the executor (declared first): its destructor joins the
+  // workers before any of this is torn down.
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  std::atomic<int> blocked_entered{0};
+  std::atomic<int> ran{0};
+  Executor e(2);
+  // Park both primaries inside blocking sections.
+  for (int i = 0; i < 2; ++i) {
+    e.Submit([&, released] {  // shared_future copied: thread-safe waiting
+      Executor::BlockingScope scope(e);
+      blocked_entered.fetch_add(1);
+      released.wait();
+    });
+  }
+  while (blocked_entered.load() < 2) std::this_thread::yield();
+  // Runnable work must still flow: the reserves take over.
+  for (int i = 0; i < 16; ++i) {
+    e.Submit([&] { ran.fetch_add(1); });
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ran.load() < 16 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), 16) << "runnable tasks starved behind blocked ones";
+  EXPECT_GE(e.metrics().blocking_sections, 2u);
+  release.set_value();
+}
+
+TEST(ExecutorTest, DestructorRunsEveryQueuedTaskExactlyOnce) {
+  std::atomic<int> ran{0};
+  {
+    Executor e(2);
+    for (int i = 0; i < 200; ++i) {
+      e.Submit([&] { ran.fetch_add(1); });
+    }
+    // Destruct immediately: whatever is still queued must run, not drop.
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ExecutorTest, ShutdownRacesWithConcurrentSubmitters) {
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ran{0};
+    {
+      Executor e(2);
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < 3; ++t) {
+        submitters.emplace_back([&] {
+          for (int i = 0; i < 50; ++i) {
+            e.Submit([&] { ran.fetch_add(1); });
+          }
+        });
+      }
+      for (auto& t : submitters) t.join();
+    }
+    ASSERT_EQ(ran.load(), 150) << "round " << round;
+  }
+}
+
+TEST(ExecutorTest, ParallelForZeroAndTinyInputs) {
+  Executor e(2);
+  int calls = 0;
+  e.ParallelFor(0, 16, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> rows{0};
+  e.ParallelFor(3, 16, [&](size_t b, size_t end) {
+    rows.fetch_add(static_cast<int>(end - b));
+  });
+  EXPECT_EQ(rows.load(), 3);
+}
+
+TEST(ExecutorTest, DefaultExecutorIsSharedAndAlive) {
+  Executor& a = Executor::Default();
+  Executor& b = Executor::Default();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.workers(), 1u);
+  std::promise<void> done;
+  a.Submit([&] { done.set_value(); });
+  done.get_future().wait();
+}
+
+}  // namespace
+}  // namespace dcy::exec

@@ -194,6 +194,60 @@ TEST(ChannelTest, CopyModesReusePooledReceiveFrames) {
   EXPECT_EQ(ch.pool().allocations(), 1u);
 }
 
+TEST(ChannelTest, TryReceiveAllDrainsTheBacklogInOrder) {
+  Channel ch(Opts(TransferMode::kZeroCopy));
+  for (int i = 0; i < 5; ++i) {
+    ch.Send(static_cast<uint32_t>(i), MakeBuffer(std::to_string(i)));
+  }
+  std::vector<Message> out;
+  EXPECT_EQ(ch.TryReceiveAll(&out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)].opcode, static_cast<uint32_t>(i));
+    EXPECT_EQ(*out[static_cast<size_t>(i)].payload, std::to_string(i));
+  }
+  EXPECT_EQ(ch.queued_bytes(), 0u);
+  EXPECT_EQ(ch.TryReceiveAll(&out), 0u);  // empty queue: no-op
+  EXPECT_EQ(out.size(), 5u);              // and the batch is appended, not replaced
+}
+
+TEST(ChannelTest, ReceiveAllBlocksUntilTrafficThenDrains) {
+  Channel ch(Opts(TransferMode::kZeroCopy));
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    for (int i = 0; i < 3; ++i) ch.Send(1, MakeBuffer("m"));
+  });
+  std::vector<Message> out;
+  size_t total = 0;
+  while (total < 3) total += ch.ReceiveAll(&out);  // first call blocks
+  producer.join();
+  EXPECT_EQ(total, 3u);
+  ch.Close();
+  out.clear();
+  EXPECT_EQ(ch.ReceiveAll(&out), 0u);  // closed and drained
+}
+
+TEST(ChannelTest, TryReceiveAllWakesBlockedSenders) {
+  auto opts = Opts(TransferMode::kZeroCopy);
+  opts.capacity_bytes = 100;
+  Channel ch(opts);
+  ch.Send(1, MakeBuffer(std::string(100, 'x')));  // fills the channel
+  std::atomic<int> sent{0};
+  std::vector<std::thread> senders;
+  for (int i = 0; i < 2; ++i) {
+    senders.emplace_back([&] {
+      ch.Send(2, MakeBuffer(std::string(40, 'y')));  // must wait
+      sent.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(sent.load(), 0);
+  std::vector<Message> out;
+  EXPECT_EQ(ch.TryReceiveAll(&out), 1u);  // frees the whole backlog at once
+  for (auto& t : senders) t.join();
+  EXPECT_EQ(sent.load(), 2);
+}
+
 TEST(ChannelTest, ManyProducersOneConsumer) {
   Channel ch(Opts(TransferMode::kZeroCopy));
   constexpr int kPerProducer = 200;

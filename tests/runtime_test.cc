@@ -3,9 +3,11 @@
 // channels, results identical to single-node execution.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "bat/operators.h"
+#include "exec/executor.h"
 #include "runtime/ring_cluster.h"
 
 namespace dcy::runtime {
@@ -127,6 +129,54 @@ TEST_F(RuntimeRing, ConcurrentQueriesFromMultipleNodes) {
   }
   for (auto& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(RuntimeRing, SteadyStateQueryTrafficCreatesZeroThreads) {
+  SetUpCluster(FastOptions());
+  // Warm-up: the first query may lazily construct the shared executor (its
+  // fixed pool spawns exactly once per process).
+  ASSERT_TRUE(cluster->ExecuteMal(0, kTable1Plan).ok());
+  const auto warm = exec::Executor::Default().metrics();
+
+  // Concurrent load from every node: plans run as tasks on the shared pool,
+  // not on per-query thread pools.
+  constexpr int kQueriesPerNode = 4;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (core::NodeId n = 0; n < 3; ++n) {
+    clients.emplace_back([&, n] {
+      for (int q = 0; q < kQueriesPerNode; ++q) {
+        if (!cluster->ExecuteMal(n, kTable1Plan).ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  const auto after = exec::Executor::Default().metrics();
+  EXPECT_EQ(after.threads_created, warm.threads_created)
+      << "steady-state queries must not spawn threads";
+  EXPECT_GT(after.tasks_executed, warm.tasks_executed)
+      << "plans should have executed as shared-pool tasks";
+}
+
+TEST_F(RuntimeRing, ExecPolicyRidesOptionsIntoTheProcessPolicy) {
+  // RAII restore: Start() overwrites the process policy below, and an early
+  // ASSERT return must not leak it into later tests.
+  exec::ScopedExecPolicy restore(exec::GetExecPolicy());
+  auto opts = FastOptions();
+  opts.exec_policy.workers = 2;
+  opts.exec_policy.morsel_rows = 4096;
+  opts.exec_policy.min_parallel_rows = 8192;
+  SetUpCluster(opts);
+  const auto policy = exec::GetExecPolicy();
+  EXPECT_EQ(policy.workers, 2u);
+  EXPECT_EQ(policy.morsel_rows, 4096u);
+  EXPECT_EQ(policy.min_parallel_rows, 8192u);
+  // Queries still work under the custom policy.
+  auto outcome = cluster->ExecuteMal(0, kTable1Plan);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ExpectTable1Result(*outcome);
 }
 
 TEST_F(RuntimeRing, MissingFragmentFailsTheQuery) {
