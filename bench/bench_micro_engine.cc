@@ -1,12 +1,15 @@
 // Micro-benchmarks of the BAT engine operators (M1): select / hash join /
 // merge join / semijoin / sort / group-aggregate throughput, plus the bulk
-// BAT serializer on the ring hot path, and the morsel-parallel engine with a
+// BAT serializer on the ring hot path, the morsel-parallel engine with a
 // workers axis (par_* cases; --workers=N pins one point, --workers=0 sweeps
 // 1/2/4/8; --morsel_rows tunes the stealing granule, --scale shrinks the
-// parallel input for smoke runs).
+// parallel input for smoke runs), and the session query API on a live ring
+// (query_prepared vs query_reparse, --sessions=1/4/16 concurrency axis).
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bat/operators.h"
@@ -15,6 +18,8 @@
 #include "common/flags.h"
 #include "common/random.h"
 #include "exec/executor.h"
+#include "runtime/ring_cluster.h"
+#include "runtime/session.h"
 
 namespace {
 
@@ -193,6 +198,121 @@ int main(int argc, char** argv) {
             total.ok() && per_group.ok() && counts.ok() ? 1.0 : 0.0;
         return rep;
       });
+    }
+  }
+
+  // Query API control path on a live 3-node ring (small fragments, so the
+  // numbers isolate plan preparation + submission + admission cost, not scan
+  // cost): prepared-vs-reparse execution, and a concurrent-sessions axis
+  // (--sessions=N pins one point, default sweeps 1/4/16) where submissions
+  // beyond the per-node admission cap degrade to FIFO queuing.
+  {
+    const auto scale = flags.GetDouble("scale", 1.0);
+    const size_t ring_rows = std::max<size_t>(
+        size_t{1} << 10, static_cast<size_t>(scale * static_cast<double>(1 << 16)));
+    runtime::RingCluster::Options ropts;
+    ropts.num_nodes = 3;
+    ropts.node.load_all_period = FromMillis(2);
+    ropts.node.maintenance_period = FromMillis(10);
+    ropts.node.adapt_period = FromMillis(10);
+    ropts.node.initial_rotation_estimate = FromMillis(5);
+    runtime::RingCluster ring(ropts);
+    {
+      Rng rng(14);
+      std::vector<int32_t> t(ring_rows), c(ring_rows);
+      for (auto& x : t) x = static_cast<int32_t>(rng.UniformInt(0, 1 << 20));
+      for (auto& x : c) x = static_cast<int32_t>(rng.UniformInt(0, 1 << 20));
+      DCY_CHECK_OK(ring.LoadBat(1, "sys.t.id",
+                                Bat::MakeColumn(MakeIntColumn(std::move(t)))));
+      DCY_CHECK_OK(ring.LoadBat(2, "sys.c.t_id",
+                                Bat::MakeColumn(MakeIntColumn(std::move(c)))));
+    }
+    ring.Start();
+
+    const std::string plan_text = R"(
+X1 := sql.bind("sys","t","id",0);
+X2 := sql.bind("sys","c","t_id",0);
+X3 := batcalc.add(X1, X2);
+X4 := aggr.sum(X3);
+)";
+    const int query_iters = std::max(1, static_cast<int>(iters / 4));
+    auto warm = ring.OpenSession(0);
+    DCY_CHECK_OK(warm.status());
+    DCY_CHECK_OK(warm->Execute(plan_text).status());  // hot-set warmup
+
+    harness.Run("query_reparse/" + std::to_string(ring_rows),
+                Params(ring_rows, query_iters), [&] {
+                  double blocked = 0.0;
+                  for (int i = 0; i < query_iters; ++i) {
+                    auto p = ring.Prepare(plan_text, /*optimize=*/true,
+                                          /*use_cache=*/false);
+                    DCY_CHECK_OK(p.status());
+                    auto r = warm->Execute(*p);
+                    DCY_CHECK_OK(r.status());
+                    blocked += r->timing.pin_blocked_seconds;
+                  }
+                  RepResult rep;
+                  rep.items = query_iters;
+                  rep.metrics["pin_blocked_ms_per_query"] = blocked * 1e3 / query_iters;
+                  return rep;
+                });
+
+    auto prepared = ring.Prepare(plan_text);
+    DCY_CHECK_OK(prepared.status());
+    harness.Run("query_prepared/" + std::to_string(ring_rows),
+                Params(ring_rows, query_iters), [&] {
+                  double blocked = 0.0;
+                  for (int i = 0; i < query_iters; ++i) {
+                    auto r = warm->Execute(*prepared);
+                    DCY_CHECK_OK(r.status());
+                    blocked += r->timing.pin_blocked_seconds;
+                  }
+                  RepResult rep;
+                  rep.items = query_iters;
+                  rep.metrics["pin_blocked_ms_per_query"] = blocked * 1e3 / query_iters;
+                  return rep;
+                });
+
+    const int64_t pinned_sessions = flags.GetInt("sessions", 0);
+    std::vector<size_t> session_axis;
+    if (pinned_sessions > 0) {
+      session_axis.push_back(static_cast<size_t>(pinned_sessions));
+    } else {
+      session_axis = {1, 4, 16};
+    }
+    for (size_t s : session_axis) {
+      harness.Run(
+          "concurrent_sessions/" + std::to_string(s),
+          {{"sessions", std::to_string(s)}, {"iters", std::to_string(query_iters)}},
+          [&] {
+            std::vector<std::thread> clients;
+            std::atomic<int> failures{0};
+            for (size_t k = 0; k < s; ++k) {
+              clients.emplace_back([&, k] {
+                auto session = ring.OpenSession(k % ring.num_nodes());
+                if (!session.ok()) {
+                  ++failures;
+                  return;
+                }
+                for (int i = 0; i < query_iters; ++i) {
+                  if (!session->Execute(*prepared).ok()) ++failures;
+                }
+              });
+            }
+            for (auto& t : clients) t.join();
+            DCY_CHECK(failures.load() == 0) << "concurrent sessions failed";
+            uint32_t peak_running = 0, peak_queued = 0;
+            for (core::NodeId n = 0; n < ring.num_nodes(); ++n) {
+              const auto m = ring.NodeAdmissionMetrics(n);
+              peak_running = std::max(peak_running, m.peak_running);
+              peak_queued = std::max(peak_queued, m.peak_queued);
+            }
+            RepResult rep;
+            rep.items = static_cast<double>(s) * query_iters;
+            rep.metrics["peak_running"] = peak_running;
+            rep.metrics["peak_queued"] = peak_queued;
+            return rep;
+          });
     }
   }
 

@@ -1,20 +1,22 @@
-// Quickstart: the paper's §3/§4 walk-through end to end on a live ring.
+// Quickstart: the paper's §3/§4 walk-through end to end on a live ring,
+// driven through the session-based query API.
 //
 // 1. Build a tiny two-table database (sys.t, sys.c) and spread it over a
 //    3-node in-process Data Cyclotron ring (RDMA-emulating channels).
-// 2. Parse the MAL plan of paper Table 1, show the DcOptimizer rewriting it
-//    into paper Table 2 (request/pin/unpin injection).
-// 3. Execute the rewritten plan on a node that owns neither table: the
-//    fragments are requested, circulate clockwise, and the query picks them
-//    up as they flow by.
+// 2. Prepare the MAL plan of paper Table 1 once: the cluster parses it and
+//    the DcOptimizer rewrites it into paper Table 2 (request/pin/unpin
+//    injection); the compiled plan is cached and reusable.
+// 3. Open a session on a node that owns neither table, submit the prepared
+//    plan asynchronously, and read the typed ResultSet: the fragments are
+//    requested, circulate clockwise, and the query picks them up as they
+//    flow by.
 //
 // Run: ./quickstart
 #include <cstdio>
 
 #include "bat/operators.h"
-#include "mal/program.h"
-#include "opt/dc_optimizer.h"
 #include "runtime/ring_cluster.h"
+#include "runtime/session.h"
 
 using namespace dcy;  // NOLINT
 
@@ -41,21 +43,6 @@ end s1_2;
 int main() {
   std::printf("== The paper's SQL: select c.t_id from t, c where c.t_id = t.id ==\n\n");
 
-  auto program = mal::ParseProgram(kPlan);
-  if (!program.ok()) {
-    std::fprintf(stderr, "parse error: %s\n", program.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("-- MAL plan as produced by the SQL front-end (paper Table 1):\n%s\n",
-              program->ToString().c_str());
-
-  auto rewritten = opt::DcOptimize(*program);
-  if (!rewritten.ok()) {
-    std::fprintf(stderr, "optimizer error: %s\n", rewritten.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("-- After the DcOptimizer (paper Table 2):\n%s\n", rewritten->ToString().c_str());
-
   // A 3-node ring; the two tables live on nodes 1 and 2.
   runtime::RingCluster::Options opts;
   opts.num_nodes = 3;
@@ -71,16 +58,46 @@ int main() {
                                                  {2, 3, 3, 5}))));
   ring.Start();
 
-  std::printf("== Executing on node 0 (owns neither table) ==\n");
-  auto outcome = ring.ExecuteMal(0, kPlan, /*optimize=*/true);
-  if (!outcome.ok()) {
-    std::fprintf(stderr, "query failed: %s\n", outcome.status().ToString().c_str());
+  // Prepare once: parse + DcOptimize are paid here, never per execution.
+  auto prepared = ring.Prepare(kPlan);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare error: %s\n", prepared.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", outcome->printed.c_str());
-  std::printf("query %llu finished in %.1f ms; ring moved %.1f KiB of BAT payloads\n",
-              static_cast<unsigned long long>(outcome->query_id),
-              outcome->wall_seconds * 1e3,
+  std::printf("-- MAL plan as submitted (paper Table 1):\n%s\n", kPlan);
+  std::printf("-- After the DcOptimizer (paper Table 2):\n%s\n",
+              (*prepared)->program().ToString().c_str());
+
+  std::printf("== Executing on node 0 (owns neither table) ==\n");
+  auto session = ring.OpenSession(0);
+  DCY_CHECK_OK(session.status());
+
+  // Asynchronous submission: Submit returns a handle immediately; Wait()
+  // blocks until the fragments have flowed by and the plan finished.
+  auto handle = session->Submit(*prepared);
+  DCY_CHECK_OK(handle.status());
+  auto result = handle->Wait();
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Typed results: named columns with row/span accessors, no text parsing.
+  const runtime::ResultSet& rs = result->result;
+  for (size_t c = 0; c < rs.num_columns(); ++c) {
+    std::printf("%s.%s (%s)\n", rs.column(c).table.c_str(), rs.column(c).name.c_str(),
+                rs.column(c).decl_type.c_str());
+  }
+  for (size_t r = 0; r < rs.num_rows(); ++r) {
+    std::printf("  row %zu: %lld\n", r, static_cast<long long>(rs.Int64At(r, 0)));
+  }
+
+  std::printf("\nquery %llu finished in %.1f ms (%.1f ms blocked on ring pins, "
+              "%.1f ms queued); ring moved %.1f KiB of BAT payloads\n",
+              static_cast<unsigned long long>(result->query_id),
+              result->timing.exec_seconds * 1e3,
+              result->timing.pin_blocked_seconds * 1e3,
+              result->timing.queued_seconds * 1e3,
               static_cast<double>(ring.TotalDataBytesMoved()) / 1024.0);
 
   const auto metrics = ring.NodeMetrics(0);
@@ -91,5 +108,12 @@ int main() {
               static_cast<unsigned long long>(metrics.pins_total),
               static_cast<unsigned long long>(metrics.pins_blocked),
               static_cast<unsigned long long>(metrics.deliveries));
+
+  const auto admission = ring.NodeAdmissionMetrics(0);
+  std::printf("node 0 admission: %llu submitted, %llu admitted, peak %u running / "
+              "%u queued\n",
+              static_cast<unsigned long long>(admission.submitted),
+              static_cast<unsigned long long>(admission.admitted),
+              admission.peak_running, admission.peak_queued);
   return 0;
 }

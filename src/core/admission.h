@@ -1,0 +1,37 @@
+// Per-node query admission control: the runtime bounds how many query
+// sessions execute concurrently on one ring node, queuing the rest FIFO so a
+// burst of submissions degrades to waiting instead of oversubscribing the
+// shared executor (the communication-cost argument: keep the ring's
+// bandwidth spent on data, not on thrashing control work).
+#pragma once
+
+#include <cstdint>
+
+namespace dcy::core {
+
+/// \brief Tunables of one node's admission queue.
+struct AdmissionOptions {
+  /// C: queries of this node executing at once. Submissions beyond C wait
+  /// in a FIFO queue until a slot frees up.
+  uint32_t max_concurrent = 4;
+  /// Queue depth bound; a submission arriving with `max_queued` queries
+  /// already waiting is rejected with ResourceExhausted (backpressure).
+  uint32_t max_queued = 1024;
+};
+
+/// \brief Queue-depth metrics of one node's admission queue: monotonic
+/// counters plus an occupancy snapshot. Cheap, always on.
+struct AdmissionMetrics {
+  uint64_t submitted = 0;         ///< Submit() calls accepted into the queue
+  uint64_t admitted = 0;          ///< queries that started executing
+  uint64_t completed = 0;         ///< queries that reached a terminal state
+  uint64_t rejected = 0;          ///< submissions bounced off a full queue
+  uint64_t cancelled_queued = 0;  ///< cancelled before execution started
+  uint64_t timed_out_queued = 0;  ///< deadline expired while still queued
+  uint32_t running = 0;           ///< snapshot: executing right now
+  uint32_t queued = 0;            ///< snapshot: waiting in the FIFO
+  uint32_t peak_running = 0;      ///< high-water mark of `running`
+  uint32_t peak_queued = 0;       ///< high-water mark of `queued`
+};
+
+}  // namespace dcy::core

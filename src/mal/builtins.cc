@@ -151,6 +151,10 @@ Registry BuildGlobalRegistry() {
     if (args.size() != 2) return WrongArgs("sql.exportResult(stream,rs)");
     const auto* rs = std::get_if<ResultSetPtr>(&args[1]);
     if (rs == nullptr) return WrongArgs("sql.exportResult: second arg must be a result set");
+    if (ctx.exported != nullptr) {
+      std::lock_guard<std::mutex> lock(ctx.exported->mu);
+      ctx.exported->result = *rs;
+    }
     if (ctx.out != nullptr) {
       std::ostream& out = *ctx.out;
       for (size_t c = 0; c < (*rs)->columns.size(); ++c) {

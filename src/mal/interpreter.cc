@@ -51,10 +51,22 @@ Result<Datum> Interpreter::ExecInstruction(const Instruction& ins,
   return result;
 }
 
+Result<Datum> Interpreter::Execute(const Program& program, const ExecOptions& options) {
+  if (options.workers <= 1) return RunSequential(program, options);
+  return RunParallel(program, options);
+}
+
 Result<Datum> Interpreter::Run(const Program& program) {
+  return RunSequential(program, ExecOptions{});
+}
+
+Result<Datum> Interpreter::RunSequential(const Program& program,
+                                         const ExecOptions& options) {
   vars_.clear();
+  if (options.params != nullptr) vars_ = *options.params;
   Datum last;
   for (const Instruction& ins : program.instructions) {
+    if (options.cancel != nullptr) DCY_RETURN_NOT_OK(options.cancel->CheckLive());
     DCY_ASSIGN_OR_RETURN(Datum value, ExecInstruction(ins, &vars_));
     if (!ins.ret.empty()) {
       vars_[ins.ret] = value;
@@ -103,8 +115,17 @@ std::vector<std::vector<size_t>> BuildDependencies(const Program& program) {
 }
 
 Result<Datum> Interpreter::RunDataflow(const Program& program, size_t workers) {
-  if (workers <= 1) return Run(program);
+  ExecOptions options;
+  options.workers = workers;
+  return Execute(program, options);
+}
+
+Result<Datum> Interpreter::RunParallel(const Program& program,
+                                       const ExecOptions& options) {
   vars_.clear();
+  if (options.params != nullptr) vars_ = *options.params;
+  const CancelToken* cancel = options.cancel;
+  const size_t workers = options.workers;
 
   const auto deps = BuildDependencies(program);
   const size_t n = program.instructions.size();
@@ -153,6 +174,14 @@ Result<Datum> Interpreter::RunDataflow(const Program& program, size_t workers) {
   };
   pump = [&](std::unique_lock<std::mutex>& lock) {
     while (!flow.ready.empty() && !flow.failed) {
+      if (cancel != nullptr) {
+        Status live = cancel->CheckLive();
+        if (!live.ok()) {
+          flow.failed = true;
+          flow.first_error = live;
+          break;
+        }
+      }
       const size_t i = flow.ready.back();
       flow.ready.pop_back();
       // Copy argument bindings under the lock into a local map.

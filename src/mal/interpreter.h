@@ -5,8 +5,11 @@
 // following the dataflow dependencies", paper §4.1).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <unordered_map>
@@ -18,6 +21,53 @@
 #include "mal/value.h"
 
 namespace dcy::mal {
+
+/// \brief Cooperative cancellation for one query execution. The interpreter
+/// polls it between instructions; blocking builtins (datacyclotron.pin) use
+/// the deadline for bounded waits and are woken by the embedder on Cancel().
+///
+/// Thread-safety: Cancel()/cancelled() are safe from any thread at any time.
+/// The deadline is set once before execution starts (publication through the
+/// submit path) and is read-only afterwards.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// Absolute execution deadline; time_point::max() (the default) disables it.
+  void set_deadline(std::chrono::steady_clock::time_point d) { deadline_ = d; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+  bool has_deadline() const {
+    return deadline_ != std::chrono::steady_clock::time_point::max();
+  }
+  bool expired() const {
+    return has_deadline() && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// OK while the query may keep running; Aborted after Cancel(), TimedOut
+  /// past the deadline.
+  Status CheckLive() const {
+    if (cancelled()) return Status::Aborted("query cancelled");
+    if (expired()) return Status::TimedOut("query deadline expired");
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point deadline_ =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// \brief Capture sink for sql.exportResult: the builtin stores the exported
+/// result set here (in addition to rendering into Context::out when bound),
+/// so embedders get typed columns instead of re-parsing printed text.
+/// Contract: one result set per plan — a plan calling sql.exportResult more
+/// than once surfaces only the last export here (Context::out still receives
+/// every rendering).
+struct ExportSink {
+  std::mutex mu;        ///< dataflow workers may export concurrently
+  ResultSetPtr result;  ///< last exported result set (null = none yet)
+};
 
 /// \brief The Data Cyclotron integration surface of the interpreter: the
 /// three calls the DcOptimizer injects (§4.1). The live runtime implements
@@ -41,6 +91,7 @@ struct Context {
   bat::BatCatalog* catalog = nullptr;  ///< local persistent BATs (sql.bind)
   DcHooks* dc = nullptr;               ///< ring integration; null = local-only
   std::ostream* out = nullptr;         ///< io.stdout sink (null = discard)
+  ExportSink* exported = nullptr;      ///< typed result capture (null = off)
 };
 
 using BuiltinFn = std::function<Result<Datum>(Context&, std::vector<Datum>&)>;
@@ -59,14 +110,32 @@ class Registry {
   std::map<std::string, BuiltinFn> fns_;
 };
 
+/// \brief Per-execution options: dataflow width, cooperative cancellation,
+/// and parameter bindings for prepared plans.
+struct ExecOptions {
+  /// Instructions executing concurrently; <= 1 runs sequentially inline.
+  size_t workers = 1;
+  /// Polled between instructions; a tripped token fails the query with
+  /// Aborted (Cancel) or TimedOut (deadline). Null = never stops.
+  const CancelToken* cancel = nullptr;
+  /// Initial variable bindings: a prepared plan may reference variables it
+  /// never assigns (query parameters); they are seeded from here before the
+  /// first instruction runs. Null = no parameters.
+  const std::unordered_map<std::string, Datum>* params = nullptr;
+};
+
 /// \brief Executes parsed programs.
 class Interpreter {
  public:
   Interpreter(const Registry* registry, Context context)
       : registry_(registry), context_(context) {}
 
-  /// Runs instructions in order. Returns the value of the last assigned
+  /// Runs `program` under `options` (sequentially for workers <= 1, else
+  /// with dataflow parallelism). Returns the value of the last assigned
   /// variable (or nil).
+  Result<Datum> Execute(const Program& program, const ExecOptions& options);
+
+  /// Runs instructions in order (Execute with default options).
   Result<Datum> Run(const Program& program);
 
   /// Runs with dataflow parallelism: up to `workers` instructions execute
@@ -81,6 +150,8 @@ class Interpreter {
   const std::unordered_map<std::string, Datum>& variables() const { return vars_; }
 
  private:
+  Result<Datum> RunSequential(const Program& program, const ExecOptions& options);
+  Result<Datum> RunParallel(const Program& program, const ExecOptions& options);
   Result<Datum> ExecInstruction(const Instruction& ins,
                                 std::unordered_map<std::string, Datum>* vars);
 

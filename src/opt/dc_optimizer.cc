@@ -1,5 +1,7 @@
 #include "opt/dc_optimizer.h"
 
+#include <cstdint>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <vector>
@@ -109,6 +111,22 @@ Result<Program> DcOptimize(const Program& program, const DcOptimizerOptions& opt
     }
   }
   return out;
+}
+
+std::string PlanCacheKey(const std::string& mal_text, bool optimize,
+                         const DcOptimizerOptions& options) {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;  // FNV prime
+  };
+  for (char c : mal_text) mix(static_cast<uint8_t>(c));
+  mix(optimize ? 1 : 0);
+  mix(static_cast<uint8_t>(options.unpin_placement));
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "mal-%zu-%016llx", mal_text.size(),
+                static_cast<unsigned long long>(h));
+  return buf;
 }
 
 }  // namespace dcy::opt

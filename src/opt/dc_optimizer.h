@@ -27,4 +27,13 @@ struct DcOptimizerOptions {
 Result<mal::Program> DcOptimize(const mal::Program& program,
                                 const DcOptimizerOptions& options = {});
 
+/// \brief Stable cache key for a prepared plan: identifies the
+/// (mal_text, optimize, optimizer-options) triple that fully determines the
+/// compiled program, so runtimes can reuse one parse + DcOptimize across
+/// executions and sessions. Conservative: texts differing only in
+/// whitespace/comments hash to different keys (a cache miss, never a wrong
+/// plan). 64-bit FNV-1a plus the input length.
+std::string PlanCacheKey(const std::string& mal_text, bool optimize,
+                         const DcOptimizerOptions& options = {});
+
 }  // namespace dcy::opt

@@ -1,7 +1,9 @@
 #include "runtime/ring_cluster.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <set>
 
 #include "bat/serialize.h"
 #include "common/logging.h"
@@ -26,6 +28,25 @@ SimTime SteadyNowNs() {
       .count();
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// The "schema.table.column" contract of LoadBat: exactly three non-empty
+/// dot-separated parts.
+Status ValidateQualifiedName(const std::string& name) {
+  const size_t d1 = name.find('.');
+  const size_t d2 = d1 == std::string::npos ? std::string::npos : name.find('.', d1 + 1);
+  const bool three_parts = d1 != std::string::npos && d2 != std::string::npos &&
+                           name.find('.', d2 + 1) == std::string::npos;
+  const bool nonempty = three_parts && d1 > 0 && d2 > d1 + 1 && d2 + 1 < name.size();
+  if (!nonempty) {
+    return Status::InvalidArgument("BAT name must be \"schema.table.column\", got \"" +
+                                   name + "\"");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 // ===========================================================================
@@ -34,6 +55,13 @@ SimTime SteadyNowNs() {
 
 class RingCluster::Node final : public core::DcEnv {
  public:
+  /// One submission waiting in (or admitted from) the FIFO admission queue.
+  struct QueuedQuery {
+    std::shared_ptr<internal::QueryState> state;
+    PreparedQueryPtr plan;
+    SubmitOptions options;
+  };
+
   Node(RingCluster* cluster, core::NodeId id)
       : cluster_(cluster),
         id_(id),
@@ -77,6 +105,52 @@ class RingCluster::Node final : public core::DcEnv {
   void Start() {
     stop_.store(false);
     service_ = std::thread([this] { ServiceLoop(); });
+    // The query-runner pool: exactly C threads, created once per Start, so
+    // at most C queries of this node execute concurrently however large the
+    // submission burst (the rest wait in the FIFO). `accepting_` gates
+    // EnqueueQuery so concurrent submits never touch the runners_ vector
+    // while it is being populated; early submissions simply queue until the
+    // runners come up.
+    const uint32_t c = std::max<uint32_t>(1, cluster_->options_.admission.max_concurrent);
+    {
+      std::lock_guard<std::mutex> lock(admission_mu_);
+      runners_stop_ = false;
+      accepting_ = true;
+    }
+    runners_.reserve(c);
+    for (uint32_t i = 0; i < c; ++i) {
+      runners_.emplace_back([this] { QueryRunnerLoop(); });
+    }
+  }
+
+  /// Cancels running queries, fails queued ones, joins the runner pool.
+  /// Must run while the service thread is still alive (running queries
+  /// unwind through Unpin posts to it).
+  void StopRunners() {
+    std::deque<QueuedQuery> abandoned;
+    {
+      std::lock_guard<std::mutex> lock(admission_mu_);
+      runners_stop_ = true;
+      accepting_ = false;
+      abandoned.swap(admission_queue_);
+      admission_.queued = 0;
+      // Abandoned entries are terminal: keep the counters balanced
+      // (submitted == completed + rejected over the node's lifetime).
+      admission_.completed += abandoned.size();
+      admission_.cancelled_queued += abandoned.size();
+      for (const auto& state : running_states_) state->cancel.Cancel();
+    }
+    admission_cv_.notify_all();
+    // Wake every pin blocked on the ring; the woken sessions observe the
+    // cancel flag set above.
+    AbortAllWaiters(Status::Aborted("cluster stopping"));
+    for (auto& t : runners_) {
+      if (t.joinable()) t.join();
+    }
+    runners_.clear();
+    for (auto& item : abandoned) {
+      item.state->Finish(Status::Aborted("cluster stopped before execution"));
+    }
   }
 
   void Stop() {
@@ -106,6 +180,59 @@ class RingCluster::Node final : public core::DcEnv {
     done.get_future().wait();
   }
 
+  // ---- query admission ------------------------------------------------------
+
+  Status EnqueueQuery(QueuedQuery item) {
+    {
+      std::lock_guard<std::mutex> lock(admission_mu_);
+      if (!accepting_ || runners_stop_) {
+        return Status::FailedPrecondition("node " + std::to_string(id_) +
+                                          " is not accepting queries");
+      }
+      if (admission_queue_.size() >= cluster_->options_.admission.max_queued) {
+        ++admission_.rejected;
+        return Status::ResourceExhausted("admission queue full on node " +
+                                         std::to_string(id_));
+      }
+      admission_queue_.push_back(std::move(item));
+      ++admission_.submitted;
+      admission_.queued = static_cast<uint32_t>(admission_queue_.size());
+      admission_.peak_queued = std::max(admission_.peak_queued, admission_.queued);
+    }
+    admission_cv_.notify_one();
+    return Status::OK();
+  }
+
+  core::AdmissionMetrics admission_metrics() const {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    return admission_;
+  }
+
+  /// Fails queued queries whose token tripped (cancel or deadline) without
+  /// waiting for a runner slot: with every slot occupied by long queries, a
+  /// queued submission would otherwise outlive its own deadline unnoticed.
+  /// Runs on the service thread's maintenance tick.
+  void SweepAdmissionQueue() {
+    std::vector<std::pair<QueuedQuery, Status>> expired;
+    {
+      std::lock_guard<std::mutex> lock(admission_mu_);
+      for (auto it = admission_queue_.begin(); it != admission_queue_.end();) {
+        Status live = it->state->cancel.CheckLive();
+        if (live.ok()) {
+          ++it;
+          continue;
+        }
+        if (live.code() == StatusCode::kAborted) ++admission_.cancelled_queued;
+        if (live.code() == StatusCode::kTimedOut) ++admission_.timed_out_queued;
+        ++admission_.completed;
+        expired.emplace_back(std::move(*it), std::move(live));
+        it = admission_queue_.erase(it);
+      }
+      admission_.queued = static_cast<uint32_t>(admission_queue_.size());
+    }
+    for (auto& [item, status] : expired) item.state->Finish(status);
+  }
+
   // ---- query-session support ---------------------------------------------------
 
   /// Registers a waiter resolved by DeliverToQuery/FailQuery.
@@ -119,6 +246,38 @@ class RingCluster::Node final : public core::DcEnv {
   void RemoveWaiter(core::QueryId q, core::BatId b) {
     std::lock_guard<std::mutex> lock(waiters_mu_);
     waiters_.erase({q, b});
+  }
+
+  /// Thread-safe failure injection into one waiter (cancel / deadline); a
+  /// no-op if the delivery already resolved it — whichever side erases the
+  /// entry first wins.
+  void ResolveWaiterWith(core::QueryId q, core::BatId b, Status error) {
+    ResolveWaiter(q, b, std::move(error));
+  }
+
+  /// Fails every outstanding waiter of `query` (cooperative Cancel()).
+  void AbortQueryWaiters(core::QueryId query) {
+    std::vector<std::promise<Result<bat::BatPtr>>> taken;
+    {
+      std::lock_guard<std::mutex> lock(waiters_mu_);
+      auto it = waiters_.lower_bound({query, 0});
+      while (it != waiters_.end() && it->first.first == query) {
+        taken.push_back(std::move(it->second));
+        it = waiters_.erase(it);
+      }
+    }
+    for (auto& p : taken) p.set_value(Status::Aborted("query cancelled"));
+  }
+
+  /// Fails every outstanding waiter (cluster shutdown).
+  void AbortAllWaiters(const Status& error) {
+    std::map<std::pair<core::QueryId, core::BatId>, std::promise<Result<bat::BatPtr>>>
+        taken;
+    {
+      std::lock_guard<std::mutex> lock(waiters_mu_);
+      taken.swap(waiters_);
+    }
+    for (auto& [_, p] : taken) p.set_value(error);
   }
 
   // ---- DcEnv (service thread only) ----------------------------------------------
@@ -255,6 +414,7 @@ class RingCluster::Node final : public core::DcEnv {
       }
       if (now >= next_maintenance) {
         dc_->OnMaintenanceTimer();
+        SweepAdmissionQueue();
         next_maintenance = now + node_opts.maintenance_period;
         did_work = true;
       }
@@ -268,6 +428,57 @@ class RingCluster::Node final : public core::DcEnv {
         std::unique_lock<std::mutex> lock(mailbox_mu_);
         mailbox_cv_.wait_for(lock, std::chrono::microseconds(200));
       }
+    }
+  }
+
+  /// One admission slot: dequeues FIFO, executes (or fails a query whose
+  /// token tripped while it waited), publishes the terminal outcome.
+  void QueryRunnerLoop() {
+    for (;;) {
+      QueuedQuery item;
+      uint64_t seq = 0;
+      {
+        std::unique_lock<std::mutex> lock(admission_mu_);
+        admission_cv_.wait(lock,
+                           [this] { return runners_stop_ || !admission_queue_.empty(); });
+        if (admission_queue_.empty()) {
+          if (runners_stop_) return;
+          continue;  // spurious wake
+        }
+        item = std::move(admission_queue_.front());
+        admission_queue_.pop_front();
+        admission_.queued = static_cast<uint32_t>(admission_queue_.size());
+        ++admission_.running;
+        admission_.peak_running = std::max(admission_.peak_running, admission_.running);
+        ++admission_.admitted;
+        seq = next_admitted_seq_++;
+        running_states_.insert(item.state);
+      }
+
+      const auto admitted_at = std::chrono::steady_clock::now();
+      const Status live = item.state->cancel.CheckLive();
+      Result<QueryResult> outcome = live.ok()
+          ? cluster_->RunQuery(this, *item.plan, item.state.get(), item.options)
+          : Result<QueryResult>(live);
+      if (outcome.ok()) {
+        QueryResult& qr = outcome.value();
+        qr.admitted_seq = seq;
+        qr.timing.queued_seconds =
+            std::chrono::duration<double>(admitted_at - item.state->submitted_at).count();
+        qr.timing.wall_seconds = SecondsSince(item.state->submitted_at);
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(admission_mu_);
+        running_states_.erase(item.state);
+        --admission_.running;
+        ++admission_.completed;
+        if (!live.ok()) {
+          if (live.code() == StatusCode::kAborted) ++admission_.cancelled_queued;
+          if (live.code() == StatusCode::kTimedOut) ++admission_.timed_out_queued;
+        }
+      }
+      item.state->Finish(std::move(outcome));
     }
   }
 
@@ -288,6 +499,17 @@ class RingCluster::Node final : public core::DcEnv {
   std::condition_variable mailbox_cv_;
   std::deque<std::function<void()>> mailbox_;
 
+  // Admission queue + runner pool (guarded by admission_mu_).
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  std::deque<QueuedQuery> admission_queue_;
+  std::set<std::shared_ptr<internal::QueryState>> running_states_;
+  core::AdmissionMetrics admission_;
+  uint64_t next_admitted_seq_ = 0;
+  bool accepting_ = false;  ///< Start() flips it on, StopRunners() off
+  bool runners_stop_ = false;
+  std::vector<std::thread> runners_;
+
   rdma::Buffer current_payload_;
   rdma::BufferPool frame_pool_;  ///< serialization frames for owned loads
   std::vector<rdma::Message> drain_;  ///< service-loop batch receive scratch
@@ -307,30 +529,45 @@ namespace {
 class SessionHooks final : public mal::DcHooks {
  public:
   SessionHooks(RingCluster* cluster, RingCluster::Node* node, bat::BatCatalog* catalog,
-               const std::unordered_map<std::string, core::BatId>* directory,
-               core::QueryId query)
-      : cluster_(cluster), node_(node), catalog_(catalog), directory_(directory),
-        query_(query) {}
+               core::QueryId query, const mal::CancelToken* cancel)
+      : cluster_(cluster), node_(node), catalog_(catalog), query_(query),
+        cancel_(cancel) {}
 
   ~SessionHooks() override {
-    // Release anything the plan failed to unpin (aborted executions).
-    for (const auto& [bat, _] : pinned_) {
-      node_->Post([node = node_, q = query_, bat = bat] { node->dc().Unpin(q, bat); });
+    // Release everything the plan failed to unpin (aborted / cancelled /
+    // timed-out executions): delivered pins drop their cache reference and
+    // bare requests retire their S2 entry, so a dead query leaks neither
+    // memory nor fragment requests that would keep BATs hot.
+    for (const core::BatId bat : requested_) {
+      node_->Post([node = node_, q = query_, bat] { node->dc().Unpin(q, bat); });
     }
+  }
+
+  /// Summed wall time the plan's pins spent blocked on the ring.
+  double blocked_seconds() const {
+    return static_cast<double>(blocked_ns_.load(std::memory_order_relaxed)) * 1e-9;
   }
 
   Result<mal::RequestHandle> Request(const std::string& schema, const std::string& table,
                                      const std::string& column, int64_t) override {
     const std::string name = schema + "." + table + "." + column;
-    auto it = directory_->find(name);
-    if (it == directory_->end()) return Status::NotFound("no fragment named " + name);
-    const core::BatId bat = it->second;
+    DCY_ASSIGN_OR_RETURN(core::BatId bat, cluster_->FindFragment(name));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      requested_.insert(bat);
+    }
     node_->Post([node = node_, q = query_, bat] { node->dc().Request(q, bat); });
     return mal::RequestHandle{bat};
   }
 
   Result<bat::BatPtr> Pin(const mal::RequestHandle& handle) override {
     const core::BatId bat = handle.bat;
+    if (cancel_ != nullptr) DCY_RETURN_NOT_OK(cancel_->CheckLive());
+    {
+      // Defensive pin-without-request still owes an unpin at teardown.
+      std::lock_guard<std::mutex> lock(mu_);
+      requested_.insert(bat);
+    }
     // Register the waiter *before* pinning so a delivery racing the pin
     // cannot be missed.
     auto future = node_->AddWaiter(query_, bat);
@@ -359,7 +596,25 @@ class SessionHooks final : public mal::DcHooks {
       node_->RemoveWaiter(query_, bat);
       value = *quick;
     } else {
-      auto delivered = future.get();  // blocks until the fragment passes
+      // Blocked until the fragment flows by — or the query is cancelled or
+      // runs past its deadline. Cancellation protocol: Cancel() sets the
+      // token *then* aborts this query's waiters, and we re-check the token
+      // only after registering the waiter, so one side always fires.
+      const auto blocked_at = std::chrono::steady_clock::now();
+      if (cancel_ != nullptr) {
+        if (cancel_->cancelled()) {
+          node_->ResolveWaiterWith(query_, bat, Status::Aborted("query cancelled"));
+        } else if (cancel_->has_deadline() &&
+                   future.wait_until(cancel_->deadline()) != std::future_status::ready) {
+          node_->ResolveWaiterWith(query_, bat, cancel_->CheckLive());
+        }
+      }
+      auto delivered = future.get();  // blocks until resolved either way
+      blocked_ns_.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - blocked_at)
+              .count(),
+          std::memory_order_relaxed);
       if (!delivered.ok()) return delivered.status();
       value = *delivered;
     }
@@ -389,6 +644,7 @@ class SessionHooks final : public mal::DcHooks {
         return Status::InvalidArgument("unpin expects a BAT or request handle");
       }
       pinned_.erase(bat);
+      requested_.erase(bat);  // fully released: nothing left for teardown
     }
     node_->Post([node = node_, q = query_, bat] { node->dc().Unpin(q, bat); });
     return Status::OK();
@@ -398,11 +654,13 @@ class SessionHooks final : public mal::DcHooks {
   RingCluster* cluster_;
   RingCluster::Node* node_;
   bat::BatCatalog* catalog_;
-  const std::unordered_map<std::string, core::BatId>* directory_;
   core::QueryId query_;
-  std::mutex mu_;  ///< guards pinned_/by_pointer_ across dataflow workers
+  const mal::CancelToken* cancel_;
+  std::atomic<int64_t> blocked_ns_{0};
+  std::mutex mu_;  ///< guards pinned_/by_pointer_/requested_ across workers
   std::unordered_map<core::BatId, bat::BatPtr> pinned_;
   std::unordered_map<const bat::Bat*, core::BatId> by_pointer_;
+  std::set<core::BatId> requested_;  ///< every fragment this query touched
 };
 
 }  // namespace
@@ -428,8 +686,12 @@ RingCluster::~RingCluster() { Stop(); }
 
 Status RingCluster::LoadBat(core::NodeId owner, const std::string& name, bat::BatPtr bat) {
   if (owner >= options_.num_nodes) return Status::InvalidArgument("bad owner node");
+  if (bat == nullptr) return Status::InvalidArgument("null BAT for " + name);
+  DCY_RETURN_NOT_OK(ValidateQualifiedName(name));
   std::lock_guard<std::mutex> lock(directory_mu_);
-  if (directory_.count(name) > 0) return Status::AlreadyExists(name);
+  if (directory_.count(name) > 0) {
+    return Status::AlreadyExists("fragment \"" + name + "\" is already registered");
+  }
   const core::BatId id = next_bat_.fetch_add(1);
   const uint64_t size = bat->ByteSize();
   DCY_RETURN_NOT_OK(nodes_[owner]->catalog().Register(name, id, std::move(bat)));
@@ -443,6 +705,13 @@ Status RingCluster::LoadBat(core::NodeId owner, const std::string& name, bat::Ba
   return Status::OK();
 }
 
+Result<core::BatId> RingCluster::FindFragment(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(directory_mu_);
+  auto it = directory_.find(name);
+  if (it == directory_.end()) return Status::NotFound("no fragment named " + name);
+  return it->second;
+}
+
 void RingCluster::Start() {
   if (started_.exchange(true)) return;
   // The kernel policy is process-wide (the executor is shared); the last
@@ -454,38 +723,129 @@ void RingCluster::Start() {
 
 void RingCluster::Stop() {
   if (!started_.exchange(false)) return;
+  // Runner pools first (running queries unwind through the still-live
+  // service threads), then the protocol layer.
+  for (auto& node : nodes_) node->StopRunners();
   for (auto& node : nodes_) node->Stop();
 }
 
-Result<QueryOutcome> RingCluster::ExecuteMal(core::NodeId node_id,
-                                             const std::string& mal_text, bool optimize) {
-  if (node_id >= options_.num_nodes) return Status::InvalidArgument("bad node id");
-  if (!started_.load()) return Status::FailedPrecondition("cluster not started");
+// ---- session API ----------------------------------------------------------
 
+Result<Session> RingCluster::OpenSession(core::NodeId node) {
+  if (node >= options_.num_nodes) return Status::InvalidArgument("bad node id");
+  return Session(this, node);
+}
+
+Result<PreparedQueryPtr> RingCluster::Prepare(const std::string& mal_text, bool optimize,
+                                              bool use_cache) {
+  const std::string key = opt::PlanCacheKey(mal_text, optimize);
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      // The 64-bit key is not trusted alone: a hit must carry the same
+      // source text, or a hash collision would silently run the wrong plan.
+      if (it->second->text() == mal_text) {
+        ++plan_cache_stats_.hits;
+        return it->second;
+      }
+      use_cache = false;  // collision: compile fresh, leave the entry alone
+    }
+  }
   DCY_ASSIGN_OR_RETURN(mal::Program program, mal::ParseProgram(mal_text));
   if (optimize) {
     DCY_ASSIGN_OR_RETURN(program, opt::DcOptimize(program));
   }
+  auto prepared =
+      std::make_shared<const PreparedQuery>(mal_text, key, std::move(program), optimize);
+  if (use_cache) {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    ++plan_cache_stats_.misses;  // one parse + DcOptimize actually ran
+    auto [it, inserted] = plan_cache_.emplace(key, prepared);
+    if (inserted) {
+      plan_cache_order_.push_back(key);
+      // Bounded cache: ad-hoc texts (literals inlined instead of params)
+      // must not grow the cache without limit; evict oldest-inserted first.
+      while (plan_cache_.size() > std::max<size_t>(1, options_.plan_cache_capacity)) {
+        plan_cache_.erase(plan_cache_order_.front());
+        plan_cache_order_.pop_front();
+      }
+    }
+    plan_cache_stats_.entries = plan_cache_.size();
+    if (!inserted) return it->second;  // lost a prepare race; share the first
+  }
+  return prepared;
+}
 
-  QueryOutcome outcome;
-  outcome.query_id = next_query_.fetch_add(1);
+Result<QueryHandle> RingCluster::Submit(core::NodeId node_id,
+                                        const PreparedQueryPtr& prepared,
+                                        const SubmitOptions& options) {
+  if (node_id >= options_.num_nodes) return Status::InvalidArgument("bad node id");
+  if (prepared == nullptr) return Status::InvalidArgument("null prepared query");
+  if (!started_.load()) return Status::FailedPrecondition("cluster not started");
+
+  auto state = std::make_shared<internal::QueryState>();
+  state->id = next_query_.fetch_add(1);
+  state->submitted_at = std::chrono::steady_clock::now();
+  if (options.timeout.count() > 0) {
+    state->cancel.set_deadline(state->submitted_at + options.timeout);
+  }
   Node* node = nodes_[node_id].get();
+  state->wake_pins = [node, id = state->id] { node->AbortQueryWaiters(id); };
+  DCY_RETURN_NOT_OK(node->EnqueueQuery({state, prepared, options}));
+  return QueryHandle(state);
+}
 
-  std::ostringstream printed;
-  SessionHooks hooks(this, node, &node->catalog(), &directory_, outcome.query_id);
+Result<QueryResult> RingCluster::RunQuery(Node* node, const PreparedQuery& plan,
+                                          internal::QueryState* state,
+                                          const SubmitOptions& options) {
+  QueryResult qr;
+  qr.query_id = state->id;
+
+  mal::ExportSink exported;
+  SessionHooks hooks(this, node, &node->catalog(), state->id, &state->cancel);
   mal::Context ctx;
   ctx.catalog = &node->catalog();
   ctx.dc = &hooks;
-  ctx.out = &printed;
+  ctx.out = nullptr;  // results are captured typed, not printed
+  ctx.exported = &exported;
+
+  mal::ExecOptions eopts;
+  eopts.workers = options.plan_workers > 0 ? options.plan_workers : options_.plan_workers;
+  eopts.cancel = &state->cancel;
+  eopts.params = options.params.empty() ? nullptr : &options.params;
 
   const auto start = std::chrono::steady_clock::now();
   mal::Interpreter interp(&mal::Registry::Global(), ctx);
-  auto result = interp.RunDataflow(program, options_.plan_workers);
+  auto result = interp.Execute(plan.program(), eopts);
+  qr.timing.exec_seconds = SecondsSince(start);
+  qr.timing.pin_blocked_seconds = hooks.blocked_seconds();
   if (!result.ok()) return result.status();
-  outcome.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  outcome.printed = printed.str();
-  outcome.result = std::move(result).value();
+
+  mal::ResultSetPtr table;
+  {
+    std::lock_guard<std::mutex> lock(exported.mu);
+    table = exported.result;
+  }
+  qr.result = ResultSet::Build(table, std::move(result).value());
+  return qr;
+}
+
+Result<QueryOutcome> RingCluster::ExecuteMal(core::NodeId node_id,
+                                             const std::string& mal_text, bool optimize) {
+  // Compatibility wrapper: one blocking trip through the session path. The
+  // shared plan cache still amortizes the parse + optimize across calls.
+  DCY_ASSIGN_OR_RETURN(PreparedQueryPtr prepared, Prepare(mal_text, optimize));
+  DCY_ASSIGN_OR_RETURN(QueryHandle handle, Submit(node_id, prepared));
+  auto result = handle.Wait();
+  if (!result.ok()) return result.status();
+
+  QueryOutcome outcome;
+  outcome.query_id = result->query_id;
+  outcome.wall_seconds = result->timing.exec_seconds;
+  outcome.pin_blocked_seconds = result->timing.pin_blocked_seconds;
+  outcome.printed = result->result.ToText();
+  outcome.result = result->result.scalar();
   return outcome;
 }
 
@@ -494,6 +854,23 @@ core::DcNodeMetrics RingCluster::NodeMetrics(core::NodeId node) const {
   core::DcNodeMetrics snapshot;
   nodes_[node]->PostSync([&] { snapshot = nodes_[node]->dc().metrics(); });
   return snapshot;
+}
+
+core::AdmissionMetrics RingCluster::NodeAdmissionMetrics(core::NodeId node) const {
+  DCY_CHECK(node < nodes_.size());
+  return nodes_[node]->admission_metrics();
+}
+
+size_t RingCluster::OutstandingRequestEntries(core::NodeId node) const {
+  DCY_CHECK(node < nodes_.size());
+  size_t count = 0;
+  nodes_[node]->PostSync([&] { count = nodes_[node]->dc().requests().size(); });
+  return count;
+}
+
+RingCluster::PlanCacheStats RingCluster::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  return plan_cache_stats_;
 }
 
 uint64_t RingCluster::TotalDataBytesMoved() const {

@@ -4,10 +4,12 @@
 // real MAL plans rewritten by the DcOptimizer.
 //
 // Threading model: each node runs one service thread that owns its DcNode
-// (single-writer, as in the simulator); query sessions run on caller
-// threads and talk to the service thread through a mailbox, blocking in
-// pin() on a future until the fragment flows by — exactly the paper's §4.1
-// execution contract.
+// (single-writer, as in the simulator). Queries enter through the session
+// API (runtime/session.h): Submit() places them in the node's FIFO
+// admission queue and a fixed pool of per-node query runners (created once
+// at Start) executes at most AdmissionOptions::max_concurrent of them at a
+// time, each blocking in pin() on a future until the fragment flows by —
+// exactly the paper's §4.1 execution contract, bounded per node.
 #pragma once
 
 #include <atomic>
@@ -25,20 +27,25 @@
 
 #include "bat/catalog.h"
 #include "common/status.h"
+#include "core/admission.h"
 #include "core/dc_node.h"
 #include "exec/executor.h"
 #include "mal/interpreter.h"
 #include "opt/dc_optimizer.h"
 #include "rdma/channel.h"
+#include "runtime/session.h"
 
 namespace dcy::runtime {
 
-/// \brief Outcome of one query execution on the ring.
+/// \brief Legacy outcome of one blocking ExecuteMal call. New code should
+/// use the session API and its typed QueryResult instead; this struct
+/// survives for the compatibility wrapper.
 struct QueryOutcome {
-  std::string printed;        ///< io.stdout output of the plan
+  std::string printed;        ///< exported result rendered as text
   mal::Datum result;          ///< last assigned variable
   core::QueryId query_id = 0;
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0;  ///< execution wall time (steady_clock)
+  double pin_blocked_seconds = 0.0;  ///< summed blocked-pin wait
 };
 
 /// \brief A complete in-process ring.
@@ -66,6 +73,22 @@ class RingCluster {
     /// applied process-wide at Start(). Concurrent query sessions share the
     /// executor's fixed pool instead of oversubscribing the machine.
     exec::ExecPolicy exec_policy;
+    /// Per-node query admission: at most `admission.max_concurrent` queries
+    /// execute on a node at once; bursts queue FIFO up to
+    /// `admission.max_queued`, beyond which Submit() is rejected.
+    core::AdmissionOptions admission;
+    /// Prepared-plan cache bound (oldest-inserted evicted beyond it), so
+    /// ad-hoc query texts cannot grow the cache without limit.
+    size_t plan_cache_capacity = 1024;
+  };
+
+  /// Shared plan-cache counters: `misses` counts actual parse + DcOptimize
+  /// compilations, so a plan prepared once and executed N times shows
+  /// exactly one miss however many sessions reuse it.
+  struct PlanCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t entries = 0;
   };
 
   explicit RingCluster(Options options);
@@ -74,39 +97,77 @@ class RingCluster {
   RingCluster(const RingCluster&) = delete;
   RingCluster& operator=(const RingCluster&) = delete;
 
-  /// Registers a persistent BAT on `owner` (before or after Start).
-  /// The qualified name must be "schema.table.column".
+  /// Registers a persistent BAT on `owner` (before or after Start). The
+  /// qualified name must be "schema.table.column" (validated); duplicate
+  /// registrations are rejected with AlreadyExists.
   Status LoadBat(core::NodeId owner, const std::string& name, bat::BatPtr bat);
 
-  /// Starts the node service threads.
+  /// Starts the node service threads and query runners.
   void Start();
   /// Stops and joins everything (idempotent; also run by the destructor).
+  /// Queued queries fail with Aborted; running ones are cancelled.
   void Stop();
 
-  /// Parses, DC-optimizes (unless the plan has no sql.bind), and executes a
-  /// MAL plan "at" the given node. Blocking; thread-safe.
+  // ---- the session-based query API (runtime/session.h) --------------------
+
+  /// Opens a client session against `node`.
+  Result<Session> OpenSession(core::NodeId node);
+
+  /// Parse + DcOptimize `mal_text` once; repeated Prepare calls for the same
+  /// text return the cached PreparedQuery (shared across sessions). Pass
+  /// `use_cache = false` to force a fresh compilation (benchmarking).
+  Result<PreparedQueryPtr> Prepare(const std::string& mal_text, bool optimize = true,
+                                   bool use_cache = true);
+
+  /// Asynchronous submission against `node` (see Session::Submit).
+  Result<QueryHandle> Submit(core::NodeId node, const PreparedQueryPtr& prepared,
+                             const SubmitOptions& options = {});
+
+  /// \deprecated Blocking string-in/string-out compatibility wrapper over
+  /// Prepare + Submit + Wait. Parses/optimizes through the shared plan cache
+  /// and runs under the node's admission control; prefer the session API
+  /// (OpenSession / Prepare / Submit) for new code.
   Result<QueryOutcome> ExecuteMal(core::NodeId node, const std::string& mal_text,
                                   bool optimize = true);
+
+  /// Directory lookup: the BAT id registered for "schema.table.column".
+  Result<core::BatId> FindFragment(const std::string& name) const;
 
   uint32_t num_nodes() const { return options_.num_nodes; }
   /// Protocol metrics of a node (snapshot; service thread keeps mutating).
   core::DcNodeMetrics NodeMetrics(core::NodeId node) const;
+  /// Admission-queue metrics of a node (snapshot).
+  core::AdmissionMetrics NodeAdmissionMetrics(core::NodeId node) const;
+  /// Outstanding S2 request entries at a node (snapshot; tests use this to
+  /// assert cancelled queries do not leak fragment requests).
+  size_t OutstandingRequestEntries(core::NodeId node) const;
+  PlanCacheStats plan_cache_stats() const;
   /// Total payload bytes moved clockwise so far.
   uint64_t TotalDataBytesMoved() const;
   const Options& options() const { return options_; }
 
  private:
   friend class Node;
+  friend class Session;
+
+  /// Runs one admitted query on its node (called by the node's runners).
+  Result<QueryResult> RunQuery(Node* node, const PreparedQuery& plan,
+                               internal::QueryState* state, const SubmitOptions& options);
 
   Options options_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  /// Global name -> fragment directory (immutable after LoadBat calls).
-  std::mutex directory_mu_;
+  /// Global name -> fragment directory (guarded by directory_mu_).
+  mutable std::mutex directory_mu_;
   std::unordered_map<std::string, core::BatId> directory_;
   std::unordered_map<core::BatId, uint64_t> sizes_;
   std::atomic<core::BatId> next_bat_{1};
   std::atomic<core::QueryId> next_query_{1};
   std::atomic<bool> started_{false};
+
+  mutable std::mutex plan_cache_mu_;
+  std::unordered_map<std::string, PreparedQueryPtr> plan_cache_;
+  std::deque<std::string> plan_cache_order_;  ///< insertion order (eviction)
+  PlanCacheStats plan_cache_stats_;
 };
 
 }  // namespace dcy::runtime

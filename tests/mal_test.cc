@@ -212,6 +212,74 @@ X4 := aggr.sum(X3);
   EXPECT_DOUBLE_EQ(std::get<double>(interp.variables().at("X4")), 80.0);  // (2+3+3)*10
 }
 
+TEST_F(EngineFixture, ExportSinkCapturesTypedResult) {
+  auto prog = ParseProgram(kTable1Plan);
+  ASSERT_TRUE(prog.ok());
+  ExportSink sink;
+  Context ctx2 = ctx;
+  ctx2.exported = &sink;
+  Interpreter interp(&Registry::Global(), ctx2);
+  ASSERT_TRUE(interp.Run(*prog).ok());
+  ASSERT_NE(sink.result, nullptr);
+  ASSERT_EQ(sink.result->columns.size(), 1u);
+  EXPECT_EQ(sink.result->columns[0].table, "sys.c");
+  EXPECT_EQ(sink.result->columns[0].name, "t_id");
+  EXPECT_EQ(sink.result->columns[0].values->size(), 3u);
+}
+
+TEST_F(EngineFixture, CancelledTokenStopsSequentialExecution) {
+  auto prog = ParseProgram(kTable1Plan);
+  ASSERT_TRUE(prog.ok());
+  CancelToken cancel;
+  cancel.Cancel();
+  ExecOptions opts;
+  opts.cancel = &cancel;
+  Interpreter interp(&Registry::Global(), ctx);
+  auto result = interp.Execute(*prog, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+}
+
+TEST_F(EngineFixture, ExpiredDeadlineStopsDataflowExecution) {
+  auto prog = ParseProgram(kTable1Plan);
+  ASSERT_TRUE(prog.ok());
+  CancelToken cancel;
+  cancel.set_deadline(std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  ExecOptions opts;
+  opts.workers = 4;
+  opts.cancel = &cancel;
+  Interpreter interp(&Registry::Global(), ctx);
+  auto result = interp.Execute(*prog, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimedOut());
+}
+
+TEST_F(EngineFixture, ParameterBindingSeedsFreeVariables) {
+  // LO/HI are parameters: read by the plan, assigned by nobody.
+  auto prog = ParseProgram(R"(
+X1 := sql.bind("sys","c","t_id",0);
+X2 := algebra.select(X1, LO, HI);
+X3 := aggr.count(X2);
+)");
+  ASSERT_TRUE(prog.ok());
+  std::unordered_map<std::string, Datum> params;
+  params["LO"] = Datum(int64_t{2});
+  params["HI"] = Datum(int64_t{3});
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    ExecOptions opts;
+    opts.workers = workers;
+    opts.params = &params;
+    Interpreter interp(&Registry::Global(), ctx);
+    auto result = interp.Execute(*prog, opts);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(std::get<int64_t>(*result), 3);  // rows 2,3,3
+  }
+  // Without the bindings the plan has an undefined variable.
+  Interpreter interp(&Registry::Global(), ctx);
+  EXPECT_EQ(interp.Execute(*prog, ExecOptions{}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
 TEST_F(EngineFixture, DcCallsWithoutRingFail) {
   auto prog = ParseProgram(R"(X1 := datacyclotron.request("sys","t","id",0);)");
   Interpreter interp(&Registry::Global(), ctx);  // ctx.dc == nullptr

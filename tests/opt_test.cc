@@ -161,5 +161,17 @@ TEST(DcOptimizerTest, IdempotentOnRewrittenPlans) {
   EXPECT_TRUE(AlphaEquivalent(once, twice));
 }
 
+TEST(PlanCacheKeyTest, StableAndDiscriminating) {
+  const std::string text = kTable1;
+  // Deterministic: same inputs, same key.
+  EXPECT_EQ(PlanCacheKey(text, true), PlanCacheKey(text, true));
+  // The optimize flag, the optimizer options, and the text all discriminate.
+  EXPECT_NE(PlanCacheKey(text, true), PlanCacheKey(text, false));
+  DcOptimizerOptions after_last_use;
+  after_last_use.unpin_placement = DcOptimizerOptions::UnpinPlacement::kAfterLastUse;
+  EXPECT_NE(PlanCacheKey(text, true), PlanCacheKey(text, true, after_last_use));
+  EXPECT_NE(PlanCacheKey(text, true), PlanCacheKey(text + " ", true));
+}
+
 }  // namespace
 }  // namespace dcy::opt

@@ -1,6 +1,11 @@
 // End-to-end tests of the live multi-threaded ring: real MAL plans rewritten
 // by the DcOptimizer, real BAT payloads circulating over the RDMA-emulating
 // channels, results identical to single-node execution.
+//
+// These tests intentionally keep driving the deprecated ExecuteMal wrapper:
+// it must stay behaviour-identical while routing through the session path
+// (plan cache + admission queue). The session API itself is covered in
+// session_test.cc.
 #include <gtest/gtest.h>
 
 #include <atomic>
