@@ -1,7 +1,9 @@
 // Micro-benchmarks of the BAT engine operators (M1): select / hash join /
 // merge join / semijoin / sort / group-aggregate throughput, plus the bulk
 // BAT serializer on the ring hot path, the morsel-parallel engine with a
-// workers axis (par_* cases; --workers=N pins one point, --workers=0 sweeps
+// workers axis (par_* cases — select/join/aggregate since issue 3;
+// sort/topn, the radix-partitioned join build, and the two-pass string
+// gather since issue 5; --workers=N pins one point, --workers=0 sweeps
 // 1/2/4/8; --morsel_rows tunes the stealing granule, --scale shrinks the
 // parallel input for smoke runs), and the session query API on a live ring
 // (query_prepared vs query_reparse, --sessions=1/4/16 concurrency axis).
@@ -12,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bat/kernels.h"
 #include "bat/operators.h"
 #include "bat/serialize.h"
 #include "bench/harness.h"
@@ -163,6 +166,32 @@ int main(int argc, char** argv) {
     auto build = Reverse(RandomIntBat(par_rows / 4, static_cast<int32_t>(par_rows / 4), 11));
     auto values = RandomIntBat(par_rows, 1 << 20, 12);
     auto gids = RandomIntBat(par_rows, 255, 13);
+    auto sort_input = RandomIntBat(par_rows, 1 << 30, 15);
+    // Sparse 64-bit build keys: the partitioned open-addressing build (a
+    // compact domain would collapse to direct addressing).
+    std::vector<int64_t> build_keys(par_rows);
+    {
+      Rng rng(16);
+      for (auto& k : build_keys) {
+        k = static_cast<int64_t>(rng.UniformU64(0, ~uint64_t{0} >> 1));
+      }
+    }
+    // String gather input: par_rows short strings, gathered in random order.
+    BatPtr str_bat;
+    std::vector<uint32_t> str_idx(par_rows);
+    {
+      Rng rng(17);
+      ColumnBuilder sb(ValType::kStr);
+      std::string s;
+      for (size_t i = 0; i < par_rows; ++i) {
+        s = "v" + std::to_string(rng.UniformU64(0, 1 << 16));
+        sb.AppendString(s);
+      }
+      str_bat = Bat::MakeColumn(sb.Finish());
+      for (auto& x : str_idx) {
+        x = static_cast<uint32_t>(rng.UniformU64(0, par_rows - 1));
+      }
+    }
 
     for (size_t w : axis) {
       exec::ExecPolicy policy;
@@ -196,6 +225,40 @@ int main(int argc, char** argv) {
         rep.items = static_cast<double>(par_rows);
         rep.metrics["sum_ok"] =
             total.ok() && per_group.ok() && counts.ok() ? 1.0 : 0.0;
+        return rep;
+      });
+
+      harness.Run("par_sort" + suffix, ParParams(par_rows, w, morsel_rows), [&] {
+        auto r = Sort(sort_input);
+        RepResult rep;
+        rep.items = static_cast<double>(par_rows);
+        rep.metrics["rows"] = r.ok() ? static_cast<double>((*r)->size()) : -1.0;
+        return rep;
+      });
+
+      harness.Run("par_topn" + suffix, ParParams(par_rows, w, morsel_rows), [&] {
+        auto r = TopN(sort_input, 100, /*descending=*/true);
+        RepResult rep;
+        rep.items = static_cast<double>(par_rows);
+        rep.metrics["rows"] = r.ok() ? static_cast<double>((*r)->size()) : -1.0;
+        return rep;
+      });
+
+      harness.Run("par_join_build" + suffix, ParParams(par_rows, w, morsel_rows), [&] {
+        // Isolates the radix-partitioned hash build (no probe).
+        kernels::PartitionedTable table(build_keys.data(), build_keys.size());
+        RepResult rep;
+        rep.items = static_cast<double>(par_rows);
+        rep.metrics["partitions"] = static_cast<double>(table.partitions());
+        return rep;
+      });
+
+      harness.Run("par_str_gather" + suffix, ParParams(par_rows, w, morsel_rows), [&] {
+        // Two-pass parallel string materialization (size scan + splice).
+        auto col = kernels::Gather(*str_bat->tail(), str_idx.data(), str_idx.size());
+        RepResult rep;
+        rep.items = static_cast<double>(par_rows);
+        rep.metrics["heap_bytes"] = static_cast<double>(col->ByteSize());
         return rep;
       });
     }

@@ -66,10 +66,17 @@ Value Column::GetValue(size_t i) const {
 }
 
 bool Column::IsSorted() const {
+  const int8_t cached = sorted_cache_.load(std::memory_order_acquire);
+  if (cached != kSortedUnknown) return cached != 0;
+  bool sorted = true;
   for (size_t i = 1; i < size_; ++i) {
-    if (CompareRows(*this, i - 1, *this, i) > 0) return false;
+    if (CompareRows(*this, i - 1, *this, i) > 0) {
+      sorted = false;
+      break;
+    }
   }
-  return true;
+  sorted_cache_.store(sorted ? 1 : 0, std::memory_order_release);
+  return sorted;
 }
 
 ColumnBuilder::ColumnBuilder(ValType type) : type_(type) {}

@@ -4,6 +4,7 @@
 // operators (reverse, slice, views) are cheap.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -114,7 +115,16 @@ class Column {
   virtual uint64_t ByteSize() const = 0;
 
   /// True if rows are non-decreasing (used to pick merge algorithms).
+  /// Memoized: the O(n) scan runs once per column; columns are immutable
+  /// after construction, so the cache can never go stale — appends happen
+  /// in ColumnBuilder and produce a fresh column (fresh cache) on Finish.
   bool IsSorted() const;
+
+  /// True once IsSorted() has memoized its answer (regression-test hook for
+  /// the caching behaviour; not meaningful to operators).
+  bool SortednessKnown() const {
+    return sorted_cache_.load(std::memory_order_acquire) != kSortedUnknown;
+  }
 
  protected:
   Column(ColumnKind kind, ValType type, size_t size)
@@ -123,6 +133,12 @@ class Column {
   ValType type_;
   size_t size_;
   ColumnKind kind_;
+
+ private:
+  static constexpr int8_t kSortedUnknown = -1;
+  /// -1 unknown, 0 unsorted, 1 sorted. Concurrent IsSorted() calls may both
+  /// scan, but they store the same answer (benign, race-free via atomics).
+  mutable std::atomic<int8_t> sorted_cache_{kSortedUnknown};
 };
 
 using ColumnPtr = std::shared_ptr<const Column>;

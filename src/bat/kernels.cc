@@ -140,6 +140,54 @@ bool IsContiguous(const uint32_t* idx, size_t n) {
   return true;
 }
 
+namespace {
+
+/// Two-pass parallel string gather: pass 1 sizes every output string and
+/// prefix-sums per-morsel byte totals into base offsets; pass 2 splices
+/// each string into its precomputed slot of a preallocated heap. Offsets
+/// and heap ranges are disjoint across morsels, so the writes need no
+/// coordination, and the produced bytes are identical to the sequential
+/// heap append. Below the parallel threshold the order-carrying builder
+/// append runs unchanged.
+ColumnPtr GatherStr(const StrColumn& sc, const uint32_t* idx, size_t n) {
+  const MorselPlan plan = PlanMorsels(n);
+  if (!plan.parallel) {
+    ColumnBuilder b(ValType::kStr);
+    b.AppendGather(sc, idx, n);
+    return b.Finish();
+  }
+  const uint32_t* offs = sc.offsets().data();
+  // Pass 1: per-morsel payload bytes -> exclusive scan of morsel bases.
+  std::vector<uint64_t> base(plan.morsels + 1, 0);
+  ForEachMorsel(plan, n, [&](size_t m, size_t b, size_t e) {
+    uint64_t bytes = 0;
+    for (size_t i = b; i < e; ++i) bytes += offs[idx[i] + 1] - offs[idx[i]];
+    base[m + 1] = bytes;
+  });
+  for (size_t m = 0; m < plan.morsels; ++m) base[m + 1] += base[m];
+  const uint64_t total = base[plan.morsels];
+  DCY_CHECK(total <= 0xFFFFFFFFull) << "string gather exceeds the 4 GiB heap limit";
+  // Pass 2: parallel splice.
+  std::vector<uint32_t> out_offs(n + 1);
+  out_offs[0] = 0;
+  std::string heap(static_cast<size_t>(total), '\0');
+  char* dst = heap.empty() ? nullptr : &heap[0];
+  const char* src = sc.heap().data();
+  ForEachMorsel(plan, n, [&](size_t m, size_t b, size_t e) {
+    uint64_t cur = base[m];
+    for (size_t i = b; i < e; ++i) {
+      const uint32_t lo = offs[idx[i]];
+      const uint32_t len = offs[idx[i] + 1] - lo;
+      if (len > 0) std::memcpy(dst + cur, src + lo, len);
+      cur += len;
+      out_offs[i + 1] = static_cast<uint32_t>(cur);
+    }
+  });
+  return std::make_shared<StrColumn>(std::move(out_offs), std::move(heap));
+}
+
+}  // namespace
+
 ColumnPtr Gather(const Column& c, const uint32_t* idx, size_t n) {
   switch (c.kind()) {
     case ColumnKind::kDense: {
@@ -153,11 +201,8 @@ ColumnPtr Gather(const Column& c, const uint32_t* idx, size_t n) {
       ForEachRow(PlanMorsels(n), n, [&](size_t i) { o[i] = seq + idx[i]; });
       return std::make_shared<OidColumn>(ValType::kOid, std::move(out));
     }
-    case ColumnKind::kStr: {
-      ColumnBuilder b(ValType::kStr);
-      b.AppendGather(c, idx, n);
-      return b.Finish();
-    }
+    case ColumnKind::kStr:
+      return GatherStr(static_cast<const StrColumn&>(c), idx, n);
     case ColumnKind::kFixed:
       switch (c.type()) {
         case ValType::kOid:
@@ -466,15 +511,25 @@ void ExtractDoubleKeys(const Column& c, std::vector<double>* keys) {
   DCY_FATAL() << "ExtractDoubleKeys on " << ValTypeName(c.type()) << " column";
 }
 
-FlatTable::FlatTable(const std::vector<int64_t>& keys) {
-  const size_t n = keys.size();
+Span<int64_t> Int64KeySpan(const Column& c, std::vector<int64_t>* scratch) {
+  if (c.kind() == ColumnKind::kFixed &&
+      (c.type() == ValType::kOid || c.type() == ValType::kLng)) {
+    // lng verbatim; oid reinterpreted as its signed twin (same bit pattern
+    // ExtractInt64Keys copies, and signed/unsigned views may alias).
+    return {static_cast<const int64_t*>(c.RawData()), c.size()};
+  }
+  ExtractInt64Keys(c, scratch);
+  return {scratch->data(), scratch->size()};
+}
+
+FlatTable::FlatTable(const int64_t* keys, size_t n) {
   next_.assign(n, kNone);
 
   if (n > 0) {
     int64_t min = keys[0], max = keys[0];
-    for (int64_t k : keys) {
-      min = std::min(min, k);
-      max = std::max(max, k);
+    for (size_t j = 1; j < n; ++j) {
+      min = std::min(min, keys[j]);
+      max = std::max(max, keys[j]);
     }
     // Direct addressing when the span costs at most ~4 slots per row (plus
     // slack for tiny builds): the FK-join common case of a compact domain.
@@ -493,6 +548,7 @@ FlatTable::FlatTable(const std::vector<int64_t>& keys) {
     }
   }
 
+  direct_ = false;
   size_t cap = 8;
   while (cap < n * 2) cap <<= 1;  // <= 50% load factor
   mask_ = cap - 1;
@@ -518,6 +574,97 @@ FlatTable::FlatTable(const std::vector<int64_t>& keys) {
       slot = (slot + 1) & mask_;
     }
   }
+}
+
+namespace {
+
+/// Effective radix-partition count for a parallel build of n keys:
+/// explicit ExecPolicy::join_partitions, or 4 per worker so stealing has
+/// slack; rounded down to a power of two and kept coarse (a partition
+/// spans at least a quarter-morsel of rows) so tiny partitions never pay
+/// more scatter than they save.
+size_t EffectivePartitions(size_t n) {
+  const exec::ExecPolicy policy = exec::GetExecPolicy();
+  size_t want = policy.join_partitions;
+  if (want == 0) want = 4 * EffectiveWorkers(policy);
+  const size_t coarse =
+      std::max<size_t>(1, n / std::max<size_t>(1, policy.morsel_rows / 4));
+  want = std::min(std::min(want, coarse), size_t{256});
+  size_t p = 1;
+  while (p * 2 <= want) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+PartitionedTable::PartitionedTable(const int64_t* keys, size_t n) {
+  const MorselPlan plan = PlanMorsels(n);
+  const size_t nparts = plan.parallel ? EffectivePartitions(n) : 1;
+  if (nparts <= 1) {
+    parts_.resize(1);
+    parts_[0].table = FlatTable(keys, n);
+    return;
+  }
+  unsigned log2p = 0;
+  while ((size_t{1} << log2p) < nparts) ++log2p;
+  shift_ = 64 - log2p;
+  parts_.resize(nparts);
+
+  // Pass 1 (parallel): per-morsel partition histograms.
+  std::vector<std::vector<uint32_t>> cursors(plan.morsels);
+  ForEachMorsel(plan, n, [&](size_t m, size_t b, size_t e) {
+    auto& c = cursors[m];
+    c.assign(nparts, 0);
+    for (size_t i = b; i < e; ++i) ++c[PartitionOf(keys[i])];
+  });
+
+  // Exclusive scans turn the histograms into scatter cursors: morsel m's
+  // rows of partition p land at [cursors[m][p], ...) of that partition, so
+  // partition-local row order is ascending original row order.
+  std::vector<std::vector<int64_t>> part_keys(nparts);
+  for (size_t p = 0; p < nparts; ++p) {
+    uint32_t total = 0;
+    for (size_t m = 0; m < plan.morsels; ++m) {
+      const uint32_t count = cursors[m][p];
+      cursors[m][p] = total;
+      total += count;
+    }
+    part_keys[p].resize(total);
+    parts_[p].rows.resize(total);
+  }
+
+  // Pass 2 (parallel): scatter (key, row) pairs into their partitions.
+  ForEachMorsel(plan, n, [&](size_t m, size_t b, size_t e) {
+    auto& cur = cursors[m];
+    for (size_t i = b; i < e; ++i) {
+      const size_t p = PartitionOf(keys[i]);
+      const uint32_t at = cur[p]++;
+      part_keys[p][at] = keys[i];
+      parts_[p].rows[at] = static_cast<uint32_t>(i);
+    }
+  });
+
+  // Pass 3 (parallel over partitions): local FlatTable builds, then splice
+  // each partition's duplicate chains into the global next_ array. Row sets
+  // are disjoint across partitions, so the writes need no coordination, and
+  // ascending local chains map to ascending original rows.
+  next_.resize(n);
+  exec::Executor::Default().ParallelFor(
+      nparts, 1,
+      [&](size_t begin, size_t end) {
+        for (size_t p = begin; p < end; ++p) {
+          Part& part = parts_[p];
+          part.table = FlatTable(part_keys[p].data(), part_keys[p].size());
+          part_keys[p] = {};  // the table borrows keys only during the build
+          const std::vector<uint32_t>& rows = part.rows;
+          for (size_t j = 0; j < rows.size(); ++j) {
+            const uint32_t local_next = part.table.Next(static_cast<uint32_t>(j));
+            next_[rows[j]] =
+                local_next == kNone ? kNone : rows[local_next];
+          }
+        }
+      },
+      plan.workers);
 }
 
 }  // namespace dcy::bat::kernels

@@ -53,8 +53,10 @@ void ForEachMorsel(const MorselPlan& plan, size_t n,
 
 /// out[i] = c[idx[i]] via type-specialized tight loops. A dense oid source
 /// gathered with a contiguous index run collapses back to a dense column
-/// (slices stay materialization-free). Large fixed-width gathers run
-/// morsel-parallel; strings stay sequential (heap append is order-carrying).
+/// (slices stay materialization-free). Large gathers run morsel-parallel;
+/// strings take a two-pass build (parallel size prefix-sum, then parallel
+/// splice into a preallocated heap) whose bytes are identical to the
+/// sequential heap append.
 ColumnPtr Gather(const Column& c, const uint32_t* idx, size_t n);
 
 /// True if idx is a contiguous ascending run (idx[i] == idx[0] + i).
@@ -91,7 +93,22 @@ void ExtractInt64Keys(const Column& c, std::vector<int64_t>* keys);
 /// Adaptive like ExtractInt64Keys.
 void ExtractDoubleKeys(const Column& c, std::vector<double>* keys);
 
+/// Borrowed int64 key view of `c` for hash builds and probes: 8-byte
+/// integer columns (lng, oid) alias their payload directly — no key vector
+/// materialization — and everything else extracts into *scratch with
+/// ExtractInt64Keys semantics (widening, dbl bit-cast, dense iota). The
+/// view is valid while both `c` and *scratch are alive.
+Span<int64_t> Int64KeySpan(const Column& c, std::vector<int64_t>* scratch);
+
 // ---- flat hash table --------------------------------------------------------
+
+/// Shared hash of the flat/partitioned tables. Partitioning consumes the
+/// high bits and open-addressing slots the low bits, so one partition's
+/// keys do not cluster in its bucket array.
+inline uint64_t HashInt64Key(int64_t key) {
+  const uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ULL;
+  return h ^ (h >> 32);
+}
 
 /// \brief Flat multimap from int64 key to the rows holding it, with two
 /// layouts picked at build time:
@@ -107,8 +124,15 @@ class FlatTable {
  public:
   static constexpr uint32_t kNone = 0xFFFFFFFFu;
 
-  /// Builds over `keys` (borrowed for the build only).
-  explicit FlatTable(const std::vector<int64_t>& keys);
+  /// Empty table: every Find misses. Placeholder until a real build is
+  /// move-assigned in (PartitionedTable's partition slots).
+  FlatTable() = default;
+
+  /// Builds over keys[0, n) (borrowed for the build only).
+  FlatTable(const int64_t* keys, size_t n);
+  explicit FlatTable(const std::vector<int64_t>& keys)
+      : FlatTable(keys.data(), keys.size()) {}
+  explicit FlatTable(Span<int64_t> keys) : FlatTable(keys.data, keys.size) {}
 
   /// First row whose key equals `key`, or kNone.
   uint32_t Find(int64_t key) const {
@@ -134,17 +158,71 @@ class FlatTable {
   bool is_direct() const { return direct_; }
 
  private:
-  static uint64_t Hash(int64_t key) {
-    uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ULL;
-    return h ^ (h >> 32);
-  }
+  static uint64_t Hash(int64_t key) { return HashInt64Key(key); }
 
-  bool direct_ = false;
+  // direct_ defaults true so a default-constructed table takes the bounds
+  // check against the empty bucket array and misses — no probe loop on
+  // empty storage.
+  bool direct_ = true;
   int64_t min_ = 0;
   uint64_t mask_ = 0;
   std::vector<uint32_t> bucket_rows_;
   std::vector<int64_t> bucket_keys_;  // open addressing only
   std::vector<uint32_t> next_;
+};
+
+// ---- radix-partitioned hash table -------------------------------------------
+
+/// \brief Radix-partitioned flat multimap: the parallel build of the
+/// hash-join / membership table. Keys split by the high bits of
+/// HashInt64Key into P partitions (P from ExecPolicy::join_partitions,
+/// derived from the worker count when 0): a parallel histogram + scatter
+/// pass routes (key, row) pairs to their partition in ascending row order,
+/// then every partition builds its own FlatTable concurrently on the shared
+/// executor and splices its duplicate chains into one global next_ array.
+/// Probes hash to a partition first, so Find/Next still emit build rows in
+/// ascending order — bit-identical probe output to the single-table build.
+/// Below ExecPolicy::min_parallel_rows (or at one partition/worker) the
+/// build collapses to a single sequential FlatTable with zero indirection.
+class PartitionedTable {
+ public:
+  static constexpr uint32_t kNone = FlatTable::kNone;
+
+  /// Builds over keys[0, n) (borrowed for the build only); partition count
+  /// and parallelism come from the process ExecPolicy.
+  PartitionedTable(const int64_t* keys, size_t n);
+  explicit PartitionedTable(Span<int64_t> keys)
+      : PartitionedTable(keys.data, keys.size) {}
+
+  /// First (lowest) build row whose key equals `key`, or kNone.
+  uint32_t Find(int64_t key) const {
+    const Part& p = parts_[parts_.size() == 1 ? 0 : PartitionOf(key)];
+    const uint32_t local = p.table.Find(key);
+    if (local == kNone) return kNone;
+    return p.rows.empty() ? local : p.rows[local];
+  }
+
+  /// Next build row with the same key after `row` (ascending), or kNone.
+  uint32_t Next(uint32_t row) const {
+    return next_.empty() ? parts_[0].table.Next(row) : next_[row];
+  }
+
+  bool Contains(int64_t key) const { return Find(key) != kNone; }
+
+  size_t partitions() const { return parts_.size(); }
+  bool is_partitioned() const { return parts_.size() > 1; }
+
+ private:
+  struct Part {
+    std::vector<uint32_t> rows;  ///< local -> original row (ascending); empty = identity
+    FlatTable table;             ///< over the partition's local key order
+  };
+
+  size_t PartitionOf(int64_t key) const { return HashInt64Key(key) >> shift_; }
+
+  unsigned shift_ = 63;        ///< 64 - log2(partitions); unused when single
+  std::vector<Part> parts_;
+  std::vector<uint32_t> next_;  ///< global duplicate chains (partitioned only)
 };
 
 }  // namespace kernels

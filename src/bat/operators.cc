@@ -21,11 +21,13 @@
 // Large inputs run morsel-parallel on the shared exec::Executor (see the
 // MorselPlan machinery in bat/kernels.h): hash-join probes and membership
 // filters emit per-morsel match vectors stitched in morsel order (output
-// bit-identical to the sequential pass), and aggregates accumulate
-// thread-local partials merged at the end (integer aggregates exact;
-// floating-point sums associate per-morsel, deterministically for a fixed
-// policy). Inputs below ExecPolicy::min_parallel_rows take the sequential
-// loops unchanged.
+// bit-identical to the sequential pass), hash builds radix-partition into
+// per-partition FlatTables (kernels::PartitionedTable), Sort/TopN run
+// per-morsel sorts/bounded heaps merged under a stable total order, and
+// aggregates accumulate thread-local partials merged at the end (integer
+// aggregates exact; floating-point sums associate per-morsel,
+// deterministically for a fixed policy). Inputs below
+// ExecPolicy::min_parallel_rows take the sequential loops unchanged.
 
 namespace dcy::bat {
 
@@ -33,6 +35,7 @@ namespace {
 
 using kernels::FlatTable;
 using kernels::MorselPlan;
+using kernels::PartitionedTable;
 
 /// Integer family (oid/int/lng/date) members are join-compatible.
 bool IsIntegerFamily(ValType t) {
@@ -65,17 +68,18 @@ BatPtr FilterBySel(const Bat& b, const SelVec& sel) {
                                       p));
 }
 
-/// Like ExtractInt64Keys but doubles convert by value truncation (the
-/// GetInt64 semantics HeadSet membership uses), not by bit pattern.
-void ExtractCastInt64Keys(const Column& c, std::vector<int64_t>* keys) {
+/// Like Int64KeySpan but doubles convert by value truncation (the GetInt64
+/// semantics HeadSet membership and grouped aggregates use), not by bit
+/// pattern. Valid while `c` and *scratch are alive.
+Span<int64_t> CastInt64KeySpan(const Column& c, std::vector<int64_t>* scratch) {
   if (c.kind() == ColumnKind::kFixed && c.type() == ValType::kDbl) {
     const size_t n = c.size();
-    keys->resize(n);
+    scratch->resize(n);
     const auto* d = static_cast<const double*>(c.RawData());
-    for (size_t i = 0; i < n; ++i) (*keys)[i] = static_cast<int64_t>(d[i]);
-    return;
+    for (size_t i = 0; i < n; ++i) (*scratch)[i] = static_cast<int64_t>(d[i]);
+    return {scratch->data(), n};
   }
-  kernels::ExtractInt64Keys(c, keys);
+  return kernels::Int64KeySpan(c, scratch);
 }
 
 /// Three-way compare that treats NaN pairs as equal, exactly like
@@ -193,18 +197,20 @@ BatPtr HashJoinImpl(const Bat& l, const Bat& r) {
     return EmitJoin(l, r, li, ri);
   }
   // Int64 keys: integer families widen, doubles bit-cast (same equality the
-  // scalar reference hash join uses).
-  std::vector<int64_t> rk;
-  kernels::ExtractInt64Keys(*r.head(), &rk);
-  FlatTable table(rk);
-  std::vector<int64_t> lk;
-  kernels::ExtractInt64Keys(*l.tail(), &lk);
-  const MorselPlan plan = kernels::PlanMorsels(lk.size());
+  // scalar reference hash join uses). 8-byte key columns alias their payload
+  // (no key materialization); the build radix-partitions across the executor
+  // at or above min_parallel_rows.
+  std::vector<int64_t> rk_scratch;
+  const PartitionedTable table(kernels::Int64KeySpan(*r.head(), &rk_scratch));
+  std::vector<int64_t> lk_scratch;
+  const Span<int64_t> lk = kernels::Int64KeySpan(*l.tail(), &lk_scratch);
+  const MorselPlan plan = kernels::PlanMorsels(lk.size);
   if (!plan.parallel) {
-    li.reserve(lk.size());  // FK-join guess: ~one match per probe row
-    ri.reserve(lk.size());
-    for (size_t i = 0; i < lk.size(); ++i) {
-      for (uint32_t j = table.Find(lk[i]); j != FlatTable::kNone; j = table.Next(j)) {
+    li.reserve(lk.size);  // FK-join guess: ~one match per probe row
+    ri.reserve(lk.size);
+    for (size_t i = 0; i < lk.size; ++i) {
+      for (uint32_t j = table.Find(lk[i]); j != PartitionedTable::kNone;
+           j = table.Next(j)) {
         li.push_back(static_cast<uint32_t>(i));
         ri.push_back(j);
       }
@@ -215,13 +221,14 @@ BatPtr HashJoinImpl(const Bat& l, const Bat& r) {
   // scan it concurrently; stitching the per-morsel match vectors in morsel
   // order reproduces the sequential probe order exactly.
   std::vector<SelVec> lparts(plan.morsels), rparts(plan.morsels);
-  kernels::ForEachMorsel(plan, lk.size(), [&](size_t m, size_t b, size_t e) {
+  kernels::ForEachMorsel(plan, lk.size, [&](size_t m, size_t b, size_t e) {
     SelVec& lp = lparts[m];
     SelVec& rp = rparts[m];
     lp.reserve(e - b);
     rp.reserve(e - b);
     for (size_t i = b; i < e; ++i) {
-      for (uint32_t j = table.Find(lk[i]); j != FlatTable::kNone; j = table.Next(j)) {
+      for (uint32_t j = table.Find(lk[i]); j != PartitionedTable::kNone;
+           j = table.Next(j)) {
         lp.push_back(static_cast<uint32_t>(i));
         rp.push_back(j);
       }
@@ -254,20 +261,19 @@ Result<SelVec> HeadMembershipSel(const Bat& l, const Bat& r, bool want) {
     }
     return sel;
   }
-  std::vector<int64_t> rk;
-  ExtractCastInt64Keys(*r.head(), &rk);
-  FlatTable table(rk);
-  std::vector<int64_t> lk;
-  ExtractCastInt64Keys(*l.head(), &lk);
-  const MorselPlan plan = kernels::PlanMorsels(lk.size());
+  std::vector<int64_t> rk_scratch;
+  const PartitionedTable table(CastInt64KeySpan(*r.head(), &rk_scratch));
+  std::vector<int64_t> lk_scratch;
+  const Span<int64_t> lk = CastInt64KeySpan(*l.head(), &lk_scratch);
+  const MorselPlan plan = kernels::PlanMorsels(lk.size);
   if (!plan.parallel) {
-    for (size_t i = 0; i < lk.size(); ++i) {
+    for (size_t i = 0; i < lk.size; ++i) {
       if (table.Contains(lk[i]) == want) sel.push_back(static_cast<uint32_t>(i));
     }
     return sel;
   }
   std::vector<SelVec> parts(plan.morsels);
-  kernels::ForEachMorsel(plan, lk.size(), [&](size_t m, size_t b, size_t e) {
+  kernels::ForEachMorsel(plan, lk.size, [&](size_t m, size_t b, size_t e) {
     for (size_t i = b; i < e; ++i) {
       if (table.Contains(lk[i]) == want) parts[m].push_back(static_cast<uint32_t>(i));
     }
@@ -405,9 +411,10 @@ Result<BatPtr> GroupId(const BatPtr& b) {
       gids[i] = it->second;
     }
   } else {
-    // Bit-cast keys (doubles by pattern), one flat array pass.
-    std::vector<int64_t> keys;
-    kernels::ExtractInt64Keys(*b->tail(), &keys);
+    // Bit-cast keys (doubles by pattern), one flat array pass; 8-byte key
+    // columns alias their payload.
+    std::vector<int64_t> scratch;
+    const Span<int64_t> keys = kernels::Int64KeySpan(*b->tail(), &scratch);
     std::unordered_map<int64_t, Oid> groups;
     groups.reserve(n);
     for (size_t i = 0; i < n; ++i) {
@@ -439,11 +446,12 @@ Result<BatPtr> GroupValues(const BatPtr& b) {
       first[g] = static_cast<uint32_t>(i);
     }
   }
-  ColumnBuilder val_out(b->tail_type());
-  val_out.AppendGather(*b->tail(), first.data(), first.size());
+  // Representative-value materialization through the adaptive gather: large
+  // string group domains take the two-pass parallel heap build.
+  ColumnPtr values = kernels::Gather(*b->tail(), first.data(), first.size());
   Bat::Properties p;
   p.hsorted = p.hkey = true;
-  return BatPtr(std::make_shared<Bat>(MakeDenseOid(0, num_groups), val_out.Finish(), p));
+  return BatPtr(std::make_shared<Bat>(MakeDenseOid(0, num_groups), std::move(values), p));
 }
 
 uint64_t Count(const BatPtr& b) { return b->size(); }
@@ -500,13 +508,13 @@ Acc FusedSum(const Column& t) {
   }
   const MorselPlan plan = kernels::PlanMorsels(n);
   if (!plan.parallel) return FusedSumSpan<Acc>(t, 0, n);
-  std::vector<Acc> partials(plan.morsels, Acc{0});
-  kernels::ForEachMorsel(plan, n, [&](size_t m, size_t b, size_t e) {
-    partials[m] = FusedSumSpan<Acc>(t, b, e);
-  });
-  Acc s = 0;
-  for (const Acc p : partials) s += p;
-  return s;
+  return exec::PartitionedReduce<Acc>(
+      plan.morsels, Acc{0},
+      [&](size_t m) {
+        const size_t b = m * plan.grain;
+        return FusedSumSpan<Acc>(t, b, std::min(n, b + plan.grain));
+      },
+      [](Acc& acc, Acc& partial) { acc += partial; }, plan.workers);
 }
 
 /// Grouped aggregates materialize one partial array per morsel; cap the
@@ -589,8 +597,9 @@ Result<BatPtr> SumPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_
   if (values->size() != gids->size()) {
     return Status::InvalidArgument("sumPerGroup: values/gids not aligned");
   }
-  std::vector<int64_t> g;
-  ExtractCastInt64Keys(*gids->tail(), &g);  // GetInt64 semantics: dbl gids truncate
+  std::vector<int64_t> g_scratch;
+  // GetInt64 semantics: dbl gids truncate.
+  const Span<int64_t> g = CastInt64KeySpan(*gids->tail(), &g_scratch);
   std::vector<double> v;
   kernels::ExtractDoubleKeys(*values->tail(), &v);
   std::vector<double> sums(num_groups, 0.0);
@@ -604,24 +613,27 @@ Result<BatPtr> SumPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_
   } else {
     // Thread-local partial sums per morsel, merged in morsel order
     // (deterministic association for a fixed policy).
-    std::vector<std::vector<double>> partials(plan.morsels);
     std::atomic<bool> out_of_range{false};
-    kernels::ForEachMorsel(plan, v.size(), [&](size_t m, size_t b, size_t e) {
-      std::vector<double>& part = partials[m];
-      part.assign(num_groups, 0.0);
-      for (size_t i = b; i < e; ++i) {
-        const auto gi = static_cast<uint64_t>(g[i]);
-        if (gi >= num_groups) {
-          out_of_range.store(true, std::memory_order_relaxed);
-          return;
-        }
-        part[gi] += v[i];
-      }
-    });
+    sums = exec::PartitionedReduce<std::vector<double>>(
+        plan.morsels, std::move(sums),
+        [&](size_t m) {
+          const size_t b = m * plan.grain, e = std::min(v.size(), b + plan.grain);
+          std::vector<double> part(num_groups, 0.0);
+          for (size_t i = b; i < e; ++i) {
+            const auto gi = static_cast<uint64_t>(g[i]);
+            if (gi >= num_groups) {
+              out_of_range.store(true, std::memory_order_relaxed);
+              break;
+            }
+            part[gi] += v[i];
+          }
+          return part;
+        },
+        [&](std::vector<double>& acc, std::vector<double>& part) {
+          for (size_t gi = 0; gi < num_groups; ++gi) acc[gi] += part[gi];
+        },
+        plan.workers);
     if (out_of_range.load()) return Status::OutOfRange("group id out of range");
-    for (const auto& part : partials) {
-      for (size_t gi = 0; gi < num_groups; ++gi) sums[gi] += part[gi];
-    }
   }
   Bat::Properties p;
   p.hsorted = p.hkey = true;
@@ -631,35 +643,39 @@ Result<BatPtr> SumPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_
 }
 
 Result<BatPtr> CountPerGroup(const BatPtr& gids, size_t num_groups) {
-  std::vector<int64_t> g;
-  ExtractCastInt64Keys(*gids->tail(), &g);  // GetInt64 semantics: dbl gids truncate
+  std::vector<int64_t> g_scratch;
+  // GetInt64 semantics: dbl gids truncate.
+  const Span<int64_t> g = CastInt64KeySpan(*gids->tail(), &g_scratch);
   std::vector<int64_t> counts(num_groups, 0);
-  const MorselPlan plan = GroupedAggPlan(g.size(), num_groups);
+  const MorselPlan plan = GroupedAggPlan(g.size, num_groups);
   if (!plan.parallel) {
-    for (size_t i = 0; i < g.size(); ++i) {
+    for (size_t i = 0; i < g.size; ++i) {
       const auto gi = static_cast<uint64_t>(g[i]);
       if (gi >= num_groups) return Status::OutOfRange("group id out of range");
       ++counts[gi];
     }
   } else {
-    std::vector<std::vector<int64_t>> partials(plan.morsels);
     std::atomic<bool> out_of_range{false};
-    kernels::ForEachMorsel(plan, g.size(), [&](size_t m, size_t b, size_t e) {
-      std::vector<int64_t>& part = partials[m];
-      part.assign(num_groups, 0);
-      for (size_t i = b; i < e; ++i) {
-        const auto gi = static_cast<uint64_t>(g[i]);
-        if (gi >= num_groups) {
-          out_of_range.store(true, std::memory_order_relaxed);
-          return;
-        }
-        ++part[gi];
-      }
-    });
+    counts = exec::PartitionedReduce<std::vector<int64_t>>(
+        plan.morsels, std::move(counts),
+        [&](size_t m) {
+          const size_t b = m * plan.grain, e = std::min(g.size, b + plan.grain);
+          std::vector<int64_t> part(num_groups, 0);
+          for (size_t i = b; i < e; ++i) {
+            const auto gi = static_cast<uint64_t>(g[i]);
+            if (gi >= num_groups) {
+              out_of_range.store(true, std::memory_order_relaxed);
+              break;
+            }
+            ++part[gi];
+          }
+          return part;
+        },
+        [&](std::vector<int64_t>& acc, std::vector<int64_t>& part) {
+          for (size_t gi = 0; gi < num_groups; ++gi) acc[gi] += part[gi];
+        },
+        plan.workers);
     if (out_of_range.load()) return Status::OutOfRange("group id out of range");
-    for (const auto& part : partials) {
-      for (size_t gi = 0; gi < num_groups; ++gi) counts[gi] += part[gi];
-    }
   }
   Bat::Properties p;
   p.hsorted = p.hkey = true;
@@ -670,29 +686,171 @@ Result<BatPtr> CountPerGroup(const BatPtr& gids, size_t num_groups) {
 
 namespace {
 
+// ---- parallel stable sort ----------------------------------------------------
+//
+// Sort and TopN run on the executor like the other kernels: per-morsel
+// sorts (or bounded heaps) under a *total* order — the key order with ties
+// broken by ascending position, which is exactly the stable sort order —
+// merged back deterministically. Total ordering is what makes the parallel
+// output bit-identical to std::stable_sort and to the scalar reference.
+
+/// Key order `less` extended with the ascending-position tie-break.
+template <typename Less>
+auto WithPositionTieBreak(const Less& less) {
+  return [less](uint32_t a, uint32_t b) {
+    if (less(a, b)) return true;
+    if (less(b, a)) return false;
+    return a < b;
+  };
+}
+
+/// K-way merge of the per-morsel sorted runs of `idx` (run m spans
+/// [m*grain, min(n, (m+1)*grain))) with a loser tree: one comparison per
+/// tree level per emitted position. `total` must be a total order, so the
+/// merge has a unique result — the globally stable order.
+template <typename TotalLess>
+SelVec MergeSortedRuns(const SelVec& idx, size_t grain, const TotalLess& total) {
+  const size_t n = idx.size();
+  const size_t runs = (n + grain - 1) / grain;
+  size_t cap = 1;
+  while (cap < runs) cap <<= 1;
+  const size_t ghost = cap;  // shared "exhausted" leaf padding [runs, cap)
+  std::vector<size_t> cur(cap + 1, 0), end(cap + 1, 0);
+  for (size_t m = 0; m < runs; ++m) {
+    cur[m] = m * grain;
+    end[m] = std::min(n, cur[m] + grain);
+  }
+  // Does run a's head precede run b's? Exhausted runs lose to everything.
+  auto run_wins = [&](size_t a, size_t b) {
+    if (cur[a] == end[a]) return false;
+    if (cur[b] == end[b]) return true;
+    return total(idx[cur[a]], idx[cur[b]]);
+  };
+  // Build the bracket bottom-up: internal node t keeps the loser of its
+  // subtrees, the winner moves up; loser[0] holds the champion.
+  std::vector<size_t> loser(cap, ghost);
+  {
+    std::vector<size_t> winner(2 * cap, ghost);
+    for (size_t m = 0; m < runs; ++m) winner[cap + m] = m;
+    for (size_t t = cap - 1; t >= 1; --t) {
+      const size_t a = winner[2 * t], b = winner[2 * t + 1];
+      const bool b_wins = run_wins(b, a);
+      winner[t] = b_wins ? b : a;
+      loser[t] = b_wins ? a : b;
+    }
+    loser[0] = winner[1];
+  }
+  SelVec out(n);
+  for (size_t o = 0; o < n; ++o) {
+    const size_t w = loser[0];
+    out[o] = idx[cur[w]++];
+    // Replay w's path: the climber meets exactly the opponents it has to.
+    size_t s = w;
+    for (size_t t = (w + cap) >> 1; t >= 1; t >>= 1) {
+      if (run_wins(loser[t], s)) std::swap(s, loser[t]);
+    }
+    loser[0] = s;
+  }
+  return out;
+}
+
+/// Stable argsort of positions [0, n) under the key order `less`: morsel
+/// sorts on the executor + loser-tree merge at or above the policy
+/// threshold, std::stable_sort below. The position tie-break makes the
+/// per-morsel sort order the stable order, so both paths are bit-identical.
+template <typename Less>
+SelVec ArgSortStable(size_t n, const Less& less) {
+  SelVec idx(n);
+  std::iota(idx.begin(), idx.end(), uint32_t{0});
+  const MorselPlan plan = kernels::PlanMorsels(n);
+  if (!plan.parallel) {
+    std::stable_sort(idx.begin(), idx.end(), less);
+    return idx;
+  }
+  const auto total = WithPositionTieBreak(less);
+  kernels::ForEachMorsel(plan, n, [&](size_t, size_t b, size_t e) {
+    std::sort(idx.begin() + static_cast<ptrdiff_t>(b),
+              idx.begin() + static_cast<ptrdiff_t>(e), total);
+  });
+  if (plan.morsels <= 1) return idx;
+  return MergeSortedRuns(idx, plan.grain, total);
+}
+
+/// First k positions of the stable argsort under `less` (the TopN
+/// contract): a sequential partial_sort below the threshold, per-morsel
+/// bounded heaps merged with one final partial_sort above it — identical
+/// output either way, because both orders are the same total order.
+template <typename Less>
+SelVec TopKPositions(size_t n, size_t k, const Less& less) {
+  const auto total = WithPositionTieBreak(less);
+  const MorselPlan plan = kernels::PlanMorsels(n);
+  // k == 0 must take this branch too: the heap path below peeks at
+  // heap.front() once k candidates are held, which never happens at k = 0.
+  if (!plan.parallel || plan.morsels <= 1 || k == 0 || k >= n) {
+    SelVec idx(n);
+    std::iota(idx.begin(), idx.end(), uint32_t{0});
+    const size_t take = std::min(k, n);
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(take),
+                      idx.end(), total);
+    idx.resize(take);
+    return idx;
+  }
+  // Each morsel keeps its k best in a max-heap (worst at the front); the
+  // union of per-morsel winners is a superset of the global top k.
+  SelVec cands = exec::PartitionedReduce<SelVec>(
+      plan.morsels, SelVec{},
+      [&](size_t m) {
+        const size_t b = m * plan.grain, e = std::min(n, b + plan.grain);
+        SelVec heap;
+        heap.reserve(std::min(k, e - b));
+        for (size_t i = b; i < e; ++i) {
+          const auto pos = static_cast<uint32_t>(i);
+          if (heap.size() < k) {
+            heap.push_back(pos);
+            std::push_heap(heap.begin(), heap.end(), total);
+          } else if (total(pos, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), total);
+            heap.back() = pos;
+            std::push_heap(heap.begin(), heap.end(), total);
+          }
+        }
+        return heap;
+      },
+      [](SelVec& acc, SelVec& part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+      },
+      plan.workers);
+  const size_t take = std::min(k, cands.size());
+  std::partial_sort(cands.begin(), cands.begin() + static_cast<ptrdiff_t>(take),
+                    cands.end(), total);
+  cands.resize(take);
+  return cands;
+}
+
 /// Stable argsort of the tail on raw keys; ascending CompareRows order.
 SelVec SortedPositions(const Column& tail) {
-  SelVec idx(tail.size());
-  std::iota(idx.begin(), idx.end(), uint32_t{0});
+  const size_t n = tail.size();
+  if (tail.kind() == ColumnKind::kDense) {
+    // Already ascending.
+    SelVec idx(n);
+    std::iota(idx.begin(), idx.end(), uint32_t{0});
+    return idx;
+  }
   if (tail.type() == ValType::kStr) {
     const auto& sc = static_cast<const StrColumn&>(tail);
-    std::stable_sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t c) {
-      return sc.GetString(a) < sc.GetString(c);
-    });
-  } else if (tail.type() == ValType::kDbl) {
+    return ArgSortStable(
+        n, [&sc](uint32_t a, uint32_t c) { return sc.GetString(a) < sc.GetString(c); });
+  }
+  if (tail.type() == ValType::kDbl) {
     std::vector<double> keys;
     kernels::ExtractDoubleKeys(tail, &keys);
-    std::stable_sort(idx.begin(), idx.end(),
-                     [&](uint32_t a, uint32_t c) { return keys[a] < keys[c]; });
-  } else if (tail.kind() == ColumnKind::kDense) {
-    // Already ascending.
-  } else {
-    std::vector<int64_t> keys;
-    kernels::ExtractInt64Keys(tail, &keys);
-    std::stable_sort(idx.begin(), idx.end(),
-                     [&](uint32_t a, uint32_t c) { return keys[a] < keys[c]; });
+    const double* kd = keys.data();
+    return ArgSortStable(n, [kd](uint32_t a, uint32_t c) { return kd[a] < kd[c]; });
   }
-  return idx;
+  std::vector<int64_t> scratch;
+  const Span<int64_t> keys = kernels::Int64KeySpan(tail, &scratch);
+  const int64_t* kd = keys.data;
+  return ArgSortStable(n, [kd](uint32_t a, uint32_t c) { return kd[a] < kd[c]; });
 }
 
 }  // namespace
@@ -707,36 +865,35 @@ Result<BatPtr> Sort(const BatPtr& b) {
 }
 
 Result<BatPtr> TopN(const BatPtr& b, size_t n, bool descending) {
-  SelVec idx(b->size());
-  std::iota(idx.begin(), idx.end(), uint32_t{0});
   const size_t k = std::min(n, b->size());
   const Column& tail = *b->tail();
-  auto partial = [&](auto less) {
-    std::partial_sort(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k), idx.end(),
-                      less);
-  };
+  SelVec idx;
+  // The key order per type; ties always break by ascending position (the
+  // stable order), so sequential, parallel, and scalar-reference TopN agree
+  // on duplicate keys.
   if (tail.type() == ValType::kStr) {
     const auto& sc = static_cast<const StrColumn&>(tail);
-    partial([&](uint32_t a, uint32_t c) {
+    idx = TopKPositions(b->size(), k, [&sc, descending](uint32_t a, uint32_t c) {
       const int cmp = sc.GetString(a).compare(sc.GetString(c));
       return descending ? cmp > 0 : cmp < 0;
     });
   } else if (tail.type() == ValType::kDbl) {
     std::vector<double> keys;
     kernels::ExtractDoubleKeys(tail, &keys);
-    partial([&](uint32_t a, uint32_t c) {
-      return descending ? keys[c] < keys[a] : keys[a] < keys[c];
+    const double* kd = keys.data();
+    idx = TopKPositions(b->size(), k, [kd, descending](uint32_t a, uint32_t c) {
+      return descending ? kd[c] < kd[a] : kd[a] < kd[c];
     });
   } else {
-    std::vector<int64_t> keys;
-    kernels::ExtractInt64Keys(tail, &keys);
-    partial([&](uint32_t a, uint32_t c) {
-      return descending ? keys[c] < keys[a] : keys[a] < keys[c];
+    std::vector<int64_t> scratch;
+    const Span<int64_t> keys = kernels::Int64KeySpan(tail, &scratch);
+    const int64_t* kd = keys.data;
+    idx = TopKPositions(b->size(), k, [kd, descending](uint32_t a, uint32_t c) {
+      return descending ? kd[c] < kd[a] : kd[a] < kd[c];
     });
   }
-  idx.resize(k);
   BatPtr out = FilterBySel(*b, idx);
-  // partial_sort permutes rows: the inherited order flags no longer hold.
+  // Top-n permutes rows: the inherited order flags no longer hold.
   // Ascending top-n is genuinely tail-sorted; descending is not.
   Bat::Properties p = out->props();
   p.hsorted = false;

@@ -237,4 +237,19 @@ Result<BatPtr> Sort(const BatPtr& b) {
   return BatPtr(std::make_shared<Bat>(out->head(), out->tail(), p));
 }
 
+Result<BatPtr> TopN(const BatPtr& b, size_t n, bool descending) {
+  std::vector<size_t> idx(b->size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t c) {
+    const int cmp = CompareRows(*b->tail(), a, *b->tail(), c);
+    return descending ? cmp > 0 : cmp < 0;
+  });
+  idx.resize(std::min(n, idx.size()));
+  BatPtr out = FilterByPositions(*b, idx);
+  Bat::Properties p = out->props();
+  p.hsorted = false;
+  p.tsorted = !descending;
+  return BatPtr(std::make_shared<Bat>(out->head(), out->tail(), p));
+}
+
 }  // namespace dcy::bat::scalar

@@ -28,4 +28,10 @@ Result<BatPtr> KUnion(const BatPtr& l, const BatPtr& r);
 /// sort(b): stable ascending sort on the tail.
 Result<BatPtr> Sort(const BatPtr& b);
 
+/// topn(b, n): the first n rows of the stable sort on the tail (descending
+/// reverses the key order but still breaks ties by ascending input
+/// position). The oracle for the engine's sequential and parallel TopN;
+/// the default matches bat::TopN (largest first).
+Result<BatPtr> TopN(const BatPtr& b, size_t n, bool descending = true);
+
 }  // namespace dcy::bat::scalar

@@ -11,6 +11,7 @@ namespace {
 std::atomic<size_t> g_policy_workers{ExecPolicy{}.workers};
 std::atomic<size_t> g_policy_morsel_rows{ExecPolicy{}.morsel_rows};
 std::atomic<size_t> g_policy_min_parallel{ExecPolicy{}.min_parallel_rows};
+std::atomic<size_t> g_policy_join_partitions{ExecPolicy{}.join_partitions};
 
 constexpr size_t kNoIndex = static_cast<size_t>(-1);
 
@@ -26,6 +27,7 @@ ExecPolicy GetExecPolicy() {
   p.workers = g_policy_workers.load(std::memory_order_relaxed);
   p.morsel_rows = g_policy_morsel_rows.load(std::memory_order_relaxed);
   p.min_parallel_rows = g_policy_min_parallel.load(std::memory_order_relaxed);
+  p.join_partitions = g_policy_join_partitions.load(std::memory_order_relaxed);
   return p;
 }
 
@@ -34,6 +36,7 @@ void SetExecPolicy(const ExecPolicy& policy) {
   g_policy_morsel_rows.store(std::max<size_t>(1, policy.morsel_rows),
                              std::memory_order_relaxed);
   g_policy_min_parallel.store(policy.min_parallel_rows, std::memory_order_relaxed);
+  g_policy_join_partitions.store(policy.join_partitions, std::memory_order_relaxed);
 }
 
 Executor::Executor(size_t workers) {

@@ -47,6 +47,12 @@ struct ExecPolicy {
   /// Inputs below this row count take the sequential kernel unchanged, so
   /// small BATs pay zero parallelism overhead.
   size_t min_parallel_rows = 128 * 1024;
+  /// Radix partitions for the parallel hash-table build
+  /// (bat::kernels::PartitionedTable). 0 derives the count from the
+  /// effective worker count; 1 forces the sequential single-table build.
+  /// The build rounds the value down to a power of two and keeps
+  /// partitions coarse relative to morsel_rows.
+  size_t join_partitions = 0;
 };
 
 /// Reads/replaces the process-wide kernel policy (atomic snapshot).
@@ -124,6 +130,9 @@ class Executor {
   size_t workers() const { return num_workers_; }
   ExecutorMetrics metrics() const;
 
+  // (see also exec::PartitionedReduce below — the map/reduce companion of
+  // ParallelFor for kernels that merge per-partition partials.)
+
  private:
   struct WorkerState {
     std::mutex mu;
@@ -154,5 +163,36 @@ class Executor {
   std::atomic<uint64_t> tasks_stolen_{0};
   std::atomic<uint64_t> blocking_sections_{0};
 };
+
+/// Partitioned map/reduce on the shared executor: `map(p)` computes
+/// partition p's partial result (a morsel of a kernel, a radix partition of
+/// a hash build) in parallel — the caller participates, so a saturated pool
+/// degrades to sequential execution — then `reduce(acc, partial)` folds the
+/// partials into `init` on the calling thread in ascending partition order.
+/// The deterministic fold order is the point: floating-point merges
+/// associate identically for a fixed partition count, and order-carrying
+/// merges (duplicate chains, morsel stitches) always see partition 0 first.
+/// T must be default-constructible and movable.
+template <typename T, typename MapFn, typename ReduceFn>
+T PartitionedReduce(size_t parts, T init, const MapFn& map, const ReduceFn& reduce,
+                    size_t max_workers = 0) {
+  if (parts == 0) return init;
+  if (parts == 1 || max_workers == 1) {
+    for (size_t p = 0; p < parts; ++p) {
+      T partial = map(p);
+      reduce(init, partial);
+    }
+    return init;
+  }
+  std::vector<T> partials(parts);
+  Executor::Default().ParallelFor(
+      parts, 1,
+      [&](size_t begin, size_t end) {
+        for (size_t p = begin; p < end; ++p) partials[p] = map(p);
+      },
+      max_workers);
+  for (T& partial : partials) reduce(init, partial);
+  return init;
+}
 
 }  // namespace dcy::exec

@@ -242,10 +242,18 @@ Registry BuildGlobalRegistry() {
   reg.Register("algebra.sort", Unary([](const BatPtr& b) { return bat::Sort(b); }));
 
   reg.Register("algebra.topn", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
-    if (args.size() != 2) return WrongArgs("algebra.topn(bat, n)");
+    if (args.size() != 2 && args.size() != 3) {
+      return WrongArgs("algebra.topn(bat, n[, desc])");
+    }
     DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
     DCY_ASSIGN_OR_RETURN(int64_t n, AsInt(args[1]));
-    auto r = bat::TopN(b, static_cast<size_t>(n));
+    // Two-arg form keeps the historical bat::TopN default: largest first.
+    bool descending = true;
+    if (args.size() == 3) {
+      DCY_ASSIGN_OR_RETURN(int64_t d, AsInt(args[2]));
+      descending = d != 0;
+    }
+    auto r = bat::TopN(b, static_cast<size_t>(n), descending);
     if (!r.ok()) return r.status();
     return Datum(r.value());
   });

@@ -69,8 +69,9 @@ class RingCluster {
     /// Plans run as tasks on the process-wide exec::Executor — no threads
     /// are created per query.
     size_t plan_workers = 4;
-    /// Morsel-parallel kernel policy (workers / morsel_rows / threshold),
-    /// applied process-wide at Start(). Concurrent query sessions share the
+    /// Morsel-parallel kernel policy (workers / morsel_rows / threshold /
+    /// join_partitions for the radix-partitioned hash build), applied
+    /// process-wide at Start(). Concurrent query sessions share the
     /// executor's fixed pool instead of oversubscribing the machine.
     exec::ExecPolicy exec_policy;
     /// Per-node query admission: at most `admission.max_concurrent` queries

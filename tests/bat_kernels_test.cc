@@ -191,6 +191,22 @@ TEST_P(KernelDifferentialTest, SortMatchesScalar) {
   }
 }
 
+TEST_P(KernelDifferentialTest, TopNMatchesScalar) {
+  Rng rng(GetParam() * 48271ULL + 17);
+  for (ValType t : kAllTypes) {
+    for (Shape s : kAllShapes) {
+      const std::string ctx = std::string("topn ") + ValTypeName(t) + " " + ShapeName(s);
+      auto b = RandomBat(t, s, 1 + rng.UniformU64(0, 200), &rng);
+      for (size_t k : {size_t{0}, size_t{1}, size_t{7}, b->size(), b->size() + 5}) {
+        for (bool desc : {false, true}) {
+          ExpectSameResult(TopN(b, k, desc), scalar::TopN(b, k, desc),
+                           ctx + " k" + std::to_string(k) + (desc ? " desc" : " asc"));
+        }
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, KernelDifferentialTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
@@ -401,6 +417,175 @@ TEST_P(ParallelKernelTest, JoinAndMembershipMatchScalarAcrossWorkerCounts) {
       }
     }
   }
+}
+
+TEST_P(ParallelKernelTest, SortAndTopNMatchScalarAcrossWorkerCounts) {
+  for (size_t workers : kParallelWorkerCounts) {
+    exec::ScopedExecPolicy scoped(TinyMorselPolicy(workers));
+    Rng rng(GetParam() * 16807ULL + workers);
+    for (ValType t : kAllTypes) {
+      for (Shape s : kAllShapes) {
+        for (size_t n : kStraddleSizes) {
+          const std::string ctx = std::string("par-sort w") + std::to_string(workers) +
+                                  " n" + std::to_string(n) + " " + ValTypeName(t) + " " +
+                                  ShapeName(s);
+          auto b = RandomBat(t, s, n, &rng);
+          // Morsel sorts + loser-tree merge must reproduce the stable order
+          // exactly, dup-heavy shapes included.
+          ExpectSameResult(Sort(b), scalar::Sort(b), ctx);
+          // TopN k values straddle the morsel size (64) and the total
+          // (k = 0 regression: must not touch the parallel heap path).
+          for (size_t k : {size_t{0}, size_t{1}, size_t{64}, n}) {
+            for (bool desc : {false, true}) {
+              ExpectSameResult(TopN(b, k, desc), scalar::TopN(b, k, desc),
+                               ctx + " k" + std::to_string(k) + (desc ? " desc" : ""));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ParallelKernelTest, PartitionedBuildMatchesScalarAcrossWorkerCounts) {
+  // The radix-partitioned hash build engages when the BUILD side crosses
+  // min_parallel_rows (the probe sweeps above straddle the probe side);
+  // dup-heavy builds exercise the cross-partition duplicate chains.
+  for (size_t workers : kParallelWorkerCounts) {
+    exec::ScopedExecPolicy scoped(TinyMorselPolicy(workers));
+    Rng rng(GetParam() * 1664525ULL + workers);
+    for (ValType t : kAllTypes) {
+      for (Shape s : {Shape::kRandom, Shape::kDupHeavy}) {
+        for (size_t build_n : kStraddleSizes) {
+          const std::string ctx = std::string("par-build w") + std::to_string(workers) +
+                                  " build_n" + std::to_string(build_n) + " " +
+                                  ValTypeName(t) + " " + ShapeName(s);
+          auto l = RandomBat(t, s, 1 + rng.UniformU64(0, 300), &rng);
+          auto r = Reverse(RandomBat(t, s, build_n, &rng));
+          ExpectSameResult(Join(l, r), scalar::Join(l, r), ctx + " join");
+          auto lh = Reverse(RandomBat(t, s, 1 + rng.UniformU64(0, 300), &rng));
+          auto rh = Reverse(RandomBat(t, s, build_n, &rng));
+          ExpectSameResult(SemiJoin(lh, rh), scalar::SemiJoin(lh, rh), ctx + " semijoin");
+          ExpectSameResult(KDiff(lh, rh), scalar::KDiff(lh, rh), ctx + " kdiff");
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ParallelKernelTest, StringGatherTwoPassMatchesSequential) {
+  Rng rng(GetParam() * 22695477ULL + 3);
+  // Strings of varying length (empties included) gathered with repeats and
+  // back-references; sizes straddle the parallel cutoff.
+  std::vector<std::string> pool;
+  for (int i = 0; i < 40; ++i) {
+    pool.push_back(std::string(static_cast<size_t>(rng.UniformInt(0, 12)),
+                               static_cast<char>('a' + (i % 26))));
+  }
+  for (size_t n : kStraddleSizes) {
+    std::vector<std::string> src_rows;
+    for (size_t i = 0; i < n; ++i) {
+      src_rows.push_back(pool[static_cast<size_t>(rng.UniformInt(0, 39))]);
+    }
+    auto src = MakeStrColumn(src_rows);
+    SelVec idx(n);
+    for (auto& x : idx) x = static_cast<uint32_t>(rng.UniformU64(0, n - 1));
+    // Oracle: the order-carrying sequential heap append.
+    ColumnBuilder seq(ValType::kStr);
+    seq.AppendGather(*src, idx.data(), idx.size());
+    auto want = seq.Finish();
+    for (size_t workers : kParallelWorkerCounts) {
+      exec::ScopedExecPolicy scoped(TinyMorselPolicy(workers));
+      auto got = kernels::Gather(*src, idx.data(), idx.size());
+      const std::string ctx =
+          "str-gather w" + std::to_string(workers) + " n" + std::to_string(n);
+      ASSERT_EQ(got->size(), want->size()) << ctx;
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got->GetString(i), want->GetString(i)) << ctx << " row " << i;
+      }
+      // Bit-identical heaps, not just equal views.
+      const auto& gs = static_cast<const StrColumn&>(*got);
+      const auto& ws = static_cast<const StrColumn&>(*want);
+      EXPECT_EQ(gs.heap(), ws.heap()) << ctx;
+      EXPECT_EQ(gs.offsets(), ws.offsets()) << ctx;
+    }
+  }
+}
+
+TEST(ParallelKernelTest, PartitionedTableMatchesFlatTableAndChainsAscend) {
+  exec::ScopedExecPolicy scoped(TinyMorselPolicy(8));
+  Rng rng(99);
+  // Above the 128-row cutoff with a sparse domain: partitioned open
+  // addressing. Duplicate-heavy so chains cross morsel boundaries.
+  std::vector<int64_t> keys(1000);
+  for (auto& k : keys) k = rng.UniformInt(-20, 20) * 1000000007LL;
+  kernels::PartitionedTable pt(keys.data(), keys.size());
+  EXPECT_TRUE(pt.is_partitioned());
+  kernels::FlatTable ft(keys);
+  for (int64_t probe = -25; probe <= 25; ++probe) {
+    const int64_t key = probe * 1000000007LL;
+    std::vector<uint32_t> want, got;
+    for (uint32_t r = ft.Find(key); r != kernels::FlatTable::kNone; r = ft.Next(r)) {
+      want.push_back(r);
+    }
+    for (uint32_t r = pt.Find(key); r != kernels::PartitionedTable::kNone;
+         r = pt.Next(r)) {
+      got.push_back(r);
+    }
+    EXPECT_EQ(got, want) << "key " << key;
+    for (size_t i = 1; i < got.size(); ++i) EXPECT_LT(got[i - 1], got[i]);
+    EXPECT_EQ(pt.Contains(key), ft.Contains(key));
+  }
+}
+
+TEST(ParallelKernelTest, PartitionedTableFallsBackToSingleBelowThreshold) {
+  exec::ScopedExecPolicy scoped(TinyMorselPolicy(8));
+  std::vector<int64_t> keys = {5, 3, 5, 9};  // below min_parallel_rows = 128
+  kernels::PartitionedTable t(keys.data(), keys.size());
+  EXPECT_FALSE(t.is_partitioned());
+  EXPECT_EQ(t.partitions(), 1u);
+  std::vector<uint32_t> rows;
+  for (uint32_t r = t.Find(5); r != kernels::PartitionedTable::kNone; r = t.Next(r)) {
+    rows.push_back(r);
+  }
+  EXPECT_EQ(rows, (std::vector<uint32_t>{0, 2}));
+  EXPECT_FALSE(t.Contains(4));
+}
+
+TEST(ParallelKernelTest, ParallelOperatorsSpawnNoThreads) {
+  // Same contract runtime_test asserts for whole plans: steady-state kernel
+  // traffic executes on the shared pool — zero threads created per call.
+  exec::Executor::Default().workers();  // force pool construction
+  exec::ScopedExecPolicy scoped(TinyMorselPolicy(8));
+  Rng rng(7);
+  auto b = RandomBat(ValType::kLng, Shape::kDupHeavy, 1000, &rng);
+  auto strs = RandomBat(ValType::kStr, Shape::kRandom, 1000, &rng);
+  auto build = Reverse(RandomBat(ValType::kLng, Shape::kDupHeavy, 1000, &rng));
+  const auto before = exec::Executor::Default().metrics();
+  ASSERT_TRUE(Sort(b).ok());
+  ASSERT_TRUE(TopN(b, 10, true).ok());
+  ASSERT_TRUE(Join(b, build).ok());
+  ASSERT_TRUE(Sort(strs).ok());
+  const auto after = exec::Executor::Default().metrics();
+  EXPECT_EQ(after.threads_created, before.threads_created);
+  // (No assertion on tasks_executed: ParallelFor's caller participates, so
+  // on a small pool it may drain every morsel before a helper task runs —
+  // the helpers can still be queued when the operator returns.)
+}
+
+TEST(FlatTableTest, SpanConstructorMatchesVectorConstructor) {
+  const std::vector<int64_t> keys = {7, -3, 7, 1000000007LL, -3};
+  kernels::FlatTable from_vec(keys);
+  kernels::FlatTable from_ptr(keys.data(), keys.size());
+  Span<int64_t> span{keys.data(), keys.size()};
+  kernels::FlatTable from_span(span);
+  for (int64_t k : {int64_t{7}, int64_t{-3}, int64_t{1000000007LL}, int64_t{42}}) {
+    EXPECT_EQ(from_ptr.Find(k), from_vec.Find(k));
+    EXPECT_EQ(from_span.Find(k), from_vec.Find(k));
+  }
+  kernels::FlatTable empty;
+  EXPECT_EQ(empty.Find(0), kernels::FlatTable::kNone);
+  EXPECT_FALSE(empty.Contains(7));
 }
 
 TEST_P(ParallelKernelTest, AggregatesMatchSequentialAcrossWorkerCounts) {

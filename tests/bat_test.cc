@@ -34,6 +34,43 @@ TEST(ColumnTest, DenseOidIsVirtual) {
   EXPECT_TRUE(c->IsSorted());
 }
 
+TEST(ColumnTest, IsSortedIsMemoizedAndAppendsGetFreshCaches) {
+  // The O(n) sortedness scan runs once per column and is cached; columns
+  // are immutable, so the cache can never go stale.
+  auto sorted = MakeLngColumn({1, 2, 2, 3});
+  EXPECT_FALSE(sorted->SortednessKnown());
+  EXPECT_TRUE(sorted->IsSorted());
+  EXPECT_TRUE(sorted->SortednessKnown());
+  EXPECT_TRUE(sorted->IsSorted());  // served from the cache
+
+  auto unsorted = MakeLngColumn({3, 1, 2});
+  EXPECT_FALSE(unsorted->IsSorted());
+  EXPECT_TRUE(unsorted->SortednessKnown());
+  EXPECT_FALSE(unsorted->IsSorted());
+
+  // Regression: appending happens through a builder, and a builder reused
+  // after Finish produces a *new* column whose cache starts unknown — the
+  // sorted verdict of a prefix must never leak into the appended column.
+  ColumnBuilder b(ValType::kLng);
+  b.AppendInt64(1);
+  b.AppendInt64(2);
+  auto first = b.Finish();
+  EXPECT_TRUE(first->IsSorted());
+  b.AppendInt64(5);
+  b.AppendInt64(4);  // appended rows break sortedness
+  auto second = b.Finish();
+  EXPECT_FALSE(second->SortednessKnown());
+  EXPECT_FALSE(second->IsSorted());
+  EXPECT_TRUE(first->IsSorted());  // the finished column is unaffected
+
+  // Degenerate shapes: empty and single-row columns are trivially sorted.
+  EXPECT_TRUE(MakeLngColumn({})->IsSorted());
+  EXPECT_TRUE(MakeLngColumn({7})->IsSorted());
+  auto strs = MakeStrColumn({"a", "b", "b"});
+  EXPECT_TRUE(strs->IsSorted());
+  EXPECT_TRUE(strs->SortednessKnown());
+}
+
 TEST(ColumnTest, StringColumn) {
   auto c = MakeStrColumn({"alpha", "", "gamma"});
   EXPECT_EQ(c->size(), 3u);

@@ -23,12 +23,46 @@ TEST(ExecPolicyTest, SetAndGetRoundTrip) {
   p.workers = 7;
   p.morsel_rows = 1234;
   p.min_parallel_rows = 999;
+  p.join_partitions = 32;
   SetExecPolicy(p);
   const ExecPolicy got = GetExecPolicy();
   EXPECT_EQ(got.workers, 7u);
   EXPECT_EQ(got.morsel_rows, 1234u);
   EXPECT_EQ(got.min_parallel_rows, 999u);
+  EXPECT_EQ(got.join_partitions, 32u);
   SetExecPolicy(saved);
+}
+
+TEST(PartitionedReduceTest, SumsEveryPartitionExactlyOnce) {
+  for (size_t workers : {size_t{1}, size_t{4}}) {
+    const size_t parts = 37;
+    const int64_t got = PartitionedReduce<int64_t>(
+        parts, int64_t{100},
+        [](size_t p) { return static_cast<int64_t>(p); },
+        [](int64_t& acc, int64_t& partial) { acc += partial; }, workers);
+    EXPECT_EQ(got, 100 + 37 * 36 / 2) << "workers=" << workers;
+  }
+}
+
+TEST(PartitionedReduceTest, FoldsInAscendingPartitionOrder) {
+  // The fold must see partition 0 first however the maps were scheduled —
+  // the property order-carrying merges (chains, morsel stitches) rely on.
+  const size_t parts = 19;
+  std::vector<size_t> order = PartitionedReduce<std::vector<size_t>>(
+      parts, std::vector<size_t>{},
+      [](size_t p) { return std::vector<size_t>{p}; },
+      [](std::vector<size_t>& acc, std::vector<size_t>& partial) {
+        acc.insert(acc.end(), partial.begin(), partial.end());
+      },
+      /*max_workers=*/4);
+  ASSERT_EQ(order.size(), parts);
+  for (size_t p = 0; p < parts; ++p) EXPECT_EQ(order[p], p);
+}
+
+TEST(PartitionedReduceTest, ZeroPartsReturnsInit) {
+  const int got = PartitionedReduce<int>(
+      0, 42, [](size_t) { return 1; }, [](int& acc, int& p) { acc += p; });
+  EXPECT_EQ(got, 42);
 }
 
 TEST(ExecPolicyTest, ScopedOverrideRestores) {

@@ -200,6 +200,28 @@ X6 := aggr.count(X1);
   EXPECT_EQ(counts->tail()->GetInt64(1), 2);  // value 3
 }
 
+TEST_F(EngineFixture, TopNBuiltinTakesOptionalDescendingFlag) {
+  auto prog = ParseProgram(R"(
+X1 := sql.bind("sys","c","t_id",0);
+X2 := algebra.topn(X1, 2);
+X3 := algebra.topn(X1, 2, 0);
+X4 := algebra.topn(X1, 2, 1);
+)");
+  ASSERT_TRUE(prog.ok());
+  Interpreter interp(&Registry::Global(), ctx);
+  ASSERT_TRUE(interp.Run(*prog).ok());
+  // Two-arg form keeps the historical default: largest first.
+  const auto& legacy = std::get<bat::BatPtr>(interp.variables().at("X2"));
+  ASSERT_EQ(legacy->size(), 2u);
+  EXPECT_GE(legacy->tail()->GetInt64(0), legacy->tail()->GetInt64(1));
+  const auto& asc = std::get<bat::BatPtr>(interp.variables().at("X3"));
+  ASSERT_EQ(asc->size(), 2u);
+  EXPECT_LE(asc->tail()->GetInt64(0), asc->tail()->GetInt64(1));
+  const auto& desc = std::get<bat::BatPtr>(interp.variables().at("X4"));
+  ASSERT_EQ(desc->size(), 2u);
+  EXPECT_GE(desc->tail()->GetInt64(0), desc->tail()->GetInt64(1));
+}
+
 TEST_F(EngineFixture, SelectAndArithPipeline) {
   auto prog = ParseProgram(R"(
 X1 := sql.bind("sys","c","t_id",0);
