@@ -1,34 +1,72 @@
-// Reproduces paper Table 4 (§5.4): TPC-H SF-5 trace-driven scale-out.
+// Reproduces the workload of paper Table 4 (§5.4) as a *live* suite: TPC-H
+// microdata is generated at --scale, loaded into a real ring as BAT
+// fragments, and Q1/Q3/Q5/Q6/Q10 run end to end from SQL text — lexer,
+// parser, analyzer and MAL plan builder, then the DcOptimizer's
+// request/pin/unpin rewrite and the ring protocol — with every result
+// checked against an independently computed answer (plain C++ loops over
+// the generated tuples, no engine code).
 //
-//   #nodes  exec(sec)  throughput  throughP/node  CPU%
-//
-// Rows: a "MonetDB" baseline (single node with real-DBMS thread overhead
-// emulated as CPU inflation), then rings of 1..8 nodes, 1200 queries per
-// node at 8 q/s, 4 cores per node. Expected shape: throughput scales with
-// nodes at ~constant throughput/node, while exec time grows mildly and
-// CPU%% decays from ~99% towards ~85% as data-access latency rises.
+// Reported per query: wall time, compute vs ring split (exec_seconds vs
+// pin_blocked_seconds), result rows, and validation status. The process
+// exits non-zero on any result mismatch, so CI smoke runs double as a
+// correctness gate for the SQL front end.
+#include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "bench/harness.h"
-#include "bench/simdc_metrics.h"
 #include "common/flags.h"
-#include "simdc/experiments.h"
+#include "runtime/ring_cluster.h"
+#include "runtime/session.h"
+#include "workload/tpch_data.h"
 
-using namespace dcy;         // NOLINT
-using namespace dcy::simdc;  // NOLINT
+using namespace dcy;  // NOLINT
 
 namespace {
 
-dcy::bench::RepResult RepFromRow(const TpchRow& row, uint32_t queries) {
-  dcy::bench::RepResult rep;
-  rep.items = static_cast<double>(queries) * row.num_nodes;
-  rep.metrics["exec_sec"] = row.exec_sec;
-  rep.metrics["tpch_throughput"] = row.throughput;
-  rep.metrics["tpch_throughput_per_node"] = row.throughput_per_node;
-  rep.metrics["cpu_percent"] = row.cpu_percent;
-  rep.metrics["drained"] = row.drained ? 1.0 : 0.0;
-  return rep;
+std::string Fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+bool ValuesMatch(const bat::Value& got, const bat::Value& want) {
+  if (want.type == bat::ValType::kStr) {
+    return got.type == bat::ValType::kStr && got.s == want.s;
+  }
+  if (want.type == bat::ValType::kDbl) {
+    const double g = got.AsDouble(), w = want.AsDouble();
+    // Sums of ~1e5 cent-quantized terms: tolerate reassociation error.
+    return std::fabs(g - w) <= 1e-6 * std::max(1.0, std::max(std::fabs(g), std::fabs(w)));
+  }
+  return got.AsInt64() == want.AsInt64();
+}
+
+/// Compares a live result against the reference; prints the first
+/// divergence (or a row-count mismatch) on failure.
+bool Validate(int q, const runtime::ResultSet& got, const workload::TpchAnswer& want) {
+  if (got.num_columns() != want.names.size()) {
+    std::fprintf(stderr, "Q%d: got %zu columns, want %zu\n", q, got.num_columns(),
+                 want.names.size());
+    return false;
+  }
+  if (got.num_rows() != want.rows.size()) {
+    std::fprintf(stderr, "Q%d: got %zu rows, want %zu\n", q, got.num_rows(),
+                 want.rows.size());
+    return false;
+  }
+  for (size_t r = 0; r < want.rows.size(); ++r) {
+    for (size_t c = 0; c < want.names.size(); ++c) {
+      const bat::Value g = got.ValueAt(r, c);
+      if (!ValuesMatch(g, want.rows[r][c])) {
+        std::fprintf(stderr, "Q%d: row %zu column %zu (%s): got %s, want %s\n", q, r, c,
+                     want.names[c].c_str(), g.ToString().c_str(),
+                     want.rows[r][c].ToString().c_str());
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -37,48 +75,90 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   bench::Harness harness("table4_tpch", argc, argv, /*default_repeats=*/1,
                          /*default_warmup=*/0);
-  // Default scale: 300 queries/node (paper: 1200) for bench-suite runtimes.
-  const uint32_t queries = static_cast<uint32_t>(flags.GetInt("queries_per_node", 300));
-  const uint32_t max_nodes = static_cast<uint32_t>(flags.GetInt("max_nodes", 8));
-  const double monetdb_inflation = flags.GetDouble("monetdb_inflation", 420.0 / 317.0);
+  const double scale = flags.GetDouble("scale", 0.1);
+  const uint32_t nodes = static_cast<uint32_t>(flags.GetInt("nodes", 3));
+  const uint32_t iters = static_cast<uint32_t>(flags.GetInt("iters", 2));
+  const size_t workers = static_cast<size_t>(flags.GetInt("workers", 4));
 
-  std::printf("# Table 4 -- TPC-H SF-5 (synthetic traces, %u queries/node @ 8 q/s, "
-              "4 cores/node)\n", queries);
-  std::printf("%-8s %9s %12s %16s %7s\n", "#nodes", "exec(sec)", "throughput",
-              "throughP/node", "CPU%");
+  std::printf("# Table 4 -- live TPC-H at scale %.3f: SQL -> MAL -> %u-node ring\n",
+              scale, nodes);
+  const workload::TpchData data = workload::GenerateTpchData(scale);
+  std::printf("generated %zu lineitem / %zu orders / %zu customer rows\n",
+              data.lineitem.rows(), data.orders.rows(), data.customer.rows());
 
+  runtime::RingCluster::Options opts;
+  opts.num_nodes = nodes;
+  opts.plan_workers = workers;
+  opts.node.load_all_period = FromMillis(2);
+  opts.node.maintenance_period = FromMillis(10);
+  opts.node.adapt_period = FromMillis(10);
+  opts.node.initial_rotation_estimate = FromMillis(5);
+  runtime::RingCluster ring(opts);
   {
-    // "MonetDB": single node, operator times inflated by the measured
-    // real-DBMS factor; only useful work counts towards CPU%.
-    TpchExperimentOptions opts;
-    opts.num_nodes = 1;
-    opts.tpch.queries_per_node = queries;
-    opts.tpch.cpu_inflation = monetdb_inflation;
-    TpchRow row;
-    harness.Run("monetdb_baseline",
-                {{"nodes", "1"},
-                 {"queries_per_node", std::to_string(queries)},
-                 {"cpu_inflation", bench::Fmt("%.3f", monetdb_inflation)}},
+    core::NodeId owner = 0;
+    for (auto& [name, b] : workload::TpchBats(data)) {
+      DCY_CHECK_OK(ring.LoadBat(owner, name, std::move(b)));
+      owner = (owner + 1) % nodes;
+    }
+  }
+  ring.Start();
+  auto session_or = ring.OpenSession(0);
+  DCY_CHECK_OK(session_or.status());
+  runtime::Session session = *session_or;
+
+  int failures = 0;
+  for (int q : workload::TpchSqlQueries()) {
+    const std::string sql = workload::TpchQuerySql(q);
+    const workload::TpchAnswer want = workload::TpchReferenceAnswer(data, q);
+
+    // Language auto-detection routes the text through the SQL compiler; the
+    // second Prepare of the same text must be a shared-plan-cache hit.
+    const auto before = ring.plan_cache_stats();
+    auto prepared = session.Prepare(sql);
+    DCY_CHECK_OK(prepared.status());
+    auto again = session.Prepare(sql);
+    DCY_CHECK_OK(again.status());
+    const auto after = ring.plan_cache_stats();
+    if (again.value() != prepared.value() || after.hits <= before.hits) {
+      std::fprintf(stderr, "Q%d: second Prepare missed the plan cache\n", q);
+      ++failures;
+    }
+
+    double exec_sec = 0, pin_sec = 0;
+    size_t rows = 0;
+    bool ok = true;
+    harness.Run("q" + std::to_string(q),
+                {{"scale", Fmt("%.3f", scale)},
+                 {"nodes", std::to_string(nodes)},
+                 {"iters", std::to_string(iters)}},
                 [&] {
-                  row = RunTpchExperiment(opts);
-                  return RepFromRow(row, queries);
+                  bench::RepResult rep;
+                  exec_sec = pin_sec = 0;
+                  for (uint32_t i = 0; i < iters; ++i) {
+                    auto result = session.Execute(*prepared);
+                    DCY_CHECK_OK(result.status());
+                    ok = ok && Validate(q, result->result, want);
+                    exec_sec += result->timing.exec_seconds;
+                    pin_sec += result->timing.pin_blocked_seconds;
+                    rows = result->result.num_rows();
+                  }
+                  rep.items = iters;
+                  rep.metrics["rows"] = static_cast<double>(rows);
+                  rep.metrics["exec_sec"] = exec_sec / iters;
+                  rep.metrics["pin_blocked_sec"] = pin_sec / iters;
+                  rep.metrics["validated"] = ok ? 1.0 : 0.0;
+                  return rep;
                 });
-    std::printf("%s\n", FormatTpchRow(row).c_str());
+    if (!ok) ++failures;
+    std::printf("Q%-2d %6zu rows  %8.2f ms compute  %8.2f ms ring-blocked  %s\n", q,
+                rows, 1e3 * exec_sec / iters, 1e3 * pin_sec / iters,
+                ok ? "validated" : "MISMATCH");
   }
 
-  for (uint32_t nodes = 1; nodes <= max_nodes; ++nodes) {
-    TpchExperimentOptions opts;
-    opts.num_nodes = nodes;
-    opts.tpch.queries_per_node = queries;
-    TpchRow row;
-    harness.Run("ring_" + std::to_string(nodes) + "_nodes",
-                {{"nodes", std::to_string(nodes)},
-                 {"queries_per_node", std::to_string(queries)}},
-                [&] {
-                  row = RunTpchExperiment(opts);
-                  return RepFromRow(row, queries);
-                });
-    std::printf("%s\n", FormatTpchRow(row).c_str());
-  }
-  return harness.Finish();
+  const auto cache = ring.plan_cache_stats();
+  std::printf("plan cache: %llu compilations, %llu hits\n",
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.hits));
+  const int rc = harness.Finish();
+  return failures > 0 ? 1 : rc;
 }

@@ -399,6 +399,65 @@ Result<BatPtr> USelect(const BatPtr& b, const Value& v) {
   return BatPtr(std::make_shared<Bat>(selected->head(), MakeDenseOid(0, selected->size()), p));
 }
 
+namespace {
+
+template <typename Get, typename Pred>
+void ThetaLoop(size_t n, const Get& get, const Pred& pred, SelVec* sel) {
+  for (size_t i = 0; i < n; ++i) {
+    if (pred(get(i))) sel->push_back(static_cast<uint32_t>(i));
+  }
+}
+
+/// One pass per predicate shape, branch hoisted out of the loop.
+template <typename T, typename Get>
+void ThetaDispatch(size_t n, CmpOp op, const T& pivot, const Get& get, SelVec* sel) {
+  switch (op) {
+    case CmpOp::kEq:
+      ThetaLoop(n, get, [&](const auto& x) { return x == pivot; }, sel);
+      break;
+    case CmpOp::kNe:
+      ThetaLoop(n, get, [&](const auto& x) { return x != pivot; }, sel);
+      break;
+    case CmpOp::kLt:
+      ThetaLoop(n, get, [&](const auto& x) { return x < pivot; }, sel);
+      break;
+    case CmpOp::kLe:
+      ThetaLoop(n, get, [&](const auto& x) { return x <= pivot; }, sel);
+      break;
+    case CmpOp::kGt:
+      ThetaLoop(n, get, [&](const auto& x) { return x > pivot; }, sel);
+      break;
+    case CmpOp::kGe:
+      ThetaLoop(n, get, [&](const auto& x) { return x >= pivot; }, sel);
+      break;
+  }
+}
+
+}  // namespace
+
+Result<BatPtr> ThetaSelect(const BatPtr& b, const Value& v, CmpOp op) {
+  if (op == CmpOp::kEq) return Select(b, v);  // adaptive equality kernel
+  const size_t n = b->size();
+  const Column& t = *b->tail();
+  SelVec keep;
+  if (t.type() == ValType::kStr) {
+    if (v.type != ValType::kStr) {
+      return Status::InvalidArgument("thetaselect: string column vs non-string value");
+    }
+    const std::string_view pivot = v.s;
+    ThetaDispatch(n, op, pivot, [&](size_t i) { return t.GetString(i); }, &keep);
+  } else if (v.type == ValType::kStr) {
+    return Status::InvalidArgument("thetaselect: numeric column vs string value");
+  } else if (t.type() != ValType::kDbl && v.type != ValType::kDbl) {
+    const int64_t pivot = v.AsInt64();
+    ThetaDispatch(n, op, pivot, [&](size_t i) { return t.GetInt64(i); }, &keep);
+  } else {
+    const double pivot = v.AsDouble();
+    ThetaDispatch(n, op, pivot, [&](size_t i) { return t.GetDouble(i); }, &keep);
+  }
+  return FilterBySel(*b, keep);
+}
+
 Result<BatPtr> GroupId(const BatPtr& b) {
   const size_t n = b->size();
   std::vector<Oid> gids(n);
@@ -452,6 +511,84 @@ Result<BatPtr> GroupValues(const BatPtr& b) {
   Bat::Properties p;
   p.hsorted = p.hkey = true;
   return BatPtr(std::make_shared<Bat>(MakeDenseOid(0, num_groups), std::move(values), p));
+}
+
+Result<BatPtr> GroupRefine(const BatPtr& col, const BatPtr& gids) {
+  const size_t n = col->size();
+  if (gids->size() != n) {
+    return Status::InvalidArgument("refine: col/gids not aligned");
+  }
+  std::vector<int64_t> g_scratch;
+  // GetInt64 semantics: dbl gids truncate.
+  const Span<int64_t> g = CastInt64KeySpan(*gids->tail(), &g_scratch);
+  std::vector<Oid> out(n);
+  if (col->tail_type() == ValType::kStr) {
+    struct Hash {
+      size_t operator()(const std::pair<int64_t, std::string_view>& p) const {
+        uint64_t h = static_cast<uint64_t>(p.first) * 0x9e3779b97f4a7c15ULL;
+        h ^= std::hash<std::string_view>{}(p.second) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+             (h >> 2);
+        return static_cast<size_t>(h);
+      }
+    };
+    std::unordered_map<std::pair<int64_t, std::string_view>, Oid, Hash> groups;
+    groups.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto [it, _] = groups.try_emplace({g[i], col->tail()->GetString(i)},
+                                        static_cast<Oid>(groups.size()));
+      out[i] = it->second;
+    }
+  } else {
+    struct Hash {
+      size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+        uint64_t h = static_cast<uint64_t>(p.first) * 0x9e3779b97f4a7c15ULL;
+        h ^= static_cast<uint64_t>(p.second) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        return static_cast<size_t>(h);
+      }
+    };
+    // Bit-cast keys (doubles by pattern), as GroupId.
+    std::vector<int64_t> scratch;
+    const Span<int64_t> keys = kernels::Int64KeySpan(*col->tail(), &scratch);
+    std::unordered_map<std::pair<int64_t, int64_t>, Oid, Hash> groups;
+    groups.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      auto [it, _] = groups.try_emplace({g[i], keys[i]}, static_cast<Oid>(groups.size()));
+      out[i] = it->second;
+    }
+  }
+  Bat::Properties p;
+  p.hsorted = col->props().hsorted;
+  p.hkey = col->props().hkey;
+  return BatPtr(std::make_shared<Bat>(
+      col->head(), std::make_shared<OidColumn>(ValType::kOid, std::move(out)), p));
+}
+
+Result<BatPtr> GroupExtents(const BatPtr& gids) {
+  const size_t n = gids->size();
+  std::vector<int64_t> g_scratch;
+  const Span<int64_t> g = CastInt64KeySpan(*gids->tail(), &g_scratch);
+  size_t num_groups = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (g[i] < 0) return Status::InvalidArgument("extents: negative group id");
+    num_groups = std::max(num_groups, static_cast<size_t>(g[i]) + 1);
+  }
+  std::vector<Oid> first(num_groups, 0);
+  std::vector<bool> seen(num_groups, false);
+  for (size_t i = 0; i < n; ++i) {
+    const auto gi = static_cast<size_t>(g[i]);
+    if (!seen[gi]) {
+      seen[gi] = true;
+      first[gi] = static_cast<Oid>(gids->head()->GetInt64(i));
+    }
+  }
+  for (size_t gi = 0; gi < num_groups; ++gi) {
+    if (!seen[gi]) return Status::InvalidArgument("extents: group ids not dense");
+  }
+  Bat::Properties p;
+  p.hsorted = p.hkey = true;
+  return BatPtr(std::make_shared<Bat>(
+      MakeDenseOid(0, num_groups),
+      std::make_shared<OidColumn>(ValType::kOid, std::move(first)), p));
 }
 
 uint64_t Count(const BatPtr& b) { return b->size(); }
@@ -682,6 +819,64 @@ Result<BatPtr> CountPerGroup(const BatPtr& gids, size_t num_groups) {
   return BatPtr(std::make_shared<Bat>(
       MakeDenseOid(0, num_groups),
       std::make_shared<LngColumn>(ValType::kLng, std::move(counts)), p));
+}
+
+namespace {
+
+/// Shared Min/MaxPerGroup body. One sequential pass: per-group extremes are
+/// cheap next to the rest of a grouped plan, and the extreme of extremes
+/// merge would not pay for the per-morsel partial arrays.
+template <typename T, typename Out, typename Get>
+Result<BatPtr> ExtremePerGroupTyped(const Span<int64_t>& g, size_t num_groups, bool max,
+                                    const char* op, ValType out_type, const Get& get) {
+  std::vector<T> best(num_groups, T{});
+  std::vector<bool> seen(num_groups, false);
+  for (size_t i = 0; i < g.size; ++i) {
+    const auto gi = static_cast<uint64_t>(g[i]);
+    if (gi >= num_groups) return Status::OutOfRange("group id out of range");
+    const T x = get(i);
+    if (!seen[gi]) {
+      seen[gi] = true;
+      best[gi] = x;
+    } else if (max ? x > best[gi] : x < best[gi]) {
+      best[gi] = x;
+    }
+  }
+  for (size_t gi = 0; gi < num_groups; ++gi) {
+    if (!seen[gi]) return Status::InvalidArgument(std::string(op) + " of empty group");
+  }
+  Bat::Properties p;
+  p.hsorted = p.hkey = true;
+  return BatPtr(std::make_shared<Bat>(MakeDenseOid(0, num_groups),
+                                      std::make_shared<Out>(out_type, std::move(best)), p));
+}
+
+Result<BatPtr> ExtremePerGroup(const BatPtr& values, const BatPtr& gids, size_t num_groups,
+                               bool max, const char* op) {
+  DCY_RETURN_NOT_OK(CheckNumeric(*values, op));
+  if (values->size() != gids->size()) {
+    return Status::InvalidArgument(std::string(op) + ": values/gids not aligned");
+  }
+  std::vector<int64_t> g_scratch;
+  // GetInt64 semantics: dbl gids truncate.
+  const Span<int64_t> g = CastInt64KeySpan(*gids->tail(), &g_scratch);
+  const Column& t = *values->tail();
+  if (t.type() == ValType::kDbl) {
+    return ExtremePerGroupTyped<double, DblColumn>(
+        g, num_groups, max, op, ValType::kDbl, [&](size_t i) { return t.GetDouble(i); });
+  }
+  return ExtremePerGroupTyped<int64_t, LngColumn>(
+      g, num_groups, max, op, ValType::kLng, [&](size_t i) { return t.GetInt64(i); });
+}
+
+}  // namespace
+
+Result<BatPtr> MinPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_groups) {
+  return ExtremePerGroup(values, gids, num_groups, /*max=*/false, "minPerGroup");
+}
+
+Result<BatPtr> MaxPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_groups) {
+  return ExtremePerGroup(values, gids, num_groups, /*max=*/true, "maxPerGroup");
 }
 
 namespace {

@@ -60,6 +60,15 @@ Result<BatPtr> SelectRange(const BatPtr& b, const Value& lo, const Value& hi);
 /// with a void/dense tail), MonetDB-style.
 Result<BatPtr> USelect(const BatPtr& b, const Value& v);
 
+/// Comparison predicates for ThetaSelect.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// thetaselect(b, v, op): rows whose tail satisfies `tail op v`. Strings
+/// compare lexicographically against string values only; numeric tails
+/// compare as int64 when both sides are integral, as double otherwise.
+/// kEq delegates to the adaptive Select kernel.
+Result<BatPtr> ThetaSelect(const BatPtr& b, const Value& v, CmpOp op);
+
 // ---- grouping & aggregation ---------------------------------------------------
 
 /// group(b): BAT[b.head, group-id] assigning a dense group id (0-based, in
@@ -68,6 +77,18 @@ Result<BatPtr> GroupId(const BatPtr& b);
 
 /// groupValues(b): BAT[dense gid, representative tail value per group].
 Result<BatPtr> GroupValues(const BatPtr& b);
+
+/// refine(col, gids): MonetDB's group.subgroup — regroups over the pairs
+/// (gids[i], col[i]), assigning dense new group ids (0-based, first
+/// appearance order). `col` and `gids` must be positionally aligned; the
+/// SQL front end chains this to group by several columns.
+Result<BatPtr> GroupRefine(const BatPtr& col, const BatPtr& gids);
+
+/// extents(gids): BAT[dense gid, head oid of the group's first row]. `gids`
+/// must carry dense group ids (every id in [0, max] present), as GroupId
+/// and GroupRefine produce. Joining the result against an aligned column
+/// projects that column's per-group representative value.
+Result<BatPtr> GroupExtents(const BatPtr& gids);
 
 /// count(b): number of rows.
 uint64_t Count(const BatPtr& b);
@@ -82,6 +103,12 @@ Result<Value> Avg(const BatPtr& b);
 /// by position; result is BAT[dense gid, aggregate].
 Result<BatPtr> SumPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_groups);
 Result<BatPtr> CountPerGroup(const BatPtr& gids, size_t num_groups);
+
+/// Per-group extremes (numeric tails). Integer-family values aggregate and
+/// return as lng, doubles as dbl. Every group in [0, num_groups) must have
+/// at least one row (an empty group has no extreme).
+Result<BatPtr> MinPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_groups);
+Result<BatPtr> MaxPerGroup(const BatPtr& values, const BatPtr& gids, size_t num_groups);
 
 // ---- ordering -----------------------------------------------------------------
 

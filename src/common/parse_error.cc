@@ -1,0 +1,53 @@
+#include "common/parse_error.h"
+
+namespace dcy {
+
+ParseError ParseError::At(const std::string& text, size_t offset, std::string token,
+                          std::string message) {
+  ParseError e;
+  e.token = std::move(token);
+  e.message = std::move(message);
+  if (offset > text.size()) offset = text.size();
+
+  // Locate the 1-based line/column of `offset` and the bounds of its line.
+  size_t line_start = 0;
+  int line = 1;
+  for (size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      line_start = i + 1;
+    }
+  }
+  size_t line_end = text.find('\n', line_start);
+  if (line_end == std::string::npos) line_end = text.size();
+
+  e.line = line;
+  e.column = static_cast<int>(offset - line_start) + 1;
+  e.snippet = text.substr(line_start, line_end - line_start);
+  e.snippet += "\n";
+  // Tabs keep their width so the caret lands under the token.
+  for (size_t i = line_start; i < offset; ++i) {
+    e.snippet += text[i] == '\t' ? '\t' : ' ';
+  }
+  e.snippet += "^";
+  return e;
+}
+
+std::string ParseError::Render() const {
+  std::string out =
+      std::to_string(line) + ":" + std::to_string(column) + ": " + message;
+  if (!token.empty()) out += " (near \"" + token + "\")";
+  if (!snippet.empty()) {
+    out += "\n";
+    out += snippet;
+  }
+  return out;
+}
+
+Status ParseFail(ParseError* out, ParseError error) {
+  Status status = error.ToStatus();
+  if (out != nullptr) *out = std::move(error);
+  return status;
+}
+
+}  // namespace dcy

@@ -1,0 +1,46 @@
+// Structured parse/compile diagnostics: instead of string-only failures,
+// both front ends (the MAL parser and the SQL compiler) report a ParseError
+// carrying the source position, the offending token, and a caret-annotated
+// snippet, so clients can render errors without string-matching the Status
+// message.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dcy {
+
+/// \brief One diagnostic against a source text. `line`/`column` are 1-based;
+/// a default-constructed ParseError (line == 0) means "no error recorded".
+struct ParseError {
+  int line = 0;            ///< 1-based source line; 0 = unset
+  int column = 0;          ///< 1-based column within the line
+  std::string token;       ///< offending token text ("" at end of input)
+  std::string message;     ///< what was expected / what went wrong
+  std::string snippet;     ///< source line + caret marker underneath
+
+  bool set() const { return line > 0; }
+
+  /// Builds an error at byte `offset` of `text`, extracting line/column and
+  /// the caret-annotated snippet. `token` may be empty (end of input).
+  static ParseError At(const std::string& text, size_t offset, std::string token,
+                       std::string message);
+
+  /// Multi-line human rendering:
+  ///   <line>:<column>: <message> (near "<token>")
+  ///   <source line>
+  ///        ^
+  std::string Render() const;
+
+  /// InvalidArgument carrying Render() — what parse entry points return so
+  /// existing Status-only callers keep working.
+  Status ToStatus() const { return Status::InvalidArgument(Render()); }
+};
+
+/// Fills `*out` (when non-null) and returns the matching Status. The usual
+/// error-exit helper of parser code:
+///   return ParseFail(out, ParseError::At(text, pos, tok, "expected ';'"));
+Status ParseFail(ParseError* out, ParseError error);
+
+}  // namespace dcy

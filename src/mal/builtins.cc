@@ -1,5 +1,6 @@
 // Standard MAL builtins: the binary-algebra operators of the paper's plans
 // plus the datacyclotron.* calls injected by the DcOptimizer.
+#include <algorithm>
 #include <ostream>
 
 #include "bat/operators.h"
@@ -229,12 +230,43 @@ Registry BuildGlobalRegistry() {
     return Datum(r.value());
   });
 
+  reg.Register("algebra.thetaselect", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 3) return WrongArgs("algebra.thetaselect(bat, v, op)");
+    DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
+    DCY_ASSIGN_OR_RETURN(Value v, AsValue(args[1]));
+    DCY_ASSIGN_OR_RETURN(std::string cmp, AsStr(args[2]));
+    bat::CmpOp op;
+    if (cmp == "==" || cmp == "=") {
+      op = bat::CmpOp::kEq;
+    } else if (cmp == "!=" || cmp == "<>") {
+      op = bat::CmpOp::kNe;
+    } else if (cmp == "<") {
+      op = bat::CmpOp::kLt;
+    } else if (cmp == "<=") {
+      op = bat::CmpOp::kLe;
+    } else if (cmp == ">") {
+      op = bat::CmpOp::kGt;
+    } else if (cmp == ">=") {
+      op = bat::CmpOp::kGe;
+    } else {
+      return Status::InvalidArgument("thetaselect: unknown comparator \"" + cmp + "\"");
+    }
+    auto r = bat::ThetaSelect(b, v, op);
+    if (!r.ok()) return r.status();
+    return Datum(r.value());
+  });
+
   reg.Register("algebra.slice", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
     if (args.size() != 3) return WrongArgs("algebra.slice(bat, lo, hi)");
     DCY_ASSIGN_OR_RETURN(BatPtr b, AsBat(args[0]));
     DCY_ASSIGN_OR_RETURN(int64_t lo, AsInt(args[1]));
     DCY_ASSIGN_OR_RETURN(int64_t hi, AsInt(args[2]));
-    auto r = bat::Slice(b, static_cast<size_t>(lo), static_cast<size_t>(hi));
+    if (lo < 0 || hi < 0) return Status::InvalidArgument("slice: negative bound");
+    // MonetDB semantics: an over-long slice is the whole BAT, so plans may
+    // say slice(b, 0, n) for LIMIT n without knowing the row count.
+    const size_t clamped_hi = std::min<size_t>(static_cast<size_t>(hi), b->size());
+    const size_t clamped_lo = std::min<size_t>(static_cast<size_t>(lo), clamped_hi);
+    auto r = bat::Slice(b, clamped_lo, clamped_hi);
     if (!r.ok()) return r.status();
     return Datum(r.value());
   });
@@ -268,6 +300,8 @@ Registry BuildGlobalRegistry() {
   // --- group / aggr -------------------------------------------------------------
   reg.Register("group.id", Unary([](const BatPtr& b) { return bat::GroupId(b); }));
   reg.Register("group.values", Unary([](const BatPtr& b) { return bat::GroupValues(b); }));
+  reg.Register("group.refine", Binary(bat::GroupRefine));
+  reg.Register("group.extents", Unary([](const BatPtr& g) { return bat::GroupExtents(g); }));
 
   reg.Register("aggr.count", [](Context&, std::vector<Datum>& args) -> Result<Datum> {
     if (args.size() != 1) return WrongArgs("aggr.count(bat)");
@@ -296,6 +330,21 @@ Registry BuildGlobalRegistry() {
     if (!r.ok()) return r.status();
     return Datum(r.value());
   });
+  const auto per_group_extreme = [](auto fn, const char* sig) {
+    return [fn, sig](Context&, std::vector<Datum>& args) -> Result<Datum> {
+      if (args.size() != 3) return WrongArgs(sig);
+      DCY_ASSIGN_OR_RETURN(BatPtr values, AsBat(args[0]));
+      DCY_ASSIGN_OR_RETURN(BatPtr gids, AsBat(args[1]));
+      DCY_ASSIGN_OR_RETURN(int64_t n, AsInt(args[2]));
+      auto r = fn(values, gids, static_cast<size_t>(n));
+      if (!r.ok()) return r.status();
+      return Datum(r.value());
+    };
+  };
+  reg.Register("aggr.minPerGroup",
+               per_group_extreme(bat::MinPerGroup, "aggr.minPerGroup(values, gids, ngroups)"));
+  reg.Register("aggr.maxPerGroup",
+               per_group_extreme(bat::MaxPerGroup, "aggr.maxPerGroup(values, gids, ngroups)"));
 
   // --- batcalc ---------------------------------------------------------------------
   reg.Register("batcalc.add", ArithBat(bat::ArithOp::kAdd));

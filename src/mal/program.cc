@@ -83,8 +83,30 @@ namespace {
 struct Lexer {
   const std::string& text;
   size_t pos = 0;
+  ParseError* err = nullptr;  ///< structured diagnostic sink (may be null)
 
-  explicit Lexer(const std::string& t) : text(t) {}
+  explicit Lexer(const std::string& t, ParseError* e) : text(t), err(e) {}
+
+  /// The token starting at `at` (a word, a number, or one character), for
+  /// diagnostics; empty at end of input.
+  std::string TokenAt(size_t at) const {
+    if (at >= text.size()) return "";
+    const auto alnum = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    };
+    size_t end = at + 1;
+    if (alnum(text[at])) {
+      while (end < text.size() && alnum(text[end])) ++end;
+    }
+    return text.substr(at, end - at);
+  }
+
+  /// Records a ParseError at the current position and returns the matching
+  /// InvalidArgument status.
+  Status Fail(std::string message) {
+    SkipWs();
+    return ParseFail(err, ParseError::At(text, pos, TokenAt(pos), std::move(message)));
+  }
 
   void SkipWs() {
     while (pos < text.size()) {
@@ -134,7 +156,7 @@ struct Lexer {
     SkipWs();
     if (pos >= text.size() ||
         (!std::isalpha(static_cast<unsigned char>(text[pos])) && text[pos] != '_')) {
-      return Status::InvalidArgument("expected identifier at offset " + std::to_string(pos));
+      return Fail("expected identifier");
     }
     size_t start = pos;
     while (pos < text.size() &&
@@ -146,16 +168,19 @@ struct Lexer {
 
   Result<Datum> Literal() {
     SkipWs();
-    if (pos >= text.size()) return Status::InvalidArgument("expected literal at end");
+    if (pos >= text.size()) return Fail("expected literal at end of input");
     const char c = text[pos];
     if (c == '"') {
+      const size_t open = pos;
       ++pos;
       std::string s;
       while (pos < text.size() && text[pos] != '"') {
         if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
         s += text[pos++];
       }
-      if (pos >= text.size()) return Status::InvalidArgument("unterminated string");
+      if (pos >= text.size()) {
+        return ParseFail(err, ParseError::At(text, open, "\"", "unterminated string"));
+      }
       ++pos;  // closing quote
       return Datum(s);
     }
@@ -178,7 +203,7 @@ struct Lexer {
       return Datum(static_cast<int64_t>(std::stoll(num)));
     }
     if (ConsumeWord("nil")) return Datum(std::monostate{});
-    return Status::InvalidArgument(std::string("unexpected literal start '") + c + "'");
+    return Fail("expected a literal");
   }
 };
 
@@ -193,9 +218,9 @@ Result<Instruction> ParseCall(Lexer& lex, std::string first_ident) {
   } else {
     ins.module = std::move(first_ident);
   }
-  if (!lex.Consume('.')) return Status::InvalidArgument("expected '.' after module name");
+  if (!lex.Consume('.')) return lex.Fail("expected '.' after module name");
   DCY_ASSIGN_OR_RETURN(ins.fn, lex.Ident());
-  if (!lex.Consume('(')) return Status::InvalidArgument("expected '(' in call");
+  if (!lex.Consume('(')) return lex.Fail("expected '(' in call");
   if (!lex.Consume(')')) {
     while (true) {
       const char c = lex.Peek();
@@ -212,28 +237,28 @@ Result<Instruction> ParseCall(Lexer& lex, std::string first_ident) {
       }
       if (lex.Consume(',')) continue;
       if (lex.Consume(')')) break;
-      return Status::InvalidArgument("expected ',' or ')' in argument list");
+      return lex.Fail("expected ',' or ')' in argument list");
     }
   }
-  if (!lex.Consume(';')) return Status::InvalidArgument("expected ';' after call");
+  if (!lex.Consume(';')) return lex.Fail("expected ';' after call");
   return ins;
 }
 
 }  // namespace
 
-Result<Program> ParseProgram(const std::string& text) {
+Result<Program> ParseProgram(const std::string& text, ParseError* error) {
   Program prog;
-  Lexer lex(text);
+  Lexer lex(text, error);
 
   // Optional header: function user.name(...):void;
   if (lex.ConsumeWord("function")) {
     DCY_ASSIGN_OR_RETURN(std::string mod, lex.Ident());
-    if (!lex.Consume('.')) return Status::InvalidArgument("expected '.' in function name");
+    if (!lex.Consume('.')) return lex.Fail("expected '.' in function name");
     DCY_ASSIGN_OR_RETURN(std::string fn, lex.Ident());
     prog.name = mod + "." + fn;
     // Skip the signature up to ';'.
     while (!lex.Eof() && lex.text[lex.pos] != ';') ++lex.pos;
-    if (!lex.Consume(';')) return Status::InvalidArgument("expected ';' after signature");
+    if (!lex.Consume(';')) return lex.Fail("expected ';' after signature");
   } else {
     prog.name = "user.main";
   }

@@ -12,6 +12,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/parse_error.h"
 #include "common/status.h"
 #include "mal/value.h"
 
@@ -64,7 +65,11 @@ struct Program {
 };
 
 /// Parses MAL text into a Program. Accepts `#` comments and blank lines.
-Result<Program> ParseProgram(const std::string& text);
+/// On failure the returned Status renders the diagnostic, and when `error`
+/// is non-null it receives the structured ParseError (line, column,
+/// offending token, caret-annotated snippet) for clients that render their
+/// own messages.
+Result<Program> ParseProgram(const std::string& text, ParseError* error = nullptr);
 
 /// \brief Structural (alpha-) equivalence: same instruction sequence with a
 /// consistent variable renaming. Used to compare optimizer output against

@@ -113,18 +113,20 @@ Result<Program> DcOptimize(const Program& program, const DcOptimizerOptions& opt
   return out;
 }
 
-std::string PlanCacheKey(const std::string& mal_text, bool optimize,
-                         const DcOptimizerOptions& options) {
+std::string PlanCacheKey(const std::string& text, bool optimize,
+                         const DcOptimizerOptions& options, const char* dialect) {
   uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
   auto mix = [&h](uint8_t byte) {
     h ^= byte;
     h *= 1099511628211ull;  // FNV prime
   };
-  for (char c : mal_text) mix(static_cast<uint8_t>(c));
+  for (const char* d = dialect; *d != '\0'; ++d) mix(static_cast<uint8_t>(*d));
+  mix(0);  // dialect/text separator: ("ab", "c") never collides with ("a", "bc")
+  for (char c : text) mix(static_cast<uint8_t>(c));
   mix(optimize ? 1 : 0);
   mix(static_cast<uint8_t>(options.unpin_placement));
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "mal-%zu-%016llx", mal_text.size(),
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%s-%zu-%016llx", dialect, text.size(),
                 static_cast<unsigned long long>(h));
   return buf;
 }

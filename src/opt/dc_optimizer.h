@@ -28,12 +28,16 @@ Result<mal::Program> DcOptimize(const mal::Program& program,
                                 const DcOptimizerOptions& options = {});
 
 /// \brief Stable cache key for a prepared plan: identifies the
-/// (mal_text, optimize, optimizer-options) triple that fully determines the
-/// compiled program, so runtimes can reuse one parse + DcOptimize across
+/// (text, dialect, optimize, optimizer-options) tuple that fully determines
+/// the compiled program, so runtimes can reuse one parse + DcOptimize across
 /// executions and sessions. Conservative: texts differing only in
 /// whitespace/comments hash to different keys (a cache miss, never a wrong
-/// plan). 64-bit FNV-1a plus the input length.
-std::string PlanCacheKey(const std::string& mal_text, bool optimize,
-                         const DcOptimizerOptions& options = {});
+/// plan). 64-bit FNV-1a plus the input length. `dialect` names the source
+/// language ("mal", "sql", ...) and is mixed into both the hash and the
+/// key prefix, so identical text submitted in two languages can never share
+/// one cache slot.
+std::string PlanCacheKey(const std::string& text, bool optimize,
+                         const DcOptimizerOptions& options = {},
+                         const char* dialect = "mal");
 
 }  // namespace dcy::opt

@@ -7,6 +7,7 @@
 
 #include "bat/serialize.h"
 #include "common/logging.h"
+#include "sql/compiler.h"
 
 namespace dcy::runtime {
 
@@ -694,6 +695,7 @@ Status RingCluster::LoadBat(core::NodeId owner, const std::string& name, bat::Ba
   }
   const core::BatId id = next_bat_.fetch_add(1);
   const uint64_t size = bat->ByteSize();
+  const bat::ValType tail_type = bat->tail()->type();
   DCY_RETURN_NOT_OK(nodes_[owner]->catalog().Register(name, id, std::move(bat)));
   if (started_.load()) {
     nodes_[owner]->PostSync([&] { nodes_[owner]->dc().AddOwnedBat(id, size); });
@@ -702,7 +704,17 @@ Status RingCluster::LoadBat(core::NodeId owner, const std::string& name, bat::Ba
   }
   directory_[name] = id;
   sizes_[id] = size;
+  column_types_[name] = tail_type;
   return Status::OK();
+}
+
+sql::Schema RingCluster::SqlSchema() const {
+  std::map<std::string, bat::ValType> columns;
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    columns = column_types_;
+  }
+  return sql::Schema::FromQualifiedColumns(columns);
 }
 
 Result<core::BatId> RingCluster::FindFragment(const std::string& name) const {
@@ -738,26 +750,48 @@ Result<Session> RingCluster::OpenSession(core::NodeId node) {
 
 Result<PreparedQueryPtr> RingCluster::Prepare(const std::string& mal_text, bool optimize,
                                               bool use_cache) {
-  const std::string key = opt::PlanCacheKey(mal_text, optimize);
+  PrepareOptions options;
+  options.language = Language::kMAL;
+  options.optimize = optimize;
+  options.use_cache = use_cache;
+  return Prepare(mal_text, options);
+}
+
+Result<PreparedQueryPtr> RingCluster::Prepare(const std::string& text,
+                                              const PrepareOptions& options) {
+  Language language = options.language;
+  if (language == Language::kAuto) {
+    language = sql::LooksLikeSql(text) ? Language::kSQL : Language::kMAL;
+  }
+  // The dialect is part of the key: the same text prepared as SQL and as MAL
+  // compiles to different programs, so the two must occupy distinct slots.
+  const char* dialect = language == Language::kSQL ? "sql" : "mal";
+  const std::string key = opt::PlanCacheKey(text, options.optimize, {}, dialect);
+  bool use_cache = options.use_cache;
   if (use_cache) {
     std::lock_guard<std::mutex> lock(plan_cache_mu_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       // The 64-bit key is not trusted alone: a hit must carry the same
       // source text, or a hash collision would silently run the wrong plan.
-      if (it->second->text() == mal_text) {
+      if (it->second->text() == text) {
         ++plan_cache_stats_.hits;
         return it->second;
       }
       use_cache = false;  // collision: compile fresh, leave the entry alone
     }
   }
-  DCY_ASSIGN_OR_RETURN(mal::Program program, mal::ParseProgram(mal_text));
-  if (optimize) {
+  Result<mal::Program> compiled =
+      language == Language::kSQL
+          ? sql::Compile(text, SqlSchema(), options.parse_error)
+          : mal::ParseProgram(text, options.parse_error);
+  if (!compiled.ok()) return compiled.status();
+  mal::Program program = std::move(compiled).value();
+  if (options.optimize) {
     DCY_ASSIGN_OR_RETURN(program, opt::DcOptimize(program));
   }
   auto prepared =
-      std::make_shared<const PreparedQuery>(mal_text, key, std::move(program), optimize);
+      std::make_shared<const PreparedQuery>(text, key, std::move(program), options.optimize);
   if (use_cache) {
     std::lock_guard<std::mutex> lock(plan_cache_mu_);
     ++plan_cache_stats_.misses;  // one parse + DcOptimize actually ran

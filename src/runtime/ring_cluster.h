@@ -34,6 +34,7 @@
 #include "opt/dc_optimizer.h"
 #include "rdma/channel.h"
 #include "runtime/session.h"
+#include "sql/schema.h"
 
 namespace dcy::runtime {
 
@@ -114,9 +115,15 @@ class RingCluster {
   /// Opens a client session against `node`.
   Result<Session> OpenSession(core::NodeId node);
 
-  /// Parse + DcOptimize `mal_text` once; repeated Prepare calls for the same
-  /// text return the cached PreparedQuery (shared across sessions). Pass
-  /// `use_cache = false` to force a fresh compilation (benchmarking).
+  /// Compile + DcOptimize `text` once; repeated Prepare calls for the same
+  /// text (in the same language) return the cached PreparedQuery (shared
+  /// across sessions). SQL is compiled against the schema of the BATs
+  /// registered so far via LoadBat; `options.language` defaults to
+  /// auto-detection. Pass `use_cache = false` to force a fresh compilation
+  /// (benchmarking).
+  Result<PreparedQueryPtr> Prepare(const std::string& text,
+                                   const PrepareOptions& options);
+  /// Back-compat shim: MAL-only, positional optimize/use_cache flags.
   Result<PreparedQueryPtr> Prepare(const std::string& mal_text, bool optimize = true,
                                    bool use_cache = true);
 
@@ -133,6 +140,11 @@ class RingCluster {
 
   /// Directory lookup: the BAT id registered for "schema.table.column".
   Result<core::BatId> FindFragment(const std::string& name) const;
+
+  /// SQL schema derived from the BATs registered via LoadBat (tail value
+  /// types, keyed by qualified name). Snapshot: BATs loaded later are not
+  /// reflected in previously returned schemas.
+  sql::Schema SqlSchema() const;
 
   uint32_t num_nodes() const { return options_.num_nodes; }
   /// Protocol metrics of a node (snapshot; service thread keeps mutating).
@@ -161,6 +173,9 @@ class RingCluster {
   mutable std::mutex directory_mu_;
   std::unordered_map<std::string, core::BatId> directory_;
   std::unordered_map<core::BatId, uint64_t> sizes_;
+  /// Tail value type per qualified name (guarded by directory_mu_); feeds
+  /// the SQL front end's schema so SELECTs resolve against loaded BATs.
+  std::map<std::string, bat::ValType> column_types_;
   std::atomic<core::BatId> next_bat_{1};
   std::atomic<core::QueryId> next_query_{1};
   std::atomic<bool> started_{false};

@@ -113,8 +113,16 @@ void QueryHandle::Cancel() {
 // Session — thin forwarding onto the owning cluster.
 // ===========================================================================
 
-Result<PreparedQueryPtr> Session::Prepare(const std::string& mal_text, bool optimize) {
-  return cluster_->Prepare(mal_text, optimize);
+Result<PreparedQueryPtr> Session::Prepare(const std::string& text,
+                                          const PrepareOptions& options) {
+  return cluster_->Prepare(text, options);
+}
+
+Result<PreparedQueryPtr> Session::Prepare(const std::string& text, bool optimize) {
+  PrepareOptions options;
+  options.language = Language::kMAL;
+  options.optimize = optimize;
+  return cluster_->Prepare(text, options);
 }
 
 Result<QueryHandle> Session::Submit(const PreparedQueryPtr& prepared,
@@ -122,9 +130,10 @@ Result<QueryHandle> Session::Submit(const PreparedQueryPtr& prepared,
   return cluster_->Submit(node_, prepared, options);
 }
 
-Result<QueryHandle> Session::Submit(const std::string& mal_text,
-                                    const SubmitOptions& options) {
-  DCY_ASSIGN_OR_RETURN(PreparedQueryPtr prepared, Prepare(mal_text));
+Result<QueryHandle> Session::Submit(const std::string& text,
+                                    const SubmitOptions& options,
+                                    const PrepareOptions& prepare) {
+  DCY_ASSIGN_OR_RETURN(PreparedQueryPtr prepared, Prepare(text, prepare));
   return Submit(prepared, options);
 }
 
@@ -134,9 +143,10 @@ Result<QueryResult> Session::Execute(const PreparedQueryPtr& prepared,
   return handle.Wait();
 }
 
-Result<QueryResult> Session::Execute(const std::string& mal_text,
-                                     const SubmitOptions& options) {
-  DCY_ASSIGN_OR_RETURN(QueryHandle handle, Submit(mal_text, options));
+Result<QueryResult> Session::Execute(const std::string& text,
+                                     const SubmitOptions& options,
+                                     const PrepareOptions& prepare) {
+  DCY_ASSIGN_OR_RETURN(QueryHandle handle, Submit(text, options, prepare));
   return handle.Wait();
 }
 

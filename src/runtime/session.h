@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bat/bat.h"
+#include "common/parse_error.h"
 #include "common/status.h"
 #include "core/types.h"
 #include "mal/interpreter.h"
@@ -36,6 +37,27 @@
 namespace dcy::runtime {
 
 class RingCluster;
+
+/// \brief Source language of a query text handed to Prepare/Submit/Execute.
+enum class Language {
+  kMAL,   ///< hand-written MAL, parsed by mal::ParseProgram
+  kSQL,   ///< a SELECT statement, compiled by sql::Compile against the
+          ///< schema of the BATs registered via RingCluster::LoadBat
+  kAuto,  ///< detect: texts whose first word is SELECT are SQL, else MAL
+};
+
+/// \brief Options for Prepare (and the string overloads of Submit/Execute,
+/// which prepare internally).
+struct PrepareOptions {
+  Language language = Language::kAuto;
+  /// Run the DcOptimizer rewrite (sql.bind -> request/pin/unpin).
+  bool optimize = true;
+  /// Consult/populate the cluster's shared plan cache.
+  bool use_cache = true;
+  /// Optional out-param: on a parse or semantic error in either language,
+  /// receives the structured diagnostic (line, column, token, caret snippet).
+  ParseError* parse_error = nullptr;
+};
 
 /// \brief Typed result table of one query: the columns the plan exported via
 /// sql.resultSet/sql.rsCol plus the plan's final value (aggregate plans
@@ -209,23 +231,29 @@ class Session {
  public:
   core::NodeId node() const { return node_; }
 
-  /// Parse + DcOptimize once via the cluster's shared plan cache.
-  Result<PreparedQueryPtr> Prepare(const std::string& mal_text, bool optimize = true);
+  /// Compile + DcOptimize once via the cluster's shared plan cache. The
+  /// text may be MAL or SQL; `options.language` selects (default: detect).
+  Result<PreparedQueryPtr> Prepare(const std::string& text,
+                                   const PrepareOptions& options = {});
+  /// Back-compat shim for the MAL-only signature of the original API.
+  Result<PreparedQueryPtr> Prepare(const std::string& text, bool optimize);
 
   /// Asynchronous submission into this node's admission queue. Fails with
   /// ResourceExhausted when the queue is full (backpressure) and
   /// FailedPrecondition when the cluster is not running.
   Result<QueryHandle> Submit(const PreparedQueryPtr& prepared,
                              const SubmitOptions& options = {});
-  /// Prepare (cached) + Submit.
-  Result<QueryHandle> Submit(const std::string& mal_text,
-                             const SubmitOptions& options = {});
+  /// Prepare (cached, language auto-detected) + Submit.
+  Result<QueryHandle> Submit(const std::string& text,
+                             const SubmitOptions& options = {},
+                             const PrepareOptions& prepare = {});
 
   /// Submit + Wait.
   Result<QueryResult> Execute(const PreparedQueryPtr& prepared,
                               const SubmitOptions& options = {});
-  Result<QueryResult> Execute(const std::string& mal_text,
-                              const SubmitOptions& options = {});
+  Result<QueryResult> Execute(const std::string& text,
+                              const SubmitOptions& options = {},
+                              const PrepareOptions& prepare = {});
 
  private:
   friend class RingCluster;

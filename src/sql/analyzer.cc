@@ -1,0 +1,274 @@
+#include "sql/analyzer.h"
+
+namespace dcy::sql {
+
+namespace {
+
+bool IsNumeric(bat::ValType t) { return t != bat::ValType::kStr; }
+
+struct Analyzer {
+  const Schema& schema;
+  const std::string& text;
+  ParseError* err;
+  SelectStmt& stmt;
+
+  Status Fail(size_t offset, const std::string& token, std::string message) {
+    return ParseFail(err, ParseError::At(text, offset, token, std::move(message)));
+  }
+
+  // ---- name resolution ------------------------------------------------------
+
+  Status ResolveFrom() {
+    for (size_t i = 0; i < stmt.from.size(); ++i) {
+      TableRef& ref = stmt.from[i];
+      if (!schema.HasTable(ref.table)) {
+        return Fail(ref.offset, ref.table, "unknown table \"" + ref.table + "\"");
+      }
+      for (size_t j = 0; j < i; ++j) {
+        if (stmt.from[j].alias == ref.alias) {
+          return Fail(ref.offset, ref.alias, "duplicate table alias \"" + ref.alias + "\"");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ResolveColumn(Expr& e) {
+    if (!e.qualifier.empty()) {
+      for (size_t i = 0; i < stmt.from.size(); ++i) {
+        if (stmt.from[i].alias != e.qualifier) continue;
+        const Schema::Column* col = schema.FindColumn(stmt.from[i].table, e.column);
+        if (col == nullptr) {
+          return Fail(e.offset, e.column, "unknown column \"" + e.qualifier + "." +
+                                              e.column + "\"");
+        }
+        e.table_index = static_cast<int>(i);
+        e.type = col->type;
+        return Status::OK();
+      }
+      return Fail(e.offset, e.qualifier, "unknown table alias \"" + e.qualifier + "\"");
+    }
+    int found = -1;
+    const Schema::Column* found_col = nullptr;
+    for (size_t i = 0; i < stmt.from.size(); ++i) {
+      const Schema::Column* col = schema.FindColumn(stmt.from[i].table, e.column);
+      if (col == nullptr) continue;
+      if (found >= 0) {
+        return Fail(e.offset, e.column, "ambiguous column \"" + e.column + "\"");
+      }
+      found = static_cast<int>(i);
+      found_col = col;
+    }
+    if (found < 0) {
+      return Fail(e.offset, e.column, "unknown column \"" + e.column + "\"");
+    }
+    e.table_index = found;
+    e.type = found_col->type;
+    return Status::OK();
+  }
+
+  // ---- type checking --------------------------------------------------------
+
+  /// Type-checks a value-producing expression (no AND/OR/comparisons) and
+  /// annotates `e.type`. `in_aggregate` bans nesting; `allow_aggregates`
+  /// bans aggregates outright (WHERE, GROUP BY).
+  Status CheckValue(Expr& e, bool allow_aggregates, bool in_aggregate) {
+    switch (e.kind) {
+      case Expr::Kind::kColumnRef:
+        DCY_RETURN_NOT_OK(ResolveColumn(e));
+        return Status::OK();
+      case Expr::Kind::kLiteral:
+        e.type = e.literal.type;
+        return Status::OK();
+      case Expr::Kind::kBinary: {
+        if (!IsArithmetic(e.op)) {
+          return Fail(e.offset, BinOpName(e.op), "predicate not allowed here");
+        }
+        DCY_RETURN_NOT_OK(CheckValue(*e.lhs, allow_aggregates, in_aggregate));
+        DCY_RETURN_NOT_OK(CheckValue(*e.rhs, allow_aggregates, in_aggregate));
+        if (!IsNumeric(e.lhs->type) || !IsNumeric(e.rhs->type)) {
+          return Fail(e.offset, BinOpName(e.op),
+                      std::string("arithmetic on non-numeric operand (") +
+                          bat::ValTypeName(e.lhs->type) + " " + BinOpName(e.op) + " " +
+                          bat::ValTypeName(e.rhs->type) + ")");
+        }
+        e.type = bat::ValType::kDbl;  // batcalc widens to double
+        return Status::OK();
+      }
+      case Expr::Kind::kAggregate: {
+        if (!allow_aggregates) {
+          return Fail(e.offset, AggFnName(e.agg), "aggregate not allowed here");
+        }
+        if (in_aggregate) {
+          return Fail(e.offset, AggFnName(e.agg), "nested aggregates are not supported");
+        }
+        if (e.arg == nullptr) {
+          if (e.agg != AggFn::kCount) {
+            return Fail(e.offset, AggFnName(e.agg), "only count(*) takes no argument");
+          }
+          e.type = bat::ValType::kLng;
+          return Status::OK();
+        }
+        DCY_RETURN_NOT_OK(CheckValue(*e.arg, allow_aggregates, /*in_aggregate=*/true));
+        switch (e.agg) {
+          case AggFn::kCount:
+            e.type = bat::ValType::kLng;
+            break;
+          case AggFn::kSum:
+          case AggFn::kAvg:
+            if (!IsNumeric(e.arg->type)) {
+              return Fail(e.offset, AggFnName(e.agg),
+                          std::string(AggFnName(e.agg)) + " of a non-numeric column");
+            }
+            e.type = bat::ValType::kDbl;
+            break;
+          case AggFn::kMin:
+          case AggFn::kMax:
+            if (!IsNumeric(e.arg->type)) {
+              return Fail(e.offset, AggFnName(e.agg),
+                          std::string(AggFnName(e.agg)) + " of a non-numeric column");
+            }
+            e.type = e.arg->type == bat::ValType::kDbl ? bat::ValType::kDbl
+                                                       : bat::ValType::kLng;
+            break;
+        }
+        return Status::OK();
+      }
+    }
+    return Status::FailedPrecondition("unreachable expression kind");
+  }
+
+  /// Type-checks a predicate (WHERE tree): AND/OR over comparisons.
+  Status CheckPredicate(Expr& e) {
+    if (e.kind != Expr::Kind::kBinary) {
+      return Fail(e.offset, e.ToString(), "expected a predicate");
+    }
+    if (e.op == BinOp::kAnd || e.op == BinOp::kOr) {
+      DCY_RETURN_NOT_OK(CheckPredicate(*e.lhs));
+      return CheckPredicate(*e.rhs);
+    }
+    if (!IsComparison(e.op)) {
+      return Fail(e.offset, BinOpName(e.op), "expected a predicate");
+    }
+    DCY_RETURN_NOT_OK(CheckValue(*e.lhs, /*allow_aggregates=*/false, false));
+    DCY_RETURN_NOT_OK(CheckValue(*e.rhs, /*allow_aggregates=*/false, false));
+    const bool ls = e.lhs->type == bat::ValType::kStr;
+    const bool rs = e.rhs->type == bat::ValType::kStr;
+    if (ls != rs) {
+      return Fail(e.offset, BinOpName(e.op),
+                  std::string("type mismatch in comparison (") +
+                      bat::ValTypeName(e.lhs->type) + " " + BinOpName(e.op) + " " +
+                      bat::ValTypeName(e.rhs->type) + ")");
+    }
+    return Status::OK();
+  }
+
+  // ---- aggregate / group-by validation --------------------------------------
+
+  bool ContainsAggregate(const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::kAggregate: return true;
+      case Expr::Kind::kBinary:
+        return ContainsAggregate(*e.lhs) || ContainsAggregate(*e.rhs);
+      default: return false;
+    }
+  }
+
+  bool IsGroupColumn(const Expr& e) const {
+    for (const auto& g : stmt.group_by) {
+      if (g->table_index == e.table_index && g->column == e.column) return true;
+    }
+    return false;
+  }
+
+  /// In a grouped query, every column ref outside an aggregate must be a
+  /// GROUP BY column.
+  Status CheckGrouped(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kColumnRef:
+        if (!IsGroupColumn(e)) {
+          return Fail(e.offset, e.column,
+                      "column \"" + e.column + "\" must appear in GROUP BY or an aggregate");
+        }
+        return Status::OK();
+      case Expr::Kind::kBinary:
+        DCY_RETURN_NOT_OK(CheckGrouped(*e.lhs));
+        return CheckGrouped(*e.rhs);
+      case Expr::Kind::kAggregate:
+      case Expr::Kind::kLiteral:
+        return Status::OK();
+    }
+    return Status::OK();
+  }
+
+  Result<AnalyzedQuery> Run() {
+    if (stmt.items.empty()) return Status::InvalidArgument("empty select list");
+    DCY_RETURN_NOT_OK(ResolveFrom());
+
+    if (stmt.where != nullptr) DCY_RETURN_NOT_OK(CheckPredicate(*stmt.where));
+    for (auto& g : stmt.group_by) {
+      DCY_RETURN_NOT_OK(CheckValue(*g, /*allow_aggregates=*/false, false));
+    }
+
+    AnalyzedQuery out;
+    bool any_aggregate = false;
+    for (auto& item : stmt.items) {
+      DCY_RETURN_NOT_OK(CheckValue(*item.expr, /*allow_aggregates=*/true, false));
+      any_aggregate = any_aggregate || ContainsAggregate(*item.expr);
+    }
+    out.grouped = any_aggregate || !stmt.group_by.empty();
+    if (out.grouped) {
+      for (const auto& item : stmt.items) {
+        DCY_RETURN_NOT_OK(CheckGrouped(*item.expr));
+      }
+    }
+
+    for (const auto& item : stmt.items) {
+      std::string name = item.alias;
+      if (name.empty()) {
+        name = item.expr->kind == Expr::Kind::kColumnRef ? item.expr->column
+                                                         : item.expr->ToString();
+      }
+      out.output_names.push_back(std::move(name));
+      out.output_types.push_back(item.expr->type);
+    }
+
+    for (auto& key : stmt.order_by) {
+      key.item_index = -1;
+      for (size_t i = 0; i < stmt.items.size(); ++i) {
+        const bool alias_match = stmt.items[i].alias == key.name;
+        const bool col_match = stmt.items[i].expr->kind == Expr::Kind::kColumnRef &&
+                               stmt.items[i].expr->column == key.name;
+        if (alias_match || col_match) {
+          key.item_index = static_cast<int>(i);
+          break;
+        }
+      }
+      if (key.item_index < 0) {
+        return Fail(key.offset, key.name,
+                    "ORDER BY key \"" + key.name + "\" is not an output column");
+      }
+      if (key.descending &&
+          out.output_types[key.item_index] == bat::ValType::kStr) {
+        return Fail(key.offset, key.name, "ORDER BY ... DESC on a string column");
+      }
+    }
+
+    if (stmt.limit.has_value() && *stmt.limit < 0) {
+      return Status::InvalidArgument("LIMIT must be non-negative");
+    }
+
+    out.stmt = std::move(stmt);
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<AnalyzedQuery> Analyze(SelectStmt stmt, const Schema& schema,
+                              const std::string& text, ParseError* error) {
+  Analyzer a{schema, text, error, stmt};
+  return a.Run();
+}
+
+}  // namespace dcy::sql

@@ -1,0 +1,35 @@
+// Semantic analysis: binds the parsed AST to a Schema. Resolves table
+// aliases and column references (annotating each Expr with its FROM-entry
+// index and value type), type-checks arithmetic and comparisons, validates
+// aggregate usage against GROUP BY, and resolves ORDER BY keys to
+// select-list items. Errors carry the source offset of the offending
+// token so callers get caret diagnostics.
+#pragma once
+
+#include "common/parse_error.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/schema.h"
+
+namespace dcy::sql {
+
+struct AnalyzedQuery {
+  SelectStmt stmt;  ///< annotated in place by the analyzer
+
+  /// True when the query aggregates (explicit GROUP BY, or an aggregate in
+  /// the select list — the single-group case).
+  bool grouped = false;
+
+  /// Per select item: output column name (alias, column name, or the
+  /// rendered expression) and value type.
+  std::vector<std::string> output_names;
+  std::vector<bat::ValType> output_types;
+};
+
+/// Consumes `stmt` and returns the annotated query. `text` is the original
+/// SQL (for diagnostics); `error` optionally receives the structured
+/// ParseError for semantic failures.
+Result<AnalyzedQuery> Analyze(SelectStmt stmt, const Schema& schema,
+                              const std::string& text, ParseError* error = nullptr);
+
+}  // namespace dcy::sql

@@ -1,0 +1,88 @@
+#include "sql/ast.h"
+
+namespace dcy::sql {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "and";
+    case BinOp::kOr: return "or";
+  }
+  return "?";
+}
+
+bool IsComparison(BinOp op) { return op >= BinOp::kEq && op <= BinOp::kGe; }
+
+bool IsArithmetic(BinOp op) { return op >= BinOp::kAdd && op <= BinOp::kDiv; }
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum: return "sum";
+    case AggFn::kCount: return "count";
+    case AggFn::kAvg: return "avg";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + BinOpName(op) + " " + rhs->ToString() + ")";
+    case Kind::kAggregate:
+      return std::string(AggFnName(agg)) + "(" + (arg ? arg->ToString() : "*") + ")";
+  }
+  return "?";
+}
+
+ExprPtr MakeColumnRef(size_t offset, std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kColumnRef;
+  e->offset = offset;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeLiteral(size_t offset, bat::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->offset = offset;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeBinary(size_t offset, BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->offset = offset;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeAggregate(size_t offset, AggFn fn, ExprPtr arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kAggregate;
+  e->offset = offset;
+  e->agg = fn;
+  e->arg = std::move(arg);
+  return e;
+}
+
+}  // namespace dcy::sql

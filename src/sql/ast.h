@@ -1,0 +1,105 @@
+// Typed AST for the SQL dialect the front end accepts (ISSUE: select /
+// project with arithmetic and comparisons, AND/OR, inner joins, group-by
+// with sum/count/avg/min/max, order-by, limit). The parser builds it; the
+// analyzer annotates it in place (resolved table, value type) before the
+// plan builder lowers it to MAL.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bat/column.h"
+
+namespace dcy::sql {
+
+enum class BinOp { kAdd, kSub, kMul, kDiv, kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr };
+
+const char* BinOpName(BinOp op);
+
+/// True for kEq..kGe (predicates), false for arithmetic and AND/OR.
+bool IsComparison(BinOp op);
+bool IsArithmetic(BinOp op);
+
+enum class AggFn { kSum, kCount, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One expression node. A tagged struct rather than a class hierarchy: the
+/// grammar is small and the analyzer/planner switch on `kind` anyway.
+struct Expr {
+  enum class Kind {
+    kColumnRef,  ///< [qualifier.]column
+    kLiteral,    ///< number, string, or date literal
+    kBinary,     ///< lhs op rhs
+    kAggregate,  ///< agg(arg) or count(*)
+  };
+  Kind kind = Kind::kLiteral;
+  size_t offset = 0;  ///< byte offset in the SQL text, for diagnostics
+
+  // kColumnRef
+  std::string qualifier;  ///< table name or alias; empty if unqualified
+  std::string column;
+
+  // kLiteral
+  bat::Value literal;
+
+  // kBinary
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs, rhs;
+
+  // kAggregate
+  AggFn agg = AggFn::kCount;
+  ExprPtr arg;  ///< null for count(*)
+
+  // ---- analyzer annotations -------------------------------------------------
+  /// Resolved FROM-entry index for kColumnRef (-1 before analysis).
+  int table_index = -1;
+  /// Value type of the expression (comparisons/AND/OR are predicates and
+  /// keep their operand bookkeeping elsewhere; `type` is meaningful for
+  /// value-producing expressions only).
+  bat::ValType type = bat::ValType::kLng;
+
+  /// Renders the expression roughly as written (diagnostics, output names).
+  std::string ToString() const;
+};
+
+ExprPtr MakeColumnRef(size_t offset, std::string qualifier, std::string column);
+ExprPtr MakeLiteral(size_t offset, bat::Value v);
+ExprPtr MakeBinary(size_t offset, BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeAggregate(size_t offset, AggFn fn, ExprPtr arg);
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< empty if none; output name defaults to the expr text
+  size_t offset = 0;
+};
+
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< binding name: alias if given, else the table name
+  size_t offset = 0;
+};
+
+struct OrderItem {
+  /// Order keys must name an output column (select-list alias or column).
+  std::string name;
+  bool descending = false;
+  size_t offset = 0;
+  int item_index = -1;  ///< analyzer: index into SelectStmt::items
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  ///< null if absent
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+};
+
+}  // namespace dcy::sql

@@ -1,0 +1,43 @@
+#include "sql/compiler.h"
+
+#include <cctype>
+
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+#include "sql/plan_builder.h"
+
+namespace dcy::sql {
+
+Result<mal::Program> Compile(const std::string& sql, const Schema& schema,
+                             ParseError* error) {
+  DCY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql, error));
+  DCY_ASSIGN_OR_RETURN(AnalyzedQuery analyzed, Analyze(std::move(stmt), schema, sql, error));
+  return BuildPlan(analyzed, schema, sql, error);
+}
+
+bool LooksLikeSql(const std::string& text) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+      continue;
+    }
+    if (text[pos] == '#' ||
+        (text[pos] == '-' && pos + 1 < text.size() && text[pos + 1] == '-')) {
+      while (pos < text.size() && text[pos] != '\n') ++pos;
+      continue;
+    }
+    break;
+  }
+  const char* kSelect = "select";
+  for (size_t k = 0; k < 6; ++k) {
+    if (pos + k >= text.size() ||
+        std::tolower(static_cast<unsigned char>(text[pos + k])) != kSelect[k]) {
+      return false;
+    }
+  }
+  const char after = pos + 6 < text.size() ? text[pos + 6] : '\0';
+  return std::isalnum(static_cast<unsigned char>(after)) == 0 && after != '_';
+}
+
+}  // namespace dcy::sql

@@ -1,0 +1,25 @@
+// Front-end entry point: SQL text -> MAL program, via lexer -> parser ->
+// analyzer -> plan builder. The produced program feeds the existing
+// PreparedQuery / plan-cache / admission path exactly like hand-written MAL.
+#pragma once
+
+#include "common/parse_error.h"
+#include "common/status.h"
+#include "mal/program.h"
+#include "sql/schema.h"
+
+namespace dcy::sql {
+
+/// Compiles one SELECT statement against `schema`. On failure the Status
+/// message renders the caret diagnostic; `error` (optional) receives the
+/// structured ParseError.
+Result<mal::Program> Compile(const std::string& sql, const Schema& schema,
+                             ParseError* error = nullptr);
+
+/// Language auto-detection heuristic: true when the first word of `text`
+/// (after whitespace and `--`/`#` comment lines) is SELECT, case-insensitive.
+/// MAL programs start with `function` or a `X := module.fn(...)` call, so
+/// this never misfires on them.
+bool LooksLikeSql(const std::string& text);
+
+}  // namespace dcy::sql

@@ -1,0 +1,127 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace dcy::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+bool Token::IsWord(const char* w) const {
+  if (kind != Kind::kIdent) return false;
+  const char* p = text.c_str();
+  for (; *p != '\0' && *w != '\0'; ++p, ++w) {
+    if (std::tolower(static_cast<unsigned char>(*p)) !=
+        std::tolower(static_cast<unsigned char>(*w))) {
+      return false;
+    }
+  }
+  return *p == '\0' && *w == '\0';
+}
+
+Result<std::vector<Token>> Lex(const std::string& text, ParseError* error) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  const auto push = [&out](Token::Kind kind, std::string spelling, size_t at) -> Token& {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(spelling);
+    t.offset = at;
+    out.push_back(std::move(t));
+    return out.back();
+  };
+
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '-' && pos + 1 < text.size() && text[pos + 1] == '-') {
+      while (pos < text.size() && text[pos] != '\n') ++pos;
+      continue;
+    }
+    const size_t start = pos;
+    if (IsIdentStart(c)) {
+      while (pos < text.size() && IsIdentChar(text[pos])) ++pos;
+      push(Token::Kind::kIdent, text.substr(start, pos - start), start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos + 1])))) {
+      bool is_float = false;
+      while (pos < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '.')) {
+        if (text[pos] == '.') is_float = true;
+        ++pos;
+      }
+      const std::string num = text.substr(start, pos - start);
+      Token& t = push(is_float ? Token::Kind::kFloat : Token::Kind::kInt, num, start);
+      try {
+        if (is_float) {
+          t.d = std::stod(num);
+        } else {
+          t.i = std::stoll(num);
+        }
+      } catch (const std::exception&) {
+        return ParseFail(error, ParseError::At(text, start, num, "malformed number"));
+      }
+      continue;
+    }
+    if (c == '\'') {
+      ++pos;
+      std::string s;
+      while (pos < text.size()) {
+        if (text[pos] == '\'') {
+          if (pos + 1 < text.size() && text[pos + 1] == '\'') {
+            s += '\'';  // '' escapes a quote
+            pos += 2;
+            continue;
+          }
+          break;
+        }
+        s += text[pos++];
+      }
+      if (pos >= text.size()) {
+        return ParseFail(error, ParseError::At(text, start, "'", "unterminated string"));
+      }
+      ++pos;  // closing quote
+      push(Token::Kind::kString, std::move(s), start);
+      continue;
+    }
+    // Two-char operators first.
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!="};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (text.compare(pos, 2, op) == 0) {
+        push(Token::Kind::kSymbol, op, start);
+        pos += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    if (std::strchr("(),.*+-/=<>;", c) != nullptr) {
+      push(Token::Kind::kSymbol, std::string(1, c), start);
+      ++pos;
+      continue;
+    }
+    return ParseFail(error, ParseError::At(text, start, std::string(1, c),
+                                           "unexpected character in SQL"));
+  }
+  push(Token::Kind::kEnd, "", text.size());
+  return out;
+}
+
+}  // namespace dcy::sql

@@ -1,0 +1,37 @@
+// SQL tokenizer. Produces the full token stream up front so the parser can
+// peek freely; every token keeps its byte offset for caret diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/parse_error.h"
+#include "common/status.h"
+
+namespace dcy::sql {
+
+struct Token {
+  enum class Kind {
+    kIdent,   ///< bare word (keywords are idents matched case-insensitively)
+    kInt,     ///< integer literal
+    kFloat,   ///< floating-point literal
+    kString,  ///< 'single-quoted' string ('' escapes a quote)
+    kSymbol,  ///< punctuation / operator, in `text`
+    kEnd,     ///< end of input
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;  ///< raw spelling (idents keep their original case)
+  int64_t i = 0;     ///< kInt
+  double d = 0.0;    ///< kFloat
+  size_t offset = 0;
+
+  /// Case-insensitive keyword match for kIdent tokens.
+  bool IsWord(const char* w) const;
+  bool IsSymbol(const char* s) const { return kind == Kind::kSymbol && text == s; }
+};
+
+/// Tokenizes `text`. `--` comments run to end of line. Multi-char operators
+/// recognized: <= >= <> != ; all other punctuation is single-char.
+Result<std::vector<Token>> Lex(const std::string& text, ParseError* error);
+
+}  // namespace dcy::sql

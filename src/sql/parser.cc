@@ -1,0 +1,307 @@
+#include "sql/parser.h"
+
+#include <cstdio>
+
+#include "sql/lexer.h"
+
+namespace dcy::sql {
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::vector<Token> tokens;
+  size_t at = 0;
+  ParseError* err;
+
+  Parser(const std::string& t, std::vector<Token> toks, ParseError* e)
+      : text(t), tokens(std::move(toks)), err(e) {}
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = at + ahead;
+    return i < tokens.size() ? tokens[i] : tokens.back();  // back() is kEnd
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (at < tokens.size() - 1) ++at;
+    return t;
+  }
+  bool ConsumeWord(const char* w) {
+    if (Peek().IsWord(w)) {
+      ++at;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSymbol(const char* s) {
+    if (Peek().IsSymbol(s)) {
+      ++at;
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(std::string message) {
+    const Token& t = Peek();
+    return ParseFail(err, ParseError::At(text, t.offset, t.text, std::move(message)));
+  }
+
+  Result<std::string> Ident(const char* what) {
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Fail(std::string("expected ") + what);
+    }
+    return Next().text;
+  }
+
+  // ---- expressions ----------------------------------------------------------
+
+  Result<ExprPtr> Expression() { return OrExpr(); }
+
+  Result<ExprPtr> OrExpr() {
+    DCY_ASSIGN_OR_RETURN(ExprPtr e, AndExpr());
+    while (Peek().IsWord("or")) {
+      const size_t off = Next().offset;
+      DCY_ASSIGN_OR_RETURN(ExprPtr r, AndExpr());
+      e = MakeBinary(off, BinOp::kOr, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> AndExpr() {
+    DCY_ASSIGN_OR_RETURN(ExprPtr e, CmpExpr());
+    while (Peek().IsWord("and")) {
+      const size_t off = Next().offset;
+      DCY_ASSIGN_OR_RETURN(ExprPtr r, CmpExpr());
+      e = MakeBinary(off, BinOp::kAnd, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> CmpExpr() {
+    DCY_ASSIGN_OR_RETURN(ExprPtr e, AddExpr());
+    const Token& t = Peek();
+    BinOp op;
+    if (t.IsSymbol("=")) {
+      op = BinOp::kEq;
+    } else if (t.IsSymbol("<>") || t.IsSymbol("!=")) {
+      op = BinOp::kNe;
+    } else if (t.IsSymbol("<")) {
+      op = BinOp::kLt;
+    } else if (t.IsSymbol("<=")) {
+      op = BinOp::kLe;
+    } else if (t.IsSymbol(">")) {
+      op = BinOp::kGt;
+    } else if (t.IsSymbol(">=")) {
+      op = BinOp::kGe;
+    } else {
+      return e;  // no comparison
+    }
+    const size_t off = Next().offset;
+    DCY_ASSIGN_OR_RETURN(ExprPtr r, AddExpr());
+    return MakeBinary(off, op, std::move(e), std::move(r));
+  }
+
+  Result<ExprPtr> AddExpr() {
+    DCY_ASSIGN_OR_RETURN(ExprPtr e, MulExpr());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      const BinOp op = Peek().IsSymbol("+") ? BinOp::kAdd : BinOp::kSub;
+      const size_t off = Next().offset;
+      DCY_ASSIGN_OR_RETURN(ExprPtr r, MulExpr());
+      e = MakeBinary(off, op, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> MulExpr() {
+    DCY_ASSIGN_OR_RETURN(ExprPtr e, Primary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      const BinOp op = Peek().IsSymbol("*") ? BinOp::kMul : BinOp::kDiv;
+      const size_t off = Next().offset;
+      DCY_ASSIGN_OR_RETURN(ExprPtr r, Primary());
+      e = MakeBinary(off, op, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  /// `date 'YYYY-MM-DD'` lowered to int64 yyyymmdd.
+  Result<ExprPtr> DateLiteral(size_t off) {
+    if (Peek().kind != Token::Kind::kString) {
+      return Fail("expected 'YYYY-MM-DD' string after date");
+    }
+    const Token& t = Next();
+    int y = 0, m = 0, d = 0;
+    if (std::sscanf(t.text.c_str(), "%4d-%2d-%2d", &y, &m, &d) != 3 ||
+        t.text.size() != 10 || m < 1 || m > 12 || d < 1 || d > 31) {
+      return ParseFail(err,
+                       ParseError::At(text, t.offset, t.text, "malformed date literal"));
+    }
+    return MakeLiteral(off, bat::Value::MakeLng(int64_t{10000} * y + 100 * m + d));
+  }
+
+  Result<ExprPtr> Aggregate(AggFn fn) {
+    const size_t off = Next().offset;  // the function-name token
+    if (!ConsumeSymbol("(")) return Fail("expected '(' after aggregate");
+    ExprPtr arg;
+    if (fn == AggFn::kCount && ConsumeSymbol("*")) {
+      // count(*) — no argument
+    } else {
+      DCY_ASSIGN_OR_RETURN(arg, Expression());
+    }
+    if (!ConsumeSymbol(")")) return Fail("expected ')' after aggregate argument");
+    return MakeAggregate(off, fn, std::move(arg));
+  }
+
+  Result<ExprPtr> Primary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Token::Kind::kInt: {
+        Next();
+        return MakeLiteral(t.offset, bat::Value::MakeLng(t.i));
+      }
+      case Token::Kind::kFloat: {
+        Next();
+        return MakeLiteral(t.offset, bat::Value::MakeDbl(t.d));
+      }
+      case Token::Kind::kString: {
+        Next();
+        return MakeLiteral(t.offset, bat::Value::MakeStr(t.text));
+      }
+      case Token::Kind::kSymbol:
+        if (t.IsSymbol("(")) {
+          Next();
+          DCY_ASSIGN_OR_RETURN(ExprPtr e, Expression());
+          if (!ConsumeSymbol(")")) return Fail("expected ')'");
+          return e;
+        }
+        if (t.IsSymbol("-")) {
+          // Unary minus on a numeric literal.
+          Next();
+          const Token& n = Peek();
+          if (n.kind == Token::Kind::kInt) {
+            Next();
+            return MakeLiteral(t.offset, bat::Value::MakeLng(-n.i));
+          }
+          if (n.kind == Token::Kind::kFloat) {
+            Next();
+            return MakeLiteral(t.offset, bat::Value::MakeDbl(-n.d));
+          }
+          return Fail("expected numeric literal after unary '-'");
+        }
+        return Fail("expected expression");
+      case Token::Kind::kIdent: {
+        if (t.IsWord("date")) {
+          Next();
+          return DateLiteral(t.offset);
+        }
+        if (t.IsWord("sum")) return Aggregate(AggFn::kSum);
+        if (t.IsWord("count")) return Aggregate(AggFn::kCount);
+        if (t.IsWord("avg")) return Aggregate(AggFn::kAvg);
+        if (t.IsWord("min")) return Aggregate(AggFn::kMin);
+        if (t.IsWord("max")) return Aggregate(AggFn::kMax);
+        Next();
+        if (ConsumeSymbol(".")) {
+          DCY_ASSIGN_OR_RETURN(std::string col, Ident("column name after '.'"));
+          return MakeColumnRef(t.offset, t.text, std::move(col));
+        }
+        return MakeColumnRef(t.offset, "", t.text);
+      }
+      case Token::Kind::kEnd: return Fail("unexpected end of query");
+    }
+    return Fail("expected expression");
+  }
+
+  // ---- clauses --------------------------------------------------------------
+
+  /// Keywords that terminate the current clause.
+  bool AtClauseBoundary() const {
+    const Token& t = Peek();
+    return t.kind == Token::Kind::kEnd || t.IsSymbol(";") || t.IsWord("from") ||
+           t.IsWord("where") || t.IsWord("group") || t.IsWord("order") || t.IsWord("limit");
+  }
+
+  Result<SelectItem> Item() {
+    SelectItem item;
+    item.offset = Peek().offset;
+    DCY_ASSIGN_OR_RETURN(item.expr, Expression());
+    if (ConsumeWord("as")) {
+      DCY_ASSIGN_OR_RETURN(item.alias, Ident("alias after AS"));
+    } else if (Peek().kind == Token::Kind::kIdent && !AtClauseBoundary()) {
+      item.alias = Next().text;
+    }
+    return item;
+  }
+
+  Result<SelectStmt> Statement() {
+    SelectStmt stmt;
+    if (!ConsumeWord("select")) return Fail("expected SELECT");
+    do {
+      DCY_ASSIGN_OR_RETURN(SelectItem item, Item());
+      stmt.items.push_back(std::move(item));
+    } while (ConsumeSymbol(","));
+
+    if (!ConsumeWord("from")) return Fail("expected FROM");
+    do {
+      TableRef ref;
+      ref.offset = Peek().offset;
+      DCY_ASSIGN_OR_RETURN(ref.table, Ident("table name"));
+      if (ConsumeWord("as")) {
+        DCY_ASSIGN_OR_RETURN(ref.alias, Ident("alias after AS"));
+      } else if (Peek().kind == Token::Kind::kIdent && !AtClauseBoundary()) {
+        ref.alias = Next().text;
+      } else {
+        ref.alias = ref.table;
+      }
+      stmt.from.push_back(std::move(ref));
+    } while (ConsumeSymbol(","));
+
+    if (ConsumeWord("where")) {
+      DCY_ASSIGN_OR_RETURN(stmt.where, Expression());
+    }
+
+    if (ConsumeWord("group")) {
+      if (!ConsumeWord("by")) return Fail("expected BY after GROUP");
+      do {
+        DCY_ASSIGN_OR_RETURN(ExprPtr e, Primary());
+        if (e->kind != Expr::Kind::kColumnRef) {
+          return ParseFail(err, ParseError::At(text, e->offset, e->ToString(),
+                                               "GROUP BY supports column names only"));
+        }
+        stmt.group_by.push_back(std::move(e));
+      } while (ConsumeSymbol(","));
+    }
+
+    if (ConsumeWord("order")) {
+      if (!ConsumeWord("by")) return Fail("expected BY after ORDER");
+      do {
+        OrderItem key;
+        key.offset = Peek().offset;
+        DCY_ASSIGN_OR_RETURN(key.name, Ident("output column name in ORDER BY"));
+        if (ConsumeWord("desc")) {
+          key.descending = true;
+        } else {
+          ConsumeWord("asc");
+        }
+        stmt.order_by.push_back(std::move(key));
+      } while (ConsumeSymbol(","));
+    }
+
+    if (ConsumeWord("limit")) {
+      if (Peek().kind != Token::Kind::kInt) return Fail("expected integer after LIMIT");
+      stmt.limit = Next().i;
+    }
+
+    ConsumeSymbol(";");
+    if (Peek().kind != Token::Kind::kEnd) return Fail("unexpected input after statement");
+    return stmt;
+  }
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& text, ParseError* error) {
+  DCY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text, error));
+  Parser p(text, std::move(tokens), error);
+  return p.Statement();
+}
+
+}  // namespace dcy::sql

@@ -1,0 +1,30 @@
+// Recursive-descent SQL parser over the lexer's token stream.
+//
+// Grammar (keywords case-insensitive):
+//
+//   select_stmt := SELECT item (',' item)* FROM table (',' table)*
+//                  [WHERE expr] [GROUP BY column_ref (',' column_ref)*]
+//                  [ORDER BY order (',' order)*] [LIMIT int] [';']
+//   item        := expr [[AS] ident]
+//   table       := ident [[AS] ident]
+//   order       := ident [ASC | DESC]
+//   expr        := or-chain of AND-chains of comparisons over +,-,*,/ terms
+//   primary     := literal | DATE 'YYYY-MM-DD' | [ident '.'] ident
+//                | agg '(' expr ')' | COUNT '(' '*' ')' | '(' expr ')'
+//
+// Date literals lower to int64 yyyymmdd (the encoding the workload's date
+// columns use), so date comparisons are plain integer comparisons.
+#pragma once
+
+#include "common/parse_error.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace dcy::sql {
+
+/// Parses one SELECT statement; trailing input after the statement (other
+/// than a final ';') is an error. On failure the Status renders the
+/// diagnostic and `*error` (when non-null) receives the structured form.
+Result<SelectStmt> ParseSelect(const std::string& text, ParseError* error = nullptr);
+
+}  // namespace dcy::sql

@@ -1,0 +1,541 @@
+#include "sql/plan_builder.h"
+
+#include <map>
+#include <set>
+
+namespace dcy::sql {
+
+namespace {
+
+using mal::Arg;
+using mal::Datum;
+
+Arg V(const std::string& var) { return Arg::Var(var); }
+Arg L(int64_t v) { return Arg::Lit(Datum(v)); }
+Arg L(double v) { return Arg::Lit(Datum(v)); }
+Arg L(std::string v) { return Arg::Lit(Datum(std::move(v))); }
+Arg LOid(bat::Oid v) { return Arg::Lit(Datum(mal::OidLit{v})); }
+
+Arg LValue(const bat::Value& v) {
+  switch (v.type) {
+    case bat::ValType::kStr: return L(v.s);
+    case bat::ValType::kDbl: return L(v.d);
+    case bat::ValType::kOid: return LOid(static_cast<bat::Oid>(v.i));
+    default: return L(v.i);
+  }
+}
+
+const char* ThetaOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    default: return "==";
+  }
+}
+
+/// Mirrors a comparison for operand swap: a op b == b op' a.
+BinOp FlipComparison(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: return BinOp::kGt;
+    case BinOp::kLe: return BinOp::kGe;
+    case BinOp::kGt: return BinOp::kLt;
+    case BinOp::kGe: return BinOp::kLe;
+    default: return op;  // = and <> are symmetric
+  }
+}
+
+const char* ArithFnName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "add";
+    case BinOp::kSub: return "sub";
+    case BinOp::kMul: return "mul";
+    case BinOp::kDiv: return "div";
+    default: return "add";
+  }
+}
+
+const char* DeclTypeName(bat::ValType t) {
+  switch (t) {
+    case bat::ValType::kOid: return "oid";
+    case bat::ValType::kInt: return "int";
+    case bat::ValType::kLng: return "bigint";
+    case bat::ValType::kDbl: return "double";
+    case bat::ValType::kStr: return "varchar";
+    case bat::ValType::kDate: return "date";
+  }
+  return "bigint";
+}
+
+/// One top-level AND conjunct of the WHERE clause.
+struct Conjunct {
+  const Expr* expr = nullptr;
+  std::set<int> tables;      ///< FROM indices referenced
+  bool equi_edge = false;    ///< plain colref = colref across two tables
+  const Expr* left = nullptr;   // equi edge endpoints
+  const Expr* right = nullptr;
+  bool consumed = false;     ///< used as a join edge (not re-applied)
+};
+
+struct PlanBuilder {
+  const AnalyzedQuery& q;
+  const Schema& schema;
+  const std::string& text;
+  ParseError* err;
+
+  mal::Program prog;
+  int next_var = 0;
+  /// (FROM index, column) -> variable holding the aligned [dense, value] BAT.
+  std::map<std::pair<int, std::string>, std::string> cur;
+
+  Status Fail(const Expr& e, std::string message) {
+    return ParseFail(err, ParseError::At(text, e.offset, e.ToString(), std::move(message)));
+  }
+
+  // ---- emission helpers -----------------------------------------------------
+
+  std::string NewVar() { return "X" + std::to_string(++next_var); }
+
+  std::string Emit(const char* module, const char* fn, std::vector<Arg> args) {
+    mal::Instruction ins;
+    ins.ret = NewVar();
+    ins.module = module;
+    ins.fn = fn;
+    ins.args = std::move(args);
+    prog.instructions.push_back(std::move(ins));
+    return prog.instructions.back().ret;
+  }
+
+  void EmitVoid(const char* module, const char* fn, std::vector<Arg> args) {
+    mal::Instruction ins;
+    ins.module = module;
+    ins.fn = fn;
+    ins.args = std::move(args);
+    prog.instructions.push_back(std::move(ins));
+  }
+
+  /// Any live column variable (anchor for constant columns). Requires a
+  /// non-empty rowset, which binding guarantees.
+  std::string Anchor() const { return cur.begin()->second; }
+
+  /// reverse(markT(m, 0@0)) -> [dense, old position]; re-gathers every
+  /// column of the FROM entries in `tables` through it.
+  void GatherAfter(const std::string& m, const std::set<int>& tables) {
+    const std::string marked = Emit("algebra", "markT", {V(m), LOid(0)});
+    const std::string pos = Emit("bat", "reverse", {V(marked)});
+    for (auto& [key, var] : cur) {
+      if (tables.count(key.first) == 0) continue;
+      var = Emit("algebra", "leftjoin", {V(pos), V(var)});
+    }
+  }
+
+  // ---- scalar expressions ---------------------------------------------------
+
+  /// Value expression over the current rowset -> aligned [dense, value] var.
+  /// `anchor` anchors constant columns. Aggregates are rejected here (the
+  /// grouped path computes them via EvalGroupedItem).
+  Result<std::string> EvalScalar(const Expr& e, const std::string& anchor) {
+    switch (e.kind) {
+      case Expr::Kind::kColumnRef: {
+        auto it = cur.find({e.table_index, e.column});
+        if (it == cur.end()) {
+          return Fail(e, "internal: unresolved column in planner");
+        }
+        return it->second;
+      }
+      case Expr::Kind::kLiteral:
+        return Emit("algebra", "project", {V(anchor), LValue(e.literal)});
+      case Expr::Kind::kBinary: {
+        const bool l_lit = e.lhs->kind == Expr::Kind::kLiteral;
+        const bool r_lit = e.rhs->kind == Expr::Kind::kLiteral;
+        if (r_lit && !l_lit) {
+          DCY_ASSIGN_OR_RETURN(std::string lv, EvalScalar(*e.lhs, anchor));
+          return Emit("batcalc", ArithFnName(e.op), {V(lv), LValue(e.rhs->literal)});
+        }
+        // Constant-first (e.g. 1 - l_discount): materialize the constant as
+        // an aligned column, then the BAT-BAT form.
+        DCY_ASSIGN_OR_RETURN(std::string lv, EvalScalar(*e.lhs, anchor));
+        DCY_ASSIGN_OR_RETURN(std::string rv, EvalScalar(*e.rhs, anchor));
+        return Emit("batcalc", ArithFnName(e.op), {V(lv), V(rv)});
+      }
+      case Expr::Kind::kAggregate:
+        return Fail(e, "internal: aggregate outside the grouped path");
+    }
+    return Status::FailedPrecondition("unreachable expression kind");
+  }
+
+  // ---- predicates -----------------------------------------------------------
+
+  /// Predicate over the current rowset -> mirror BAT [q, q] of qualifying
+  /// positions, in ascending row order. `anchor` must be a column aligned
+  /// with the rows the predicate ranges over (it anchors constant columns).
+  Result<std::string> EvalPredicate(const Expr& e, const std::string& anchor) {
+    if (e.op == BinOp::kAnd) {
+      DCY_ASSIGN_OR_RETURN(std::string l, EvalPredicate(*e.lhs, anchor));
+      DCY_ASSIGN_OR_RETURN(std::string r, EvalPredicate(*e.rhs, anchor));
+      // Position intersection; semijoin keeps l's ascending order.
+      return Emit("algebra", "semijoin", {V(l), V(r)});
+    }
+    if (e.op == BinOp::kOr) {
+      DCY_ASSIGN_OR_RETURN(std::string l, EvalPredicate(*e.lhs, anchor));
+      DCY_ASSIGN_OR_RETURN(std::string r, EvalPredicate(*e.rhs, anchor));
+      // Position union; mirror tails are the positions, so sorting by tail
+      // restores ascending row order.
+      const std::string u = Emit("algebra", "kunion", {V(l), V(r)});
+      return Emit("algebra", "sort", {V(u)});
+    }
+
+    const Expr* lhs = e.lhs.get();
+    const Expr* rhs = e.rhs.get();
+    BinOp op = e.op;
+    if (lhs->kind == Expr::Kind::kLiteral && rhs->kind != Expr::Kind::kLiteral) {
+      std::swap(lhs, rhs);
+      op = FlipComparison(op);
+    }
+    if (rhs->kind == Expr::Kind::kLiteral) {
+      DCY_ASSIGN_OR_RETURN(std::string lv, EvalScalar(*lhs, anchor));
+      const std::string sel =
+          op == BinOp::kEq
+              ? Emit("algebra", "select", {V(lv), LValue(rhs->literal)})
+              : Emit("algebra", "thetaselect",
+                     {V(lv), LValue(rhs->literal), L(std::string(ThetaOpName(op)))});
+      return Emit("bat", "mirror", {V(sel)});
+    }
+    // Column/expression vs column/expression: compare the difference with 0.
+    if (lhs->type == bat::ValType::kStr || rhs->type == bat::ValType::kStr) {
+      return Fail(e, "string comparison between columns is not supported");
+    }
+    DCY_ASSIGN_OR_RETURN(std::string lv, EvalScalar(*lhs, anchor));
+    DCY_ASSIGN_OR_RETURN(std::string rv, EvalScalar(*rhs, anchor));
+    const std::string diff = Emit("batcalc", "sub", {V(lv), V(rv)});
+    const std::string sel =
+        op == BinOp::kEq
+            ? Emit("algebra", "select", {V(diff), L(0.0)})
+            : Emit("algebra", "thetaselect",
+                   {V(diff), L(0.0), L(std::string(ThetaOpName(op)))});
+    return Emit("bat", "mirror", {V(sel)});
+  }
+
+  /// Applies a filter conjunct: evaluate to positions, gather `tables`.
+  Status ApplyFilter(const Expr& e, const std::set<int>& tables) {
+    // Constants inside the predicate must align with the filtered rowset:
+    // anchor on a column of one of the predicate's own tables.
+    std::string anchor = Anchor();
+    for (const auto& [key, var] : cur) {
+      if (tables.count(key.first) > 0) {
+        anchor = var;
+        break;
+      }
+    }
+    DCY_ASSIGN_OR_RETURN(std::string m, EvalPredicate(e, anchor));
+    GatherAfter(m, tables);
+    return Status::OK();
+  }
+
+  // ---- WHERE decomposition --------------------------------------------------
+
+  void CollectTables(const Expr& e, std::set<int>* out) const {
+    switch (e.kind) {
+      case Expr::Kind::kColumnRef: out->insert(e.table_index); break;
+      case Expr::Kind::kBinary:
+        CollectTables(*e.lhs, out);
+        CollectTables(*e.rhs, out);
+        break;
+      case Expr::Kind::kAggregate:
+        if (e.arg != nullptr) CollectTables(*e.arg, out);
+        break;
+      case Expr::Kind::kLiteral: break;
+    }
+  }
+
+  void SplitConjuncts(const Expr& e, std::vector<Conjunct>* out) const {
+    if (e.kind == Expr::Kind::kBinary && e.op == BinOp::kAnd) {
+      SplitConjuncts(*e.lhs, out);
+      SplitConjuncts(*e.rhs, out);
+      return;
+    }
+    Conjunct c;
+    c.expr = &e;
+    CollectTables(e, &c.tables);
+    if (e.kind == Expr::Kind::kBinary && e.op == BinOp::kEq &&
+        e.lhs->kind == Expr::Kind::kColumnRef && e.rhs->kind == Expr::Kind::kColumnRef &&
+        e.lhs->table_index != e.rhs->table_index &&
+        e.lhs->type != bat::ValType::kStr && e.rhs->type != bat::ValType::kStr) {
+      c.equi_edge = true;
+      c.left = e.lhs.get();
+      c.right = e.rhs.get();
+    }
+    out->push_back(c);
+  }
+
+  // ---- column binding -------------------------------------------------------
+
+  void CollectColumns(const Expr& e, std::set<std::pair<int, std::string>>* out) const {
+    switch (e.kind) {
+      case Expr::Kind::kColumnRef: out->insert({e.table_index, e.column}); break;
+      case Expr::Kind::kBinary:
+        CollectColumns(*e.lhs, out);
+        CollectColumns(*e.rhs, out);
+        break;
+      case Expr::Kind::kAggregate:
+        if (e.arg != nullptr) CollectColumns(*e.arg, out);
+        break;
+      case Expr::Kind::kLiteral: break;
+    }
+  }
+
+  Status BindColumns() {
+    std::set<std::pair<int, std::string>> used;
+    for (const auto& item : q.stmt.items) CollectColumns(*item.expr, &used);
+    if (q.stmt.where != nullptr) CollectColumns(*q.stmt.where, &used);
+    for (const auto& g : q.stmt.group_by) CollectColumns(*g, &used);
+    // Every FROM entry needs at least one bound column to carry its rowset
+    // (e.g. `select count(*) from t`).
+    for (size_t i = 0; i < q.stmt.from.size(); ++i) {
+      bool any = false;
+      for (const auto& [uti, ucol] : used) any = any || uti == static_cast<int>(i);
+      if (!any) {
+        const auto& cols = schema.TableColumns(q.stmt.from[i].table);
+        if (cols.empty()) {
+          return Status::InvalidArgument("table \"" + q.stmt.from[i].table +
+                                         "\" has no columns");
+        }
+        used.insert({static_cast<int>(i), cols[0].name});
+      }
+    }
+    for (const auto& [ti, col] : used) {
+      cur[{ti, col}] = Emit("sql", "bind", {L(std::string("sys")), L(q.stmt.from[ti].table),
+                                            L(col), L(int64_t{0})});
+    }
+    return Status::OK();
+  }
+
+  // ---- joins ----------------------------------------------------------------
+
+  Status JoinTables(std::vector<Conjunct>& conjuncts) {
+    std::set<int> joined{0};
+    while (joined.size() < q.stmt.from.size()) {
+      Conjunct* edge = nullptr;
+      const Expr* inner = nullptr;  // endpoint already in the rowset
+      const Expr* outer = nullptr;  // endpoint being joined in
+      for (auto& c : conjuncts) {
+        if (!c.equi_edge || c.consumed) continue;
+        const bool l_in = joined.count(c.left->table_index) > 0;
+        const bool r_in = joined.count(c.right->table_index) > 0;
+        if (l_in && !r_in) {
+          edge = &c;
+          inner = c.left;
+          outer = c.right;
+          break;
+        }
+        if (r_in && !l_in) {
+          edge = &c;
+          inner = c.right;
+          outer = c.left;
+          break;
+        }
+      }
+      if (edge == nullptr) {
+        return ParseFail(
+            err, ParseError::At(text, q.stmt.from[joined.size()].offset,
+                                q.stmt.from[joined.size()].table,
+                                "no join predicate connects this table (cross joins "
+                                "are not supported)"));
+      }
+      edge->consumed = true;
+      const std::string l = cur[{inner->table_index, inner->column}];
+      const std::string r = cur[{outer->table_index, outer->column}];
+      const std::string rrev = Emit("bat", "reverse", {V(r)});
+      // [inner position, outer position] for every matching pair.
+      const std::string j = Emit("algebra", "join", {V(l), V(rrev)});
+      GatherAfter(j, joined);  // reverse(markT(j)) = [dense, inner position]
+      const std::string outer_pos = Emit("algebra", "markH", {V(j), LOid(0)});
+      for (auto& [key, var] : cur) {
+        if (key.first != outer->table_index) continue;
+        var = Emit("algebra", "leftjoin", {V(outer_pos), V(var)});
+      }
+      joined.insert(outer->table_index);
+    }
+    return Status::OK();
+  }
+
+  // ---- grouped output -------------------------------------------------------
+
+  /// Select-list expression in a grouped query -> [dense gid, value] var.
+  /// `g` = per-row group ids, `extents` = [gid, first row] (empty for the
+  /// single-group case), `ngroups` = group count argument.
+  Result<std::string> EvalGroupedItem(const Expr& e, const std::string& g,
+                                      const std::string& extents, const Arg& ngroups,
+                                      std::string* grouped_anchor) {
+    switch (e.kind) {
+      case Expr::Kind::kColumnRef: {
+        // Analyzer guarantees this is a GROUP BY column; project the
+        // per-group representative through the extents.
+        const std::string v =
+            Emit("algebra", "leftjoin", {V(extents), V(cur[{e.table_index, e.column}])});
+        if (grouped_anchor->empty()) *grouped_anchor = v;
+        return v;
+      }
+      case Expr::Kind::kLiteral: {
+        if (grouped_anchor->empty()) {
+          return Fail(e, "constant select item requires a grouped column or aggregate "
+                         "earlier in the select list");
+        }
+        return Emit("algebra", "project", {V(*grouped_anchor), LValue(e.literal)});
+      }
+      case Expr::Kind::kAggregate: {
+        std::string v;
+        switch (e.agg) {
+          case AggFn::kCount:
+            v = Emit("aggr", "countPerGroup", {V(g), ngroups});
+            break;
+          case AggFn::kSum: {
+            DCY_ASSIGN_OR_RETURN(std::string arg, EvalScalar(*e.arg, Anchor()));
+            v = Emit("aggr", "sumPerGroup", {V(arg), V(g), ngroups});
+            break;
+          }
+          case AggFn::kAvg: {
+            DCY_ASSIGN_OR_RETURN(std::string arg, EvalScalar(*e.arg, Anchor()));
+            const std::string s = Emit("aggr", "sumPerGroup", {V(arg), V(g), ngroups});
+            const std::string c = Emit("aggr", "countPerGroup", {V(g), ngroups});
+            v = Emit("batcalc", "div", {V(s), V(c)});
+            break;
+          }
+          case AggFn::kMin:
+          case AggFn::kMax: {
+            DCY_ASSIGN_OR_RETURN(std::string arg, EvalScalar(*e.arg, Anchor()));
+            v = Emit("aggr", e.agg == AggFn::kMin ? "minPerGroup" : "maxPerGroup",
+                     {V(arg), V(g), ngroups});
+            break;
+          }
+        }
+        if (grouped_anchor->empty()) *grouped_anchor = v;
+        return v;
+      }
+      case Expr::Kind::kBinary: {
+        // Arithmetic over aggregates/group columns: the operands are
+        // gid-aligned, so the same batcalc lowering applies.
+        const bool r_lit = e.rhs->kind == Expr::Kind::kLiteral;
+        const bool l_lit = e.lhs->kind == Expr::Kind::kLiteral;
+        if (r_lit && !l_lit) {
+          DCY_ASSIGN_OR_RETURN(
+              std::string lv, EvalGroupedItem(*e.lhs, g, extents, ngroups, grouped_anchor));
+          return Emit("batcalc", ArithFnName(e.op), {V(lv), LValue(e.rhs->literal)});
+        }
+        DCY_ASSIGN_OR_RETURN(std::string lv,
+                             EvalGroupedItem(*e.lhs, g, extents, ngroups, grouped_anchor));
+        DCY_ASSIGN_OR_RETURN(std::string rv,
+                             EvalGroupedItem(*e.rhs, g, extents, ngroups, grouped_anchor));
+        return Emit("batcalc", ArithFnName(e.op), {V(lv), V(rv)});
+      }
+    }
+    return Status::FailedPrecondition("unreachable expression kind");
+  }
+
+  // ---- top level ------------------------------------------------------------
+
+  Result<mal::Program> Build() {
+    prog.name = "user.sql";
+    DCY_RETURN_NOT_OK(BindColumns());
+
+    std::vector<Conjunct> conjuncts;
+    if (q.stmt.where != nullptr) SplitConjuncts(*q.stmt.where, &conjuncts);
+
+    // Single-table filters push below the joins (valid for inner joins).
+    for (auto& c : conjuncts) {
+      if (c.equi_edge || c.tables.size() > 1) continue;
+      const std::set<int> scope =
+          c.tables.empty() ? std::set<int>{0} : c.tables;  // literal-only: any table
+      DCY_RETURN_NOT_OK(ApplyFilter(*c.expr, scope));
+      c.consumed = true;
+    }
+
+    DCY_RETURN_NOT_OK(JoinTables(conjuncts));
+
+    // Residual predicates (multi-table conjuncts and equi predicates between
+    // already-joined tables, e.g. the second leg of a join cycle).
+    std::set<int> all;
+    for (size_t i = 0; i < q.stmt.from.size(); ++i) all.insert(static_cast<int>(i));
+    for (auto& c : conjuncts) {
+      if (c.consumed) continue;
+      DCY_RETURN_NOT_OK(ApplyFilter(*c.expr, all));
+      c.consumed = true;
+    }
+
+    // Output columns, one var per select item.
+    std::vector<std::string> out(q.stmt.items.size());
+    if (q.grouped) {
+      std::string g;
+      Arg ngroups = L(int64_t{1});
+      std::string extents;
+      if (q.stmt.group_by.empty()) {
+        // Single-group aggregation: constant group id 0 for every row.
+        g = Emit("algebra", "project", {V(Anchor()), L(int64_t{0})});
+      } else {
+        g = Emit("group", "id",
+                 {V(cur[{q.stmt.group_by[0]->table_index, q.stmt.group_by[0]->column}])});
+        for (size_t k = 1; k < q.stmt.group_by.size(); ++k) {
+          g = Emit("group", "refine",
+                   {V(cur[{q.stmt.group_by[k]->table_index, q.stmt.group_by[k]->column}]),
+                    V(g)});
+        }
+        extents = Emit("group", "extents", {V(g)});
+        ngroups = V(Emit("aggr", "count", {V(extents)}));
+      }
+      std::string grouped_anchor;
+      for (size_t i = 0; i < q.stmt.items.size(); ++i) {
+        DCY_ASSIGN_OR_RETURN(
+            out[i], EvalGroupedItem(*q.stmt.items[i].expr, g, extents, ngroups,
+                                    &grouped_anchor));
+      }
+    } else {
+      for (size_t i = 0; i < q.stmt.items.size(); ++i) {
+        DCY_ASSIGN_OR_RETURN(out[i], EvalScalar(*q.stmt.items[i].expr, Anchor()));
+      }
+    }
+
+    // ORDER BY: stable sort per key, applied last key first.
+    for (auto it = q.stmt.order_by.rbegin(); it != q.stmt.order_by.rend(); ++it) {
+      std::string key = out[it->item_index];
+      if (it->descending) {
+        key = Emit("batcalc", "mul", {V(key), L(int64_t{-1})});
+      }
+      const std::string sorted = Emit("algebra", "sort", {V(key)});
+      const std::string marked = Emit("algebra", "markT", {V(sorted), LOid(0)});
+      const std::string pos = Emit("bat", "reverse", {V(marked)});
+      for (auto& o : out) o = Emit("algebra", "leftjoin", {V(pos), V(o)});
+    }
+
+    if (q.stmt.limit.has_value()) {
+      for (auto& o : out) {
+        o = Emit("algebra", "slice", {V(o), L(int64_t{0}), L(*q.stmt.limit)});
+      }
+    }
+
+    // Export: resultSet + one rsCol per select item.
+    const std::string rs = Emit(
+        "sql", "resultSet",
+        {L(static_cast<int64_t>(out.size())), L(int64_t{0}), V(out[0])});
+    for (size_t i = 0; i < out.size(); ++i) {
+      EmitVoid("sql", "rsCol",
+               {V(rs), L(std::string("sys")), L(q.output_names[i]),
+                L(std::string(DeclTypeName(q.output_types[i]))), L(int64_t{0}),
+                L(int64_t{0}), V(out[i])});
+    }
+    const std::string stream = Emit("io", "stdout", {});
+    EmitVoid("sql", "exportResult", {V(stream), V(rs)});
+    return std::move(prog);
+  }
+};
+
+}  // namespace
+
+Result<mal::Program> BuildPlan(const AnalyzedQuery& q, const Schema& schema,
+                               const std::string& text, ParseError* error) {
+  PlanBuilder b{q, schema, text, error, {}, 0, {}};
+  return b.Build();
+}
+
+}  // namespace dcy::sql

@@ -1,0 +1,28 @@
+// Lowers an analyzed SELECT to a MAL program over the engine's BAT algebra.
+//
+// Compilation keeps one invariant: after every stage, each live column is a
+// BAT [dense 0..n-1, value] and all live columns are positionally aligned.
+// Predicates evaluate to mirror BATs of qualifying positions; a gather
+// (reverse(markT(M)) + leftjoin per column) re-establishes the invariant
+// after every selection, join, and sort. Grouping chains group.id /
+// group.refine, projects group columns through group.extents, and computes
+// aggregates with the perGroup kernels. The emitted program is SSA (every
+// variable bound exactly once), which the DcOptimizer's bind-hoisting
+// rewrite requires.
+#pragma once
+
+#include "common/parse_error.h"
+#include "common/status.h"
+#include "mal/program.h"
+#include "sql/analyzer.h"
+#include "sql/schema.h"
+
+namespace dcy::sql {
+
+/// Emits the MAL program for `q`. `text` is the SQL source (diagnostics);
+/// `error` optionally receives structured errors for the few constructs the
+/// planner rejects (e.g. cross joins, string column-vs-column comparisons).
+Result<mal::Program> BuildPlan(const AnalyzedQuery& q, const Schema& schema,
+                               const std::string& text, ParseError* error = nullptr);
+
+}  // namespace dcy::sql

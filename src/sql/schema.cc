@@ -1,0 +1,52 @@
+#include "sql/schema.h"
+
+namespace dcy::sql {
+
+void Schema::AddColumn(const std::string& table, const std::string& column,
+                       bat::ValType type) {
+  auto& cols = tables_[table];
+  for (auto& c : cols) {
+    if (c.name == column) {
+      c.type = type;
+      return;
+    }
+  }
+  cols.push_back(Column{column, type});
+}
+
+const Schema::Column* Schema::FindColumn(const std::string& table,
+                                         const std::string& column) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return nullptr;
+  for (const auto& c : it->second) {
+    if (c.name == column) return &c;
+  }
+  return nullptr;
+}
+
+const std::vector<Schema::Column>& Schema::TableColumns(const std::string& table) const {
+  static const std::vector<Column> kEmpty;
+  auto it = tables_.find(table);
+  return it == tables_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> Schema::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+Schema Schema::FromQualifiedColumns(const std::map<std::string, bat::ValType>& columns) {
+  Schema s;
+  for (const auto& [qualified, type] : columns) {
+    const size_t first = qualified.find('.');
+    const size_t second = first == std::string::npos ? first : qualified.find('.', first + 1);
+    if (second == std::string::npos) continue;  // not schema.table.column
+    s.AddColumn(qualified.substr(first + 1, second - first - 1), qualified.substr(second + 1),
+                type);
+  }
+  return s;
+}
+
+}  // namespace dcy::sql

@@ -1,0 +1,44 @@
+// Relational schema the analyzer resolves names against: table -> ordered
+// (column, type). The runtime builds one from the BATs loaded into a ring
+// (RingCluster records each "schema.table.column" tail type at LoadBat);
+// tests build them by hand.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bat/column.h"
+
+namespace dcy::sql {
+
+class Schema {
+ public:
+  struct Column {
+    std::string name;
+    bat::ValType type = bat::ValType::kLng;
+  };
+
+  /// Registers `table.column` (idempotent; re-adding updates the type).
+  void AddColumn(const std::string& table, const std::string& column, bat::ValType type);
+
+  bool HasTable(const std::string& table) const { return tables_.count(table) > 0; }
+
+  /// nullptr if the table or column does not exist.
+  const Column* FindColumn(const std::string& table, const std::string& column) const;
+
+  /// Columns of `table` in registration order (empty if unknown).
+  const std::vector<Column>& TableColumns(const std::string& table) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Builds a schema from fully qualified "schema.table.column" -> type
+  /// entries, dropping the leading schema qualifier (single-schema engine;
+  /// the front end resolves unqualified table names).
+  static Schema FromQualifiedColumns(const std::map<std::string, bat::ValType>& columns);
+
+ private:
+  std::map<std::string, std::vector<Column>> tables_;
+};
+
+}  // namespace dcy::sql

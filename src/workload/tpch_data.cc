@@ -1,0 +1,446 @@
+#include "workload/tpch_data.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bat/column.h"
+#include "common/random.h"
+
+namespace dcy::workload {
+
+namespace {
+
+// ---- calendar helpers (Howard Hinnant's civil-days algorithms) -------------
+
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+/// Days-since-epoch -> the int64 yyyymmdd encoding all date columns use.
+int64_t Yyyymmdd(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const int64_t m = mp + (mp < 10 ? 3 : -9);
+  return (y + (m <= 2)) * 10000 + m * 100 + d;
+}
+
+// The spec's fixed nation/region tables (25 nations across 5 regions).
+constexpr const char* kRegionNames[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                         "MIDDLE EAST"};
+struct NationSpec {
+  const char* name;
+  int64_t region;
+};
+constexpr NationSpec kNations[25] = {
+    {"ALGERIA", 0},   {"ARGENTINA", 1}, {"BRAZIL", 1},     {"CANADA", 1},
+    {"EGYPT", 4},     {"ETHIOPIA", 0},  {"FRANCE", 3},     {"GERMANY", 3},
+    {"INDIA", 2},     {"INDONESIA", 2}, {"IRAN", 4},       {"IRAQ", 4},
+    {"JAPAN", 2},     {"JORDAN", 4},    {"KENYA", 0},      {"MOROCCO", 0},
+    {"MOZAMBIQUE", 0},{"PERU", 1},      {"CHINA", 2},      {"ROMANIA", 3},
+    {"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+
+constexpr const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                      "MACHINERY", "HOUSEHOLD"};
+constexpr const char* kWords[8] = {"carefully", "quickly", "furious", "pending",
+                                   "express",   "regular", "ironic",  "deposits"};
+
+std::string RandomWords(Rng& rng, int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    if (i > 0) out += ' ';
+    out += kWords[rng.UniformInt(0, 7)];
+  }
+  return out;
+}
+
+}  // namespace
+
+TpchData GenerateTpchData(double scale_factor, uint64_t seed) {
+  TpchData t;
+  Rng rng(seed);
+  const auto scaled = [&](double base) {
+    return static_cast<size_t>(std::max(1.0, std::floor(base * scale_factor)));
+  };
+  const size_t customers = scaled(150000);
+  const size_t suppliers = scaled(10000);
+  const size_t orders = scaled(1500000);
+
+  for (int64_t r = 0; r < 5; ++r) {
+    t.region.regionkey.push_back(r);
+    t.region.name.push_back(kRegionNames[r]);
+  }
+  for (int64_t n = 0; n < 25; ++n) {
+    t.nation.nationkey.push_back(n);
+    t.nation.regionkey.push_back(kNations[n].region);
+    t.nation.name.push_back(kNations[n].name);
+  }
+
+  for (size_t s = 1; s <= suppliers; ++s) {
+    t.supplier.suppkey.push_back(static_cast<int64_t>(s));
+    t.supplier.nationkey.push_back(rng.UniformInt(0, 24));
+  }
+
+  char buf[64];
+  for (size_t c = 1; c <= customers; ++c) {
+    const int64_t nation = rng.UniformInt(0, 24);
+    t.customer.custkey.push_back(static_cast<int64_t>(c));
+    t.customer.nationkey.push_back(nation);
+    // Cent-quantized balances, like dbgen's -999.99 .. 9999.99 domain.
+    t.customer.acctbal.push_back(static_cast<double>(rng.UniformInt(-99999, 999999)) /
+                                 100.0);
+    std::snprintf(buf, sizeof(buf), "Customer#%09zu", c);
+    t.customer.name.push_back(buf);
+    t.customer.address.push_back(RandomWords(rng, 2));
+    std::snprintf(buf, sizeof(buf), "%02lld-%03lld-%03lld-%04lld",
+                  static_cast<long long>(10 + nation),
+                  static_cast<long long>(rng.UniformInt(100, 999)),
+                  static_cast<long long>(rng.UniformInt(100, 999)),
+                  static_cast<long long>(rng.UniformInt(1000, 9999)));
+    t.customer.phone.push_back(buf);
+    t.customer.mktsegment.push_back(kSegments[rng.UniformInt(0, 4)]);
+    t.customer.comment.push_back(RandomWords(rng, 3));
+  }
+
+  const int64_t start_day = DaysFromCivil(1992, 1, 1);
+  const int64_t end_day = DaysFromCivil(1998, 8, 2);
+  const int64_t flag_cutoff = Yyyymmdd(DaysFromCivil(1995, 6, 17));
+  for (size_t o = 1; o <= orders; ++o) {
+    const int64_t order_day = rng.UniformInt(start_day, end_day);
+    t.orders.orderkey.push_back(static_cast<int64_t>(o));
+    t.orders.custkey.push_back(rng.UniformInt(1, static_cast<int64_t>(customers)));
+    t.orders.orderdate.push_back(Yyyymmdd(order_day));
+    t.orders.shippriority.push_back(0);
+
+    const int64_t lines = rng.UniformInt(1, 7);  // mean 4 -> ~6M lines at SF-1
+    for (int64_t l = 0; l < lines; ++l) {
+      const int64_t shipdate = Yyyymmdd(order_day + rng.UniformInt(1, 121));
+      t.lineitem.orderkey.push_back(static_cast<int64_t>(o));
+      t.lineitem.suppkey.push_back(rng.UniformInt(1, static_cast<int64_t>(suppliers)));
+      t.lineitem.shipdate.push_back(shipdate);
+      t.lineitem.quantity.push_back(static_cast<double>(rng.UniformInt(1, 50)));
+      t.lineitem.extendedprice.push_back(
+          static_cast<double>(rng.UniformInt(90100, 10495000)) / 100.0);
+      // Whole-percent discounts/taxes: the k/100.0 doubles equal the parsed
+      // 0.0k SQL literals bit for bit, so band predicates are exact.
+      t.lineitem.discount.push_back(static_cast<double>(rng.UniformInt(0, 10)) / 100.0);
+      t.lineitem.tax.push_back(static_cast<double>(rng.UniformInt(0, 8)) / 100.0);
+      t.lineitem.returnflag.push_back(
+          shipdate <= flag_cutoff ? (rng.Bernoulli(0.5) ? "R" : "A") : "N");
+      t.lineitem.linestatus.push_back(shipdate > flag_cutoff ? "O" : "F");
+    }
+  }
+  return t;
+}
+
+std::vector<std::pair<std::string, bat::BatPtr>> TpchBats(const TpchData& d) {
+  std::vector<std::pair<std::string, bat::BatPtr>> out;
+  auto lng = [&out](const char* name, std::vector<int64_t> v) {
+    out.emplace_back(name, bat::Bat::MakeColumn(bat::MakeLngColumn(std::move(v))));
+  };
+  auto dbl = [&out](const char* name, std::vector<double> v) {
+    out.emplace_back(name, bat::Bat::MakeColumn(bat::MakeDblColumn(std::move(v))));
+  };
+  auto str = [&out](const char* name, const std::vector<std::string>& v) {
+    out.emplace_back(name, bat::Bat::MakeColumn(bat::MakeStrColumn(v)));
+  };
+  lng("sys.lineitem.l_orderkey", d.lineitem.orderkey);
+  lng("sys.lineitem.l_suppkey", d.lineitem.suppkey);
+  lng("sys.lineitem.l_shipdate", d.lineitem.shipdate);
+  dbl("sys.lineitem.l_quantity", d.lineitem.quantity);
+  dbl("sys.lineitem.l_extendedprice", d.lineitem.extendedprice);
+  dbl("sys.lineitem.l_discount", d.lineitem.discount);
+  dbl("sys.lineitem.l_tax", d.lineitem.tax);
+  str("sys.lineitem.l_returnflag", d.lineitem.returnflag);
+  str("sys.lineitem.l_linestatus", d.lineitem.linestatus);
+  lng("sys.orders.o_orderkey", d.orders.orderkey);
+  lng("sys.orders.o_custkey", d.orders.custkey);
+  lng("sys.orders.o_orderdate", d.orders.orderdate);
+  lng("sys.orders.o_shippriority", d.orders.shippriority);
+  lng("sys.customer.c_custkey", d.customer.custkey);
+  lng("sys.customer.c_nationkey", d.customer.nationkey);
+  dbl("sys.customer.c_acctbal", d.customer.acctbal);
+  str("sys.customer.c_name", d.customer.name);
+  str("sys.customer.c_address", d.customer.address);
+  str("sys.customer.c_phone", d.customer.phone);
+  str("sys.customer.c_mktsegment", d.customer.mktsegment);
+  str("sys.customer.c_comment", d.customer.comment);
+  lng("sys.supplier.s_suppkey", d.supplier.suppkey);
+  lng("sys.supplier.s_nationkey", d.supplier.nationkey);
+  lng("sys.nation.n_nationkey", d.nation.nationkey);
+  lng("sys.nation.n_regionkey", d.nation.regionkey);
+  str("sys.nation.n_name", d.nation.name);
+  lng("sys.region.r_regionkey", d.region.regionkey);
+  str("sys.region.r_name", d.region.name);
+  return out;
+}
+
+const std::vector<int>& TpchSqlQueries() {
+  static const std::vector<int> kQueries = {1, 3, 5, 6, 10};
+  return kQueries;
+}
+
+const char* TpchQuerySql(int q) {
+  switch (q) {
+    case 1:
+      return R"(select l_returnflag, l_linestatus,
+       sum(l_quantity) as sum_qty,
+       sum(l_extendedprice) as sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+       avg(l_quantity) as avg_qty,
+       avg(l_extendedprice) as avg_price,
+       avg(l_discount) as avg_disc,
+       count(*) as count_order
+from lineitem
+where l_shipdate <= date '1998-09-02'
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus)";
+    case 3:
+      return R"(select l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) as revenue,
+       o_orderdate, o_shippriority
+from customer, orders, lineitem
+where c_mktsegment = 'BUILDING'
+  and c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate < date '1995-03-15'
+  and l_shipdate > date '1995-03-15'
+group by l_orderkey, o_orderdate, o_shippriority
+order by revenue desc, o_orderdate
+limit 10)";
+    case 5:
+      return R"(select n_name,
+       sum(l_extendedprice * (1 - l_discount)) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and l_suppkey = s_suppkey
+  and c_nationkey = s_nationkey
+  and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = 'ASIA'
+  and o_orderdate >= date '1994-01-01'
+  and o_orderdate <= date '1994-12-31'
+group by n_name
+order by revenue desc)";
+    case 6:
+      return R"(select sum(l_extendedprice * l_discount) as revenue
+from lineitem
+where l_shipdate >= date '1994-01-01'
+  and l_shipdate <= date '1994-12-31'
+  and l_discount >= 0.05 and l_discount <= 0.07
+  and l_quantity < 24)";
+    case 10:
+      return R"(select c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) as revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+from customer, orders, lineitem, nation
+where c_custkey = o_custkey
+  and l_orderkey = o_orderkey
+  and o_orderdate >= date '1993-10-01'
+  and o_orderdate <= date '1993-12-31'
+  and l_returnflag = 'R'
+  and c_nationkey = n_nationkey
+group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+order by revenue desc
+limit 20)";
+    default:
+      return nullptr;
+  }
+}
+
+// ---- reference answers -----------------------------------------------------
+
+namespace {
+
+using bat::Value;
+
+TpchAnswer RefQ1(const TpchData& d) {
+  struct Acc {
+    double qty = 0, base = 0, disc_price = 0, charge = 0, disc = 0;
+    int64_t count = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Acc> groups;  // ordered = ORDER BY
+  for (size_t i = 0; i < d.lineitem.rows(); ++i) {
+    if (d.lineitem.shipdate[i] > 19980902) continue;
+    Acc& a = groups[{d.lineitem.returnflag[i], d.lineitem.linestatus[i]}];
+    const double price = d.lineitem.extendedprice[i];
+    const double disc = d.lineitem.discount[i];
+    a.qty += d.lineitem.quantity[i];
+    a.base += price;
+    a.disc_price += price * (1 - disc);
+    a.charge += price * (1 - disc) * (1 + d.lineitem.tax[i]);
+    a.disc += disc;
+    ++a.count;
+  }
+  TpchAnswer out;
+  out.names = {"l_returnflag", "l_linestatus", "sum_qty", "sum_base_price",
+               "sum_disc_price", "sum_charge", "avg_qty", "avg_price",
+               "avg_disc", "count_order"};
+  for (const auto& [key, a] : groups) {
+    const double n = static_cast<double>(a.count);
+    out.rows.push_back({Value::MakeStr(key.first), Value::MakeStr(key.second),
+                        Value::MakeDbl(a.qty), Value::MakeDbl(a.base),
+                        Value::MakeDbl(a.disc_price), Value::MakeDbl(a.charge),
+                        Value::MakeDbl(a.qty / n), Value::MakeDbl(a.base / n),
+                        Value::MakeDbl(a.disc / n), Value::MakeLng(a.count)});
+  }
+  return out;
+}
+
+TpchAnswer RefQ3(const TpchData& d) {
+  // Orderkeys are dense 1..N, so index by key directly.
+  std::vector<bool> building(d.customer.rows() + 1, false);
+  for (size_t i = 0; i < d.customer.rows(); ++i) {
+    building[d.customer.custkey[i]] = d.customer.mktsegment[i] == "BUILDING";
+  }
+  std::vector<int64_t> odate(d.orders.rows() + 1, -1);  // -1 = not qualifying
+  for (size_t i = 0; i < d.orders.rows(); ++i) {
+    if (d.orders.orderdate[i] < 19950315 && building[d.orders.custkey[i]]) {
+      odate[d.orders.orderkey[i]] = d.orders.orderdate[i];
+    }
+  }
+  struct Row {
+    int64_t orderkey, orderdate;
+    double revenue = 0;
+  };
+  std::map<int64_t, Row> groups;
+  for (size_t i = 0; i < d.lineitem.rows(); ++i) {
+    const int64_t ok = d.lineitem.orderkey[i];
+    if (d.lineitem.shipdate[i] <= 19950315 || odate[ok] < 0) continue;
+    Row& r = groups[ok];
+    r.orderkey = ok;
+    r.orderdate = odate[ok];
+    r.revenue += d.lineitem.extendedprice[i] * (1 - d.lineitem.discount[i]);
+  }
+  std::vector<Row> rows;
+  for (const auto& [key, r] : groups) rows.push_back(r);
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.revenue != b.revenue) return a.revenue > b.revenue;
+    return a.orderdate < b.orderdate;
+  });
+  if (rows.size() > 10) rows.resize(10);
+  TpchAnswer out;
+  out.names = {"l_orderkey", "revenue", "o_orderdate", "o_shippriority"};
+  for (const auto& r : rows) {
+    out.rows.push_back({Value::MakeLng(r.orderkey), Value::MakeDbl(r.revenue),
+                        Value::MakeLng(r.orderdate), Value::MakeLng(0)});
+  }
+  return out;
+}
+
+TpchAnswer RefQ5(const TpchData& d) {
+  std::vector<bool> asia_nation(25, false);
+  for (size_t i = 0; i < d.nation.rows(); ++i) {
+    asia_nation[d.nation.nationkey[i]] =
+        d.region.name[d.nation.regionkey[i]] == "ASIA";
+  }
+  std::vector<int64_t> cust_nation(d.customer.rows() + 1, -1);
+  for (size_t i = 0; i < d.customer.rows(); ++i) {
+    cust_nation[d.customer.custkey[i]] = d.customer.nationkey[i];
+  }
+  std::vector<int64_t> supp_nation(d.supplier.rows() + 1, -1);
+  for (size_t i = 0; i < d.supplier.rows(); ++i) {
+    supp_nation[d.supplier.suppkey[i]] = d.supplier.nationkey[i];
+  }
+  std::vector<int64_t> order_cust(d.orders.rows() + 1, -1);  // -1 = out of window
+  for (size_t i = 0; i < d.orders.rows(); ++i) {
+    if (d.orders.orderdate[i] >= 19940101 && d.orders.orderdate[i] <= 19941231) {
+      order_cust[d.orders.orderkey[i]] = d.orders.custkey[i];
+    }
+  }
+  std::map<int64_t, double> by_nation;
+  for (size_t i = 0; i < d.lineitem.rows(); ++i) {
+    const int64_t cust = order_cust[d.lineitem.orderkey[i]];
+    if (cust < 0) continue;
+    const int64_t sn = supp_nation[d.lineitem.suppkey[i]];
+    if (sn != cust_nation[cust] || !asia_nation[sn]) continue;
+    by_nation[sn] += d.lineitem.extendedprice[i] * (1 - d.lineitem.discount[i]);
+  }
+  std::vector<std::pair<std::string, double>> rows;
+  for (const auto& [nk, rev] : by_nation) rows.emplace_back(d.nation.name[nk], rev);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  TpchAnswer out;
+  out.names = {"n_name", "revenue"};
+  for (const auto& [name, rev] : rows) {
+    out.rows.push_back({Value::MakeStr(name), Value::MakeDbl(rev)});
+  }
+  return out;
+}
+
+TpchAnswer RefQ6(const TpchData& d) {
+  double revenue = 0;
+  for (size_t i = 0; i < d.lineitem.rows(); ++i) {
+    if (d.lineitem.shipdate[i] < 19940101 || d.lineitem.shipdate[i] > 19941231) continue;
+    if (d.lineitem.discount[i] < 0.05 || d.lineitem.discount[i] > 0.07) continue;
+    if (d.lineitem.quantity[i] >= 24) continue;
+    revenue += d.lineitem.extendedprice[i] * d.lineitem.discount[i];
+  }
+  TpchAnswer out;
+  out.names = {"revenue"};
+  out.rows.push_back({Value::MakeDbl(revenue)});
+  return out;
+}
+
+TpchAnswer RefQ10(const TpchData& d) {
+  std::vector<int64_t> order_cust(d.orders.rows() + 1, -1);
+  for (size_t i = 0; i < d.orders.rows(); ++i) {
+    if (d.orders.orderdate[i] >= 19931001 && d.orders.orderdate[i] <= 19931231) {
+      order_cust[d.orders.orderkey[i]] = d.orders.custkey[i];
+    }
+  }
+  std::map<int64_t, double> by_cust;
+  for (size_t i = 0; i < d.lineitem.rows(); ++i) {
+    if (d.lineitem.returnflag[i] != "R") continue;
+    const int64_t cust = order_cust[d.lineitem.orderkey[i]];
+    if (cust < 0) continue;
+    by_cust[cust] += d.lineitem.extendedprice[i] * (1 - d.lineitem.discount[i]);
+  }
+  std::vector<std::pair<int64_t, double>> rows(by_cust.begin(), by_cust.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (rows.size() > 20) rows.resize(20);
+  TpchAnswer out;
+  out.names = {"c_custkey", "c_name", "revenue", "c_acctbal",
+               "n_name",    "c_address", "c_phone", "c_comment"};
+  for (const auto& [cust, rev] : rows) {
+    const size_t c = static_cast<size_t>(cust - 1);  // custkeys are dense 1..N
+    out.rows.push_back({Value::MakeLng(cust), Value::MakeStr(d.customer.name[c]),
+                        Value::MakeDbl(rev), Value::MakeDbl(d.customer.acctbal[c]),
+                        Value::MakeStr(d.nation.name[d.customer.nationkey[c]]),
+                        Value::MakeStr(d.customer.address[c]),
+                        Value::MakeStr(d.customer.phone[c]),
+                        Value::MakeStr(d.customer.comment[c])});
+  }
+  return out;
+}
+
+}  // namespace
+
+TpchAnswer TpchReferenceAnswer(const TpchData& data, int q) {
+  switch (q) {
+    case 1: return RefQ1(data);
+    case 3: return RefQ3(data);
+    case 5: return RefQ5(data);
+    case 6: return RefQ6(data);
+    case 10: return RefQ10(data);
+    default: return {};
+  }
+}
+
+}  // namespace dcy::workload

@@ -1,0 +1,89 @@
+// Tuple-level TPC-H microdata for the live SQL path (as opposed to
+// workload/tpch.h, which synthesizes *traces* for the simulator).
+//
+// GenerateTpchData builds value-bearing columns for the six tables the
+// supported query set touches (lineitem, orders, customer, supplier,
+// nation, region), shaped like dbgen output: TPC-H row ratios per scale
+// factor, the spec's 25 nations / 5 regions, dates over 1992-1998, and
+// value domains chosen so the classic predicates (shipdate windows,
+// discount bands, 'BUILDING' / 'ASIA' / 'R' selections) hit realistic
+// fractions. Columns stay plain std::vectors so reference answers can be
+// computed independently of the engine; TpchBats wraps them as BATs under
+// the "sys.<table>.<column>" names the SQL front end resolves.
+//
+// Dates are encoded as int64 yyyymmdd (order-isomorphic to real dates, so
+// range predicates translate 1:1); the SQL front end lowers
+// date 'YYYY-MM-DD' literals to the same encoding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bat/bat.h"
+
+namespace dcy::workload {
+
+struct TpchData {
+  struct Lineitem {
+    std::vector<int64_t> orderkey, suppkey, shipdate;
+    std::vector<double> quantity, extendedprice, discount, tax;
+    std::vector<std::string> returnflag, linestatus;
+    size_t rows() const { return orderkey.size(); }
+  } lineitem;
+
+  struct Orders {
+    std::vector<int64_t> orderkey, custkey, orderdate, shippriority;
+    size_t rows() const { return orderkey.size(); }
+  } orders;
+
+  struct Customer {
+    std::vector<int64_t> custkey, nationkey;
+    std::vector<double> acctbal;
+    std::vector<std::string> name, address, phone, mktsegment, comment;
+    size_t rows() const { return custkey.size(); }
+  } customer;
+
+  struct Supplier {
+    std::vector<int64_t> suppkey, nationkey;
+    size_t rows() const { return suppkey.size(); }
+  } supplier;
+
+  struct Nation {
+    std::vector<int64_t> nationkey, regionkey;
+    std::vector<std::string> name;
+    size_t rows() const { return nationkey.size(); }
+  } nation;
+
+  struct Region {
+    std::vector<int64_t> regionkey;
+    std::vector<std::string> name;
+    size_t rows() const { return regionkey.size(); }
+  } region;
+};
+
+/// Builds all six tables at `scale_factor` (1.0 = TPC-H SF-1 row counts:
+/// ~6M lineitem, 1.5M orders, 150k customers). Deterministic per seed.
+TpchData GenerateTpchData(double scale_factor, uint64_t seed = 42);
+
+/// Every column as a [dense, value] BAT under its qualified name
+/// ("sys.lineitem.l_quantity", ...), ready for RingCluster::LoadBat.
+std::vector<std::pair<std::string, bat::BatPtr>> TpchBats(const TpchData& data);
+
+/// The query numbers covered by the SQL suite (1, 3, 5, 6, 10).
+const std::vector<int>& TpchSqlQueries();
+
+/// SQL text of TPC-H query `q` in the dialect the front end supports
+/// (BETWEEN spelled as >=/<=, date literals); nullptr for unsupported q.
+const char* TpchQuerySql(int q);
+
+/// One independently computed answer (plain C++ loops over TpchData, no
+/// engine code). Rows are in the query's ORDER BY order; LIMIT applied.
+struct TpchAnswer {
+  std::vector<std::string> names;              ///< output column names
+  std::vector<std::vector<bat::Value>> rows;   ///< row-major values
+};
+TpchAnswer TpchReferenceAnswer(const TpchData& data, int q);
+
+}  // namespace dcy::workload

@@ -1,0 +1,177 @@
+// dcsql — interactive shell against a live Data Cyclotron ring.
+//
+// Loads TPC-H microdata (workload/tpch_data.h) into an in-process ring and
+// reads statements from stdin: SQL SELECTs (terminated by ';') or MAL
+// function blocks (`function user.x():void;` ... `end x;`). The language is
+// auto-detected per statement (runtime::Language::kAuto); each result is
+// printed as a typed table with the compute vs ring timing split
+// (exec_seconds vs pin_blocked_seconds). Parse and semantic errors render
+// the structured caret diagnostic.
+//
+//   ./dcsql [--scale=0.01] [--nodes=3] [--workers=4] [--max_rows=25]
+//
+// Meta commands: \tables (schema), \q (quit). EOF exits cleanly, so
+// `echo "select ...;" | dcsql` works for scripted smoke runs.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "runtime/ring_cluster.h"
+#include "runtime/session.h"
+#include "workload/tpch_data.h"
+
+using namespace dcy;  // NOLINT
+
+namespace {
+
+std::string Trimmed(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWithWord(const std::string& s, const char* word) {
+  const std::string t = Trimmed(s);
+  const size_t n = std::char_traits<char>::length(word);
+  if (t.size() < n || t.compare(0, n, word) != 0) return false;
+  return t.size() == n || !std::isalnum(static_cast<unsigned char>(t[n]));
+}
+
+void PrintResult(const runtime::QueryResult& r, size_t max_rows) {
+  const runtime::ResultSet& rs = r.result;
+  if (rs.has_table()) {
+    for (size_t c = 0; c < rs.num_columns(); ++c) {
+      std::printf("%s%s", c > 0 ? "\t" : "", rs.column(c).name.c_str());
+    }
+    std::printf("\n");
+    const size_t rows = rs.num_rows();
+    const size_t shown = max_rows > 0 && rows > max_rows ? max_rows : rows;
+    for (size_t row = 0; row < shown; ++row) {
+      for (size_t c = 0; c < rs.num_columns(); ++c) {
+        std::printf("%s%s", c > 0 ? "\t" : "", rs.ValueAt(row, c).ToString().c_str());
+      }
+      std::printf("\n");
+    }
+    if (shown < rows) std::printf("... (%zu of %zu rows shown)\n", shown, rows);
+    std::printf("%zu row%s", rows, rows == 1 ? "" : "s");
+  } else {
+    std::printf("result: %s\n0 rows", mal::DatumToString(rs.scalar()).c_str());
+  }
+  // pin_blocked sums concurrent pin waits, so it can exceed exec time;
+  // clamp the derived compute share at zero.
+  const double compute =
+      std::max(0.0, r.timing.exec_seconds - r.timing.pin_blocked_seconds);
+  std::printf("  --  %.2f ms compute, %.2f ms ring-blocked\n", 1e3 * compute,
+              1e3 * r.timing.pin_blocked_seconds);
+}
+
+void RunStatement(runtime::Session& session, const std::string& text, size_t max_rows) {
+  ParseError perr;
+  runtime::PrepareOptions popts;
+  popts.parse_error = &perr;
+  auto prepared = session.Prepare(text, popts);
+  if (!prepared.ok()) {
+    if (perr.set()) {
+      std::printf("error: %s\n", perr.Render().c_str());
+    } else {
+      std::printf("error: %s\n", prepared.status().message().c_str());
+    }
+    return;
+  }
+  auto result = session.Execute(*prepared);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().message().c_str());
+    return;
+  }
+  PrintResult(*result, max_rows);
+}
+
+void PrintSchema(const sql::Schema& schema) {
+  for (const auto& table : schema.TableNames()) {
+    std::printf("%s (", table.c_str());
+    const auto& cols = schema.TableColumns(table);
+    for (size_t i = 0; i < cols.size(); ++i) {
+      std::printf("%s%s %s", i > 0 ? ", " : "", cols[i].name.c_str(),
+                  bat::ValTypeName(cols[i].type));
+    }
+    std::printf(")\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.01);
+  const uint32_t nodes = static_cast<uint32_t>(flags.GetInt("nodes", 3));
+  const size_t workers = static_cast<size_t>(flags.GetInt("workers", 4));
+  const size_t max_rows = static_cast<size_t>(flags.GetInt("max_rows", 25));
+
+  runtime::RingCluster::Options opts;
+  opts.num_nodes = nodes;
+  opts.plan_workers = workers;
+  opts.node.load_all_period = FromMillis(2);
+  opts.node.maintenance_period = FromMillis(10);
+  opts.node.adapt_period = FromMillis(10);
+  opts.node.initial_rotation_estimate = FromMillis(5);
+  runtime::RingCluster ring(opts);
+
+  const workload::TpchData data = workload::GenerateTpchData(scale);
+  {
+    core::NodeId owner = 0;
+    for (auto& [name, b] : workload::TpchBats(data)) {
+      DCY_CHECK_OK(ring.LoadBat(owner, name, std::move(b)));
+      owner = (owner + 1) % nodes;
+    }
+  }
+  ring.Start();
+  auto session = ring.OpenSession(0);
+  DCY_CHECK_OK(session.status());
+
+  std::printf("dcsql: TPC-H scale %.3f on a %u-node ring (%zu lineitem rows)\n", scale,
+              nodes, data.lineitem.rows());
+  std::printf("SQL ends with ';', MAL blocks with 'end ...;'; \\tables, \\q.\n");
+
+  std::string buffer;
+  std::string line;
+  bool in_mal = false;
+  std::printf("dcsql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    const std::string t = Trimmed(line);
+    if (buffer.empty()) {
+      if (t.empty()) {
+        std::printf("dcsql> ");
+        std::fflush(stdout);
+        continue;
+      }
+      if (t == "\\q" || t == "quit" || t == "exit") break;
+      if (t == "\\tables") {
+        PrintSchema(ring.SqlSchema());
+        std::printf("dcsql> ");
+        std::fflush(stdout);
+        continue;
+      }
+      in_mal = StartsWithWord(t, "function");
+    }
+    buffer += line;
+    buffer += '\n';
+    // A MAL block runs at its `end` line; anything else runs at ';'.
+    const bool complete = in_mal ? StartsWithWord(t, "end")
+                                 : (!t.empty() && t.back() == ';');
+    if (complete) {
+      RunStatement(*session, buffer, max_rows);
+      buffer.clear();
+      in_mal = false;
+      std::printf("dcsql> ");
+      std::fflush(stdout);
+    }
+  }
+  if (!Trimmed(buffer).empty()) RunStatement(*session, buffer, max_rows);
+  std::printf("\n");
+  return 0;
+}
