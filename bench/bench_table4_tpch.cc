@@ -10,12 +10,18 @@
 // pin_blocked_seconds), result rows, and validation status. The process
 // exits non-zero on any result mismatch, so CI smoke runs double as a
 // correctness gate for the SQL front end.
+//
+// Chaos smoke: --drop/--delay_prob/--delay_ms/--dup/--corrupt attach a
+// seeded FaultInjector to every hop, so the same validated answers must
+// survive a lossy fabric via the hop-level retransmission layer. The
+// resilience counters land in the dcy-bench-v1 JSON as a `resilience` row.
 #include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "bench/harness.h"
 #include "common/flags.h"
+#include "rdma/fault.h"
 #include "runtime/ring_cluster.h"
 #include "runtime/session.h"
 #include "workload/tpch_data.h"
@@ -79,12 +85,36 @@ int main(int argc, char** argv) {
   const uint32_t nodes = static_cast<uint32_t>(flags.GetInt("nodes", 3));
   const uint32_t iters = static_cast<uint32_t>(flags.GetInt("iters", 2));
   const size_t workers = static_cast<size_t>(flags.GetInt("workers", 4));
+  const double drop = flags.GetDouble("drop", 0.0);
+  const double delay_prob = flags.GetDouble("delay_prob", 0.0);
+  const double delay_ms = flags.GetDouble("delay_ms", 1.0);
+  const double dup = flags.GetDouble("dup", 0.0);
+  const double corrupt = flags.GetDouble("corrupt", 0.0);
+  const uint64_t fault_seed = static_cast<uint64_t>(flags.GetInt("fault_seed", 71));
+  const uint32_t retries = static_cast<uint32_t>(flags.GetInt("retries", 3));
 
   std::printf("# Table 4 -- live TPC-H at scale %.3f: SQL -> MAL -> %u-node ring\n",
               scale, nodes);
   const workload::TpchData data = workload::GenerateTpchData(scale);
   std::printf("generated %zu lineitem / %zu orders / %zu customer rows\n",
               data.lineitem.rows(), data.orders.rows(), data.customer.rows());
+
+  // The injector must outlive the ring; wildcard links cover every hop.
+  rdma::FaultInjector fault(fault_seed);
+  const bool lossy = drop > 0 || delay_prob > 0 || dup > 0 || corrupt > 0;
+  if (lossy) {
+    const rdma::FaultLink all;  // any src, any dst, any channel
+    if (drop > 0) fault.AddRule(rdma::FaultInjector::Drop(all, drop));
+    if (delay_prob > 0) {
+      fault.AddRule(rdma::FaultInjector::Delay(all, delay_prob, FromMillis(delay_ms)));
+    }
+    if (dup > 0) fault.AddRule(rdma::FaultInjector::Duplicate(all, dup));
+    if (corrupt > 0) fault.AddRule(rdma::FaultInjector::Corrupt(all, corrupt));
+    std::printf(
+        "# fault schedule: seed=%llu drop=%.3f delay=%.3f@%gms dup=%.3f corrupt=%.3f\n",
+        static_cast<unsigned long long>(fault_seed), drop, delay_prob, delay_ms, dup,
+        corrupt);
+  }
 
   runtime::RingCluster::Options opts;
   opts.num_nodes = nodes;
@@ -93,6 +123,7 @@ int main(int argc, char** argv) {
   opts.node.maintenance_period = FromMillis(10);
   opts.node.adapt_period = FromMillis(10);
   opts.node.initial_rotation_estimate = FromMillis(5);
+  if (lossy) opts.fault = &fault;
   runtime::RingCluster ring(opts);
   {
     core::NodeId owner = 0;
@@ -134,8 +165,10 @@ int main(int argc, char** argv) {
                 [&] {
                   bench::RepResult rep;
                   exec_sec = pin_sec = 0;
+                  runtime::SubmitOptions sopts;
+                  if (lossy) sopts.retry.max_attempts = retries;
                   for (uint32_t i = 0; i < iters; ++i) {
-                    auto result = session.Execute(*prepared);
+                    auto result = session.Execute(*prepared, sopts);
                     DCY_CHECK_OK(result.status());
                     ok = ok && Validate(q, result->result, want);
                     exec_sec += result->timing.exec_seconds;
@@ -159,6 +192,55 @@ int main(int argc, char** argv) {
   std::printf("plan cache: %llu compilations, %llu hits\n",
               static_cast<unsigned long long>(cache.misses),
               static_cast<unsigned long long>(cache.hits));
+
+  // Resilience counters as their own bench row, so lossy CI smoke runs leave
+  // an auditable record (retransmits > 0 proves the schedule actually bit).
+  const runtime::RingCluster::ResilienceMetrics res = ring.Resilience();
+  harness.Run("resilience",
+              {{"scale", Fmt("%.3f", scale)}, {"nodes", std::to_string(nodes)}},
+              [&] {
+                bench::RepResult rep;
+                rep.items = 1;
+                rep.metrics["retransmits"] = static_cast<double>(res.retransmits);
+                rep.metrics["frames_abandoned"] =
+                    static_cast<double>(res.frames_abandoned);
+                rep.metrics["link_resets"] = static_cast<double>(res.link_resets);
+                rep.metrics["frames_corrupted"] =
+                    static_cast<double>(res.frames_corrupted);
+                rep.metrics["frames_duplicate"] =
+                    static_cast<double>(res.frames_duplicate);
+                rep.metrics["frames_gap"] = static_cast<double>(res.frames_gap);
+                rep.metrics["nacks_sent"] = static_cast<double>(res.nacks_sent);
+                rep.metrics["acks_sent"] = static_cast<double>(res.acks_sent);
+                rep.metrics["heartbeats_sent"] =
+                    static_cast<double>(res.heartbeats_sent);
+                rep.metrics["heartbeats_missed"] =
+                    static_cast<double>(res.heartbeats_missed);
+                rep.metrics["ring_resplices"] = static_cast<double>(res.ring_resplices);
+                rep.metrics["injected_dropped"] =
+                    static_cast<double>(fault.counters().dropped.load());
+                rep.metrics["injected_delayed"] =
+                    static_cast<double>(fault.counters().delayed.load());
+                rep.metrics["injected_duplicated"] =
+                    static_cast<double>(fault.counters().duplicated.load());
+                rep.metrics["injected_corrupted"] =
+                    static_cast<double>(fault.counters().corrupted.load());
+                return rep;
+              });
+  if (lossy) {
+    std::printf(
+        "resilience: %llu retransmits, %llu nacks, %llu corrupted, %llu dup, "
+        "%llu gap (injected: %llu dropped / %llu delayed / %llu dup / %llu corrupt)\n",
+        static_cast<unsigned long long>(res.retransmits),
+        static_cast<unsigned long long>(res.nacks_sent),
+        static_cast<unsigned long long>(res.frames_corrupted),
+        static_cast<unsigned long long>(res.frames_duplicate),
+        static_cast<unsigned long long>(res.frames_gap),
+        static_cast<unsigned long long>(fault.counters().dropped.load()),
+        static_cast<unsigned long long>(fault.counters().delayed.load()),
+        static_cast<unsigned long long>(fault.counters().duplicated.load()),
+        static_cast<unsigned long long>(fault.counters().corrupted.load()));
+  }
   const int rc = harness.Finish();
   return failures > 0 ? 1 : rc;
 }

@@ -16,6 +16,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCorruption: return "Corruption";
     case StatusCode::kTimedOut: return "TimedOut";
     case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kUnknown: return "Unknown";
   }
   return "Unknown";

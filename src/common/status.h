@@ -24,6 +24,7 @@ enum class StatusCode {
   kCorruption,
   kTimedOut,
   kAborted,
+  kUnavailable,
   kUnknown,
 };
 
@@ -75,6 +76,11 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  /// A resource (fragment, node, ring segment) is currently unreachable.
+  /// Unlike NotFound this is transient: retrying after recovery may succeed.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -84,6 +90,7 @@ class Status {
   bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
   bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;

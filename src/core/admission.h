@@ -17,6 +17,11 @@ struct AdmissionOptions {
   /// Queue depth bound; a submission arriving with `max_queued` queries
   /// already waiting is rejected with ResourceExhausted (backpressure).
   uint32_t max_queued = 1024;
+  /// Tighter queue bound that replaces `max_queued` while the ring is
+  /// degraded (a node is down): shed load early instead of queueing work
+  /// behind a ring that is busy recovering. Rejections under this bound
+  /// return Unavailable (retryable) rather than ResourceExhausted.
+  uint32_t degraded_max_queued = 64;
 };
 
 /// \brief Queue-depth metrics of one node's admission queue: monotonic
@@ -26,6 +31,7 @@ struct AdmissionMetrics {
   uint64_t admitted = 0;          ///< queries that started executing
   uint64_t completed = 0;         ///< queries that reached a terminal state
   uint64_t rejected = 0;          ///< submissions bounced off a full queue
+  uint64_t shed_degraded = 0;     ///< submissions shed while the ring was degraded
   uint64_t cancelled_queued = 0;  ///< cancelled before execution started
   uint64_t timed_out_queued = 0;  ///< deadline expired while still queued
   uint32_t running = 0;           ///< snapshot: executing right now

@@ -113,6 +113,19 @@ void DcNode::Unpin(QueryId query, BatId bat) {
   pins_.Unblock(bat, query);
 }
 
+void DcNode::FailBat(BatId bat) {
+  if (RequestEntry* entry = requests_.Find(bat)) {
+    for (auto& [query, st] : entry->queries) {
+      if (!st.delivered) {
+        ++metrics_.queries_failed;
+        env_->FailQuery(query, bat);
+      }
+    }
+    pins_.TakeBlocked(bat);
+    requests_.Erase(bat);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Request Propagation (Fig. 3).
 // ---------------------------------------------------------------------------

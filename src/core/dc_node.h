@@ -147,6 +147,11 @@ class DcNode {
   /// datacyclotron.unpin(): releases the query's reference on the BAT.
   void Unpin(QueryId query, BatId bat);
 
+  /// Declares `bat` unobtainable (its owner died and the fragment was not
+  /// re-homed): fails every undelivered query waiting on it and retires the
+  /// request entry, exactly as a request returning to its origin would.
+  void FailBat(BatId bat);
+
   // ---- network-facing entry points (§4.3) ---------------------------------
 
   /// A request message arrived from the successor (anti-clockwise flow).

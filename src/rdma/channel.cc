@@ -100,9 +100,74 @@ Buffer Channel::TransferPayload(const Buffer& payload) {
   return received;
 }
 
-bool Channel::Send(uint32_t opcode, const MetaBlob& meta, Buffer payload) {
+void Channel::SetFaultInjector(FaultInjector* injector, uint32_t dst,
+                               uint32_t channel_class) {
+  fault_ = injector;
+  fault_dst_ = dst;
+  fault_channel_ = channel_class;
+}
+
+namespace {
+
+/// Flips one deterministic bit of the payload (private copy; the original
+/// buffer may be shared zero-copy with other hops) — or of the inline meta
+/// header when there is no payload to damage.
+void CorruptFrame(MetaBlob* meta, Buffer* payload, uint64_t seed) {
+  if (*payload != nullptr && !(*payload)->empty()) {
+    auto damaged = std::make_shared<std::string>(**payload);
+    const uint64_t bit = seed % (damaged->size() * 8);
+    (*damaged)[bit / 8] = static_cast<char>((*damaged)[bit / 8] ^ (1u << (bit % 8)));
+    *payload = std::move(damaged);
+    return;
+  }
+  if (meta->empty()) return;
+  std::array<char, MetaBlob::kCapacity> bytes{};
+  std::memcpy(bytes.data(), meta->data(), meta->size());
+  const uint64_t bit = seed % (meta->size() * 8);
+  bytes[bit / 8] = static_cast<char>(bytes[bit / 8] ^ (1u << (bit % 8)));
+  *meta = MetaBlob(bytes.data(), meta->size());
+}
+
+}  // namespace
+
+bool Channel::Send(uint32_t opcode, const MetaBlob& meta, Buffer payload,
+                   uint32_t fault_src) {
+  MetaBlob framed = meta;
+  int copies = 1;
+  SimTime delay = 0;
+  if (fault_ != nullptr) {
+    const FaultDecision d = fault_->Decide(fault_src, fault_dst_, fault_channel_);
+    if (d.drop) return true;  // swallowed by the "network"; sender can't tell
+    if (d.corrupt) CorruptFrame(&framed, &payload, d.corrupt_seed);
+    if (d.duplicate) copies = 2;
+    delay = d.delay;
+  }
+
   const uint64_t size = payload != nullptr ? payload->size() : 0;
   Buffer delivered = TransferPayload(payload);
+
+  if (delay > 0) {
+    // Delayed frames sit outside the live queue (they are "on the wire"):
+    // they bypass the capacity wait and do not count into queued_bytes until
+    // released, mirroring latency rather than buffer occupancy.
+    const auto due = std::chrono::steady_clock::now() + std::chrono::nanoseconds(delay);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
+      for (int i = 0; i < copies; ++i) {
+        delayed_.push_back(DelayedMessage{Message{opcode, framed, delivered}, size, due});
+      }
+    }
+    stats_.messages.fetch_add(static_cast<uint64_t>(copies), std::memory_order_relaxed);
+    stats_.payload_bytes.fetch_add(size * static_cast<uint64_t>(copies),
+                                   std::memory_order_relaxed);
+    can_recv_.notify_one();  // a blocked receiver re-arms its timed wait
+    return true;
+  }
+  return EnqueueReady(Message{opcode, framed, std::move(delivered)}, size, copies);
+}
+
+bool Channel::EnqueueReady(Message msg, uint64_t size, int copies) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     can_send_.wait(lock, [&] {
@@ -110,18 +175,49 @@ bool Channel::Send(uint32_t opcode, const MetaBlob& meta, Buffer payload) {
                             options_.capacity_bytes || queue_.empty();
     });
     if (closed_) return false;
-    queue_.push_back(Message{opcode, meta, std::move(delivered)});
-    queued_bytes_.fetch_add(size, std::memory_order_relaxed);
+    for (int i = 1; i < copies; ++i) queue_.push_back(msg);
+    queue_.push_back(std::move(msg));
+    queued_bytes_.fetch_add(size * static_cast<uint64_t>(copies),
+                            std::memory_order_relaxed);
   }
-  stats_.messages.fetch_add(1, std::memory_order_relaxed);
-  stats_.payload_bytes.fetch_add(size, std::memory_order_relaxed);
+  stats_.messages.fetch_add(static_cast<uint64_t>(copies), std::memory_order_relaxed);
+  stats_.payload_bytes.fetch_add(size * static_cast<uint64_t>(copies),
+                                 std::memory_order_relaxed);
   can_recv_.notify_one();
   return true;
 }
 
+void Channel::FlushDelayedLocked(std::chrono::steady_clock::time_point now) {
+  if (delayed_.empty()) return;
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (it->due <= now) {
+      queued_bytes_.fetch_add(it->size, std::memory_order_relaxed);
+      queue_.push_back(std::move(it->msg));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::chrono::steady_clock::time_point Channel::NextDueLocked() const {
+  auto due = delayed_.front().due;
+  for (const DelayedMessage& d : delayed_) due = std::min(due, d.due);
+  return due;
+}
+
 std::optional<Message> Channel::Receive() {
   std::unique_lock<std::mutex> lock(mu_);
-  can_recv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  for (;;) {
+    FlushDelayedLocked(std::chrono::steady_clock::now());
+    if (closed_ || !queue_.empty()) break;
+    if (!delayed_.empty()) {
+      can_recv_.wait_until(lock, NextDueLocked());
+    } else {
+      can_recv_.wait(lock,
+                     [&] { return closed_ || !queue_.empty() || !delayed_.empty(); });
+    }
+  }
   if (queue_.empty()) return std::nullopt;  // closed and drained
   Message m = std::move(queue_.front());
   queue_.pop_front();
@@ -134,6 +230,7 @@ std::optional<Message> Channel::Receive() {
 
 std::optional<Message> Channel::TryReceive() {
   std::unique_lock<std::mutex> lock(mu_);
+  FlushDelayedLocked(std::chrono::steady_clock::now());
   if (queue_.empty()) return std::nullopt;
   Message m = std::move(queue_.front());
   queue_.pop_front();
@@ -171,6 +268,7 @@ size_t Channel::TryReceiveAll(std::vector<Message>* out) {
   std::deque<Message> batch;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    FlushDelayedLocked(std::chrono::steady_clock::now());
     batch.swap(queue_);
     // All byte mutations happen under mu_, so zeroing here is exact.
     queued_bytes_.store(0, std::memory_order_relaxed);
@@ -184,7 +282,16 @@ size_t Channel::ReceiveAll(std::vector<Message>* out) {
     // Swap under the wait's own lock: no window for another consumer to
     // empty the queue between wakeup and drain, so 0 really means closed.
     std::unique_lock<std::mutex> lock(mu_);
-    can_recv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    for (;;) {
+      FlushDelayedLocked(std::chrono::steady_clock::now());
+      if (closed_ || !queue_.empty()) break;
+      if (!delayed_.empty()) {
+        can_recv_.wait_until(lock, NextDueLocked());
+      } else {
+        can_recv_.wait(lock,
+                       [&] { return closed_ || !queue_.empty() || !delayed_.empty(); });
+      }
+    }
     batch.swap(queue_);
     queued_bytes_.store(0, std::memory_order_relaxed);
   }
@@ -195,9 +302,21 @@ void Channel::Close() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
+    delayed_.clear();  // frames in flight die with the link
   }
   can_send_.notify_all();
   can_recv_.notify_all();
+}
+
+void Channel::Reopen() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+    queue_.clear();
+    delayed_.clear();
+    queued_bytes_.store(0, std::memory_order_relaxed);
+  }
+  can_send_.notify_all();
 }
 
 }  // namespace dcy::rdma

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -24,6 +25,8 @@
 #include <string_view>
 #include <type_traits>
 #include <vector>
+
+#include "rdma/fault.h"
 
 namespace dcy::rdma {
 
@@ -164,7 +167,20 @@ class Channel {
   /// Posts a message with a small inline control header (e.g. the BAT's
   /// administrative header) ahead of the bulk payload. The header is copied
   /// by value — no allocation on the send path.
-  bool Send(uint32_t opcode, const MetaBlob& meta, Buffer payload);
+  bool Send(uint32_t opcode, const MetaBlob& meta, Buffer payload) {
+    return Send(opcode, meta, std::move(payload), kAnyEndpoint);
+  }
+
+  /// Send with the sending endpoint identified for fault matching: the
+  /// installed FaultInjector (if any) decides per frame whether to deliver,
+  /// drop, delay, duplicate, or corrupt. A dropped frame still returns true
+  /// — on a lossy fabric the sender cannot tell.
+  bool Send(uint32_t opcode, const MetaBlob& meta, Buffer payload, uint32_t fault_src);
+
+  /// Installs the shared fault injector and this channel's endpoint identity
+  /// (destination id + logical channel class) for rule matching. Call before
+  /// traffic starts; `injector` may be nullptr to disable. Not owned.
+  void SetFaultInjector(FaultInjector* injector, uint32_t dst, uint32_t channel_class);
 
   /// Blocks until a message arrives or the channel closes (nullopt).
   std::optional<Message> Receive();
@@ -186,6 +202,10 @@ class Channel {
   /// Wakes all blocked senders/receivers; subsequent Sends fail.
   void Close();
 
+  /// Reverses Close() for node-restart scenarios: discards everything still
+  /// queued (including delayed frames) and accepts traffic again.
+  void Reopen();
+
   /// Bytes currently queued (the DC layer's BAT-queue-load reading).
   uint64_t queued_bytes() const { return queued_bytes_.load(std::memory_order_relaxed); }
 
@@ -197,9 +217,28 @@ class Channel {
   BufferPool& pool() { return pool_; }
 
  private:
+  /// A frame held back by a kDelay fault until its release time.
+  struct DelayedMessage {
+    Message msg;
+    uint64_t size = 0;
+    std::chrono::steady_clock::time_point due;
+  };
+
   /// Applies the transfer-mode cost model and returns the receiver-side
   /// payload (same buffer for zero-copy, a pooled copy otherwise).
   Buffer TransferPayload(const Buffer& payload);
+
+  /// Enqueues one (or, for duplicates, two) copies of the message after the
+  /// capacity wait; the unlocked tail of Send.
+  bool EnqueueReady(Message msg, uint64_t size, int copies);
+
+  /// Moves delayed frames whose release time passed into the live queue.
+  /// Caller holds mu_.
+  void FlushDelayedLocked(std::chrono::steady_clock::time_point now);
+
+  /// Earliest release time among delayed frames. Caller holds mu_ and
+  /// guarantees delayed_ is non-empty.
+  std::chrono::steady_clock::time_point NextDueLocked() const;
 
   /// Wakes blocked senders after a dequeue freed capacity. notify_all by
   /// design: senders wait on per-message size predicates, so a single
@@ -214,10 +253,14 @@ class Channel {
   Options options_;
   Stats stats_;
   BufferPool pool_;
+  FaultInjector* fault_ = nullptr;  ///< not owned; shared across channels
+  uint32_t fault_dst_ = kAnyEndpoint;
+  uint32_t fault_channel_ = kAnyEndpoint;
   mutable std::mutex mu_;
   std::condition_variable can_send_;
   std::condition_variable can_recv_;
   std::deque<Message> queue_;
+  std::vector<DelayedMessage> delayed_;  ///< guarded by mu_
   std::atomic<uint64_t> queued_bytes_{0};
   bool closed_ = false;
 };

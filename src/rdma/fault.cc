@@ -1,0 +1,131 @@
+#include "rdma/fault.h"
+
+namespace dcy::rdma {
+
+const char* FaultTypeName(FaultType t) {
+  switch (t) {
+    case FaultType::kDrop: return "drop";
+    case FaultType::kDelay: return "delay";
+    case FaultType::kDuplicate: return "duplicate";
+    case FaultType::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+void FaultInjector::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(RuleState{rule, 0});
+}
+
+void FaultInjector::ClearRules() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+}
+
+FaultRule FaultInjector::Drop(FaultLink link, double probability) {
+  FaultRule r;
+  r.link = link;
+  r.type = FaultType::kDrop;
+  r.probability = probability;
+  return r;
+}
+
+FaultRule FaultInjector::Delay(FaultLink link, double probability, SimTime delay) {
+  FaultRule r;
+  r.link = link;
+  r.type = FaultType::kDelay;
+  r.probability = probability;
+  r.delay = delay;
+  return r;
+}
+
+FaultRule FaultInjector::Duplicate(FaultLink link, double probability) {
+  FaultRule r;
+  r.link = link;
+  r.type = FaultType::kDuplicate;
+  r.probability = probability;
+  return r;
+}
+
+FaultRule FaultInjector::Corrupt(FaultLink link, double probability) {
+  FaultRule r;
+  r.link = link;
+  r.type = FaultType::kCorrupt;
+  r.probability = probability;
+  return r;
+}
+
+FaultRule FaultInjector::Partition(FaultLink link, uint64_t from_frame,
+                                   uint64_t to_frame) {
+  FaultRule r;
+  r.link = link;
+  r.type = FaultType::kDrop;
+  r.probability = 1.0;
+  r.from_frame = from_frame;
+  r.to_frame = to_frame;
+  return r;
+}
+
+uint64_t FaultInjector::LinkKey(uint32_t src, uint32_t dst, uint32_t channel) {
+  // 24 bits each of src/dst plus the channel class: collision-free for any
+  // realistic ring size.
+  return (static_cast<uint64_t>(src & 0xFFFFFFu) << 40) |
+         (static_cast<uint64_t>(dst & 0xFFFFFFu) << 16) |
+         static_cast<uint64_t>(channel & 0xFFFFu);
+}
+
+bool FaultInjector::Matches(const FaultLink& pattern, uint32_t src, uint32_t dst,
+                            uint32_t channel) {
+  return (pattern.src == kAnyEndpoint || pattern.src == src) &&
+         (pattern.dst == kAnyEndpoint || pattern.dst == dst) &&
+         (pattern.channel == kAnyEndpoint || pattern.channel == channel);
+}
+
+FaultDecision FaultInjector::Decide(uint32_t src, uint32_t dst, uint32_t channel) {
+  FaultDecision d;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t key = LinkKey(src, dst, channel);
+  auto [it, inserted] = links_.try_emplace(key, SplitMix64(seed_ ^ key).Next());
+  LinkState& link = it->second;
+  const uint64_t index = link.frame_index++;
+  counters_.frames_seen.fetch_add(1, std::memory_order_relaxed);
+
+  for (RuleState& rs : rules_) {
+    const FaultRule& r = rs.rule;
+    if (!Matches(r.link, src, dst, channel)) continue;
+    if (index < r.from_frame || index >= r.to_frame) continue;
+    if (rs.fired >= r.max_count) continue;
+    // One Bernoulli draw per matching rule, always consumed, so the stream
+    // position depends only on the rule list and the frame index.
+    if (!link.rng.Bernoulli(r.probability)) continue;
+    ++rs.fired;
+    switch (r.type) {
+      case FaultType::kDrop:
+        d.drop = true;
+        counters_.dropped.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultType::kDelay:
+        d.delay = std::max<SimTime>(d.delay, r.delay);
+        counters_.delayed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultType::kDuplicate:
+        d.duplicate = true;
+        counters_.duplicated.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FaultType::kCorrupt:
+        d.corrupt = true;
+        d.corrupt_seed = link.rng.Next();
+        counters_.corrupted.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  return d;
+}
+
+uint64_t FaultInjector::FramesSeen(uint32_t src, uint32_t dst, uint32_t channel) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = links_.find(LinkKey(src, dst, channel));
+  return it == links_.end() ? 0 : it->second.frame_index;
+}
+
+}  // namespace dcy::rdma

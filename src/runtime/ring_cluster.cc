@@ -15,13 +15,40 @@ namespace {
 
 constexpr uint32_t kOpBat = 1;
 constexpr uint32_t kOpRequest = 2;
+constexpr uint32_t kOpCtrl = 3;
 
 // Headers ride in the channel's fixed-capacity inline MetaBlob — no
-// per-message std::string allocation on either side of a hop.
-static_assert(sizeof(core::BatHeader) <= rdma::MetaBlob::kCapacity,
-              "BatHeader must fit the inline meta frame");
-static_assert(sizeof(core::RequestMsg) <= rdma::MetaBlob::kCapacity,
-              "RequestMsg must fit the inline meta frame");
+// per-message std::string allocation on either side of a hop. Since this PR
+// every data/request frame carries the net::FrameHeader reliability envelope
+// in front of the application header.
+static_assert(sizeof(net::DataFrame) <= rdma::MetaBlob::kCapacity,
+              "DataFrame must fit the inline meta frame");
+static_assert(sizeof(net::RequestFrame) <= rdma::MetaBlob::kCapacity,
+              "RequestFrame must fit the inline meta frame");
+static_assert(sizeof(net::CtrlMsg) <= rdma::MetaBlob::kCapacity,
+              "CtrlMsg must fit the inline meta frame");
+
+/// CRC over the per-hop mutable part of a data frame (the admin header);
+/// XORed with the cached payload-only CRC to form FrameHeader::payload_crc.
+uint32_t HeaderCrc(const core::BatHeader& h) {
+  // BatHeader carries tail padding, and struct assignment into a DataFrame
+  // need not preserve padding bytes — CRC the canonical field bytes only, or
+  // clean frames fail verification depending on what the copy left behind.
+  unsigned char buf[sizeof(core::BatHeader)] = {};
+  size_t off = 0;
+  const auto put = [&](const void* p, size_t n) {
+    std::memcpy(buf + off, p, n);
+    off += n;
+  };
+  put(&h.owner, sizeof(h.owner));
+  put(&h.bat_id, sizeof(h.bat_id));
+  put(&h.bat_size, sizeof(h.bat_size));
+  put(&h.loi, sizeof(h.loi));
+  put(&h.copies, sizeof(h.copies));
+  put(&h.hops, sizeof(h.hops));
+  put(&h.cycles, sizeof(h.cycles));
+  return bat::Crc32(buf, off);
+}
 
 SimTime SteadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -63,6 +90,18 @@ class RingCluster::Node final : public core::DcEnv {
     SubmitOptions options;
   };
 
+  /// Liveness / hop bookkeeping beyond the per-link ReliableMetrics.
+  struct HopMetrics {
+    uint64_t heartbeats_sent = 0;
+    uint64_t heartbeats_received = 0;
+    uint64_t heartbeats_missed = 0;
+    uint64_t acks_sent = 0;
+    uint64_t forwards_without_payload = 0;
+    uint64_t orphan_frames_dropped = 0;
+    uint64_t frames_adopted = 0;
+    uint64_t decode_failures = 0;
+  };
+
   Node(RingCluster* cluster, core::NodeId id)
       : cluster_(cluster),
         id_(id),
@@ -87,19 +126,76 @@ class RingCluster::Node final : public core::DcEnv {
     rdma::Channel::Options req_opts;
     req_opts.mode = rdma::TransferMode::kZeroCopy;
     request_in_ = std::make_unique<rdma::Channel>(req_opts);
+    rdma::Channel::Options ctrl_opts;
+    ctrl_opts.mode = rdma::TransferMode::kZeroCopy;  // meta-only traffic
+    ctrl_in_ = std::make_unique<rdma::Channel>(ctrl_opts);
+    if (opts.fault != nullptr) {
+      data_in_->SetFaultInjector(opts.fault, id_, rdma::kFaultChannelData);
+      request_in_->SetFaultInjector(opts.fault, id_, rdma::kFaultChannelRequest);
+      ctrl_in_->SetFaultInjector(opts.fault, id_, rdma::kFaultChannelCtrl);
+    }
+    data_out_.Init(id_, net::kChData, opts.resilience.link, opts.resilience.seed);
+    req_out_.Init(id_, net::kChRequest, opts.resilience.link, opts.resilience.seed);
   }
 
   // ---- wiring ---------------------------------------------------------------
 
+  core::NodeId id() const { return id_; }
   rdma::Channel* data_in() { return data_in_.get(); }
   rdma::Channel* request_in() { return request_in_.get(); }
+  rdma::Channel* ctrl_in() { return ctrl_in_.get(); }
   void SetNeighbours(Node* successor, Node* predecessor) {
-    successor_ = successor;
-    predecessor_ = predecessor;
+    successor_.store(successor, std::memory_order_release);
+    predecessor_.store(predecessor, std::memory_order_release);
+  }
+
+  /// Ring re-splice, posted onto the service thread: the sender towards the
+  /// new neighbour resets (fresh epoch) so the receiver adopts it cleanly,
+  /// and the liveness clock restarts.
+  void AdoptSuccessor(Node* s) {
+    Post([this, s] {
+      successor_.store(s, std::memory_order_release);
+      data_out_.Reset(SteadyNowNs());
+      last_heard_succ_ = SteadyNowNs();
+    });
+  }
+  void AdoptPredecessor(Node* p) {
+    Post([this, p] {
+      predecessor_.store(p, std::memory_order_release);
+      req_out_.Reset(SteadyNowNs());
+      last_heard_pred_ = SteadyNowNs();
+    });
   }
 
   bat::BatCatalog& catalog() { return catalog_; }
   core::DcNode& dc() { return *dc_; }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+  /// Service-thread-owned reliability + hop counters, summed. Call via
+  /// PostSync (or any serialized context on a crashed node).
+  void SnapshotResilience(RingCluster::ResilienceMetrics* out) const {
+    for (const net::ReliableMetrics* m :
+         {&data_out_.metrics(), &req_out_.metrics(), &data_rx_.metrics(),
+          &req_rx_.metrics()}) {
+      out->retransmits += m->retransmits;
+      out->frames_abandoned += m->frames_abandoned;
+      out->link_resets += m->link_resets;
+      out->frames_corrupted += m->frames_corrupted;
+      out->frames_duplicate += m->frames_duplicate;
+      out->frames_gap += m->frames_gap;
+      out->frames_stale += m->frames_stale;
+      out->frames_invalid += m->frames_invalid;
+      out->nacks_sent += m->nacks_sent;
+    }
+    out->acks_sent += hop_.acks_sent;
+    out->heartbeats_sent += hop_.heartbeats_sent;
+    out->heartbeats_received += hop_.heartbeats_received;
+    out->heartbeats_missed += hop_.heartbeats_missed;
+    out->forwards_without_payload += hop_.forwards_without_payload;
+    out->orphan_frames_dropped += hop_.orphan_frames_dropped;
+    out->frames_adopted += hop_.frames_adopted;
+    out->decode_failures += hop_.decode_failures;
+  }
 
   // ---- lifecycle -------------------------------------------------------------
 
@@ -126,8 +222,9 @@ class RingCluster::Node final : public core::DcEnv {
 
   /// Cancels running queries, fails queued ones, joins the runner pool.
   /// Must run while the service thread is still alive (running queries
-  /// unwind through Unpin posts to it).
-  void StopRunners() {
+  /// unwind through Unpin posts to it). `error` is the terminal status of
+  /// everything abandoned: Aborted on shutdown, Unavailable on crash.
+  void StopRunnersWith(const Status& error) {
     std::deque<QueuedQuery> abandoned;
     {
       std::lock_guard<std::mutex> lock(admission_mu_);
@@ -144,31 +241,96 @@ class RingCluster::Node final : public core::DcEnv {
     admission_cv_.notify_all();
     // Wake every pin blocked on the ring; the woken sessions observe the
     // cancel flag set above.
-    AbortAllWaiters(Status::Aborted("cluster stopping"));
+    AbortAllWaiters(error);
     for (auto& t : runners_) {
       if (t.joinable()) t.join();
     }
     runners_.clear();
     for (auto& item : abandoned) {
-      item.state->Finish(Status::Aborted("cluster stopped before execution"));
+      item.state->Finish(error);
     }
   }
+
+  void StopRunners() { StopRunnersWith(Status::Aborted("cluster stopping")); }
 
   void Stop() {
     stop_.store(true);
     data_in_->Close();
     request_in_->Close();
+    ctrl_in_->Close();
     mailbox_cv_.notify_all();
     if (service_.joinable()) service_.join();
   }
 
-  /// Runs `task` on the service thread (the only thread touching dc_).
+  /// Abrupt node death (fault injection): queries on this node fail with
+  /// Unavailable, the channels close, the service thread exits. The node
+  /// object stays around for Restart(); holders of Post/PostSync keep
+  /// working (tasks run inline, serialized) so no caller can hang on a
+  /// corpse.
+  void Crash() {
+    StopRunnersWith(Status::Unavailable("node " + std::to_string(id_) + " crashed"));
+    std::lock_guard<std::mutex> dead(dead_exec_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mu_);
+      crashed_.store(true, std::memory_order_release);
+    }
+    stop_.store(true);
+    data_in_->Close();
+    request_in_->Close();
+    ctrl_in_->Close();
+    mailbox_cv_.notify_all();
+    if (service_.joinable()) service_.join();
+    // Run what the service thread left behind: posted tasks may carry
+    // PostSync promises whose callers would otherwise block forever.
+    std::deque<std::function<void()>> leftover;
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mu_);
+      leftover.swap(mailbox_);
+    }
+    for (auto& task : leftover) task();
+  }
+
+  /// Re-admission after Crash(): a restarted node comes back amnesiac — a
+  /// fresh protocol state machine, reopened channels, reset senders (new
+  /// epochs) — wired between `successor` and `predecessor`.
+  void Restart(Node* successor, Node* predecessor) {
+    std::lock_guard<std::mutex> dead(dead_exec_mu_);
+    core::DcNodeOptions node_opts = cluster_->options_.node;
+    node_opts.node_id = id_;
+    node_opts.ring_size = cluster_->options_.num_nodes;
+    dc_ = std::make_unique<core::DcNode>(node_opts, this, loit_.get());
+    decoded_.clear();
+    current_payload_ = nullptr;
+    current_payload_crc_ = 0;
+    data_in_->Reopen();
+    request_in_->Reopen();
+    ctrl_in_->Reopen();
+    const SimTime now = SteadyNowNs();
+    data_out_.Reset(now);
+    req_out_.Reset(now);
+    SetNeighbours(successor, predecessor);
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mu_);
+      mailbox_.clear();
+      crashed_.store(false, std::memory_order_release);
+    }
+    Start();
+  }
+
+  /// Runs `task` on the service thread (the only thread touching dc_). On a
+  /// crashed node the task runs inline instead, serialized by dead_exec_mu_
+  /// (the service thread is gone, so this is the single-writer substitute).
   void Post(std::function<void()> task) {
     {
       std::lock_guard<std::mutex> lock(mailbox_mu_);
-      mailbox_.push_back(std::move(task));
+      if (!crashed_.load(std::memory_order_acquire)) {
+        mailbox_.push_back(std::move(task));
+        mailbox_cv_.notify_one();
+        return;
+      }
     }
-    mailbox_cv_.notify_one();
+    std::lock_guard<std::mutex> dead(dead_exec_mu_);
+    task();
   }
 
   /// Posts `task` and waits for it to finish.
@@ -187,8 +349,19 @@ class RingCluster::Node final : public core::DcEnv {
     {
       std::lock_guard<std::mutex> lock(admission_mu_);
       if (!accepting_ || runners_stop_) {
+        if (crashed()) {
+          return Status::Unavailable("node " + std::to_string(id_) + " is down");
+        }
         return Status::FailedPrecondition("node " + std::to_string(id_) +
                                           " is not accepting queries");
+      }
+      if (cluster_->degraded() &&
+          admission_queue_.size() >= cluster_->options_.admission.degraded_max_queued) {
+        // A recovering ring gets breathing room: shed queue growth early
+        // with a retryable status instead of piling work behind it.
+        ++admission_.shed_degraded;
+        return Status::Unavailable("ring degraded: load shed on node " +
+                                   std::to_string(id_));
       }
       if (admission_queue_.size() >= cluster_->options_.admission.max_queued) {
         ++admission_.rejected;
@@ -287,11 +460,19 @@ class RingCluster::Node final : public core::DcEnv {
 
   void SendRequestMsg(const core::RequestMsg& msg) override {
     // Requests travel anti-clockwise.
-    predecessor_->request_in()->Send(kOpRequest, rdma::MetaBlob::Of(msg), nullptr);
+    Node* pred = predecessor_.load(std::memory_order_acquire);
+    net::RequestFrame rf;
+    rf.frame = req_out_.NextHeader(bat::Crc32(&msg, sizeof(msg)));
+    rf.req = msg;
+    const rdma::MetaBlob meta = rdma::MetaBlob::Of(rf);
+    if (pred->request_in()->Send(kOpRequest, meta, nullptr, id_)) {
+      req_out_.Track(kOpRequest, meta, nullptr, rf.frame.seq, SteadyNowNs());
+    }
   }
 
   void SendBatMsg(const core::BatHeader& header, bool is_load) override {
     rdma::Buffer payload;
+    uint32_t payload_crc = 0;
     if (is_load) {
       auto b = catalog_.GetById(header.bat_id);
       if (!b.ok()) {
@@ -303,13 +484,32 @@ class RingCluster::Node final : public core::DcEnv {
       // zero-copy and returns to this pool when the last hop releases it.
       auto frame = frame_pool_.Acquire(bat::EncodedSize(**b));
       bat::SerializeInto(**b, frame.get());
+      payload_crc = bat::Crc32(frame->data(), frame->size());
       payload = std::move(frame);
     } else {
       payload = current_payload_;
-      DCY_CHECK(payload != nullptr) << "forwarding a BAT without payload";
+      if (payload == nullptr) {
+        // A protocol state forced a forward with no frame in hand (e.g. a
+        // duplicate delivery already consumed it). Dropping the forward is
+        // recoverable — the owner's lost-BAT timer reloads it — where the
+        // old DCY_CHECK here took the whole process down.
+        ++hop_.forwards_without_payload;
+        DCY_LOG(kWarn) << "node " << id_ << " cannot forward BAT " << header.bat_id
+                       << " without payload; leaving recovery to the owner";
+        return;
+      }
+      payload_crc = current_payload_crc_;
     }
-    // meta = administrative header, payload = encoded BAT (zero-copy).
-    successor_->data_in()->Send(kOpBat, rdma::MetaBlob::Of(header), payload);
+    Node* succ = successor_.load(std::memory_order_acquire);
+    net::DataFrame df;
+    df.frame = data_out_.NextHeader(HeaderCrc(header) ^ payload_crc);
+    df.bat = header;
+    // meta = envelope + administrative header, payload = encoded BAT
+    // (zero-copy); a copy stays in the retransmit window until ACKed.
+    const rdma::MetaBlob meta = rdma::MetaBlob::Of(df);
+    if (succ->data_in()->Send(kOpBat, meta, payload, id_)) {
+      data_out_.Track(kOpBat, meta, std::move(payload), df.frame.seq, SteadyNowNs());
+    }
   }
 
   void DeliverToQuery(core::QueryId query, core::BatId bat) override {
@@ -322,11 +522,12 @@ class RingCluster::Node final : public core::DcEnv {
   }
 
   void FailQuery(core::QueryId query, core::BatId bat) override {
-    ResolveWaiter(query, bat,
-                  Status::NotFound("BAT " + std::to_string(bat) + " does not exist"));
+    ResolveWaiter(query, bat, cluster_->FragmentFailureStatus(bat));
   }
 
-  uint64_t BatQueueLoadBytes() override { return successor_->data_in()->queued_bytes(); }
+  uint64_t BatQueueLoadBytes() override {
+    return successor_.load(std::memory_order_acquire)->data_in()->queued_bytes();
+  }
 
   uint64_t BatQueueCapacityBytes() override { return cluster_->options_.bat_queue_capacity; }
 
@@ -354,25 +555,228 @@ class RingCluster::Node final : public core::DcEnv {
     promise.set_value(std::move(value));
   }
 
-  void HandleData(const rdma::Message& m) {
-    const auto header = m.meta.As<core::BatHeader>();
+  /// True for plausibly well-formed envelopes; anything else (a corrupted
+  /// meta, a frame from nowhere) is counted and dropped without a NACK —
+  /// garbage must not be able to steer per-peer protocol state.
+  bool ValidFrame(const net::FrameHeader& h, net::ReliableReceiver* rx) {
+    if (h.magic == net::kFrameMagic && h.sender < cluster_->options_.num_nodes &&
+        h.sender != id_) {
+      return true;
+    }
+    ++rx->mutable_metrics()->frames_invalid;
+    return false;
+  }
+
+  void SendNack(uint32_t to, uint32_t channel, uint32_t epoch, uint64_t seq) {
+    net::CtrlMsg nack;
+    nack.sender = id_;
+    nack.channel = channel;
+    nack.kind = static_cast<uint32_t>(net::CtrlKind::kNack);
+    nack.epoch = epoch;
+    nack.seq = seq;
+    nack.crc = net::CtrlCrc(nack);
+    cluster_->nodes_[to]->ctrl_in()->Send(kOpCtrl, rdma::MetaBlob::Of(nack), nullptr,
+                                          id_);
+  }
+
+  void SendAck(uint32_t to, uint32_t channel, uint32_t epoch, uint64_t seq) {
+    net::CtrlMsg ack;
+    ack.sender = id_;
+    ack.channel = channel;
+    ack.kind = static_cast<uint32_t>(net::CtrlKind::kAck);
+    ack.epoch = epoch;
+    ack.seq = seq;
+    ack.crc = net::CtrlCrc(ack);
+    if (cluster_->nodes_[to]->ctrl_in()->Send(kOpCtrl, rdma::MetaBlob::Of(ack), nullptr,
+                                              id_)) {
+      ++hop_.acks_sent;
+    }
+  }
+
+  void NoteHeardFrom(core::NodeId sender) {
+    const SimTime now = SteadyNowNs();
+    Node* succ = successor_.load(std::memory_order_acquire);
+    Node* pred = predecessor_.load(std::memory_order_acquire);
+    if (succ != nullptr && succ->id() == sender) last_heard_succ_ = now;
+    if (pred != nullptr && pred->id() == sender) last_heard_pred_ = now;
+  }
+
+  void HandleCtrl(const rdma::Message& m) {
+    if (m.meta.size() < sizeof(net::CtrlMsg)) return;
+    const auto c = m.meta.As<net::CtrlMsg>();
+    if (c.magic != net::kFrameMagic || c.sender >= cluster_->options_.num_nodes) return;
+    if (c.crc != net::CtrlCrc(c)) {
+      // A corrupted ACK could falsely retire un-delivered frames from the
+      // sender's window; drop it and let a later cumulative ACK (or the
+      // retransmit timer) carry the information instead.
+      ++data_rx_.mutable_metrics()->frames_invalid;
+      return;
+    }
+    const SimTime now = SteadyNowNs();
+    switch (static_cast<net::CtrlKind>(c.kind)) {
+      case net::CtrlKind::kAck:
+        if (c.channel == net::kChData) data_out_.OnAck(c.epoch, c.seq, now);
+        if (c.channel == net::kChRequest) req_out_.OnAck(c.epoch, c.seq, now);
+        break;
+      case net::CtrlKind::kNack:
+        if (c.channel == net::kChData) data_out_.OnNack(c.epoch, c.seq, now);
+        if (c.channel == net::kChRequest) req_out_.OnNack(c.epoch, c.seq, now);
+        break;
+      case net::CtrlKind::kHeartbeat:
+        ++hop_.heartbeats_received;
+        NoteHeardFrom(c.sender);
+        break;
+    }
+  }
+
+  void HandleRequestFrame(const rdma::Message& m) {
+    if (m.meta.size() < sizeof(net::RequestFrame)) return;
+    const auto rf = m.meta.As<net::RequestFrame>();
+    if (!ValidFrame(rf.frame, &req_rx_)) return;
+    const bool crc_ok = (bat::Crc32(&rf.req, sizeof(rf.req)) ^
+                         net::EnvelopeCrc(rf.frame)) == rf.frame.payload_crc;
+    const auto outcome = req_rx_.OnFrame(rf.frame, crc_ok);
+    if (outcome.send_nack) {
+      SendNack(rf.frame.sender, net::kChRequest, outcome.nack_epoch, outcome.nack_seq);
+    }
+    if (outcome.verdict != net::ReliableReceiver::Verdict::kDeliver) return;
+    NoteHeardFrom(rf.frame.sender);
+    dc_->OnRequestMsg(rf.req);
+  }
+
+  void HandleDataFrame(const rdma::Message& m) {
+    if (m.meta.size() < sizeof(net::DataFrame)) return;
+    const auto df = m.meta.As<net::DataFrame>();
+    if (!ValidFrame(df.frame, &data_rx_)) return;
+    const uint32_t header_crc = HeaderCrc(df.bat);
+    bool crc_ok = m.payload != nullptr;
+    if (crc_ok && cluster_->options_.resilience.link.verify_crc) {
+      crc_ok = (header_crc ^ bat::Crc32(m.payload->data(), m.payload->size()) ^
+                net::EnvelopeCrc(df.frame)) == df.frame.payload_crc;
+    }
+    const auto outcome = data_rx_.OnFrame(df.frame, crc_ok);
+    if (outcome.send_nack) {
+      SendNack(df.frame.sender, net::kChData, outcome.nack_epoch, outcome.nack_seq);
+    }
+    if (outcome.verdict != net::ReliableReceiver::Verdict::kDeliver) return;
+    NoteHeardFrom(df.frame.sender);
+
+    core::BatHeader header = df.bat;
+    if (!cluster_->IsNodeAlive(header.owner)) {
+      if (dc_->owned().Find(header.bat_id) != nullptr) {
+        // This node inherited the fragment (re-homing): take ownership of
+        // the circulating frame too, so hot-set accounting has an owner.
+        header.owner = id_;
+        ++hop_.frames_adopted;
+      } else if (header.hops > 2 * cluster_->options_.num_nodes + 4) {
+        // An orphan with a dead owner and no heir: nobody will retire it,
+        // so age it out instead of letting it circle forever.
+        ++hop_.orphan_frames_dropped;
+        return;
+      }
+    }
+
     current_payload_ = m.payload;
+    // Strip envelope and admin-header halves: the cached value is the CRC of
+    // the payload bytes alone, re-wrapped per hop by SendBatMsg.
+    current_payload_crc_ = df.frame.payload_crc ^ net::EnvelopeCrc(df.frame) ^ header_crc;
     // Decode up front if local queries are blocked on it (delivery needs the
     // typed BAT) — cheap check, decode once.
     if (dc_->pins().HasBlocked(header.bat_id) && decoded_.count(header.bat_id) == 0) {
       auto decoded = bat::Deserialize(*m.payload);
-      if (decoded.ok()) decoded_[header.bat_id] = *decoded;
+      if (decoded.ok()) {
+        decoded_[header.bat_id] = *decoded;
+      } else {
+        ++hop_.decode_failures;  // hop CRC passed but the encoding is bad
+      }
     }
     dc_->OnBatMsg(header);
     current_payload_ = nullptr;
+    current_payload_crc_ = 0;
     TrimDecoded();
+  }
+
+  /// Sends one coalesced cumulative ACK per distinct sender in a drained
+  /// batch — O(batch) frames cost O(senders) ACK messages.
+  template <typename FrameT>
+  void AckDrainedBatch(const std::vector<rdma::Message>& batch, uint32_t channel,
+                       const net::ReliableReceiver& rx) {
+    uint32_t seen[2] = {core::kInvalidNode, core::kInvalidNode};
+    size_t n = 0;
+    for (const rdma::Message& m : batch) {
+      if (m.meta.size() < sizeof(FrameT)) continue;
+      const auto f = m.meta.As<FrameT>();
+      const uint32_t s = f.frame.sender;
+      if (s >= cluster_->options_.num_nodes) continue;
+      bool known = false;
+      for (size_t i = 0; i < n; ++i) known = known || seen[i] == s;
+      if (known) continue;
+      if (n < 2) seen[n++] = s;
+      uint32_t epoch = 0;
+      uint64_t seq = 0;
+      if (rx.CumulativeAck(s, &epoch, &seq)) SendAck(s, channel, epoch, seq);
+    }
+  }
+
+  /// Re-sends everything due in a link's retransmit window.
+  void PumpRetransmits(SimTime now) {
+    if (const auto* w = data_out_.CollectRetransmits(now)) {
+      Node* succ = successor_.load(std::memory_order_acquire);
+      for (const auto& s : *w) succ->data_in()->Send(s.opcode, s.meta, s.payload, id_);
+    }
+    if (const auto* w = req_out_.CollectRetransmits(now)) {
+      Node* pred = predecessor_.load(std::memory_order_acquire);
+      for (const auto& s : *w) {
+        pred->request_in()->Send(s.opcode, s.meta, s.payload, id_);
+      }
+    }
+  }
+
+  void SendHeartbeats() {
+    net::CtrlMsg hb;
+    hb.sender = id_;
+    hb.channel = net::kChCtrl;
+    hb.kind = static_cast<uint32_t>(net::CtrlKind::kHeartbeat);
+    hb.crc = net::CtrlCrc(hb);
+    Node* succ = successor_.load(std::memory_order_acquire);
+    Node* pred = predecessor_.load(std::memory_order_acquire);
+    const rdma::MetaBlob meta = rdma::MetaBlob::Of(hb);
+    if (succ != nullptr && succ != this) {
+      succ->ctrl_in()->Send(kOpCtrl, meta, nullptr, id_);
+      ++hop_.heartbeats_sent;
+    }
+    if (pred != nullptr && pred != this && pred != succ) {
+      pred->ctrl_in()->Send(kOpCtrl, meta, nullptr, id_);
+      ++hop_.heartbeats_sent;
+    }
+  }
+
+  void CheckNeighbours(SimTime now) {
+    const auto& res = cluster_->options_.resilience;
+    const SimTime silence_bound = res.heartbeat_miss_threshold * res.heartbeat_period;
+    Node* succ = successor_.load(std::memory_order_acquire);
+    Node* pred = predecessor_.load(std::memory_order_acquire);
+    if (succ != nullptr && succ != this && now - last_heard_succ_ > silence_bound) {
+      ++hop_.heartbeats_missed;
+      last_heard_succ_ = now;  // one report per silence window, not a storm
+      cluster_->ReportSuspect(id_, succ->id());
+    }
+    if (pred != nullptr && pred != this && pred != succ &&
+        now - last_heard_pred_ > silence_bound) {
+      ++hop_.heartbeats_missed;
+      last_heard_pred_ = now;
+      cluster_->ReportSuspect(id_, pred->id());
+    }
   }
 
   void ServiceLoop() {
     const auto& node_opts = dc_->options();
+    const auto& res = cluster_->options_.resilience;
     SimTime next_load_all = SteadyNowNs() + node_opts.load_all_period;
     SimTime next_maintenance = SteadyNowNs() + node_opts.maintenance_period;
     SimTime next_adapt = SteadyNowNs() + node_opts.adapt_period;
+    SimTime next_heartbeat = SteadyNowNs() + res.heartbeat_period;
+    last_heard_succ_ = last_heard_pred_ = SteadyNowNs();
 
     while (!stop_.load(std::memory_order_relaxed)) {
       bool did_work = false;
@@ -390,24 +794,38 @@ class RingCluster::Node final : public core::DcEnv {
         did_work = true;
       }
 
+      // Control first: ACKs shrink retransmit windows before new sends.
+      drain_.clear();
+      if (ctrl_in_->TryReceiveAll(&drain_) > 0) {
+        for (const rdma::Message& m : drain_) HandleCtrl(m);
+        did_work = true;
+      }
+
       // Drain whole backlogs in one lock acquisition per channel: at high
       // message rates a rotation delivers bursts, and per-message locking
       // was the dominant hop cost.
       drain_.clear();
       if (request_in_->TryReceiveAll(&drain_) > 0) {
-        for (const rdma::Message& m : drain_) {
-          dc_->OnRequestMsg(m.meta.As<core::RequestMsg>());
-        }
+        for (const rdma::Message& m : drain_) HandleRequestFrame(m);
+        AckDrainedBatch<net::RequestFrame>(drain_, net::kChRequest, req_rx_);
         did_work = true;
       }
       drain_.clear();
       if (data_in_->TryReceiveAll(&drain_) > 0) {
-        for (rdma::Message& m : drain_) HandleData(m);
+        for (rdma::Message& m : drain_) HandleDataFrame(m);
+        AckDrainedBatch<net::DataFrame>(drain_, net::kChData, data_rx_);
         drain_.clear();  // release payload references promptly
         did_work = true;
       }
 
       const SimTime now = SteadyNowNs();
+      PumpRetransmits(now);
+      if (res.enable_heartbeats && now >= next_heartbeat) {
+        SendHeartbeats();
+        CheckNeighbours(now);
+        next_heartbeat = now + res.heartbeat_period;
+        did_work = true;
+      }
       if (now >= next_load_all) {
         dc_->OnLoadAllTimer();
         next_load_all = now + node_opts.load_all_period;
@@ -488,11 +906,26 @@ class RingCluster::Node final : public core::DcEnv {
   bat::BatCatalog catalog_;
   std::unique_ptr<core::LoitPolicy> loit_;
   std::unique_ptr<core::DcNode> dc_;
-  Node* successor_ = nullptr;
-  Node* predecessor_ = nullptr;
+  std::atomic<Node*> successor_{nullptr};
+  std::atomic<Node*> predecessor_{nullptr};
 
   std::unique_ptr<rdma::Channel> data_in_;     // from predecessor
   std::unique_ptr<rdma::Channel> request_in_;  // from successor
+  std::unique_ptr<rdma::Channel> ctrl_in_;     // ACK/NACK/heartbeat, any node
+
+  // Hop reliability (service-thread state; read via PostSync snapshots).
+  net::ReliableSender data_out_;   // towards successor
+  net::ReliableSender req_out_;    // towards predecessor
+  net::ReliableReceiver data_rx_;  // frames from predecessor(s)
+  net::ReliableReceiver req_rx_;   // frames from successor(s)
+  HopMetrics hop_;
+  SimTime last_heard_succ_ = 0;
+  SimTime last_heard_pred_ = 0;
+
+  std::atomic<bool> crashed_{false};
+  /// Serializes inline task execution while the node is crashed (the
+  /// substitute for the dead service thread's single-writer discipline).
+  std::mutex dead_exec_mu_;
 
   std::thread service_;
   std::atomic<bool> stop_{false};
@@ -512,6 +945,9 @@ class RingCluster::Node final : public core::DcEnv {
   std::vector<std::thread> runners_;
 
   rdma::Buffer current_payload_;
+  /// Payload-only CRC of current_payload_, forwarded hop to hop so a
+  /// forward never rescans the payload on the send path.
+  uint32_t current_payload_crc_ = 0;
   rdma::BufferPool frame_pool_;  ///< serialization frames for owned loads
   std::vector<rdma::Message> drain_;  ///< service-loop batch receive scratch
   std::unordered_map<core::BatId, bat::BatPtr> decoded_;
@@ -673,7 +1109,10 @@ class SessionHooks final : public mal::DcHooks {
 RingCluster::RingCluster(Options options) : options_(options) {
   DCY_CHECK(options_.num_nodes >= 2);
   nodes_.reserve(options_.num_nodes);
+  spliced_in_.assign(options_.num_nodes, true);
+  alive_ = std::make_unique<std::atomic<bool>[]>(options_.num_nodes);
   for (uint32_t i = 0; i < options_.num_nodes; ++i) {
+    alive_[i].store(true, std::memory_order_relaxed);
     nodes_.push_back(std::make_unique<Node>(this, i));
   }
   for (uint32_t i = 0; i < options_.num_nodes; ++i) {
@@ -688,23 +1127,31 @@ RingCluster::~RingCluster() { Stop(); }
 Status RingCluster::LoadBat(core::NodeId owner, const std::string& name, bat::BatPtr bat) {
   if (owner >= options_.num_nodes) return Status::InvalidArgument("bad owner node");
   if (bat == nullptr) return Status::InvalidArgument("null BAT for " + name);
-  DCY_RETURN_NOT_OK(ValidateQualifiedName(name));
-  std::lock_guard<std::mutex> lock(directory_mu_);
-  if (directory_.count(name) > 0) {
-    return Status::AlreadyExists("fragment \"" + name + "\" is already registered");
+  if (!IsNodeAlive(owner)) {
+    return Status::Unavailable("owner node " + std::to_string(owner) + " is down");
   }
+  DCY_RETURN_NOT_OK(ValidateQualifiedName(name));
   const core::BatId id = next_bat_.fetch_add(1);
   const uint64_t size = bat->ByteSize();
   const bat::ValType tail_type = bat->tail()->type();
-  DCY_RETURN_NOT_OK(nodes_[owner]->catalog().Register(name, id, std::move(bat)));
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    if (directory_.count(name) > 0) {
+      return Status::AlreadyExists("fragment \"" + name + "\" is already registered");
+    }
+    DCY_RETURN_NOT_OK(nodes_[owner]->catalog().Register(name, id, bat));
+    directory_[name] = id;
+    sizes_[id] = size;
+    column_types_[name] = tail_type;
+    fragments_[id] = FragmentInfo{name, owner, size, std::move(bat)};
+  }
+  // Outside directory_mu_: the service thread takes that lock in
+  // FragmentFailureStatus, so holding it across a PostSync would deadlock.
   if (started_.load()) {
     nodes_[owner]->PostSync([&] { nodes_[owner]->dc().AddOwnedBat(id, size); });
   } else {
     nodes_[owner]->dc().AddOwnedBat(id, size);
   }
-  directory_[name] = id;
-  sizes_[id] = size;
-  column_types_[name] = tail_type;
   return Status::OK();
 }
 
@@ -736,9 +1183,219 @@ void RingCluster::Start() {
 void RingCluster::Stop() {
   if (!started_.exchange(false)) return;
   // Runner pools first (running queries unwind through the still-live
-  // service threads), then the protocol layer.
-  for (auto& node : nodes_) node->StopRunners();
-  for (auto& node : nodes_) node->Stop();
+  // service threads), then the protocol layer. Crashed nodes are already
+  // quiescent; both calls are no-ops for them.
+  for (auto& node : nodes_) {
+    if (!node->crashed()) node->StopRunners();
+  }
+  for (auto& node : nodes_) {
+    if (!node->crashed()) node->Stop();
+  }
+}
+
+// ---- fault tolerance -------------------------------------------------------
+
+bool RingCluster::IsNodeAlive(core::NodeId node) const {
+  return node < options_.num_nodes && alive_[node].load(std::memory_order_acquire);
+}
+
+core::NodeId RingCluster::NextAliveLocked(core::NodeId from) const {
+  for (uint32_t step = 1; step < options_.num_nodes; ++step) {
+    const core::NodeId n = (from + step) % options_.num_nodes;
+    if (spliced_in_[n]) return n;
+  }
+  return from;
+}
+
+core::NodeId RingCluster::PrevAliveLocked(core::NodeId from) const {
+  for (uint32_t step = 1; step < options_.num_nodes; ++step) {
+    const core::NodeId n = (from + options_.num_nodes - step) % options_.num_nodes;
+    if (spliced_in_[n]) return n;
+  }
+  return from;
+}
+
+Status RingCluster::CrashNode(core::NodeId node) {
+  if (node >= options_.num_nodes) return Status::InvalidArgument("bad node id");
+  if (!started_.load()) return Status::FailedPrecondition("cluster not started");
+  Node* victim = nodes_[node].get();
+  if (victim->crashed()) {
+    return Status::FailedPrecondition("node " + std::to_string(node) +
+                                      " is already crashed");
+  }
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (dead_count_.load(std::memory_order_relaxed) + 1 >= options_.num_nodes) {
+      return Status::FailedPrecondition("refusing to crash the last alive node");
+    }
+    ++nodes_crashed_;
+    crashed_at_ = std::chrono::steady_clock::now();
+  }
+  alive_[node].store(false, std::memory_order_release);
+  dead_count_.fetch_add(1, std::memory_order_relaxed);
+  victim->Crash();
+  return Status::OK();
+}
+
+void RingCluster::ReportSuspect(core::NodeId reporter, core::NodeId suspect) {
+  if (suspect >= options_.num_nodes || reporter == suspect) return;
+  Node* pred = nullptr;
+  Node* succ = nullptr;
+  core::NodeId heir = suspect;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    ++suspicions_;
+    // Membership oracle: a suspicion only sticks if the node really is
+    // down. A live-but-slow neighbour (GC pause, overload) is counted as a
+    // false suspicion and the ring stays intact — this reproduction does
+    // not attempt distributed consensus on membership.
+    if (!nodes_[suspect]->crashed()) {
+      ++false_suspicions_;
+      return;
+    }
+    if (!spliced_in_[suspect]) return;  // another reporter already handled it
+    spliced_in_[suspect] = false;
+    ++resplices_;
+    last_recovery_seconds_ = SecondsSince(crashed_at_);
+    const core::NodeId p = PrevAliveLocked(suspect);
+    const core::NodeId s = NextAliveLocked(suspect);
+    if (p == suspect || s == suspect) return;  // nothing left to splice
+    pred = nodes_[p].get();
+    succ = nodes_[s].get();
+    heir = s;
+  }
+  DCY_LOG(kInfo) << "node " << reporter << " detected node " << suspect
+                 << " dead; splicing " << pred->id() << " -> " << succ->id();
+  // Bypass the corpse: the predecessor's data now flows to the successor
+  // and the successor's requests to the predecessor, each on a new epoch.
+  pred->AdoptSuccessor(succ);
+  succ->AdoptPredecessor(pred);
+  HandleDeadFragments(suspect, heir);
+}
+
+void RingCluster::HandleDeadFragments(core::NodeId suspect, core::NodeId heir) {
+  struct Rehome {
+    core::BatId id;
+    std::string name;
+    uint64_t size;
+    bat::BatPtr loader;
+  };
+  std::vector<Rehome> rehomes;
+  std::vector<core::BatId> failed;
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    for (auto& [id, info] : fragments_) {
+      if (info.owner != suspect) continue;
+      if (options_.resilience.auto_rehome) {
+        info.owner = heir;
+        rehomes.push_back(Rehome{id, info.name, info.size, info.loader});
+      } else {
+        failed.push_back(id);
+      }
+    }
+  }
+  if (!rehomes.empty()) {
+    Node* heir_node = nodes_[heir].get();
+    for (auto& r : rehomes) {
+      // The heir may have seen this name before (a restarted node's second
+      // death); AlreadyExists just means the payload is still registered.
+      Status reg = heir_node->catalog().Register(r.name, r.id, r.loader);
+      if (!reg.ok() && reg.code() != StatusCode::kAlreadyExists) {
+        DCY_LOG(kError) << "re-home of fragment " << r.name << " failed: "
+                        << reg.ToString();
+        continue;
+      }
+      heir_node->Post([heir_node, id = r.id, size = r.size] {
+        heir_node->dc().AddOwnedBat(id, size);
+      });
+    }
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    rehomed_fragments_ += rehomes.size();
+    DCY_LOG(kInfo) << rehomes.size() << " fragment(s) of dead node " << suspect
+                   << " re-homed to node " << heir;
+  }
+  // Without re-homing the fragments are gone: every node fails its waiting
+  // queries with a typed Unavailable instead of letting pins hang.
+  for (const core::BatId id : failed) {
+    for (auto& n : nodes_) {
+      if (n->crashed()) continue;
+      Node* node = n.get();
+      node->Post([node, id] { node->dc().FailBat(id); });
+    }
+  }
+}
+
+Status RingCluster::FragmentFailureStatus(core::BatId bat) {
+  std::lock_guard<std::mutex> lock(directory_mu_);
+  auto it = fragments_.find(bat);
+  if (it != fragments_.end() && !IsNodeAlive(it->second.owner)) {
+    unavailable_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("fragment \"" + it->second.name + "\" (BAT " +
+                               std::to_string(bat) + ") is on crashed node " +
+                               std::to_string(it->second.owner));
+  }
+  return Status::NotFound("BAT " + std::to_string(bat) + " does not exist");
+}
+
+Status RingCluster::RestartNode(core::NodeId node) {
+  if (node >= options_.num_nodes) return Status::InvalidArgument("bad node id");
+  if (!started_.load()) return Status::FailedPrecondition("cluster not started");
+  Node* comer = nodes_[node].get();
+  if (!comer->crashed()) {
+    return Status::FailedPrecondition("node " + std::to_string(node) +
+                                      " is not crashed");
+  }
+  Node* pred = nullptr;
+  Node* succ = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    spliced_in_[node] = true;
+    ++nodes_restarted_;
+    pred = nodes_[PrevAliveLocked(node)].get();
+    succ = nodes_[NextAliveLocked(node)].get();
+  }
+  comer->Restart(succ, pred);
+  alive_[node].store(true, std::memory_order_release);
+  dead_count_.fetch_sub(1, std::memory_order_relaxed);
+  // Re-introduce the node's surviving fragments (those not re-homed while
+  // it was down) to its fresh protocol state.
+  std::vector<std::pair<core::BatId, uint64_t>> owned;
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    for (const auto& [id, info] : fragments_) {
+      if (info.owner == node) owned.emplace_back(id, info.size);
+    }
+  }
+  comer->PostSync([&] {
+    for (const auto& [id, size] : owned) comer->dc().AddOwnedBat(id, size);
+  });
+  // Close the ring around the newcomer (fresh epochs towards it).
+  if (pred != comer) pred->AdoptSuccessor(comer);
+  if (succ != comer) succ->AdoptPredecessor(comer);
+  DCY_LOG(kInfo) << "node " << node << " restarted and re-spliced between "
+                 << pred->id() << " and " << succ->id();
+  return Status::OK();
+}
+
+RingCluster::ResilienceMetrics RingCluster::Resilience() const {
+  ResilienceMetrics out;
+  for (const auto& node : nodes_) {
+    Node* n = node.get();
+    n->PostSync([n, &out] { n->SnapshotResilience(&out); });
+    out.shed_degraded += n->admission_metrics().shed_degraded;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    out.nodes_crashed = nodes_crashed_;
+    out.nodes_restarted = nodes_restarted_;
+    out.ring_resplices = resplices_;
+    out.suspicions = suspicions_;
+    out.false_suspicions = false_suspicions_;
+    out.rehomed_fragments = rehomed_fragments_;
+    out.last_recovery_seconds = last_recovery_seconds_;
+  }
+  out.unavailable_failures = unavailable_failures_.load(std::memory_order_relaxed);
+  return out;
 }
 
 // ---- session API ----------------------------------------------------------

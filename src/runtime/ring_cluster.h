@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -31,12 +32,32 @@
 #include "core/dc_node.h"
 #include "exec/executor.h"
 #include "mal/interpreter.h"
+#include "net/reliable.h"
 #include "opt/dc_optimizer.h"
 #include "rdma/channel.h"
+#include "rdma/fault.h"
 #include "runtime/session.h"
 #include "sql/schema.h"
 
 namespace dcy::runtime {
+
+/// \brief Fault-tolerance tunables of the live ring.
+struct ResilienceOptions {
+  /// Hop-level retry/backoff of every directed neighbour link.
+  net::ReliableOptions link;
+  /// Neighbour heartbeat cadence on the control channel.
+  SimTime heartbeat_period = FromMillis(25);
+  /// Silence from a neighbour for `heartbeat_miss_threshold` periods makes
+  /// a node report it as suspect (crash detection latency ~= product).
+  uint32_t heartbeat_miss_threshold = 8;
+  bool enable_heartbeats = true;
+  /// On a confirmed node death, re-register its fragments on the next alive
+  /// node (the heir) so the data survives the owner. When off, pins on the
+  /// dead node's fragments fail with Unavailable instead.
+  bool auto_rehome = true;
+  /// Seed for the per-link backoff jitter streams.
+  uint64_t seed = 0xDC0FA17u;
+};
 
 /// \brief Legacy outcome of one blocking ExecuteMal call. New code should
 /// use the session API and its typed QueryResult instead; this struct
@@ -82,6 +103,12 @@ class RingCluster {
     /// Prepared-plan cache bound (oldest-inserted evicted beyond it), so
     /// ad-hoc query texts cannot grow the cache without limit.
     size_t plan_cache_capacity = 1024;
+    /// Hop reliability, heartbeats, and recovery behaviour.
+    ResilienceOptions resilience;
+    /// Optional deterministic fault injection applied to every channel of
+    /// the ring (drop/delay/duplicate/corrupt per the injector's schedule).
+    /// Not owned; must outlive the cluster. nullptr = fault-free fabric.
+    rdma::FaultInjector* fault = nullptr;
   };
 
   /// Shared plan-cache counters: `misses` counts actual parse + DcOptimize
@@ -146,6 +173,62 @@ class RingCluster {
   /// reflected in previously returned schemas.
   sql::Schema SqlSchema() const;
 
+  // ---- fault tolerance ------------------------------------------------------
+
+  /// Kills `node` abruptly: running queries fail with Unavailable, its
+  /// channels close, its service thread exits. The surviving ring detects
+  /// the silence via heartbeats, splices the node out, and (with
+  /// auto_rehome) re-materializes its fragments on the heir. Refuses to
+  /// crash the last alive node.
+  Status CrashNode(core::NodeId node);
+
+  /// Brings a crashed node back: fresh protocol state, reopened channels,
+  /// re-registered owned fragments (those not re-homed meanwhile), and a
+  /// re-splice into the ring between its current alive neighbours.
+  Status RestartNode(core::NodeId node);
+
+  /// False once CrashNode(node) ran, true again after RestartNode(node).
+  bool IsNodeAlive(core::NodeId node) const;
+
+  /// True while at least one node is crashed (admission sheds load early).
+  bool degraded() const { return dead_count_.load(std::memory_order_relaxed) > 0; }
+
+  /// \brief Aggregated fault-tolerance counters across all nodes.
+  struct ResilienceMetrics {
+    // Hop-level reliability (summed over every directed link).
+    uint64_t retransmits = 0;
+    uint64_t frames_abandoned = 0;
+    uint64_t link_resets = 0;
+    uint64_t frames_corrupted = 0;   ///< CRC mismatches caught at receivers
+    uint64_t frames_duplicate = 0;
+    uint64_t frames_gap = 0;
+    uint64_t frames_stale = 0;
+    uint64_t frames_invalid = 0;
+    uint64_t nacks_sent = 0;
+    uint64_t acks_sent = 0;
+    // Node liveness.
+    uint64_t heartbeats_sent = 0;
+    uint64_t heartbeats_received = 0;
+    uint64_t heartbeats_missed = 0;
+    // Degradation bookkeeping.
+    uint64_t forwards_without_payload = 0;
+    uint64_t orphan_frames_dropped = 0;  ///< dead-owner frames aged out
+    uint64_t frames_adopted = 0;         ///< dead-owner frames re-homed in flight
+    uint64_t decode_failures = 0;
+    // Cluster-level recovery.
+    uint64_t nodes_crashed = 0;
+    uint64_t nodes_restarted = 0;
+    uint64_t ring_resplices = 0;
+    uint64_t suspicions = 0;
+    uint64_t false_suspicions = 0;
+    uint64_t rehomed_fragments = 0;
+    uint64_t unavailable_failures = 0;  ///< pins failed with Unavailable
+    uint64_t shed_degraded = 0;         ///< submissions shed while degraded
+    /// Crash -> ring re-splice latency of the most recent recovery.
+    double last_recovery_seconds = 0.0;
+  };
+  ResilienceMetrics Resilience() const;
+
   uint32_t num_nodes() const { return options_.num_nodes; }
   /// Protocol metrics of a node (snapshot; service thread keeps mutating).
   core::DcNodeMetrics NodeMetrics(core::NodeId node) const;
@@ -167,12 +250,54 @@ class RingCluster {
   Result<QueryResult> RunQuery(Node* node, const PreparedQuery& plan,
                                internal::QueryState* state, const SubmitOptions& options);
 
+  /// A node's heartbeat watchdog fired: `reporter` has heard nothing from
+  /// `suspect`. Consults the membership oracle (was the node actually
+  /// crashed?), splices a confirmed-dead node out of the ring, and hands
+  /// its fragments to the heir (or fails them).
+  void ReportSuspect(core::NodeId reporter, core::NodeId suspect);
+
+  /// Re-homes or fails every fragment owned by the dead `suspect`.
+  void HandleDeadFragments(core::NodeId suspect, core::NodeId heir);
+
+  /// The typed error a pin on `bat` should fail with right now:
+  /// Unavailable when its registered owner is down, NotFound otherwise.
+  Status FragmentFailureStatus(core::BatId bat);
+
+  /// Neighbour walk over the original ring order, skipping spliced-out
+  /// nodes. Callers hold ring_mu_.
+  core::NodeId NextAliveLocked(core::NodeId from) const;
+  core::NodeId PrevAliveLocked(core::NodeId from) const;
+
   Options options_;
   std::vector<std::unique_ptr<Node>> nodes_;
   /// Global name -> fragment directory (guarded by directory_mu_).
   mutable std::mutex directory_mu_;
   std::unordered_map<std::string, core::BatId> directory_;
   std::unordered_map<core::BatId, uint64_t> sizes_;
+  /// Cluster-level fragment registry: everything needed to re-materialize a
+  /// fragment when its owner dies (guarded by directory_mu_).
+  struct FragmentInfo {
+    std::string name;
+    core::NodeId owner = 0;
+    uint64_t size = 0;
+    bat::BatPtr loader;  ///< the persistent payload, for re-homing
+  };
+  std::unordered_map<core::BatId, FragmentInfo> fragments_;
+
+  // ---- ring membership (guarded by ring_mu_ unless noted) -------------------
+  mutable std::mutex ring_mu_;
+  std::vector<bool> spliced_in_;                    ///< part of the ring walk
+  std::unique_ptr<std::atomic<bool>[]> alive_;      ///< lock-free liveness
+  std::atomic<uint32_t> dead_count_{0};
+  std::atomic<uint64_t> unavailable_failures_{0};
+  uint64_t nodes_crashed_ = 0;
+  uint64_t nodes_restarted_ = 0;
+  uint64_t resplices_ = 0;
+  uint64_t suspicions_ = 0;
+  uint64_t false_suspicions_ = 0;
+  uint64_t rehomed_fragments_ = 0;
+  double last_recovery_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point crashed_at_{};
   /// Tail value type per qualified name (guarded by directory_mu_); feeds
   /// the SQL front end's schema so SELECTs resolve against loaded BATs.
   std::map<std::string, bat::ValType> column_types_;

@@ -1,5 +1,9 @@
 #include "runtime/session.h"
 
+#include <algorithm>
+#include <thread>
+
+#include "common/random.h"
 #include "runtime/ring_cluster.h"
 
 namespace dcy::runtime {
@@ -139,15 +143,40 @@ Result<QueryHandle> Session::Submit(const std::string& text,
 
 Result<QueryResult> Session::Execute(const PreparedQueryPtr& prepared,
                                      const SubmitOptions& options) {
-  DCY_ASSIGN_OR_RETURN(QueryHandle handle, Submit(prepared, options));
-  return handle.Wait();
+  const RetryPolicy& retry = options.retry;
+  const uint32_t attempts = std::max<uint32_t>(1, retry.max_attempts);
+  Rng jitter_rng(retry.seed);
+  std::chrono::milliseconds backoff = retry.initial_backoff;
+  Result<QueryResult> last{Status(StatusCode::kUnknown, "never attempted")};
+  for (uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+    auto submitted = Submit(prepared, options);
+    last = submitted.ok() ? submitted->Wait() : Result<QueryResult>(submitted.status());
+    if (last.ok()) {
+      last->attempts = attempt;
+      return last;
+    }
+    if (attempt == attempts || !RetryPolicy::Retryable(last.status().code())) break;
+    // Jittered exponential backoff between attempts, so a burst of shed
+    // queries does not stampede the recovering ring in lockstep.
+    const double scale = 1.0 + retry.jitter * (2.0 * jitter_rng.NextDouble() - 1.0);
+    const auto delay = std::chrono::duration_cast<std::chrono::milliseconds>(
+        backoff * std::max(0.0, scale));
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    backoff = std::min(
+        retry.max_backoff,
+        std::chrono::milliseconds(static_cast<int64_t>(
+            static_cast<double>(backoff.count()) * std::max(1.0, retry.multiplier))));
+  }
+  return last;
 }
 
 Result<QueryResult> Session::Execute(const std::string& text,
                                      const SubmitOptions& options,
                                      const PrepareOptions& prepare) {
-  DCY_ASSIGN_OR_RETURN(QueryHandle handle, Submit(text, options, prepare));
-  return handle.Wait();
+  // Through the prepared-plan overload, so options.retry applies to text
+  // submissions too instead of silently taking the single-shot path.
+  DCY_ASSIGN_OR_RETURN(PreparedQueryPtr prepared, Prepare(text, prepare));
+  return Execute(prepared, options);
 }
 
 }  // namespace dcy::runtime

@@ -136,6 +136,8 @@ struct QueryResult {
   /// Position in the node's admission order (monotonic per node); FIFO
   /// admission means submissions to one node are admitted in submit order.
   uint64_t admitted_seq = 0;
+  /// Submissions this result took under the RetryPolicy (1 = first try).
+  uint32_t attempts = 1;
 };
 
 /// \brief A parsed + DC-optimized plan, compiled once and immutable:
@@ -162,6 +164,27 @@ class PreparedQuery {
 };
 using PreparedQueryPtr = std::shared_ptr<const PreparedQuery>;
 
+/// \brief Opt-in client-side retry of transient failures. Applied by
+/// Session::Execute only (Submit hands out one attempt's handle): a query
+/// that fails with Unavailable (ring degraded, fragment owner down) or
+/// ResourceExhausted (admission backpressure) is resubmitted after a
+/// jittered exponential backoff, up to `max_attempts` total attempts.
+struct RetryPolicy {
+  uint32_t max_attempts = 1;  ///< 1 = retries disabled
+  std::chrono::milliseconds initial_backoff{2};
+  std::chrono::milliseconds max_backoff{100};
+  double multiplier = 2.0;
+  /// Backoff jitter fraction: each delay scales by 1 + jitter*U(-1,1).
+  double jitter = 0.2;
+  /// Seed of the deterministic jitter stream (per Execute call).
+  uint64_t seed = 0x5E551017u;
+
+  /// True for the transient failure codes worth another attempt.
+  static bool Retryable(StatusCode code) {
+    return code == StatusCode::kUnavailable || code == StatusCode::kResourceExhausted;
+  }
+};
+
 /// \brief Per-submission options.
 struct SubmitOptions {
   /// Total budget (queueing + execution); zero = unlimited. An expired query
@@ -173,6 +196,8 @@ struct SubmitOptions {
   std::unordered_map<std::string, mal::Datum> params;
   /// Dataflow width override; 0 = the cluster's plan_workers option.
   size_t plan_workers = 0;
+  /// Transient-failure retry (Session::Execute only).
+  RetryPolicy retry;
 };
 
 namespace internal {
@@ -248,7 +273,9 @@ class Session {
                              const SubmitOptions& options = {},
                              const PrepareOptions& prepare = {});
 
-  /// Submit + Wait.
+  /// Submit + Wait, resubmitting transient failures (Unavailable /
+  /// ResourceExhausted) per options.retry with jittered exponential
+  /// backoff. The default policy (max_attempts = 1) never retries.
   Result<QueryResult> Execute(const PreparedQueryPtr& prepared,
                               const SubmitOptions& options = {});
   Result<QueryResult> Execute(const std::string& text,

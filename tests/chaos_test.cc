@@ -1,0 +1,366 @@
+// Chaos suite (ISSUE-7): the live ring under scripted fault schedules and
+// node failures. Every scenario asserts the graceful-degradation contract —
+// queries either return bit-correct results or fail with a typed status
+// (Unavailable / TimedOut / Aborted), never hang, and never leak ring
+// request entries.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "bat/operators.h"
+#include "rdma/fault.h"
+#include "runtime/ring_cluster.h"
+#include "runtime/session.h"
+
+namespace dcy::runtime {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr const char* kJoinPlan = R"(
+function user.s1_2():void;
+    X1 := sql.bind("sys","t","id",0);
+    X6 := sql.bind("sys","c","t_id",0);
+    X9 := bat.reverse(X6);
+    X10 := algebra.join(X1, X9);
+    X13 := algebra.markT(X10,0@0);
+    X14 := bat.reverse(X13);
+    X15 := algebra.join(X14, X1);
+    X16 := sql.resultSet(1,1,X15);
+    sql.rsCol(X16,"sys.c","t_id","int",32,0,X15);
+    X22 := io.stdout();
+    sql.exportResult(X22,X16);
+end s1_2;
+)";
+
+constexpr const char* kSumPlan = R"(
+X1 := sql.bind("sys","t","id",0);
+X2 := aggr.sum(X1);
+)";
+
+/// Fast protocol timers + aggressive failure detection, so crash->recovery
+/// completes in tens of milliseconds instead of the production seconds.
+RingCluster::Options ChaosOptions(uint32_t nodes = 3) {
+  RingCluster::Options opts;
+  opts.num_nodes = nodes;
+  opts.node.load_all_period = FromMillis(2);
+  opts.node.maintenance_period = FromMillis(5);
+  opts.node.adapt_period = FromMillis(10);
+  opts.node.initial_rotation_estimate = FromMillis(5);
+  opts.node.min_resend_timeout = FromMillis(20);
+  opts.resilience.heartbeat_period = FromMillis(5);
+  opts.resilience.heartbeat_miss_threshold = 4;
+  opts.resilience.link.initial_backoff = FromMillis(1);
+  opts.resilience.link.max_backoff = FromMillis(10);
+  return opts;
+}
+
+bool Eventually(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() + milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  return pred();
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  /// Injector for fault-schedule tests. A fixture member declared before
+  /// `cluster` so it outlives the ring even when an ASSERT exits the test
+  /// body early — channels hold a bare pointer to it until Stop().
+  rdma::FaultInjector* MakeInjector(uint64_t seed) {
+    fault_ = std::make_unique<rdma::FaultInjector>(seed);
+    return fault_.get();
+  }
+
+  /// t.id on node 1, c.t_id on node 2 — crashing either owner starves the
+  /// join plan in a known way.
+  void SetUpCluster(RingCluster::Options opts) {
+    cluster = std::make_unique<RingCluster>(opts);
+    ASSERT_TRUE(cluster
+                    ->LoadBat(1 % opts.num_nodes, "sys.t.id",
+                              bat::Bat::MakeColumn(bat::MakeIntColumn({1, 2, 3, 4})))
+                    .ok());
+    ASSERT_TRUE(cluster
+                    ->LoadBat(2 % opts.num_nodes, "sys.c.t_id",
+                              bat::Bat::MakeColumn(bat::MakeIntColumn({2, 3, 3, 5})))
+                    .ok());
+    cluster->Start();
+  }
+
+  void ExpectSumCorrect(Session* session, const SubmitOptions& options = {}) {
+    auto result = session->Execute(kSumPlan, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(std::get<int64_t>(result->result.scalar()), 10);
+  }
+
+  std::unique_ptr<rdma::FaultInjector> fault_;  ///< before cluster: outlives it
+  std::unique_ptr<RingCluster> cluster;
+};
+
+// ---------------------------------------------------------------------------
+// Lossy fabric: queries stay correct, the hop layer absorbs the faults.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, LossyScheduleStillReturnsCorrectAnswers) {
+  rdma::FaultInjector& fault = *MakeInjector(0xC0FFEE);
+  const rdma::FaultLink all;  // every link, every channel
+  fault.AddRule(rdma::FaultInjector::Drop(all, 0.05));
+  fault.AddRule(rdma::FaultInjector::Duplicate(all, 0.02));
+  fault.AddRule(rdma::FaultInjector::Corrupt(all, 0.02));
+  fault.AddRule(rdma::FaultInjector::Delay(all, 0.02, FromMillis(1)));
+
+  auto opts = ChaosOptions();
+  opts.fault = &fault;
+  SetUpCluster(opts);
+  auto session = cluster->OpenSession(0);
+  ASSERT_TRUE(session.ok());
+
+  for (int i = 0; i < 25; ++i) {
+    auto result = session->Execute(kJoinPlan);
+    ASSERT_TRUE(result.ok()) << "query " << i << ": " << result.status().ToString();
+    ASSERT_EQ(result->result.num_rows(), 3u) << "query " << i;
+    ExpectSumCorrect(&*session);
+  }
+
+  // The schedule actually bit, and the reliability layer actually worked.
+  EXPECT_GT(fault.counters().dropped.load(), 0u);
+  const auto res = cluster->Resilience();
+  EXPECT_GT(res.retransmits + res.frames_gap + res.frames_corrupted +
+                res.frames_duplicate + res.link_resets,
+            0u);
+}
+
+TEST_F(ChaosTest, PartitionedLinkHealsAndQueriesResume) {
+  rdma::FaultInjector& fault = *MakeInjector(0xBEEF);
+  // Blackout of 30 consecutive data frames on the 1 -> 2 hop; the sender
+  // retransmits through the hole (or resets and the DC resend recovers).
+  fault.AddRule(
+      rdma::FaultInjector::Partition({1, 2, rdma::kFaultChannelData}, 5, 35));
+
+  auto opts = ChaosOptions();
+  opts.fault = &fault;
+  SetUpCluster(opts);
+  auto session = cluster->OpenSession(0);
+  ASSERT_TRUE(session.ok());
+
+  for (int i = 0; i < 15; ++i) {
+    auto result = session->Execute(kJoinPlan);
+    ASSERT_TRUE(result.ok()) << "query " << i << ": " << result.status().ToString();
+    ASSERT_EQ(result->result.num_rows(), 3u);
+  }
+  EXPECT_GT(fault.counters().dropped.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Node crash: detection, re-splice, fragment re-homing.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, CrashedOwnerIsDetectedAndRingResplices) {
+  SetUpCluster(ChaosOptions());
+  ASSERT_TRUE(cluster->CrashNode(1).ok());
+  EXPECT_FALSE(cluster->IsNodeAlive(1));
+  EXPECT_TRUE(cluster->degraded());
+
+  // Heartbeat silence (4 x 5ms) makes a neighbour report the crash.
+  EXPECT_TRUE(Eventually([&] { return cluster->Resilience().ring_resplices >= 1; }))
+      << "ring never respliced around the dead node";
+  const auto res = cluster->Resilience();
+  EXPECT_GE(res.nodes_crashed, 1u);
+  EXPECT_GE(res.heartbeats_missed, 1u);
+  EXPECT_GT(res.last_recovery_seconds, 0.0);
+  EXPECT_LT(res.last_recovery_seconds, 5.0);
+}
+
+TEST_F(ChaosTest, FragmentsRehomeToTheHeirAndQueriesSucceed) {
+  SetUpCluster(ChaosOptions());  // auto_rehome defaults on
+  auto session = cluster->OpenSession(0);
+  ASSERT_TRUE(session.ok());
+  ExpectSumCorrect(&*session);  // warm path before the crash
+
+  ASSERT_TRUE(cluster->CrashNode(1).ok());  // owner of sys.t.id
+  ASSERT_TRUE(Eventually([&] { return cluster->Resilience().rehomed_fragments >= 1; }))
+      << "fragments were never re-homed";
+
+  // The heir now owns and serves the dead node's fragment: same answer.
+  for (int i = 0; i < 5; ++i) ExpectSumCorrect(&*session);
+  const auto res = cluster->Resilience();
+  EXPECT_GE(res.ring_resplices, 1u);
+  EXPECT_GE(res.rehomed_fragments, 1u);
+}
+
+TEST_F(ChaosTest, WithoutRehomingPinsFailTypedUnavailable) {
+  auto opts = ChaosOptions();
+  opts.resilience.auto_rehome = false;
+  SetUpCluster(opts);
+  auto session = cluster->OpenSession(0);
+  ASSERT_TRUE(session.ok());
+  ExpectSumCorrect(&*session);
+
+  ASSERT_TRUE(cluster->CrashNode(1).ok());  // owner of sys.t.id
+  ASSERT_TRUE(Eventually([&] { return cluster->Resilience().ring_resplices >= 1; }));
+
+  // Queries needing the dead node's fragment fail typed — and fast, not by
+  // hanging until a deadline.
+  auto result = session->Execute(kSumPlan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+  EXPECT_GT(cluster->Resilience().unavailable_failures, 0u);
+  // No ring request entries leak from the failed query.
+  EXPECT_TRUE(Eventually([&] { return cluster->OutstandingRequestEntries(0) == 0; }));
+}
+
+TEST_F(ChaosTest, SubmitToACrashedNodeFailsImmediately) {
+  SetUpCluster(ChaosOptions());
+  ASSERT_TRUE(cluster->CrashNode(2).ok());
+  auto session = cluster->OpenSession(2);
+  ASSERT_TRUE(session.ok());  // the session object itself is just a handle
+  auto result = session->Execute(kSumPlan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+}
+
+TEST_F(ChaosTest, CrashingTheLastAliveNodeIsRefused) {
+  SetUpCluster(ChaosOptions(2));
+  ASSERT_TRUE(cluster->CrashNode(0).ok());
+  EXPECT_FALSE(cluster->CrashNode(1).ok());
+  EXPECT_TRUE(cluster->IsNodeAlive(1));
+}
+
+TEST_F(ChaosTest, DegradedAdmissionShedsLoad) {
+  auto opts = ChaosOptions();
+  opts.admission.degraded_max_queued = 0;  // shed everything while degraded
+  SetUpCluster(opts);
+  auto session = cluster->OpenSession(0);
+  ASSERT_TRUE(session.ok());
+  ExpectSumCorrect(&*session);  // healthy ring admits normally
+
+  ASSERT_TRUE(cluster->CrashNode(2).ok());
+  auto result = session->Execute(kSumPlan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+  EXPECT_GT(cluster->Resilience().shed_degraded, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Restart and re-admission.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, RestartedNodeRejoinsAndServesItsFragments) {
+  auto opts = ChaosOptions();
+  opts.resilience.auto_rehome = false;  // fragments stay with the owner
+  SetUpCluster(opts);
+  auto session = cluster->OpenSession(0);
+  ASSERT_TRUE(session.ok());
+
+  ASSERT_TRUE(cluster->CrashNode(1).ok());
+  ASSERT_TRUE(Eventually([&] { return cluster->Resilience().ring_resplices >= 1; }));
+  ASSERT_TRUE(cluster->RestartNode(1).ok());
+  EXPECT_TRUE(cluster->IsNodeAlive(1));
+  EXPECT_FALSE(cluster->degraded());
+
+  // The restarted owner reloads sys.t.id; queries come back bit-correct.
+  ASSERT_TRUE(Eventually([&] {
+    auto result = session->Execute(kSumPlan);
+    return result.ok() && std::get<int64_t>(result->result.scalar()) == 10;
+  })) << "restarted node never served its fragment again";
+  EXPECT_GE(cluster->Resilience().nodes_restarted, 1u);
+  EXPECT_FALSE(cluster->RestartNode(1).ok());  // not crashed: refused
+}
+
+TEST_F(ChaosTest, RetryPolicyRidesOutACrashRestartCycle) {
+  auto opts = ChaosOptions();
+  opts.resilience.auto_rehome = false;
+  SetUpCluster(opts);
+  auto session = cluster->OpenSession(0);
+  ASSERT_TRUE(session.ok());
+
+  ASSERT_TRUE(cluster->CrashNode(1).ok());
+  ASSERT_TRUE(Eventually([&] { return cluster->Resilience().ring_resplices >= 1; }));
+
+  std::thread healer([&] {
+    std::this_thread::sleep_for(milliseconds(100));
+    ASSERT_TRUE(cluster->RestartNode(1).ok());
+  });
+
+  SubmitOptions options;
+  options.retry.max_attempts = 20;
+  options.retry.initial_backoff = milliseconds(10);
+  options.retry.max_backoff = milliseconds(50);
+  auto result = session->Execute(kSumPlan, options);
+  healer.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(std::get<int64_t>(result->result.scalar()), 10);
+  EXPECT_GE(result->attempts, 2u);  // at least one Unavailable was retried
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cancellation while the ring is degraded (no failure
+// detection: pins genuinely block, the client contract must still hold).
+// ---------------------------------------------------------------------------
+
+class DegradedBlockingTest : public ChaosTest {
+ protected:
+  void SetUpBlockedRing() {
+    auto opts = ChaosOptions();
+    // No heartbeats: the crash is never detected, the ring never resplices,
+    // requests for the dead owner's fragment silently vanish. This is the
+    // worst case: pins block until the client's deadline/cancel fires.
+    opts.resilience.enable_heartbeats = false;
+    SetUpCluster(opts);
+    session = std::make_unique<Session>(*cluster->OpenSession(0));
+    ASSERT_TRUE(cluster->CrashNode(1).ok());  // owner of sys.t.id
+    ASSERT_TRUE(cluster->degraded());
+  }
+
+  std::unique_ptr<Session> session;
+};
+
+TEST_F(DegradedBlockingTest, DeadlineExpiresBlockedPinWithoutLeaks) {
+  SetUpBlockedRing();
+  SubmitOptions options;
+  options.timeout = milliseconds(150);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = session->Execute(kSumPlan, options);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimedOut)
+      << result.status().ToString();
+  // It timed out, it did not hang.
+  EXPECT_LT(std::chrono::duration_cast<milliseconds>(waited).count(), 5000);
+  // The expired query's ring request entries drain — nothing leaks.
+  EXPECT_TRUE(Eventually([&] { return cluster->OutstandingRequestEntries(0) == 0; }));
+}
+
+TEST_F(DegradedBlockingTest, CancelUnblocksAPinStuckOnADeadOwner) {
+  SetUpBlockedRing();
+  auto handle = session->Submit(kSumPlan);
+  ASSERT_TRUE(handle.ok());
+  // Let the query reach its blocked pin, then cancel.
+  std::this_thread::sleep_for(milliseconds(50));
+  handle->Cancel();
+  auto result = handle->Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted) << result.status().ToString();
+  EXPECT_TRUE(Eventually([&] { return cluster->OutstandingRequestEntries(0) == 0; }));
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat accounting.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, HeartbeatsFlowOnAHealthyRing) {
+  SetUpCluster(ChaosOptions());
+  ASSERT_TRUE(Eventually([&] {
+    const auto res = cluster->Resilience();
+    return res.heartbeats_sent > 0 && res.heartbeats_received > 0;
+  }));
+  // A healthy ring never suspects anyone.
+  EXPECT_EQ(cluster->Resilience().ring_resplices, 0u);
+}
+
+}  // namespace
+}  // namespace dcy::runtime

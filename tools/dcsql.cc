@@ -12,6 +12,8 @@
 //
 // Meta commands: \tables (schema), \q (quit). EOF exits cleanly, so
 // `echo "select ...;" | dcsql` works for scripted smoke runs.
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -69,7 +71,9 @@ void PrintResult(const runtime::QueryResult& r, size_t max_rows) {
               1e3 * r.timing.pin_blocked_seconds);
 }
 
-void RunStatement(runtime::Session& session, const std::string& text, size_t max_rows) {
+/// Runs one statement; false when it failed (parse, compile, or execution),
+/// so scripted runs can surface a non-zero exit code.
+bool RunStatement(runtime::Session& session, const std::string& text, size_t max_rows) {
   ParseError perr;
   runtime::PrepareOptions popts;
   popts.parse_error = &perr;
@@ -80,14 +84,15 @@ void RunStatement(runtime::Session& session, const std::string& text, size_t max
     } else {
       std::printf("error: %s\n", prepared.status().message().c_str());
     }
-    return;
+    return false;
   }
   auto result = session.Execute(*prepared);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().message().c_str());
-    return;
+    return false;
   }
   PrintResult(*result, max_rows);
+  return true;
 }
 
 void PrintSchema(const sql::Schema& schema) {
@@ -139,6 +144,7 @@ int main(int argc, char** argv) {
   std::string buffer;
   std::string line;
   bool in_mal = false;
+  uint64_t errors = 0;
   std::printf("dcsql> ");
   std::fflush(stdout);
   while (std::getline(std::cin, line)) {
@@ -164,14 +170,18 @@ int main(int argc, char** argv) {
     const bool complete = in_mal ? StartsWithWord(t, "end")
                                  : (!t.empty() && t.back() == ';');
     if (complete) {
-      RunStatement(*session, buffer, max_rows);
+      if (!RunStatement(*session, buffer, max_rows)) ++errors;
       buffer.clear();
       in_mal = false;
       std::printf("dcsql> ");
       std::fflush(stdout);
     }
   }
-  if (!Trimmed(buffer).empty()) RunStatement(*session, buffer, max_rows);
+  if (!Trimmed(buffer).empty() && !RunStatement(*session, buffer, max_rows)) ++errors;
   std::printf("\n");
-  return 0;
+  // Scripted use (piped stdin): any failed statement fails the run, so CI
+  // smoke scripts notice broken queries. Interactive sessions still exit 0
+  // — a typo at the prompt is not a process failure.
+  const bool interactive = isatty(fileno(stdin)) != 0;
+  return !interactive && errors > 0 ? 1 : 0;
 }
