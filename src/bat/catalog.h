@@ -17,8 +17,25 @@
 
 namespace dcy::bat {
 
+/// \brief Read-side interface over one node's persistent fragments. The MAL
+/// interpreter's sql.bind and the session pin path fetch payloads through it
+/// without knowing which tier (RAM, disk) currently holds them; BatCatalog
+/// implements it directly, storage::FragmentStore implements it with a
+/// budgeted two-tier store behind.
+class FragmentSource {
+ public:
+  virtual ~FragmentSource() = default;
+
+  /// Fetches by qualified name; NotFound if absent. May fault a spilled
+  /// fragment back in; the returned pointer stays valid regardless of later
+  /// evictions (fragments are immutable and shared).
+  virtual Result<BatPtr> GetByName(const std::string& name) = 0;
+  /// Fetches by ring fragment id.
+  virtual Result<BatPtr> GetById(core::BatId id) = 0;
+};
+
 /// \brief Thread-safe name -> BAT store with optional disk spill.
-class BatCatalog {
+class BatCatalog : public FragmentSource {
  public:
   /// `spill_dir` empty disables cold storage (everything stays in memory).
   explicit BatCatalog(std::string spill_dir = "");
@@ -29,9 +46,9 @@ class BatCatalog {
 
   /// Looks up by qualified name. NotFound if absent; reads back from disk
   /// if spilled.
-  Result<BatPtr> GetByName(const std::string& name);
+  Result<BatPtr> GetByName(const std::string& name) override;
   /// Looks up by fragment id.
-  Result<BatPtr> GetById(core::BatId id);
+  Result<BatPtr> GetById(core::BatId id) override;
 
   /// The fragment id for a name.
   Result<core::BatId> IdOf(const std::string& name) const;

@@ -88,7 +88,7 @@ class DcHooks {
 
 /// \brief Everything builtins may touch during execution.
 struct Context {
-  bat::BatCatalog* catalog = nullptr;  ///< local persistent BATs (sql.bind)
+  bat::FragmentSource* catalog = nullptr;  ///< local persistent BATs (sql.bind)
   DcHooks* dc = nullptr;               ///< ring integration; null = local-only
   std::ostream* out = nullptr;         ///< io.stdout sink (null = discard)
   ExportSink* exported = nullptr;      ///< typed result capture (null = off)

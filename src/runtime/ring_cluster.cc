@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unistd.h>
+
 #include <cstring>
+#include <filesystem>
 #include <set>
+#include <unordered_set>
 
 #include "bat/serialize.h"
 #include "common/logging.h"
@@ -75,6 +79,17 @@ Status ValidateQualifiedName(const std::string& name) {
   return Status::OK();
 }
 
+/// The per-node two-tier store configuration: the cluster-wide budget and
+/// spill tunables, rooted in a per-node subdirectory of the spill root.
+storage::FragmentStoreOptions NodeStoreOptions(const storage::FragmentStoreOptions& base,
+                                               const std::string& spill_root,
+                                               core::NodeId id) {
+  storage::FragmentStoreOptions opts = base;
+  opts.spill_dir =
+      spill_root.empty() ? "" : spill_root + "/node" + std::to_string(id);
+  return opts;
+}
+
 }  // namespace
 
 // ===========================================================================
@@ -105,9 +120,8 @@ class RingCluster::Node final : public core::DcEnv {
   Node(RingCluster* cluster, core::NodeId id)
       : cluster_(cluster),
         id_(id),
-        catalog_(cluster->options_.spill_dir.empty()
-                     ? ""
-                     : cluster->options_.spill_dir + "/node" + std::to_string(id)) {
+        store_(NodeStoreOptions(cluster->options_.memory, cluster->options_.spill_dir,
+                                id)) {
     const Options& opts = cluster->options_;
     if (opts.adaptive_loit) {
       loit_ = std::make_unique<core::AdaptiveLoit>(opts.adaptive);
@@ -167,7 +181,7 @@ class RingCluster::Node final : public core::DcEnv {
     });
   }
 
-  bat::BatCatalog& catalog() { return catalog_; }
+  storage::FragmentStore& store() { return store_; }
   core::DcNode& dc() { return *dc_; }
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
@@ -269,6 +283,9 @@ class RingCluster::Node final : public core::DcEnv {
   /// corpse.
   void Crash() {
     StopRunnersWith(Status::Unavailable("node " + std::to_string(id_) + " crashed"));
+    // The crash loses RAM but not the disk tier: the store forgets every
+    // frame while the spill files survive for RestartNode's recovery scan.
+    store_.ForgetAllForCrash();
     std::lock_guard<std::mutex> dead(dead_exec_mu_);
     {
       std::lock_guard<std::mutex> lock(mailbox_mu_);
@@ -300,6 +317,8 @@ class RingCluster::Node final : public core::DcEnv {
     node_opts.ring_size = cluster_->options_.num_nodes;
     dc_ = std::make_unique<core::DcNode>(node_opts, this, loit_.get());
     decoded_.clear();
+    decoded_in_store_.clear();
+    decode_rejected_.clear();
     current_payload_ = nullptr;
     current_payload_crc_ = 0;
     data_in_->Reopen();
@@ -363,10 +382,21 @@ class RingCluster::Node final : public core::DcEnv {
         return Status::Unavailable("ring degraded: load shed on node " +
                                    std::to_string(id_));
       }
+      if (store_.UnderPressure() &&
+          admission_queue_.size() >= cluster_->options_.admission.degraded_max_queued) {
+        // Same graceful degradation under memory pressure: spill I/O is not
+        // keeping up with the resident set, so new work is shed retryable
+        // at the degraded bound instead of deepening the overhang.
+        store_.NotePressureShed();
+        return Status::Unavailable("memory pressure: load shed on node " +
+                                   std::to_string(id_));
+      }
       if (admission_queue_.size() >= cluster_->options_.admission.max_queued) {
         ++admission_.rejected;
-        return Status::ResourceExhausted("admission queue full on node " +
-                                         std::to_string(id_));
+        return Status::ResourceExhausted(
+            "admission queue full on node " + std::to_string(id_) + ": " +
+            std::to_string(admission_queue_.size()) + " queued, limit " +
+            std::to_string(cluster_->options_.admission.max_queued));
       }
       admission_queue_.push_back(std::move(item));
       ++admission_.submitted;
@@ -474,7 +504,15 @@ class RingCluster::Node final : public core::DcEnv {
     rdma::Buffer payload;
     uint32_t payload_crc = 0;
     if (is_load) {
-      auto b = catalog_.GetById(header.bat_id);
+      auto b = store_.GetById(header.bat_id);
+      if (!b.ok() && b.status().code() == StatusCode::kCorruption) {
+        // The spilled image of an owned fragment rotted on disk; the store
+        // already deleted it. Re-materialize from the cluster registry (the
+        // ring's durable copy) and retry once.
+        if (cluster_->RefetchFragment(header.bat_id, this).ok()) {
+          b = store_.GetById(header.bat_id);
+        }
+      }
       if (!b.ok()) {
         DCY_LOG(kError) << "node " << id_ << " cannot load BAT " << header.bat_id << ": "
                         << b.status().ToString();
@@ -516,6 +554,18 @@ class RingCluster::Node final : public core::DcEnv {
     Result<bat::BatPtr> value = [&]() -> Result<bat::BatPtr> {
       auto it = decoded_.find(bat);
       if (it != decoded_.end()) return it->second;
+      // A delivery the store refused to cache (budget): fail the pin with
+      // the typed backpressure recorded at decode time — retryable, so the
+      // session layer resubmits instead of hanging on a frame that cannot
+      // be kept.
+      auto rej = decode_rejected_.find(bat);
+      if (rej != decode_rejected_.end()) {
+        Status refused = rej->second;
+        decode_rejected_.erase(rej);
+        return refused;
+      }
+      auto resident = store_.GetResident(bat);
+      if (resident.ok()) return resident;
       return Status::NotFound("decoded BAT " + std::to_string(bat) + " missing");
     }();
     ResolveWaiter(query, bat, std::move(value));
@@ -531,15 +581,41 @@ class RingCluster::Node final : public core::DcEnv {
 
   uint64_t BatQueueCapacityBytes() override { return cluster_->options_.bat_queue_capacity; }
 
-  /// Decoded-BAT cache upkeep: drop entries the protocol cache released.
+  /// Decoded-BAT cache upkeep: drop entries the protocol cache released,
+  /// returning their budget charge to the store.
   void TrimDecoded() {
     for (auto it = decoded_.begin(); it != decoded_.end();) {
       if (!dc_->cache().Contains(it->first)) {
+        if (decoded_in_store_.erase(it->first) > 0) {
+          store_.Unpin(it->first);
+          store_.Drop(it->first);
+        }
         it = decoded_.erase(it);
       } else {
         ++it;
       }
     }
+    for (auto it = decode_rejected_.begin(); it != decode_rejected_.end();) {
+      if (!dc_->pins().HasBlocked(it->first)) {
+        it = decode_rejected_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Pin via the two-tier store with fault-in, retrying once through a ring
+  /// re-fetch when the spill image turned out corrupt. Runs on a query
+  /// runner thread (never the service thread) — the disk read may block.
+  Result<bat::BatPtr> PinStored(core::BatId bat,
+                                std::chrono::steady_clock::time_point deadline) {
+    auto pinned = store_.Pin(bat, deadline);
+    if (pinned.ok() || pinned.status().code() != StatusCode::kCorruption) {
+      return pinned;
+    }
+    DCY_LOG(kWarn) << "node " << id_ << ": " << pinned.status().message();
+    DCY_RETURN_NOT_OK(cluster_->RefetchFragment(bat, this));
+    return store_.Pin(bat, deadline);
   }
 
  private:
@@ -668,7 +744,9 @@ class RingCluster::Node final : public core::DcEnv {
         // the circulating frame too, so hot-set accounting has an owner.
         header.owner = id_;
         ++hop_.frames_adopted;
-      } else if (header.hops > 2 * cluster_->options_.num_nodes + 4) {
+      } else if (header.hops > (cluster_->options_.resilience.orphan_hop_limit != 0
+                                    ? cluster_->options_.resilience.orphan_hop_limit
+                                    : 2 * cluster_->options_.num_nodes + 4)) {
         // An orphan with a dead owner and no heir: nobody will retire it,
         // so age it out instead of letting it circle forever.
         ++hop_.orphan_frames_dropped;
@@ -685,12 +763,27 @@ class RingCluster::Node final : public core::DcEnv {
     if (dc_->pins().HasBlocked(header.bat_id) && decoded_.count(header.bat_id) == 0) {
       auto decoded = bat::Deserialize(*m.payload);
       if (decoded.ok()) {
-        decoded_[header.bat_id] = *decoded;
+        // The decoded payload charges the memory budget like any other
+        // resident fragment: admit it as a non-durable (droppable) frame,
+        // pinned until the protocol cache releases it. Over budget, the
+        // typed refusal is delivered to the blocked pin instead of the data
+        // (retryable backpressure, never an unaccounted allocation).
+        Status admitted = store_.Admit(header.bat_id, "", *decoded,
+                                       /*durable=*/false, /*initial_pins=*/1);
+        if (admitted.ok()) {
+          decoded_[header.bat_id] = *decoded;
+          decoded_in_store_.insert(header.bat_id);
+        } else if (admitted.code() == StatusCode::kAlreadyExists) {
+          decoded_[header.bat_id] = *decoded;
+        } else {
+          decode_rejected_[header.bat_id] = admitted;
+        }
       } else {
         ++hop_.decode_failures;  // hop CRC passed but the encoding is bad
       }
     }
     dc_->OnBatMsg(header);
+    store_.NoteRingLoi(header.bat_id, header.loi);
     current_payload_ = nullptr;
     current_payload_crc_ = 0;
     TrimDecoded();
@@ -845,7 +938,7 @@ class RingCluster::Node final : public core::DcEnv {
 
       if (!did_work) {
         std::unique_lock<std::mutex> lock(mailbox_mu_);
-        mailbox_cv_.wait_for(lock, std::chrono::microseconds(200));
+        mailbox_cv_.wait_for(lock, std::chrono::nanoseconds(res.idle_wait));
       }
     }
   }
@@ -903,7 +996,7 @@ class RingCluster::Node final : public core::DcEnv {
 
   RingCluster* cluster_;
   core::NodeId id_;
-  bat::BatCatalog catalog_;
+  storage::FragmentStore store_;
   std::unique_ptr<core::LoitPolicy> loit_;
   std::unique_ptr<core::DcNode> dc_;
   std::atomic<Node*> successor_{nullptr};
@@ -951,6 +1044,10 @@ class RingCluster::Node final : public core::DcEnv {
   rdma::BufferPool frame_pool_;  ///< serialization frames for owned loads
   std::vector<rdma::Message> drain_;  ///< service-loop batch receive scratch
   std::unordered_map<core::BatId, bat::BatPtr> decoded_;
+  /// Decoded frames charged to the store (one pin each until TrimDecoded).
+  std::unordered_set<core::BatId> decoded_in_store_;
+  /// Deliveries the store refused under budget; consumed by DeliverToQuery.
+  std::unordered_map<core::BatId, Status> decode_rejected_;
 
   std::mutex waiters_mu_;
   std::map<std::pair<core::QueryId, core::BatId>, std::promise<Result<bat::BatPtr>>>
@@ -965,10 +1062,9 @@ namespace {
 
 class SessionHooks final : public mal::DcHooks {
  public:
-  SessionHooks(RingCluster* cluster, RingCluster::Node* node, bat::BatCatalog* catalog,
-               core::QueryId query, const mal::CancelToken* cancel)
-      : cluster_(cluster), node_(node), catalog_(catalog), query_(query),
-        cancel_(cancel) {}
+  SessionHooks(RingCluster* cluster, RingCluster::Node* node, core::QueryId query,
+               const mal::CancelToken* cancel)
+      : cluster_(cluster), node_(node), query_(query), cancel_(cancel) {}
 
   ~SessionHooks() override {
     // Release everything the plan failed to unpin (aborted / cancelled /
@@ -977,6 +1073,11 @@ class SessionHooks final : public mal::DcHooks {
     // memory nor fragment requests that would keep BATs hot.
     for (const core::BatId bat : requested_) {
       node_->Post([node = node_, q = query_, bat] { node->dc().Unpin(q, bat); });
+    }
+    // Buffer-frame pins likewise: a leaked pin would make the frame
+    // unevictable forever.
+    for (const auto& [bat, count] : store_pins_) {
+      for (uint32_t i = 0; i < count; ++i) node_->store().Unpin(bat);
     }
   }
 
@@ -1010,12 +1111,23 @@ class SessionHooks final : public mal::DcHooks {
     auto future = node_->AddWaiter(query_, bat);
     std::promise<Result<bat::BatPtr>> immediate;
     auto immediate_future = immediate.get_future();
+    bool fault_in = false;
     node_->PostSync([&, this] {
       if (node_->dc().Pin(query_, bat)) {
-        // Available now: owned locally or cached.
-        auto local = catalog_->GetById(bat);
+        // Available now: owned locally or cached. TryPinResident never does
+        // I/O — the service thread must not block on a disk read.
+        auto local = node_->store().TryPinResident(bat);
         if (local.ok()) {
+          NoteStorePin(bat);
           immediate.set_value(*local);
+          return;
+        }
+        if (local.status().code() == StatusCode::kFailedPrecondition) {
+          // Spilled: fault it in from the disk tier on this runner thread
+          // (the whole pin instruction already runs under a BlockingScope,
+          // so the executor backfills the blocked slot).
+          fault_in = true;
+          immediate.set_value(local.status());
           return;
         }
         // Not owned: it must be in the decoded cache via DeliverToQuery's
@@ -1032,6 +1144,20 @@ class SessionHooks final : public mal::DcHooks {
     if (quick.ok()) {
       node_->RemoveWaiter(query_, bat);
       value = *quick;
+    } else if (fault_in) {
+      node_->RemoveWaiter(query_, bat);
+      const auto blocked_at = std::chrono::steady_clock::now();
+      const auto deadline = cancel_ != nullptr && cancel_->has_deadline()
+                                ? cancel_->deadline()
+                                : std::chrono::steady_clock::time_point::max();
+      auto faulted = node_->PinStored(bat, deadline);
+      blocked_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - blocked_at)
+                                .count(),
+                            std::memory_order_relaxed);
+      if (!faulted.ok()) return faulted.status();
+      NoteStorePin(bat);
+      value = *faulted;
     } else {
       // Blocked until the fragment flows by — or the query is cancelled or
       // runs past its deadline. Cancellation protocol: Cancel() sets the
@@ -1066,6 +1192,7 @@ class SessionHooks final : public mal::DcHooks {
 
   Status Unpin(const mal::Datum& pinned) override {
     core::BatId bat = core::kInvalidBat;
+    bool release_store_pin = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (const auto* h = std::get_if<mal::RequestHandle>(&pinned)) {
@@ -1082,15 +1209,25 @@ class SessionHooks final : public mal::DcHooks {
       }
       pinned_.erase(bat);
       requested_.erase(bat);  // fully released: nothing left for teardown
+      auto sp = store_pins_.find(bat);
+      if (sp != store_pins_.end()) {
+        release_store_pin = true;
+        if (--sp->second == 0) store_pins_.erase(sp);
+      }
     }
+    if (release_store_pin) node_->store().Unpin(bat);
     node_->Post([node = node_, q = query_, bat] { node->dc().Unpin(q, bat); });
     return Status::OK();
   }
 
  private:
+  void NoteStorePin(core::BatId bat) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++store_pins_[bat];
+  }
+
   RingCluster* cluster_;
   RingCluster::Node* node_;
-  bat::BatCatalog* catalog_;
   core::QueryId query_;
   const mal::CancelToken* cancel_;
   std::atomic<int64_t> blocked_ns_{0};
@@ -1098,6 +1235,9 @@ class SessionHooks final : public mal::DcHooks {
   std::unordered_map<core::BatId, bat::BatPtr> pinned_;
   std::unordered_map<const bat::Bat*, core::BatId> by_pointer_;
   std::set<core::BatId> requested_;  ///< every fragment this query touched
+  /// Buffer-frame pins this query holds in the node's store (eviction
+  /// protection); released on Unpin or teardown.
+  std::unordered_map<core::BatId, uint32_t> store_pins_;
 };
 
 }  // namespace
@@ -1108,6 +1248,22 @@ class SessionHooks final : public mal::DcHooks {
 
 RingCluster::RingCluster(Options options) : options_(options) {
   DCY_CHECK(options_.num_nodes >= 2);
+  if (options_.memory.budget_bytes > 0 && options_.spill_dir.empty()) {
+    // A budget without a spill root would refuse every over-budget byte
+    // outright; give the stores a private disk tier under the system temp
+    // directory instead (removed with the cluster).
+    static std::atomic<uint64_t> counter{0};
+    const auto dir =
+        std::filesystem::temp_directory_path() /
+        ("dcy-spill-" + std::to_string(static_cast<uint64_t>(::getpid())) + "-" +
+         std::to_string(counter.fetch_add(1)));
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!ec) {
+      options_.spill_dir = dir.string();
+      owns_spill_dir_ = true;
+    }
+  }
   nodes_.reserve(options_.num_nodes);
   spliced_in_.assign(options_.num_nodes, true);
   alive_ = std::make_unique<std::atomic<bool>[]>(options_.num_nodes);
@@ -1122,7 +1278,16 @@ RingCluster::RingCluster(Options options) : options_(options) {
   }
 }
 
-RingCluster::~RingCluster() { Stop(); }
+RingCluster::~RingCluster() {
+  Stop();
+  if (owns_spill_dir_) {
+    // The stores (and their spill threads) must be gone before their
+    // directory is: destroy the nodes first.
+    nodes_.clear();
+    std::error_code ec;
+    std::filesystem::remove_all(options_.spill_dir, ec);
+  }
+}
 
 Status RingCluster::LoadBat(core::NodeId owner, const std::string& name, bat::BatPtr bat) {
   if (owner >= options_.num_nodes) return Status::InvalidArgument("bad owner node");
@@ -1139,7 +1304,11 @@ Status RingCluster::LoadBat(core::NodeId owner, const std::string& name, bat::Ba
     if (directory_.count(name) > 0) {
       return Status::AlreadyExists("fragment \"" + name + "\" is already registered");
     }
-    DCY_RETURN_NOT_OK(nodes_[owner]->catalog().Register(name, id, bat));
+    // Admission may wait on spill I/O when the node is near its budget —
+    // bulk loads beyond memory proceed at disk speed instead of failing.
+    DCY_RETURN_NOT_OK(nodes_[owner]->store().Admit(id, name, bat, /*durable=*/true,
+                                                   /*initial_pins=*/0,
+                                                   std::chrono::milliseconds(10000)));
     directory_[name] = id;
     sizes_[id] = size;
     column_types_[name] = tail_type;
@@ -1299,7 +1468,9 @@ void RingCluster::HandleDeadFragments(core::NodeId suspect, core::NodeId heir) {
     for (auto& r : rehomes) {
       // The heir may have seen this name before (a restarted node's second
       // death); AlreadyExists just means the payload is still registered.
-      Status reg = heir_node->catalog().Register(r.name, r.id, r.loader);
+      Status reg = heir_node->store().Admit(r.id, r.name, r.loader, /*durable=*/true,
+                                            /*initial_pins=*/0,
+                                            std::chrono::milliseconds(5000));
       if (!reg.ok() && reg.code() != StatusCode::kAlreadyExists) {
         DCY_LOG(kError) << "re-home of fragment " << r.name << " failed: "
                         << reg.ToString();
@@ -1323,6 +1494,27 @@ void RingCluster::HandleDeadFragments(core::NodeId suspect, core::NodeId heir) {
       node->Post([node, id] { node->dc().FailBat(id); });
     }
   }
+}
+
+Status RingCluster::RefetchFragment(core::BatId bat, Node* node) {
+  std::string name;
+  bat::BatPtr loader;
+  {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    auto it = fragments_.find(bat);
+    if (it == fragments_.end()) {
+      return Status::NotFound("fragment " + std::to_string(bat) +
+                              " is not in the cluster registry");
+    }
+    name = it->second.name;
+    loader = it->second.loader;
+  }
+  Status admitted = node->store().Admit(bat, name, loader, /*durable=*/true,
+                                        /*initial_pins=*/0,
+                                        std::chrono::milliseconds(5000));
+  if (admitted.code() == StatusCode::kAlreadyExists) return Status::OK();
+  if (admitted.ok()) node->store().NoteRefetched();
+  return admitted;
 }
 
 Status RingCluster::FragmentFailureStatus(core::BatId bat) {
@@ -1357,13 +1549,45 @@ Status RingCluster::RestartNode(core::NodeId node) {
   comer->Restart(succ, pred);
   alive_[node].store(true, std::memory_order_release);
   dead_count_.fetch_sub(1, std::memory_order_relaxed);
+  // Crash-safe recovery of the two-tier store: re-admit every checksum-valid
+  // spill file from the node's disk tier (payloads stay on disk until
+  // pinned); damaged files were deleted by the scan and their fragments —
+  // like everything never spilled — are re-materialized from the ring's
+  // durable registry below.
+  const auto recovered = comer->store().Recover();
+  if (!recovered.recovered.empty() || recovered.corrupt_files > 0) {
+    DCY_LOG(kInfo) << "node " << node << " recovery: " << recovered.recovered.size()
+                   << " fragment(s) reloaded from disk, " << recovered.corrupt_files
+                   << " damaged spill file(s) discarded";
+  }
   // Re-introduce the node's surviving fragments (those not re-homed while
   // it was down) to its fresh protocol state.
   std::vector<std::pair<core::BatId, uint64_t>> owned;
+  struct Refetch {
+    core::BatId id;
+    std::string name;
+    bat::BatPtr loader;
+  };
+  std::vector<Refetch> refetches;
   {
     std::lock_guard<std::mutex> lock(directory_mu_);
     for (const auto& [id, info] : fragments_) {
-      if (info.owner == node) owned.emplace_back(id, info.size);
+      if (info.owner != node) continue;
+      owned.emplace_back(id, info.size);
+      if (!comer->store().Contains(id)) {
+        refetches.push_back(Refetch{id, info.name, info.loader});
+      }
+    }
+  }
+  for (const auto& r : refetches) {
+    Status refetched = comer->store().Admit(r.id, r.name, r.loader, /*durable=*/true,
+                                            /*initial_pins=*/0,
+                                            std::chrono::milliseconds(5000));
+    if (refetched.ok()) {
+      comer->store().NoteRefetched();
+    } else if (refetched.code() != StatusCode::kAlreadyExists) {
+      DCY_LOG(kError) << "node " << node << " cannot re-materialize fragment "
+                      << r.name << ": " << refetched.ToString();
     }
   }
   comer->PostSync([&] {
@@ -1396,6 +1620,17 @@ RingCluster::ResilienceMetrics RingCluster::Resilience() const {
   }
   out.unavailable_failures = unavailable_failures_.load(std::memory_order_relaxed);
   return out;
+}
+
+storage::MemoryMetrics RingCluster::NodeMemory(core::NodeId node) const {
+  DCY_CHECK(node < nodes_.size());
+  return nodes_[node]->store().Metrics();
+}
+
+storage::MemoryMetrics RingCluster::Memory() const {
+  storage::MemoryMetrics total;
+  for (const auto& node : nodes_) total.Add(node->store().Metrics());
+  return total;
 }
 
 // ---- session API ----------------------------------------------------------
@@ -1494,9 +1729,9 @@ Result<QueryResult> RingCluster::RunQuery(Node* node, const PreparedQuery& plan,
   qr.query_id = state->id;
 
   mal::ExportSink exported;
-  SessionHooks hooks(this, node, &node->catalog(), state->id, &state->cancel);
+  SessionHooks hooks(this, node, state->id, &state->cancel);
   mal::Context ctx;
-  ctx.catalog = &node->catalog();
+  ctx.catalog = &node->store();
   ctx.dc = &hooks;
   ctx.out = nullptr;  // results are captured typed, not printed
   ctx.exported = &exported;

@@ -38,6 +38,7 @@
 #include "rdma/fault.h"
 #include "runtime/session.h"
 #include "sql/schema.h"
+#include "storage/fragment_store.h"
 
 namespace dcy::runtime {
 
@@ -57,6 +58,13 @@ struct ResilienceOptions {
   bool auto_rehome = true;
   /// Seed for the per-link backoff jitter streams.
   uint64_t seed = 0xDC0FA17u;
+  /// Frames whose owner died keep circulating until adopted; after this many
+  /// hops they are dropped as orphans. 0 = the default bound of
+  /// 2 * num_nodes + 4 (one full lap plus slack for in-flight duplicates).
+  uint32_t orphan_hop_limit = 0;
+  /// Longest a node's service thread sleeps when idle (reaction latency to
+  /// work posted from other threads).
+  SimTime idle_wait = FromMicros(200);
 };
 
 /// \brief Legacy outcome of one blocking ExecuteMal call. New code should
@@ -105,6 +113,11 @@ class RingCluster {
     size_t plan_cache_capacity = 1024;
     /// Hop reliability, heartbeats, and recovery behaviour.
     ResilienceOptions resilience;
+    /// Per-node memory budget and two-tier spill behaviour. `spill_dir` in
+    /// here is derived per node from Options::spill_dir (when a budget is
+    /// set and Options::spill_dir is empty, the cluster creates a private
+    /// temp directory and removes it on destruction).
+    storage::FragmentStoreOptions memory;
     /// Optional deterministic fault injection applied to every channel of
     /// the ring (drop/delay/duplicate/corrupt per the injector's schedule).
     /// Not owned; must outlive the cluster. nullptr = fault-free fabric.
@@ -229,6 +242,11 @@ class RingCluster {
   };
   ResilienceMetrics Resilience() const;
 
+  /// Memory gauges and two-tier counters of one node's fragment store.
+  storage::MemoryMetrics NodeMemory(core::NodeId node) const;
+  /// The same, summed over every node.
+  storage::MemoryMetrics Memory() const;
+
   uint32_t num_nodes() const { return options_.num_nodes; }
   /// Protocol metrics of a node (snapshot; service thread keeps mutating).
   core::DcNodeMetrics NodeMetrics(core::NodeId node) const;
@@ -263,12 +281,20 @@ class RingCluster {
   /// Unavailable when its registered owner is down, NotFound otherwise.
   Status FragmentFailureStatus(core::BatId bat);
 
+  /// Re-materializes `bat` into `node`'s store from the cluster fragment
+  /// registry (the ring's durable copy) after a corrupt or lost spill
+  /// image. NotFound when the registry has no such fragment.
+  Status RefetchFragment(core::BatId bat, Node* node);
+
   /// Neighbour walk over the original ring order, skipping spliced-out
   /// nodes. Callers hold ring_mu_.
   core::NodeId NextAliveLocked(core::NodeId from) const;
   core::NodeId PrevAliveLocked(core::NodeId from) const;
 
   Options options_;
+  /// True when the cluster created a private temp spill root (removed on
+  /// destruction).
+  bool owns_spill_dir_ = false;
   std::vector<std::unique_ptr<Node>> nodes_;
   /// Global name -> fragment directory (guarded by directory_mu_).
   mutable std::mutex directory_mu_;

@@ -5,9 +5,14 @@
 // request entries.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <functional>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bat/operators.h"
 #include "rdma/fault.h"
@@ -346,6 +351,147 @@ TEST_F(DegradedBlockingTest, CancelUnblocksAPinStuckOnADeadOwner) {
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kAborted) << result.status().ToString();
   EXPECT_TRUE(Eventually([&] { return cluster->OutstandingRequestEntries(0) == 0; }));
+}
+
+// ---------------------------------------------------------------------------
+// Memory pressure: the two-tier fragment store under crash and churn
+// (ISSUE-8). Queries must stay bit-correct while fragments spill, promote,
+// and recover from disk across a node failure.
+// ---------------------------------------------------------------------------
+
+bat::BatPtr FillerBat(int32_t value) {
+  return bat::Bat::MakeColumn(
+      bat::MakeIntColumn(std::vector<int32_t>(1000, value)));
+}
+
+constexpr const char* kF1SumPlan = R"(
+X1 := sql.bind("sys","f1","v",0);
+X2 := aggr.sum(X1);
+)";
+
+constexpr const char* kF2SumPlan = R"(
+X1 := sql.bind("sys","f2","v",0);
+X2 := aggr.sum(X1);
+)";
+
+constexpr const char* kF3SumPlan = R"(
+X1 := sql.bind("sys","f3","v",0);
+X2 := aggr.sum(X1);
+)";
+
+TEST_F(ChaosTest, RestartRecoversSpilledFragmentsAndRehomesCorruptOnes) {
+  namespace fs = std::filesystem;
+  const auto f1 = FillerBat(1);
+  auto opts = ChaosOptions();
+  opts.resilience.auto_rehome = false;  // fragments stay with their owner
+  opts.spill_dir = ::testing::TempDir() + "/chaos_spill_recover";
+  fs::remove_all(opts.spill_dir);
+  // Budget holds one filler plus change: loading the second filler pushes
+  // t.id and the first filler to disk. Inline spill with watermarks off
+  // keeps the tier assignment deterministic.
+  opts.memory.budget_bytes = f1->ByteSize() + 512;
+  opts.memory.async_spill = false;
+  opts.memory.spill_high_watermark = 1.0;
+  opts.memory.spill_low_watermark = 1.0;
+  cluster = std::make_unique<RingCluster>(opts);
+  ASSERT_TRUE(cluster
+                  ->LoadBat(1, "sys.t.id",
+                            bat::Bat::MakeColumn(bat::MakeIntColumn({1, 2, 3, 4})))
+                  .ok());
+  ASSERT_TRUE(cluster->LoadBat(1, "sys.f1.v", f1).ok());
+  ASSERT_TRUE(cluster->LoadBat(1, "sys.f2.v", FillerBat(2)).ok());
+  cluster->Start();
+  ASSERT_GE(cluster->NodeMemory(1).spills, 2u);  // t.id and f1 are on disk
+
+  auto session = cluster->OpenSession(0);
+  ASSERT_TRUE(session.ok());
+  ExpectSumCorrect(&*session);  // faults sys.t.id back in from disk
+
+  ASSERT_TRUE(cluster->CrashNode(1).ok());
+  ASSERT_TRUE(Eventually([&] { return cluster->Resilience().ring_resplices >= 1; }));
+
+  // Damage one surviving spill file while the node is down — a torn write
+  // the crash left behind.
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(opts.spill_dir + "/node1")) {
+    if (entry.path().extension() == ".frag") files.push_back(entry.path().string());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 2u);
+  {
+    const auto mid = static_cast<std::streamoff>(fs::file_size(files[0]) / 2);
+    std::fstream f(files[0], std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(mid);
+    char c;
+    f.get(c);
+    f.seekp(mid);
+    f.put(static_cast<char>(c ^ 0x01));
+  }
+
+  const auto before = cluster->NodeMemory(1);
+  ASSERT_TRUE(cluster->RestartNode(1).ok());
+  const auto after = cluster->NodeMemory(1);
+  // Checksum-valid files came back from disk; the damaged one was deleted
+  // and its fragment re-homed from the ring.
+  EXPECT_GE(after.recovered_from_disk, before.recovered_from_disk + 1);
+  EXPECT_GE(after.corrupt_spill_files, before.corrupt_spill_files + 1);
+  EXPECT_GE(after.refetched_from_ring, before.refetched_from_ring + 1);
+
+  ASSERT_TRUE(Eventually([&] {
+    auto result = session->Execute(kSumPlan);
+    return result.ok() && std::get<int64_t>(result->result.scalar()) == 10;
+  })) << "queries never recovered after restart";
+}
+
+TEST_F(ChaosTest, QueriesStayCorrectUnderMemoryPressure) {
+  namespace fs = std::filesystem;
+  const auto f1 = FillerBat(1);
+  auto opts = ChaosOptions();
+  opts.spill_dir = ::testing::TempDir() + "/chaos_spill_pressure";
+  fs::remove_all(opts.spill_dir);
+  // Budget holds two of the three fillers; alternating queries churn the
+  // tier assignment through the production async-spill path.
+  opts.memory.budget_bytes = 2 * f1->ByteSize() + 1024;
+  cluster = std::make_unique<RingCluster>(opts);
+  ASSERT_TRUE(cluster
+                  ->LoadBat(1, "sys.t.id",
+                            bat::Bat::MakeColumn(bat::MakeIntColumn({1, 2, 3, 4})))
+                  .ok());
+  ASSERT_TRUE(cluster->LoadBat(1, "sys.f1.v", f1).ok());
+  ASSERT_TRUE(cluster->LoadBat(1, "sys.f2.v", FillerBat(2)).ok());
+  ASSERT_TRUE(cluster->LoadBat(1, "sys.f3.v", FillerBat(3)).ok());
+  cluster->Start();
+  auto session = cluster->OpenSession(0);
+  ASSERT_TRUE(session.ok());
+
+  // Memory-pressure refusals are typed retryable; the client retry policy
+  // must ride them out without ever seeing a wrong answer.
+  SubmitOptions options;
+  options.retry.max_attempts = 20;
+  options.retry.initial_backoff = milliseconds(5);
+  options.retry.max_backoff = milliseconds(50);
+
+  const struct {
+    const char* plan;
+    int64_t expect;
+  } queries[] = {{kSumPlan, 10},
+                 {kF1SumPlan, 1000},
+                 {kF2SumPlan, 2000},
+                 {kF3SumPlan, 3000}};
+  for (int round = 0; round < 6; ++round) {
+    for (const auto& q : queries) {
+      auto result = session->Execute(q.plan, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(std::get<int64_t>(result->result.scalar()), q.expect);
+    }
+  }
+
+  const auto m = cluster->Memory();
+  EXPECT_GT(m.spills, 0u);
+  EXPECT_GT(m.evictions, 0u);
+  EXPECT_GT(m.promotions, 0u);
+  EXPECT_EQ(m.spill_failures, 0u);
+  EXPECT_EQ(m.corrupt_spill_files, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -8,9 +8,10 @@
 // (exec_seconds vs pin_blocked_seconds). Parse and semantic errors render
 // the structured caret diagnostic.
 //
-//   ./dcsql [--scale=0.01] [--nodes=3] [--workers=4] [--max_rows=25]
+//   ./dcsql [--scale=0.01] [--nodes=3] [--workers=4] [--max_rows=25] [--budget_mb=0] [--spill_dir=DIR]
 //
-// Meta commands: \tables (schema), \q (quit). EOF exits cleanly, so
+// Meta commands: \tables (schema), \mem (memory tiers), \q (quit). EOF
+// exits cleanly, so
 // `echo "select ...;" | dcsql` works for scripted smoke runs.
 #include <unistd.h>
 
@@ -107,6 +108,44 @@ void PrintSchema(const sql::Schema& schema) {
   }
 }
 
+/// \mem: the two-tier store per node (resident/spilled split, eviction and
+/// promotion counters) plus the cluster resilience summary.
+void PrintMemory(const runtime::RingCluster& ring, uint32_t nodes) {
+  std::printf(
+      "node     budget_mb  resident_mb   spilled_mb  evict  spill  promote"
+      "  reject  shed\n");
+  for (uint32_t n = 0; n < nodes; ++n) {
+    const storage::MemoryMetrics m = ring.NodeMemory(n);
+    std::printf("%-8u %9.1f  %11.2f  %11.2f  %5llu  %5llu  %7llu  %6llu  %4llu\n", n,
+                m.budget_bytes / (1024.0 * 1024.0), m.resident_bytes / (1024.0 * 1024.0),
+                m.spilled_bytes / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(m.evictions),
+                static_cast<unsigned long long>(m.spills),
+                static_cast<unsigned long long>(m.promotions),
+                static_cast<unsigned long long>(m.admission_rejections),
+                static_cast<unsigned long long>(m.pressure_sheds));
+  }
+  const storage::MemoryMetrics total = ring.Memory();
+  std::printf(
+      "total: %.2f MiB resident, %.2f MiB spilled, %llu spill writes "
+      "(%llu corrupt files, %llu recovered from disk, %llu refetched from ring)\n",
+      total.resident_bytes / (1024.0 * 1024.0), total.spilled_bytes / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(total.spills),
+      static_cast<unsigned long long>(total.corrupt_spill_files),
+      static_cast<unsigned long long>(total.recovered_from_disk),
+      static_cast<unsigned long long>(total.refetched_from_ring));
+  const auto res = ring.Resilience();
+  std::printf(
+      "resilience: %llu retransmits, %llu link resets, %llu heartbeats missed, "
+      "%llu resplices, %llu crashed / %llu restarted\n",
+      static_cast<unsigned long long>(res.retransmits),
+      static_cast<unsigned long long>(res.link_resets),
+      static_cast<unsigned long long>(res.heartbeats_missed),
+      static_cast<unsigned long long>(res.ring_resplices),
+      static_cast<unsigned long long>(res.nodes_crashed),
+      static_cast<unsigned long long>(res.nodes_restarted));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +154,8 @@ int main(int argc, char** argv) {
   const uint32_t nodes = static_cast<uint32_t>(flags.GetInt("nodes", 3));
   const size_t workers = static_cast<size_t>(flags.GetInt("workers", 4));
   const size_t max_rows = static_cast<size_t>(flags.GetInt("max_rows", 25));
+  const uint64_t budget_mb = static_cast<uint64_t>(flags.GetInt("budget_mb", 0));
+  const std::string spill_dir = flags.GetString("spill_dir", "");
 
   runtime::RingCluster::Options opts;
   opts.num_nodes = nodes;
@@ -123,6 +164,12 @@ int main(int argc, char** argv) {
   opts.node.maintenance_period = FromMillis(10);
   opts.node.adapt_period = FromMillis(10);
   opts.node.initial_rotation_estimate = FromMillis(5);
+  if (budget_mb > 0) {
+    // Two-tier store: a per-node budget below the working set spills cold
+    // fragments to disk; \mem shows the tier split live.
+    opts.memory.budget_bytes = budget_mb * 1024 * 1024;
+    opts.spill_dir = spill_dir;  // empty -> private temp dir
+  }
   runtime::RingCluster ring(opts);
 
   const workload::TpchData data = workload::GenerateTpchData(scale);
@@ -139,7 +186,7 @@ int main(int argc, char** argv) {
 
   std::printf("dcsql: TPC-H scale %.3f on a %u-node ring (%zu lineitem rows)\n", scale,
               nodes, data.lineitem.rows());
-  std::printf("SQL ends with ';', MAL blocks with 'end ...;'; \\tables, \\q.\n");
+  std::printf("SQL ends with ';', MAL blocks with 'end ...;'; \\tables, \\mem, \\q.\n");
 
   std::string buffer;
   std::string line;
@@ -158,6 +205,12 @@ int main(int argc, char** argv) {
       if (t == "\\q" || t == "quit" || t == "exit") break;
       if (t == "\\tables") {
         PrintSchema(ring.SqlSchema());
+        std::printf("dcsql> ");
+        std::fflush(stdout);
+        continue;
+      }
+      if (t == "\\mem") {
+        PrintMemory(ring, nodes);
         std::printf("dcsql> ");
         std::fflush(stdout);
         continue;
