@@ -15,9 +15,14 @@
 // seeded FaultInjector to every hop, so the same validated answers must
 // survive a lossy fabric via the hop-level retransmission layer. The
 // resilience counters land in the dcy-bench-v1 JSON as a `resilience` row.
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/harness.h"
 #include "common/flags.h"
@@ -97,6 +102,14 @@ int main(int argc, char** argv) {
   // bit-identical. --spill_dir overrides the private temp dir.
   const uint64_t budget_mb = static_cast<uint64_t>(flags.GetInt("budget_mb", 0));
   const std::string spill_dir = flags.GetString("spill_dir", "");
+  // Read/write smoke: --writes=N appends N marker rows to lineitem from
+  // concurrent writer threads (deleting every third one) while Q6 re-runs at
+  // a snapshot pinned before the first write. The final state is validated
+  // against a plain-C++ tracked expectation and the write/compaction
+  // counters land in an `updates` bench row.
+  const uint32_t writes = static_cast<uint32_t>(flags.GetInt("writes", 0));
+  const uint32_t write_threads =
+      static_cast<uint32_t>(flags.GetInt("write_threads", 2));
 
   std::printf("# Table 4 -- live TPC-H at scale %.3f: SQL -> MAL -> %u-node ring\n",
               scale, nodes);
@@ -129,6 +142,11 @@ int main(int argc, char** argv) {
   opts.node.adapt_period = FromMillis(10);
   opts.node.initial_rotation_estimate = FromMillis(5);
   if (lossy) opts.fault = &fault;
+  if (writes > 0) {
+    // Fold aggressively so a short bench run still exercises compaction.
+    opts.compaction.max_delta_count = 8;
+    opts.compaction.interval = FromMillis(5);
+  }
   if (budget_mb > 0) {
     opts.memory.budget_bytes = budget_mb * 1024 * 1024;
     opts.spill_dir = spill_dir;  // empty -> private temp dir per run
@@ -302,6 +320,180 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(fault.counters().duplicated.load()),
         static_cast<unsigned long long>(fault.counters().corrupted.load()));
   }
+  if (writes > 0) {
+    // Pin the pre-write version: a reader at this snapshot must keep seeing
+    // the untouched Q6 answer no matter what the writers commit.
+    const uint64_t pinned = ring.PinWriteSnapshot();
+    const workload::TpchAnswer q6_ref = workload::TpchReferenceAnswer(data, 6);
+    const std::string q6_sql = workload::TpchQuerySql(6);
+    std::atomic<bool> reader_ok{true};
+    std::atomic<bool> stop_reader{false};
+    std::atomic<uint64_t> snapshot_reads{0};
+    std::thread reader([&] {
+      auto rs = ring.OpenSession(1 % nodes);
+      if (!rs.ok()) { reader_ok = false; return; }
+      auto prep = rs->Prepare(q6_sql);
+      if (!prep.ok()) { reader_ok = false; return; }
+      while (!stop_reader.load()) {
+        runtime::SubmitOptions so;
+        so.snapshot_version = pinned;
+        so.retry.max_attempts = retries > 0 ? retries : 3;
+        auto r = rs->Execute(*prep, so);
+        if (!r.ok() || !Validate(6, r->result, q6_ref)) { reader_ok = false; return; }
+        ++snapshot_reads;
+      }
+    });
+
+    // Marker rows: unique l_orderkey far above the generated key space, the
+    // ship date outside every benchmark query's window, so the read-suite
+    // answers above stay valid at any version.
+    constexpr int64_t kMarkerBase = 900000000;
+    std::atomic<uint32_t> next{0};
+    std::atomic<bool> writers_ok{true};
+    std::mutex track_mu;
+    double tracked_qty = 0;     // sum(l_quantity) over surviving marker rows
+    int64_t tracked_rows = 0;   // surviving marker rows
+    uint64_t dels = 0;
+    std::vector<std::thread> writer_pool;
+    for (uint32_t w = 0; w < std::max(1u, write_threads); ++w) {
+      writer_pool.emplace_back([&] {
+        auto ws = ring.OpenSession(0);
+        if (!ws.ok()) { writers_ok = false; return; }
+        runtime::SubmitOptions so;
+        so.retry.max_attempts = 10;
+        for (uint32_t i = next.fetch_add(1); i < writes; i = next.fetch_add(1)) {
+          const int64_t key = kMarkerBase + i;
+          const int64_t qty = 1 + i % 5;
+          char stmt[512];
+          std::snprintf(stmt, sizeof(stmt),
+                        "insert into lineitem (l_orderkey, l_suppkey, l_quantity, "
+                        "l_extendedprice, l_discount, l_tax, l_returnflag, "
+                        "l_linestatus, l_shipdate) values "
+                        "(%lld, 1, %lld, %lld, 0.0, 0.0, 'Z', 'Z', 20990101);",
+                        static_cast<long long>(key), static_cast<long long>(qty),
+                        static_cast<long long>(qty * 1000));
+          auto prep = ws->Prepare(stmt);
+          if (!prep.ok()) { writers_ok = false; return; }
+          auto r = ws->Execute(*prep, so);
+          if (!r.ok() || std::get<int64_t>(r->result.scalar()) != 1) {
+            writers_ok = false;
+            return;
+          }
+          const bool doomed = i % 3 == 0;
+          if (doomed) {
+            std::snprintf(stmt, sizeof(stmt),
+                          "delete from lineitem where l_orderkey = %lld;",
+                          static_cast<long long>(key));
+            auto dprep = ws->Prepare(stmt);
+            if (!dprep.ok()) { writers_ok = false; return; }
+            auto dr = ws->Execute(*dprep, so);
+            if (!dr.ok() || std::get<int64_t>(dr->result.scalar()) != 1) {
+              writers_ok = false;
+              return;
+            }
+          }
+          std::lock_guard<std::mutex> lock(track_mu);
+          if (doomed) {
+            ++dels;
+          } else {
+            tracked_qty += static_cast<double>(qty);
+            ++tracked_rows;
+          }
+        }
+      });
+    }
+    for (auto& t : writer_pool) t.join();
+    stop_reader = true;
+    reader.join();
+    ring.UnpinWriteSnapshot(pinned);
+
+    // With the pin released the compactor's idle drain folds the tail; wait
+    // for the pending deltas to hit zero so the row below records a state
+    // where folding demonstrably ran.
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (ring.Writes().pending_deltas != 0 &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    // Final state, validated against plain-C++ bookkeeping at the latest
+    // version (merged reads while pending, folded bases after the drain).
+    bool w_ok = writers_ok.load() && reader_ok.load();
+    auto check_scalar = [&](const std::string& sql, double want, const char* what) {
+      runtime::SubmitOptions so;
+      so.retry.max_attempts = 5;
+      auto prep = session.Prepare(sql);
+      DCY_CHECK_OK(prep.status());
+      auto r = session.Execute(*prep, so);
+      DCY_CHECK_OK(r.status());
+      const bat::Value got = r->result.ValueAt(0, 0);
+      if (std::fabs(got.AsDouble() - want) > 1e-6) {
+        std::fprintf(stderr, "updates: %s: got %s, want %.1f\n", what,
+                     got.ToString().c_str(), want);
+        w_ok = false;
+      }
+    };
+    check_scalar("select count(*) from lineitem;",
+                 static_cast<double>(data.lineitem.rows()) + writes - dels,
+                 "final row count");
+    if (tracked_rows > 0) {
+      check_scalar("select sum(l_quantity) from lineitem where l_orderkey >= " +
+                       std::to_string(kMarkerBase) + ";",
+                   tracked_qty, "marker quantity sum");
+    }
+
+    const write::WriteMetrics wm = ring.Writes();
+    harness.Run("updates",
+                {{"scale", Fmt("%.3f", scale)},
+                 {"nodes", std::to_string(nodes)},
+                 {"writes", std::to_string(writes)}},
+                [&] {
+                  bench::RepResult rep;
+                  rep.items = writes;
+                  rep.metrics["commits"] = static_cast<double>(wm.commits);
+                  rep.metrics["rows_inserted"] = static_cast<double>(wm.rows_inserted);
+                  rep.metrics["rows_deleted"] = static_cast<double>(wm.rows_deleted);
+                  rep.metrics["deltas_published"] =
+                      static_cast<double>(wm.deltas_published);
+                  rep.metrics["deltas_merged"] = static_cast<double>(wm.deltas_merged);
+                  rep.metrics["deltas_folded"] = static_cast<double>(wm.deltas_folded);
+                  rep.metrics["merges"] = static_cast<double>(wm.merges);
+                  rep.metrics["merge_cache_hits"] =
+                      static_cast<double>(wm.merge_cache_hits);
+                  rep.metrics["compactions"] = static_cast<double>(wm.compactions);
+                  rep.metrics["compactions_abandoned"] =
+                      static_cast<double>(wm.compactions_abandoned);
+                  rep.metrics["snapshots_rejected"] =
+                      static_cast<double>(wm.snapshots_rejected);
+                  rep.metrics["delta_frames_forwarded"] =
+                      static_cast<double>(wm.delta_frames_forwarded);
+                  rep.metrics["delta_bytes_on_ring"] =
+                      static_cast<double>(wm.delta_bytes_on_ring);
+                  rep.metrics["current_version"] =
+                      static_cast<double>(wm.current_version);
+                  rep.metrics["pending_deltas"] =
+                      static_cast<double>(wm.pending_deltas);
+                  rep.metrics["snapshot_reads"] =
+                      static_cast<double>(snapshot_reads.load());
+                  rep.metrics["validated"] = w_ok ? 1.0 : 0.0;
+                  return rep;
+                });
+    std::printf(
+        "updates: %u inserts / %llu deletes across %u writer(s), %llu pinned-"
+        "snapshot Q6 reads, %llu commits -> %llu deltas published / %llu merged "
+        "/ %llu folded (%llu compactions), %s\n",
+        writes, static_cast<unsigned long long>(dels), std::max(1u, write_threads),
+        static_cast<unsigned long long>(snapshot_reads.load()),
+        static_cast<unsigned long long>(wm.commits),
+        static_cast<unsigned long long>(wm.deltas_published),
+        static_cast<unsigned long long>(wm.deltas_merged),
+        static_cast<unsigned long long>(wm.deltas_folded),
+        static_cast<unsigned long long>(wm.compactions),
+        w_ok ? "validated" : "MISMATCH");
+    if (!w_ok) ++failures;
+  }
+
   const int rc = harness.Finish();
   return failures > 0 ? 1 : rc;
 }

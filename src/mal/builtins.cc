@@ -393,6 +393,61 @@ Registry BuildGlobalRegistry() {
                  return Datum{};
                });
 
+  // --- writes (ISSUE-9: versioned fragments + delta BATs) -----------------------
+  // sql.wappend(schema, table, column, v...) -> token: buffers one INSERT
+  // column. The returned token threads into sql.wcommit so the dataflow
+  // interpreter orders every append before the commit.
+  reg.Register("sql.wappend", [](Context& ctx, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() < 3) return WrongArgs("sql.wappend(schema,table,column,v...)");
+    if (ctx.writer == nullptr) {
+      return Status::FailedPrecondition("no write support in this execution context");
+    }
+    DCY_ASSIGN_OR_RETURN(std::string schema, AsStr(args[0]));
+    DCY_ASSIGN_OR_RETURN(std::string table, AsStr(args[1]));
+    DCY_ASSIGN_OR_RETURN(std::string column, AsStr(args[2]));
+    std::vector<Value> values;
+    values.reserve(args.size() - 3);
+    for (size_t i = 3; i < args.size(); ++i) {
+      DCY_ASSIGN_OR_RETURN(Value v, AsValue(args[i]));
+      values.push_back(std::move(v));
+    }
+    auto token = ctx.writer->BufferColumn(schema + "." + table, column, std::move(values));
+    if (!token.ok()) return token.status();
+    return Datum(token.value());
+  });
+
+  // sql.wcommit(schema, table, nrows, tokens...) -> rows inserted. Commits
+  // every buffered column of the table as one versioned write; the token
+  // args exist purely as dataflow edges from the sql.wappend instructions.
+  reg.Register("sql.wcommit", [](Context& ctx, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() < 3) return WrongArgs("sql.wcommit(schema,table,nrows,tokens...)");
+    if (ctx.writer == nullptr) {
+      return Status::FailedPrecondition("no write support in this execution context");
+    }
+    DCY_ASSIGN_OR_RETURN(std::string schema, AsStr(args[0]));
+    DCY_ASSIGN_OR_RETURN(std::string table, AsStr(args[1]));
+    DCY_ASSIGN_OR_RETURN(int64_t nrows, AsInt(args[2]));
+    auto rows = ctx.writer->CommitInsert(schema + "." + table, nrows);
+    if (!rows.ok()) return rows.status();
+    return Datum(rows.value());
+  });
+
+  // sql.wdelete(schema, table, positions) -> rows deleted. `positions` is a
+  // mirror BAT of qualifying offsets into the query-snapshot view (the same
+  // shape the predicate machinery produces for selections).
+  reg.Register("sql.wdelete", [](Context& ctx, std::vector<Datum>& args) -> Result<Datum> {
+    if (args.size() != 3) return WrongArgs("sql.wdelete(schema,table,positions)");
+    if (ctx.writer == nullptr) {
+      return Status::FailedPrecondition("no write support in this execution context");
+    }
+    DCY_ASSIGN_OR_RETURN(std::string schema, AsStr(args[0]));
+    DCY_ASSIGN_OR_RETURN(std::string table, AsStr(args[1]));
+    DCY_ASSIGN_OR_RETURN(BatPtr positions, AsBat(args[2]));
+    auto rows = ctx.writer->DeleteAt(schema + "." + table, positions);
+    if (!rows.ok()) return rows.status();
+    return Datum(rows.value());
+  });
+
   return reg;
 }
 

@@ -86,10 +86,37 @@ class DcHooks {
   virtual Status Unpin(const Datum& pinned) = 0;
 };
 
+/// \brief The write-path integration surface (ISSUE-9): the three builtins
+/// SQL INSERT/DELETE compile to. The live runtime implements this against
+/// the cluster WriteLog; executions without one reject writes with
+/// FailedPrecondition. Implementations must be safe for concurrent calls
+/// (dataflow workers buffer columns in parallel).
+class WriteHooks {
+ public:
+  virtual ~WriteHooks() = default;
+
+  /// sql.wappend(schema, table, column, v...): buffers one column of an
+  /// INSERT statement. Returns a dataflow token chaining into sql.wcommit.
+  virtual Result<int64_t> BufferColumn(const std::string& qualified_table,
+                                       const std::string& column,
+                                       std::vector<bat::Value> values) = 0;
+  /// sql.wcommit(schema, table, nrows, tokens...): atomically commits every
+  /// buffered column of `qualified_table` as one versioned write. Returns
+  /// the number of rows inserted.
+  virtual Result<int64_t> CommitInsert(const std::string& qualified_table,
+                                       int64_t expected_rows) = 0;
+  /// sql.wdelete(schema, table, positions): deletes the rows at the given
+  /// positions (a mirror BAT of qualifying offsets into the query-snapshot
+  /// view). Returns the number of rows deleted.
+  virtual Result<int64_t> DeleteAt(const std::string& qualified_table,
+                                   const bat::BatPtr& positions) = 0;
+};
+
 /// \brief Everything builtins may touch during execution.
 struct Context {
   bat::FragmentSource* catalog = nullptr;  ///< local persistent BATs (sql.bind)
   DcHooks* dc = nullptr;               ///< ring integration; null = local-only
+  WriteHooks* writer = nullptr;        ///< write path; null = read-only
   std::ostream* out = nullptr;         ///< io.stdout sink (null = discard)
   ExportSink* exported = nullptr;      ///< typed result capture (null = off)
 };

@@ -20,6 +20,25 @@ namespace {
 constexpr uint32_t kOpBat = 1;
 constexpr uint32_t kOpRequest = 2;
 constexpr uint32_t kOpCtrl = 3;
+constexpr uint32_t kOpDelta = 4;
+
+/// Envelope + routing header of a circulating delta frame (ISSUE-9): the
+/// payload is one write::SerializeDelta wire image. Deltas ride the data
+/// channel and share its go-back-N sequence space with BAT frames, so loss,
+/// reordering, and corruption are handled by the same hop machinery. Padded
+/// to sizeof(net::DataFrame): the drain loop's coalesced-ACK scan filters on
+/// that size, and the envelope sits at offset 0 in both frames.
+struct DeltaFrame {
+  net::FrameHeader frame;
+  uint32_t fragment = 0;  ///< base fragment the delta applies to
+  uint32_t origin = 0;    ///< committing node; circulation ends back there
+  uint64_t version = 0;   ///< commit version (purged once folded into a base)
+  uint32_t hops = 0;      ///< hops travelled (orphan bound when origin dies)
+  uint32_t reserved = 0;
+  uint64_t pad[2] = {0, 0};
+};
+static_assert(sizeof(DeltaFrame) == sizeof(net::DataFrame),
+              "DeltaFrame must match DataFrame for the shared ACK scan");
 
 // Headers ride in the channel's fixed-capacity inline MetaBlob — no
 // per-message std::string allocation on either side of a hop. Since this PR
@@ -51,6 +70,22 @@ uint32_t HeaderCrc(const core::BatHeader& h) {
   put(&h.copies, sizeof(h.copies));
   put(&h.hops, sizeof(h.hops));
   put(&h.cycles, sizeof(h.cycles));
+  return bat::Crc32(buf, off);
+}
+
+/// CRC over the per-hop mutable part of a delta frame (hops change per hop,
+/// so each hop re-wraps, exactly like BAT frames).
+uint32_t DeltaHeaderCrc(const DeltaFrame& df) {
+  unsigned char buf[24] = {};
+  size_t off = 0;
+  const auto put = [&](const void* p, size_t n) {
+    std::memcpy(buf + off, p, n);
+    off += n;
+  };
+  put(&df.fragment, sizeof(df.fragment));
+  put(&df.origin, sizeof(df.origin));
+  put(&df.version, sizeof(df.version));
+  put(&df.hops, sizeof(df.hops));
   return bat::Crc32(buf, off);
 }
 
@@ -319,6 +354,7 @@ class RingCluster::Node final : public core::DcEnv {
     decoded_.clear();
     decoded_in_store_.clear();
     decode_rejected_.clear();
+    delta_cache_.clear();
     current_payload_ = nullptr;
     current_payload_crc_ = 0;
     data_in_->Reopen();
@@ -505,10 +541,14 @@ class RingCluster::Node final : public core::DcEnv {
     uint32_t payload_crc = 0;
     if (is_load) {
       auto b = store_.GetById(header.bat_id);
-      if (!b.ok() && b.status().code() == StatusCode::kCorruption) {
-        // The spilled image of an owned fragment rotted on disk; the store
-        // already deleted it. Re-materialize from the cluster registry (the
-        // ring's durable copy) and retry once.
+      if (!b.ok() && (b.status().code() == StatusCode::kCorruption ||
+                      b.status().code() == StatusCode::kNotFound)) {
+        // Corruption: the spilled image of an owned fragment rotted on disk
+        // and the store already deleted it. NotFound: this node became the
+        // owner through a re-homing while its only registered copy was a
+        // transient decoded-cache entry that the cache upkeep has since
+        // dropped. Either way the cluster registry still holds the durable
+        // payload — re-materialize from it and retry once.
         if (cluster_->RefetchFragment(header.bat_id, this).ok()) {
           b = store_.GetById(header.bat_id);
         }
@@ -616,6 +656,28 @@ class RingCluster::Node final : public core::DcEnv {
     DCY_LOG(kWarn) << "node " << id_ << ": " << pinned.status().message();
     DCY_RETURN_NOT_OK(cluster_->RefetchFragment(bat, this));
     return store_.Pin(bat, deadline);
+  }
+
+  /// Launches one committed delta onto the ring. Runs on a query-runner
+  /// thread: the serialization happens here (pooled frame, shared by every
+  /// hop zero-copy), only the send is posted to the service thread.
+  void PublishDelta(const write::DeltaPtr& d) {
+    auto frame = frame_pool_.Acquire(write::EncodedDeltaSize(*d));
+    write::SerializeDeltaInto(*d, frame.get());
+    const uint32_t payload_crc = bat::Crc32(frame->data(), frame->size());
+    rdma::Buffer payload = std::move(frame);
+    Post([this, fragment = d->fragment, version = d->version,
+          payload = std::move(payload), payload_crc] {
+      SendDeltaMsg(fragment, version, /*origin=*/id_, /*hops=*/0, payload, payload_crc);
+    });
+  }
+
+  /// Delta copies this node holds from ring circulation (service-thread
+  /// state; call via PostSync).
+  size_t cached_delta_count() const {
+    size_t n = 0;
+    for (const auto& [_, deltas] : delta_cache_) n += deltas.size();
+    return n;
   }
 
  private:
@@ -789,6 +851,84 @@ class RingCluster::Node final : public core::DcEnv {
     TrimDecoded();
   }
 
+  /// Sends one delta frame clockwise (service thread only). Shares the data
+  /// sender's sequence space, so ACK/NACK/retransmission come for free.
+  void SendDeltaMsg(core::BatId fragment, uint64_t version, core::NodeId origin,
+                    uint32_t hops, rdma::Buffer payload, uint32_t payload_crc) {
+    Node* succ = successor_.load(std::memory_order_acquire);
+    if (succ == nullptr || succ == this) return;
+    DeltaFrame df;
+    df.fragment = fragment;
+    df.origin = origin;
+    df.version = version;
+    df.hops = hops;
+    df.frame = data_out_.NextHeader(DeltaHeaderCrc(df) ^ payload_crc);
+    const rdma::MetaBlob meta = rdma::MetaBlob::Of(df);
+    if (succ->data_in()->Send(kOpDelta, meta, payload, id_)) {
+      data_out_.Track(kOpDelta, meta, std::move(payload), df.frame.seq, SteadyNowNs());
+    }
+  }
+
+  void HandleDeltaFrame(const rdma::Message& m) {
+    if (m.meta.size() < sizeof(DeltaFrame)) return;
+    const auto df = m.meta.As<DeltaFrame>();
+    if (!ValidFrame(df.frame, &data_rx_)) return;
+    const uint32_t header_crc = DeltaHeaderCrc(df);
+    bool crc_ok = m.payload != nullptr;
+    if (crc_ok && cluster_->options_.resilience.link.verify_crc) {
+      crc_ok = (header_crc ^ bat::Crc32(m.payload->data(), m.payload->size()) ^
+                net::EnvelopeCrc(df.frame)) == df.frame.payload_crc;
+    }
+    const auto outcome = data_rx_.OnFrame(df.frame, crc_ok);
+    if (outcome.send_nack) {
+      SendNack(df.frame.sender, net::kChData, outcome.nack_epoch, outcome.nack_seq);
+    }
+    if (outcome.verdict != net::ReliableReceiver::Verdict::kDeliver) return;
+    NoteHeardFrom(df.frame.sender);
+
+    // Full lap: the origin already holds the commit in the write log.
+    if (df.origin == id_) return;
+    write::WriteLog& log = cluster_->write_log_;
+    // Stale: the compactor folded this version into a base already.
+    if (df.version <= log.BaseVersionOf(df.fragment)) return;
+    auto decoded = write::DeserializeDelta(*m.payload);
+    if (!decoded.ok()) {
+      // Hop CRC passed but the delta encoding itself is bad (corrupted at
+      // the source or a disabled-CRC run): count it, never apply garbage.
+      ++hop_.decode_failures;
+      log.NoteDeltaDecodeFailure();
+      return;
+    }
+    delta_cache_[df.fragment].push_back(std::move(decoded).value());
+    // Forward until every node held a copy. Termination is reaching the
+    // origin (above); the hop bound only reaps frames whose origin died.
+    const uint32_t hop_bound = 2 * cluster_->options_.num_nodes + 4;
+    if (df.hops + 1 >= hop_bound) {
+      ++hop_.orphan_frames_dropped;
+      return;
+    }
+    const uint32_t payload_crc =
+        df.frame.payload_crc ^ net::EnvelopeCrc(df.frame) ^ header_crc;
+    SendDeltaMsg(df.fragment, df.version, df.origin, df.hops + 1, m.payload,
+                 payload_crc);
+    log.NoteDeltaForwarded(m.payload->size());
+  }
+
+  /// Drops cached delta copies the compactor has folded into new bases
+  /// (their versions are <= the fragment's base version). Maintenance tick.
+  void TrimDeltaCache() {
+    for (auto it = delta_cache_.begin(); it != delta_cache_.end();) {
+      const uint64_t base = cluster_->write_log_.BaseVersionOf(it->first);
+      auto& deltas = it->second;
+      deltas.erase(std::remove_if(deltas.begin(), deltas.end(),
+                                  [base](const write::DeltaPtr& d) {
+                                    return d->version <= base;
+                                  }),
+                   deltas.end());
+      it = deltas.empty() ? delta_cache_.erase(it) : std::next(it);
+    }
+  }
+
   /// Sends one coalesced cumulative ACK per distinct sender in a drained
   /// batch — O(batch) frames cost O(senders) ACK messages.
   template <typename FrameT>
@@ -905,7 +1045,13 @@ class RingCluster::Node final : public core::DcEnv {
       }
       drain_.clear();
       if (data_in_->TryReceiveAll(&drain_) > 0) {
-        for (rdma::Message& m : drain_) HandleDataFrame(m);
+        for (rdma::Message& m : drain_) {
+          if (m.opcode == kOpDelta) {
+            HandleDeltaFrame(m);
+          } else {
+            HandleDataFrame(m);
+          }
+        }
         AckDrainedBatch<net::DataFrame>(drain_, net::kChData, data_rx_);
         drain_.clear();  // release payload references promptly
         did_work = true;
@@ -927,6 +1073,7 @@ class RingCluster::Node final : public core::DcEnv {
       if (now >= next_maintenance) {
         dc_->OnMaintenanceTimer();
         SweepAdmissionQueue();
+        TrimDeltaCache();
         next_maintenance = now + node_opts.maintenance_period;
         did_work = true;
       }
@@ -1048,6 +1195,9 @@ class RingCluster::Node final : public core::DcEnv {
   std::unordered_set<core::BatId> decoded_in_store_;
   /// Deliveries the store refused under budget; consumed by DeliverToQuery.
   std::unordered_map<core::BatId, Status> decode_rejected_;
+  /// Delta copies received from ring circulation, per fragment (service
+  /// thread only); trimmed once the compactor folds past their versions.
+  std::unordered_map<core::BatId, std::vector<write::DeltaPtr>> delta_cache_;
 
   std::mutex waiters_mu_;
   std::map<std::pair<core::QueryId, core::BatId>, std::promise<Result<bat::BatPtr>>>
@@ -1063,8 +1213,9 @@ namespace {
 class SessionHooks final : public mal::DcHooks {
  public:
   SessionHooks(RingCluster* cluster, RingCluster::Node* node, core::QueryId query,
-               const mal::CancelToken* cancel)
-      : cluster_(cluster), node_(node), query_(query), cancel_(cancel) {}
+               const mal::CancelToken* cancel, uint64_t snapshot)
+      : cluster_(cluster), node_(node), query_(query), cancel_(cancel),
+        snapshot_(snapshot) {}
 
   ~SessionHooks() override {
     // Release everything the plan failed to unpin (aborted / cancelled /
@@ -1181,6 +1332,16 @@ class SessionHooks final : public mal::DcHooks {
       if (!delivered.ok()) return delivered.status();
       value = *delivered;
     }
+    // Versioned read (ISSUE-9): resolve the pinned payload into this query's
+    // snapshot view. For unwritten tables this is one relaxed atomic and
+    // returns `value` untouched; for written tables the log serves a merged
+    // view with fresh columns (base + applicable deltas), ignoring whatever
+    // stale base version the ring copy happened to carry.
+    {
+      auto view = cluster_->write_log().ResolveView(bat, value, snapshot_);
+      if (!view.ok()) return view.status();
+      value = std::move(view).value();
+    }
     {
       // Dataflow workers pin concurrently; the bookkeeping maps need a lock.
       std::lock_guard<std::mutex> lock(mu_);
@@ -1230,6 +1391,7 @@ class SessionHooks final : public mal::DcHooks {
   RingCluster::Node* node_;
   core::QueryId query_;
   const mal::CancelToken* cancel_;
+  const uint64_t snapshot_;  ///< commit version every pin resolves at
   std::atomic<int64_t> blocked_ns_{0};
   std::mutex mu_;  ///< guards pinned_/by_pointer_/requested_ across workers
   std::unordered_map<core::BatId, bat::BatPtr> pinned_;
@@ -1238,6 +1400,96 @@ class SessionHooks final : public mal::DcHooks {
   /// Buffer-frame pins this query holds in the node's store (eviction
   /// protection); released on Unpin or teardown.
   std::unordered_map<core::BatId, uint32_t> store_pins_;
+};
+
+/// The sql.wappend / sql.wcommit / sql.wdelete hooks of one query execution:
+/// columns buffer locally, commits go to the cluster write log (the single
+/// commit authority), and the published deltas are launched onto the ring
+/// from this query's node. Thread-safe: an INSERT plan's wappend instructions
+/// run on concurrent dataflow workers.
+class QueryWriteHooks final : public mal::WriteHooks {
+ public:
+  QueryWriteHooks(RingCluster* cluster, RingCluster::Node* node, uint64_t snapshot)
+      : cluster_(cluster), node_(node), snapshot_(snapshot) {}
+
+  Result<int64_t> BufferColumn(const std::string& table, const std::string& column,
+                               std::vector<bat::Value> values) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& cols = staged_[table];
+    for (const auto& [name, unused] : cols) {
+      if (name == column) {
+        return Status::InvalidArgument("column \"" + column +
+                                       "\" buffered twice in one INSERT");
+      }
+    }
+    cols.emplace_back(column, std::move(values));
+    return static_cast<int64_t>(cols.size());
+  }
+
+  Result<int64_t> CommitInsert(const std::string& table, int64_t expected_rows) override {
+    std::vector<std::pair<std::string, std::vector<bat::Value>>> cols;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = staged_.find(table);
+      if (it == staged_.end()) {
+        return Status::FailedPrecondition("sql.wcommit without buffered columns for " +
+                                          table);
+      }
+      cols = std::move(it->second);
+      staged_.erase(it);
+    }
+    for (const auto& [name, values] : cols) {
+      if (static_cast<int64_t>(values.size()) != expected_rows) {
+        return Status::InvalidArgument(
+            "column \"" + name + "\" buffered " + std::to_string(values.size()) +
+            " value(s), statement inserts " + std::to_string(expected_rows) + " row(s)");
+      }
+    }
+    DCY_ASSIGN_OR_RETURN(write::CommitResult cr,
+                         cluster_->write_log().CommitInsert(table, cols));
+    Publish(cr);
+    return cr.rows;
+  }
+
+  Result<int64_t> DeleteAt(const std::string& table,
+                           const bat::BatPtr& positions) override {
+    // The mirror BAT's tail enumerates qualifying offsets into this query's
+    // snapshot view — exactly the coordinate space CommitDeleteAt expects.
+    const bat::Column& tail = *positions->tail();
+    std::vector<uint64_t> offsets;
+    offsets.reserve(tail.size());
+    for (size_t i = 0; i < tail.size(); ++i) {
+      offsets.push_back(static_cast<uint64_t>(tail.GetInt64(i)));
+    }
+    DCY_ASSIGN_OR_RETURN(write::CommitResult cr,
+                         cluster_->write_log().CommitDeleteAt(table, offsets, snapshot_));
+    Publish(cr);
+    return cr.rows;
+  }
+
+  /// Highest version this query committed (0 = read-only).
+  uint64_t commit_version() const {
+    return commit_version_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Publish(const write::CommitResult& cr) {
+    uint64_t seen = commit_version_.load(std::memory_order_relaxed);
+    while (seen < cr.version &&
+           !commit_version_.compare_exchange_weak(seen, cr.version,
+                                                  std::memory_order_relaxed)) {
+    }
+    for (const auto& d : cr.published) node_->PublishDelta(d);
+  }
+
+  RingCluster* cluster_;
+  RingCluster::Node* node_;
+  const uint64_t snapshot_;
+  std::atomic<uint64_t> commit_version_{0};
+  std::mutex mu_;
+  /// Per table: wappend-buffered columns awaiting the statement's wcommit.
+  std::map<std::string, std::vector<std::pair<std::string, std::vector<bat::Value>>>>
+      staged_;
 };
 
 }  // namespace
@@ -1312,7 +1564,22 @@ Status RingCluster::LoadBat(core::NodeId owner, const std::string& name, bat::Ba
     directory_[name] = id;
     sizes_[id] = size;
     column_types_[name] = tail_type;
-    fragments_[id] = FragmentInfo{name, owner, size, std::move(bat)};
+    fragments_[id] = FragmentInfo{name, owner, size, bat};
+  }
+  // Register the fragment with the write log (version 0 base). Rejects a
+  // column whose row count disagrees with its table's other columns — undo
+  // the registration so a failed load leaves no half-loaded fragment.
+  const size_t last_dot = name.rfind('.');
+  Status write_reg = write_log_.RegisterFragment(id, name.substr(0, last_dot),
+                                                 name.substr(last_dot + 1), bat);
+  if (!write_reg.ok()) {
+    std::lock_guard<std::mutex> lock(directory_mu_);
+    nodes_[owner]->store().Drop(id);
+    directory_.erase(name);
+    sizes_.erase(id);
+    column_types_.erase(name);
+    fragments_.erase(id);
+    return write_reg;
   }
   // Outside directory_mu_: the service thread takes that lock in
   // FragmentFailureStatus, so holding it across a PostSync would deadlock.
@@ -1347,11 +1614,35 @@ void RingCluster::Start() {
   // cluster per process.
   exec::SetExecPolicy(options_.exec_policy);
   for (auto& node : nodes_) node->Start();
+  // Background compactors, one per node, owned by the cluster — CrashNode
+  // kills a node's threads without touching these, so a fold in flight on a
+  // dying node is abandoned by its commit guard, never by a join.
+  if (options_.compaction.enable) {
+    {
+      std::lock_guard<std::mutex> lock(compact_mu_);
+      compactors_stop_ = false;
+    }
+    compactors_.reserve(options_.num_nodes);
+    for (uint32_t i = 0; i < options_.num_nodes; ++i) {
+      compactors_.emplace_back([this, i] { CompactorLoop(i); });
+    }
+  }
 }
 
 void RingCluster::Stop() {
   if (!started_.exchange(false)) return;
-  // Runner pools first (running queries unwind through the still-live
+  // Compactors first: a fold republishes through node stores and must not
+  // race the teardown below.
+  {
+    std::lock_guard<std::mutex> lock(compact_mu_);
+    compactors_stop_ = true;
+  }
+  compact_cv_.notify_all();
+  for (auto& t : compactors_) {
+    if (t.joinable()) t.join();
+  }
+  compactors_.clear();
+  // Runner pools next (running queries unwind through the still-live
   // service threads), then the protocol layer. Crashed nodes are already
   // quiescent; both calls are no-ops for them.
   for (auto& node : nodes_) {
@@ -1359,6 +1650,75 @@ void RingCluster::Stop() {
   }
   for (auto& node : nodes_) {
     if (!node->crashed()) node->Stop();
+  }
+}
+
+void RingCluster::CompactorLoop(core::NodeId node) {
+  const auto interval =
+      std::chrono::nanoseconds(std::max<SimTime>(1, options_.compaction.interval));
+  std::unique_lock<std::mutex> lock(compact_mu_);
+  while (!compactors_stop_) {
+    compact_cv_.wait_for(lock, interval);
+    if (compactors_stop_) return;
+    if (!IsNodeAlive(node)) continue;  // a dead node's compactor idles
+    lock.unlock();
+    CompactionPass(node);
+    lock.lock();
+  }
+}
+
+void RingCluster::CompactionPass(core::NodeId node) {
+  const auto ready = write_log_.TablesReadyToFold(options_.compaction);
+  for (const auto& [table, first_fragment] : ready) {
+    // A table is folded by the node owning its first fragment; after a
+    // re-homing the heir's compactor naturally takes over.
+    core::NodeId owner = core::kInvalidNode;
+    {
+      std::lock_guard<std::mutex> lock(directory_mu_);
+      auto it = fragments_.find(first_fragment);
+      if (it == fragments_.end()) continue;
+      owner = it->second.owner;
+    }
+    if (owner != node) continue;
+    auto folded =
+        write_log_.FoldTable(table, [this, node] { return IsNodeAlive(node); });
+    if (!folded.ok()) {
+      // Aborted: this node died mid-fold (the guard rejected the commit and
+      // the log stands untouched) or a concurrent fold won. Retry later.
+      continue;
+    }
+    if (folded->rebased.empty()) continue;
+    // Republish every rebased fragment under the new base version: the
+    // cluster registry first (the durable copy re-homing and refetch read),
+    // then the owner's store, so subsequent pins resolve the new base.
+    Node* owner_node = nodes_[node].get();
+    for (auto& [id, fname, base] : folded->rebased) {
+      const uint64_t bytes = base->ByteSize();
+      {
+        std::lock_guard<std::mutex> lock(directory_mu_);
+        auto it = fragments_.find(id);
+        if (it != fragments_.end()) {
+          it->second.loader = base;
+          it->second.size = bytes;
+        }
+        sizes_[id] = bytes;
+      }
+      if (!IsNodeAlive(node)) break;  // crashed between commit and republish
+      owner_node->store().Drop(id);
+      Status admitted = owner_node->store().Admit(id, fname, base, /*durable=*/true,
+                                                  /*initial_pins=*/0,
+                                                  std::chrono::milliseconds(10000),
+                                                  folded->new_version);
+      if (!admitted.ok()) {
+        // The registry still carries the folded payload; the next pin
+        // refetches it from there.
+        DCY_LOG(kWarn) << "republish of folded fragment " << fname
+                       << " failed: " << admitted.ToString();
+      }
+    }
+    DCY_LOG(kInfo) << "node " << node << " folded " << folded->deltas_folded
+                   << " delta(s) of " << table << " into base version "
+                   << folded->new_version;
   }
 }
 
@@ -1470,7 +1830,8 @@ void RingCluster::HandleDeadFragments(core::NodeId suspect, core::NodeId heir) {
       // death); AlreadyExists just means the payload is still registered.
       Status reg = heir_node->store().Admit(r.id, r.name, r.loader, /*durable=*/true,
                                             /*initial_pins=*/0,
-                                            std::chrono::milliseconds(5000));
+                                            std::chrono::milliseconds(5000),
+                                            write_log_.BaseVersionOf(r.id));
       if (!reg.ok() && reg.code() != StatusCode::kAlreadyExists) {
         DCY_LOG(kError) << "re-home of fragment " << r.name << " failed: "
                         << reg.ToString();
@@ -1511,7 +1872,8 @@ Status RingCluster::RefetchFragment(core::BatId bat, Node* node) {
   }
   Status admitted = node->store().Admit(bat, name, loader, /*durable=*/true,
                                         /*initial_pins=*/0,
-                                        std::chrono::milliseconds(5000));
+                                        std::chrono::milliseconds(5000),
+                                        write_log_.BaseVersionOf(bat));
   if (admitted.code() == StatusCode::kAlreadyExists) return Status::OK();
   if (admitted.ok()) node->store().NoteRefetched();
   return admitted;
@@ -1582,7 +1944,8 @@ Status RingCluster::RestartNode(core::NodeId node) {
   for (const auto& r : refetches) {
     Status refetched = comer->store().Admit(r.id, r.name, r.loader, /*durable=*/true,
                                             /*initial_pins=*/0,
-                                            std::chrono::milliseconds(5000));
+                                            std::chrono::milliseconds(5000),
+                                            write_log_.BaseVersionOf(r.id));
     if (refetched.ok()) {
       comer->store().NoteRefetched();
     } else if (refetched.code() != StatusCode::kAlreadyExists) {
@@ -1728,11 +2091,30 @@ Result<QueryResult> RingCluster::RunQuery(Node* node, const PreparedQuery& plan,
   QueryResult qr;
   qr.query_id = state->id;
 
+  // Version-at-prepare (ISSUE-9): pin one commit version for the whole
+  // execution, so every fragment view this query resolves belongs to the
+  // same snapshot and folds cannot slide bases out from under it.
+  uint64_t snapshot = 0;
+  if (!options.snapshot_version.has_value()) {
+    snapshot = write_log_.AcquireSnapshot();
+  } else {
+    DCY_ASSIGN_OR_RETURN(snapshot,
+                         write_log_.AcquireSnapshotAt(*options.snapshot_version));
+  }
+  struct SnapshotRelease {
+    write::WriteLog* log;
+    uint64_t v;
+    ~SnapshotRelease() { log->ReleaseSnapshot(v); }
+  } snapshot_release{&write_log_, snapshot};
+  qr.snapshot_version = snapshot;
+
   mal::ExportSink exported;
-  SessionHooks hooks(this, node, state->id, &state->cancel);
+  SessionHooks hooks(this, node, state->id, &state->cancel, snapshot);
+  QueryWriteHooks write_hooks(this, node, snapshot);
   mal::Context ctx;
   ctx.catalog = &node->store();
   ctx.dc = &hooks;
+  ctx.writer = &write_hooks;
   ctx.out = nullptr;  // results are captured typed, not printed
   ctx.exported = &exported;
 
@@ -1746,6 +2128,7 @@ Result<QueryResult> RingCluster::RunQuery(Node* node, const PreparedQuery& plan,
   auto result = interp.Execute(plan.program(), eopts);
   qr.timing.exec_seconds = SecondsSince(start);
   qr.timing.pin_blocked_seconds = hooks.blocked_seconds();
+  qr.commit_version = write_hooks.commit_version();
   if (!result.ok()) return result.status();
 
   mal::ResultSetPtr table;

@@ -39,6 +39,7 @@
 #include "runtime/session.h"
 #include "sql/schema.h"
 #include "storage/fragment_store.h"
+#include "write/write_log.h"
 
 namespace dcy::runtime {
 
@@ -122,6 +123,10 @@ class RingCluster {
     /// the ring (drop/delay/duplicate/corrupt per the injector's schedule).
     /// Not owned; must outlive the cluster. nullptr = fault-free fabric.
     rdma::FaultInjector* fault = nullptr;
+    /// Background compaction of pending write deltas into new base
+    /// fragments (write/write_log.h). One compactor thread per node; a
+    /// table is folded by the node owning its first fragment.
+    write::CompactionOptions compaction;
   };
 
   /// Shared plan-cache counters: `misses` counts actual parse + DcOptimize
@@ -185,6 +190,30 @@ class RingCluster {
   /// types, keyed by qualified name). Snapshot: BATs loaded later are not
   /// reflected in previously returned schemas.
   sql::Schema SqlSchema() const;
+
+  // ---- writes (ISSUE-9: versioned fragments + circulating deltas) ----------
+
+  /// The cluster write log: commit authority for INSERT/DELETE, versioned
+  /// fragment views, and the fold machinery. Exposed for tests and tools
+  /// (SetFoldHookForTest, TableVersions); queries go through SQL/MAL.
+  write::WriteLog& write_log() { return write_log_; }
+  const write::WriteLog& write_log() const { return write_log_; }
+
+  /// Write-subsystem counters (deltas published/merged/folded, ring
+  /// circulation, compactions).
+  write::WriteMetrics Writes() const { return write_log_.Metrics(); }
+  /// Per-table base/current versions and pending-delta gauges (dcsql
+  /// \tables).
+  std::vector<write::TableVersionInfo> TableVersions() const {
+    return write_log_.TableVersions();
+  }
+
+  /// Pins the current commit version as a reader snapshot: folds never pass
+  /// it, so SubmitOptions::snapshot_version can replay reads at this version
+  /// indefinitely. Balance with UnpinWriteSnapshot.
+  uint64_t PinWriteSnapshot() { return write_log_.AcquireSnapshot(); }
+  void UnpinWriteSnapshot(uint64_t v) { write_log_.ReleaseSnapshot(v); }
+  uint64_t CurrentWriteVersion() const { return write_log_.CurrentVersion(); }
 
   // ---- fault tolerance ------------------------------------------------------
 
@@ -291,6 +320,13 @@ class RingCluster {
   core::NodeId NextAliveLocked(core::NodeId from) const;
   core::NodeId PrevAliveLocked(core::NodeId from) const;
 
+  /// One compactor sweep on behalf of `node`: folds every threshold-crossed
+  /// table whose first fragment `node` owns, then republishes the rebased
+  /// fragments under the new base version.
+  void CompactionPass(core::NodeId node);
+  /// Body of a node's background compactor thread.
+  void CompactorLoop(core::NodeId node);
+
   Options options_;
   /// True when the cluster created a private temp spill root (removed on
   /// destruction).
@@ -335,6 +371,18 @@ class RingCluster {
   std::unordered_map<std::string, PreparedQueryPtr> plan_cache_;
   std::deque<std::string> plan_cache_order_;  ///< insertion order (eviction)
   PlanCacheStats plan_cache_stats_;
+
+  // ---- the write subsystem --------------------------------------------------
+  /// Cluster-level commit log (thread-safe on its own mutex). Nodes hold
+  /// only circulating delta copies; the log is the correctness anchor.
+  write::WriteLog write_log_;
+  /// Background compactors, one per node, owned by the cluster (never by
+  /// the node threads: CrashNode must not join them). Started in Start(),
+  /// joined in Stop().
+  std::vector<std::thread> compactors_;
+  std::mutex compact_mu_;
+  std::condition_variable compact_cv_;
+  bool compactors_stop_ = false;  ///< guarded by compact_mu_
 };
 
 }  // namespace dcy::runtime

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -41,9 +42,11 @@ class RingCluster;
 /// \brief Source language of a query text handed to Prepare/Submit/Execute.
 enum class Language {
   kMAL,   ///< hand-written MAL, parsed by mal::ParseProgram
-  kSQL,   ///< a SELECT statement, compiled by sql::Compile against the
-          ///< schema of the BATs registered via RingCluster::LoadBat
-  kAuto,  ///< detect: texts whose first word is SELECT are SQL, else MAL
+  kSQL,   ///< a SQL statement (SELECT, INSERT, or DELETE), compiled by
+          ///< sql::Compile against the schema of the BATs registered via
+          ///< RingCluster::LoadBat
+  kAuto,  ///< detect: texts whose first word is SELECT, INSERT, or DELETE
+          ///< are SQL, else MAL
 };
 
 /// \brief Options for Prepare (and the string overloads of Submit/Execute,
@@ -138,6 +141,10 @@ struct QueryResult {
   uint64_t admitted_seq = 0;
   /// Submissions this result took under the RetryPolicy (1 = first try).
   uint32_t attempts = 1;
+  /// Commit version this query's reads resolved at (version-at-prepare).
+  uint64_t snapshot_version = 0;
+  /// Highest commit version this query produced; 0 for read-only queries.
+  uint64_t commit_version = 0;
 };
 
 /// \brief A parsed + DC-optimized plan, compiled once and immutable:
@@ -198,6 +205,11 @@ struct SubmitOptions {
   size_t plan_workers = 0;
   /// Transient-failure retry (Session::Execute only).
   RetryPolicy retry;
+  /// Read at this commit version instead of the latest (nullopt = latest).
+  /// The version must be pinned (RingCluster::PinWriteSnapshot) or be at
+  /// most the current version; a version the compactor already folded past
+  /// fails with FailedPrecondition (not retryable).
+  std::optional<uint64_t> snapshot_version;
 };
 
 namespace internal {

@@ -271,4 +271,133 @@ Result<AnalyzedQuery> Analyze(SelectStmt stmt, const Schema& schema,
   return a.Run();
 }
 
+// ---- writes (ISSUE-9) -------------------------------------------------------
+
+namespace {
+
+bool IsIntFamily(bat::ValType t) {
+  return t == bat::ValType::kOid || t == bat::ValType::kInt ||
+         t == bat::ValType::kLng || t == bat::ValType::kDate;
+}
+
+/// Checks one VALUES entry against its target column and returns the value
+/// coerced to the column's type family.
+Result<bat::Value> CoerceLiteral(const Expr& e, const Schema::Column& col,
+                                 const std::string& text, ParseError* err) {
+  if (e.kind != Expr::Kind::kLiteral) {
+    return ParseFail(err, ParseError::At(text, e.offset, e.ToString(),
+                                         "INSERT values must be literals"));
+  }
+  const bat::Value& v = e.literal;
+  const auto mismatch = [&]() {
+    return ParseFail(err, ParseError::At(
+                              text, e.offset, e.ToString(),
+                              std::string("value of type ") + bat::ValTypeName(v.type) +
+                                  " for column \"" + col.name + "\" of type " +
+                                  bat::ValTypeName(col.type)));
+  };
+  switch (col.type) {
+    case bat::ValType::kStr:
+      if (v.type != bat::ValType::kStr) return mismatch();
+      return v;
+    case bat::ValType::kDbl:
+      if (v.type == bat::ValType::kDbl) return v;
+      if (IsIntFamily(v.type)) return bat::Value::MakeDbl(static_cast<double>(v.i));
+      return mismatch();
+    default:  // int family: oid, int, bigint, date
+      if (!IsIntFamily(v.type)) return mismatch();
+      return v;
+  }
+}
+
+}  // namespace
+
+Result<AnalyzedInsert> AnalyzeInsert(InsertStmt stmt, const Schema& schema,
+                                     const std::string& text, ParseError* error) {
+  const auto fail = [&](size_t offset, const std::string& token, std::string message) {
+    return ParseFail(error, ParseError::At(text, offset, token, std::move(message)));
+  };
+  if (!schema.HasTable(stmt.table)) {
+    return fail(stmt.table_offset, stmt.table, "unknown table \"" + stmt.table + "\"");
+  }
+  AnalyzedInsert out;
+  out.table = stmt.table;
+  out.columns = schema.TableColumns(stmt.table);
+
+  // Map each table column to its position in the VALUES rows. An explicit
+  // column list must cover the table exactly (no defaults or NULLs exist).
+  std::vector<size_t> source(out.columns.size());
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < source.size(); ++i) source[i] = i;
+  } else {
+    std::vector<bool> claimed(out.columns.size(), false);
+    if (stmt.columns.size() != out.columns.size()) {
+      return fail(stmt.table_offset, stmt.table,
+                  "INSERT must cover every column of \"" + stmt.table + "\" (" +
+                      std::to_string(out.columns.size()) + " columns, got " +
+                      std::to_string(stmt.columns.size()) + ")");
+    }
+    for (size_t j = 0; j < stmt.columns.size(); ++j) {
+      bool found = false;
+      for (size_t i = 0; i < out.columns.size(); ++i) {
+        if (out.columns[i].name != stmt.columns[j]) continue;
+        if (claimed[i]) {
+          return fail(stmt.column_offsets[j], stmt.columns[j],
+                      "duplicate column \"" + stmt.columns[j] + "\" in INSERT");
+        }
+        claimed[i] = true;
+        source[i] = j;
+        found = true;
+        break;
+      }
+      if (!found) {
+        return fail(stmt.column_offsets[j], stmt.columns[j],
+                    "unknown column \"" + stmt.columns[j] + "\" in table \"" +
+                        stmt.table + "\"");
+      }
+    }
+  }
+
+  if (stmt.rows.empty()) {
+    return fail(stmt.table_offset, stmt.table, "INSERT requires at least one VALUES row");
+  }
+  out.values.resize(out.columns.size());
+  for (const auto& row : stmt.rows) {
+    if (row.size() != out.columns.size()) {
+      const size_t off = row.empty() ? stmt.table_offset : row[0]->offset;
+      return fail(off, stmt.table,
+                  "VALUES row has " + std::to_string(row.size()) + " values, expected " +
+                      std::to_string(out.columns.size()));
+    }
+    for (size_t i = 0; i < out.columns.size(); ++i) {
+      DCY_ASSIGN_OR_RETURN(bat::Value v,
+                           CoerceLiteral(*row[source[i]], out.columns[i], text, error));
+      out.values[i].push_back(std::move(v));
+    }
+  }
+  out.rows = static_cast<int64_t>(stmt.rows.size());
+  return out;
+}
+
+Result<AnalyzedDelete> AnalyzeDelete(DeleteStmt stmt, const Schema& schema,
+                                     const std::string& text, ParseError* error) {
+  // Reuse the SELECT analyzer through a single-table shell statement.
+  SelectStmt shell;
+  TableRef ref;
+  ref.table = stmt.table;
+  ref.alias = stmt.alias.empty() ? stmt.table : stmt.alias;
+  ref.offset = stmt.table_offset;
+  shell.from.push_back(std::move(ref));
+  shell.where = std::move(stmt.where);
+
+  Analyzer a{schema, text, error, shell};
+  DCY_RETURN_NOT_OK(a.ResolveFrom());
+  if (shell.where != nullptr) DCY_RETURN_NOT_OK(a.CheckPredicate(*shell.where));
+
+  stmt.where = std::move(shell.where);
+  AnalyzedDelete out;
+  out.stmt = std::move(stmt);
+  return out;
+}
+
 }  // namespace dcy::sql

@@ -32,4 +32,33 @@ struct AnalyzedQuery {
 Result<AnalyzedQuery> Analyze(SelectStmt stmt, const Schema& schema,
                               const std::string& text, ParseError* error = nullptr);
 
+/// A validated INSERT: values transposed per column, coerced to the column
+/// types, covering every table column (ISSUE-9 write path).
+struct AnalyzedInsert {
+  std::string table;
+  /// Every table column, in schema registration order.
+  std::vector<Schema::Column> columns;
+  /// Aligned with `columns`: one literal per row, coerced to the column type.
+  std::vector<std::vector<bat::Value>> values;
+  int64_t rows = 0;
+};
+
+/// Validates an INSERT against the schema: the table exists, an explicit
+/// column list covers every table column exactly once, rows are rectangular,
+/// and every value is a literal of (or coercible to) the column type.
+Result<AnalyzedInsert> AnalyzeInsert(InsertStmt stmt, const Schema& schema,
+                                     const std::string& text,
+                                     ParseError* error = nullptr);
+
+/// A validated DELETE: the WHERE tree is bound to the target table.
+struct AnalyzedDelete {
+  DeleteStmt stmt;  ///< annotated in place by the analyzer
+};
+
+/// Validates a DELETE: the table exists and the WHERE predicate (if any)
+/// type-checks against it (aggregates are rejected, as in SELECT's WHERE).
+Result<AnalyzedDelete> AnalyzeDelete(DeleteStmt stmt, const Schema& schema,
+                                     const std::string& text,
+                                     ParseError* error = nullptr);
+
 }  // namespace dcy::sql

@@ -1,8 +1,8 @@
 // Typed AST for the SQL dialect the front end accepts (ISSUE: select /
 // project with arithmetic and comparisons, AND/OR, inner joins, group-by
-// with sum/count/avg/min/max, order-by, limit). The parser builds it; the
-// analyzer annotates it in place (resolved table, value type) before the
-// plan builder lowers it to MAL.
+// with sum/count/avg/min/max, order-by, limit; ISSUE-9 adds INSERT and
+// DELETE). The parser builds it; the analyzer annotates it in place
+// (resolved table, value type) before the plan builder lowers it to MAL.
 #pragma once
 
 #include <memory>
@@ -100,6 +100,35 @@ struct SelectStmt {
   std::vector<ExprPtr> group_by;
   std::vector<OrderItem> order_by;
   std::optional<int64_t> limit;
+};
+
+/// INSERT INTO t [(c, ...)] VALUES (v, ...)[, (v, ...)]*. Values must be
+/// literal expressions (the analyzer enforces it); the engine has no
+/// defaults or NULLs, so every table column must be covered.
+struct InsertStmt {
+  std::string table;
+  size_t table_offset = 0;
+  /// Explicit column list; empty = every table column in schema order.
+  std::vector<std::string> columns;
+  std::vector<size_t> column_offsets;  ///< aligned with `columns`
+  std::vector<std::vector<ExprPtr>> rows;
+};
+
+/// DELETE FROM t [alias] [WHERE pred]. A null `where` deletes every row.
+struct DeleteStmt {
+  std::string table;
+  std::string alias;  ///< binding name: alias if given, else the table name
+  size_t table_offset = 0;
+  ExprPtr where;  ///< null if absent
+};
+
+/// One parsed statement; `kind` selects which member is populated.
+struct Statement {
+  enum class Kind { kSelect, kInsert, kDelete };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;
+  InsertStmt insert;
+  DeleteStmt del;
 };
 
 }  // namespace dcy::sql

@@ -10,9 +10,25 @@ namespace dcy::sql {
 
 Result<mal::Program> Compile(const std::string& sql, const Schema& schema,
                              ParseError* error) {
-  DCY_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql, error));
-  DCY_ASSIGN_OR_RETURN(AnalyzedQuery analyzed, Analyze(std::move(stmt), schema, sql, error));
-  return BuildPlan(analyzed, schema, sql, error);
+  DCY_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql, error));
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect: {
+      DCY_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                           Analyze(std::move(stmt.select), schema, sql, error));
+      return BuildPlan(analyzed, schema, sql, error);
+    }
+    case Statement::Kind::kInsert: {
+      DCY_ASSIGN_OR_RETURN(AnalyzedInsert ins,
+                           AnalyzeInsert(std::move(stmt.insert), schema, sql, error));
+      return BuildInsertPlan(ins);
+    }
+    case Statement::Kind::kDelete: {
+      DCY_ASSIGN_OR_RETURN(AnalyzedDelete del,
+                           AnalyzeDelete(std::move(stmt.del), schema, sql, error));
+      return BuildDeletePlan(std::move(del), schema, sql, error);
+    }
+  }
+  return Status::FailedPrecondition("unreachable statement kind");
 }
 
 bool LooksLikeSql(const std::string& text) {
@@ -29,15 +45,20 @@ bool LooksLikeSql(const std::string& text) {
     }
     break;
   }
-  const char* kSelect = "select";
-  for (size_t k = 0; k < 6; ++k) {
-    if (pos + k >= text.size() ||
-        std::tolower(static_cast<unsigned char>(text[pos + k])) != kSelect[k]) {
-      return false;
+  for (const char* kw : {"select", "insert", "delete"}) {
+    const size_t len = std::char_traits<char>::length(kw);
+    bool match = true;
+    for (size_t k = 0; k < len && match; ++k) {
+      match = pos + k < text.size() &&
+              std::tolower(static_cast<unsigned char>(text[pos + k])) == kw[k];
+    }
+    if (!match) continue;
+    const char after = pos + len < text.size() ? text[pos + len] : '\0';
+    if (std::isalnum(static_cast<unsigned char>(after)) == 0 && after != '_') {
+      return true;
     }
   }
-  const char after = pos + 6 < text.size() ? text[pos + 6] : '\0';
-  return std::isalnum(static_cast<unsigned char>(after)) == 0 && after != '_';
+  return false;
 }
 
 }  // namespace dcy::sql

@@ -10,16 +10,16 @@
 
 namespace dcy::sql {
 
-/// Compiles one SELECT statement against `schema`. On failure the Status
-/// message renders the caret diagnostic; `error` (optional) receives the
-/// structured ParseError.
+/// Compiles one statement (SELECT, INSERT, or DELETE) against `schema`. On
+/// failure the Status message renders the caret diagnostic; `error`
+/// (optional) receives the structured ParseError.
 Result<mal::Program> Compile(const std::string& sql, const Schema& schema,
                              ParseError* error = nullptr);
 
 /// Language auto-detection heuristic: true when the first word of `text`
-/// (after whitespace and `--`/`#` comment lines) is SELECT, case-insensitive.
-/// MAL programs start with `function` or a `X := module.fn(...)` call, so
-/// this never misfires on them.
+/// (after whitespace and `--`/`#` comment lines) is SELECT, INSERT, or
+/// DELETE, case-insensitive. MAL programs start with `function` or a
+/// `X := module.fn(...)` call, so this never misfires on them.
 bool LooksLikeSql(const std::string& text);
 
 }  // namespace dcy::sql

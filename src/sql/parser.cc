@@ -231,7 +231,14 @@ struct Parser {
     return item;
   }
 
-  Result<SelectStmt> Statement() {
+  /// Consumes the optional trailing ';' and requires end-of-input.
+  Status Finish() {
+    ConsumeSymbol(";");
+    if (Peek().kind != Token::Kind::kEnd) return Fail("unexpected input after statement");
+    return Status::OK();
+  }
+
+  Result<SelectStmt> Select() {
     SelectStmt stmt;
     if (!ConsumeWord("select")) return Fail("expected SELECT");
     do {
@@ -290,9 +297,80 @@ struct Parser {
       stmt.limit = Next().i;
     }
 
-    ConsumeSymbol(";");
-    if (Peek().kind != Token::Kind::kEnd) return Fail("unexpected input after statement");
+    DCY_RETURN_NOT_OK(Finish());
     return stmt;
+  }
+
+  // ---- writes (ISSUE-9) -----------------------------------------------------
+
+  Result<InsertStmt> Insert() {
+    InsertStmt stmt;
+    if (!ConsumeWord("insert")) return Fail("expected INSERT");
+    if (!ConsumeWord("into")) return Fail("expected INTO after INSERT");
+    stmt.table_offset = Peek().offset;
+    DCY_ASSIGN_OR_RETURN(stmt.table, Ident("table name"));
+
+    if (ConsumeSymbol("(")) {
+      do {
+        stmt.column_offsets.push_back(Peek().offset);
+        DCY_ASSIGN_OR_RETURN(std::string col, Ident("column name"));
+        stmt.columns.push_back(std::move(col));
+      } while (ConsumeSymbol(","));
+      if (!ConsumeSymbol(")")) return Fail("expected ')' after column list");
+    }
+
+    if (!ConsumeWord("values")) return Fail("expected VALUES");
+    do {
+      if (!ConsumeSymbol("(")) return Fail("expected '(' to open a VALUES row");
+      std::vector<ExprPtr> row;
+      do {
+        DCY_ASSIGN_OR_RETURN(ExprPtr v, Expression());
+        row.push_back(std::move(v));
+      } while (ConsumeSymbol(","));
+      if (!ConsumeSymbol(")")) return Fail("expected ')' after VALUES row");
+      stmt.rows.push_back(std::move(row));
+    } while (ConsumeSymbol(","));
+
+    DCY_RETURN_NOT_OK(Finish());
+    return stmt;
+  }
+
+  Result<DeleteStmt> Delete() {
+    DeleteStmt stmt;
+    if (!ConsumeWord("delete")) return Fail("expected DELETE");
+    if (!ConsumeWord("from")) return Fail("expected FROM after DELETE");
+    stmt.table_offset = Peek().offset;
+    DCY_ASSIGN_OR_RETURN(stmt.table, Ident("table name"));
+    if (Peek().kind == Token::Kind::kIdent && !Peek().IsWord("where")) {
+      stmt.alias = Next().text;
+    } else {
+      stmt.alias = stmt.table;
+    }
+    if (ConsumeWord("where")) {
+      DCY_ASSIGN_OR_RETURN(stmt.where, Expression());
+    }
+    DCY_RETURN_NOT_OK(Finish());
+    return stmt;
+  }
+
+  Result<sql::Statement> Top() {
+    sql::Statement s;
+    if (Peek().IsWord("select")) {
+      s.kind = sql::Statement::Kind::kSelect;
+      DCY_ASSIGN_OR_RETURN(s.select, Select());
+      return s;
+    }
+    if (Peek().IsWord("insert")) {
+      s.kind = sql::Statement::Kind::kInsert;
+      DCY_ASSIGN_OR_RETURN(s.insert, Insert());
+      return s;
+    }
+    if (Peek().IsWord("delete")) {
+      s.kind = sql::Statement::Kind::kDelete;
+      DCY_ASSIGN_OR_RETURN(s.del, Delete());
+      return s;
+    }
+    return Fail("expected SELECT, INSERT, or DELETE");
   }
 };
 
@@ -301,7 +379,13 @@ struct Parser {
 Result<SelectStmt> ParseSelect(const std::string& text, ParseError* error) {
   DCY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text, error));
   Parser p(text, std::move(tokens), error);
-  return p.Statement();
+  return p.Select();
+}
+
+Result<Statement> ParseStatement(const std::string& text, ParseError* error) {
+  DCY_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text, error));
+  Parser p(text, std::move(tokens), error);
+  return p.Top();
 }
 
 }  // namespace dcy::sql

@@ -2,9 +2,14 @@
 //
 // Grammar (keywords case-insensitive):
 //
+//   statement   := select_stmt | insert_stmt | delete_stmt
 //   select_stmt := SELECT item (',' item)* FROM table (',' table)*
 //                  [WHERE expr] [GROUP BY column_ref (',' column_ref)*]
 //                  [ORDER BY order (',' order)*] [LIMIT int] [';']
+//   insert_stmt := INSERT INTO ident ['(' ident (',' ident)* ')']
+//                  VALUES row (',' row)* [';']
+//   row         := '(' expr (',' expr)* ')'
+//   delete_stmt := DELETE FROM ident [ident] [WHERE expr] [';']
 //   item        := expr [[AS] ident]
 //   table       := ident [[AS] ident]
 //   order       := ident [ASC | DESC]
@@ -26,5 +31,9 @@ namespace dcy::sql {
 /// than a final ';') is an error. On failure the Status renders the
 /// diagnostic and `*error` (when non-null) receives the structured form.
 Result<SelectStmt> ParseSelect(const std::string& text, ParseError* error = nullptr);
+
+/// Parses one statement of any kind (SELECT, INSERT, DELETE); same error
+/// contract as ParseSelect.
+Result<Statement> ParseStatement(const std::string& text, ParseError* error = nullptr);
 
 }  // namespace dcy::sql

@@ -538,4 +538,58 @@ Result<mal::Program> BuildPlan(const AnalyzedQuery& q, const Schema& schema,
   return b.Build();
 }
 
+Result<mal::Program> BuildInsertPlan(const AnalyzedInsert& ins) {
+  mal::Program prog;
+  prog.name = "user.sql";
+  int next_var = 0;
+  // sql.wcommit("sys", table, nrows, token...): the tokens make every
+  // wappend a dataflow predecessor of the commit.
+  std::vector<Arg> commit_args{L(std::string("sys")), L(ins.table), L(ins.rows)};
+  for (size_t c = 0; c < ins.columns.size(); ++c) {
+    mal::Instruction app;
+    app.ret = "X" + std::to_string(++next_var);
+    app.module = "sql";
+    app.fn = "wappend";
+    app.args = {L(std::string("sys")), L(ins.table), L(ins.columns[c].name)};
+    for (const auto& v : ins.values[c]) app.args.push_back(LValue(v));
+    commit_args.push_back(V(app.ret));
+    prog.instructions.push_back(std::move(app));
+  }
+  mal::Instruction commit;
+  commit.ret = "X" + std::to_string(++next_var);
+  commit.module = "sql";
+  commit.fn = "wcommit";
+  commit.args = std::move(commit_args);
+  prog.instructions.push_back(std::move(commit));
+  return prog;
+}
+
+Result<mal::Program> BuildDeletePlan(AnalyzedDelete del, const Schema& schema,
+                                     const std::string& text, ParseError* error) {
+  // Reuse the SELECT machinery over a single-table shell: BindColumns pulls
+  // in every predicate column (or the table's first column when there is no
+  // WHERE), and EvalPredicate yields the mirror of qualifying positions.
+  AnalyzedQuery q;
+  TableRef ref;
+  ref.table = del.stmt.table;
+  ref.alias = del.stmt.alias.empty() ? del.stmt.table : del.stmt.alias;
+  ref.offset = del.stmt.table_offset;
+  q.stmt.from.push_back(std::move(ref));
+  q.stmt.where = std::move(del.stmt.where);
+
+  PlanBuilder b{q, schema, text, error, {}, 0, {}};
+  b.prog.name = "user.sql";
+  DCY_RETURN_NOT_OK(b.BindColumns());
+
+  std::string positions;
+  if (q.stmt.where != nullptr) {
+    DCY_ASSIGN_OR_RETURN(positions, b.EvalPredicate(*q.stmt.where, b.Anchor()));
+  } else {
+    // DELETE without WHERE: every current position qualifies.
+    positions = b.Emit("bat", "mirror", {V(b.Anchor())});
+  }
+  b.Emit("sql", "wdelete", {L(std::string("sys")), L(del.stmt.table), V(positions)});
+  return std::move(b.prog);
+}
+
 }  // namespace dcy::sql

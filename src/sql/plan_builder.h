@@ -25,4 +25,17 @@ namespace dcy::sql {
 Result<mal::Program> BuildPlan(const AnalyzedQuery& q, const Schema& schema,
                                const std::string& text, ParseError* error = nullptr);
 
+/// Lowers an INSERT to one sql.wappend per column plus a final sql.wcommit
+/// whose arguments chain the append tokens (the dataflow edges that order
+/// the commit after every buffered column). The wcommit result — the number
+/// of rows inserted — is the plan's scalar result (ISSUE-9 write path).
+Result<mal::Program> BuildInsertPlan(const AnalyzedInsert& ins);
+
+/// Lowers a DELETE: binds the predicate's columns, evaluates the WHERE to a
+/// mirror BAT of qualifying positions in the query-snapshot view (or mirrors
+/// a whole column when there is no WHERE), and emits sql.wdelete. The result
+/// is the number of rows deleted.
+Result<mal::Program> BuildDeletePlan(AnalyzedDelete del, const Schema& schema,
+                                     const std::string& text, ParseError* error = nullptr);
+
 }  // namespace dcy::sql

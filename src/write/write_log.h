@@ -1,0 +1,259 @@
+// The versioned write subsystem of the ring: a cluster-level commit log of
+// immutable delta BATs plus the fold (compaction) machinery.
+//
+// Model. Every writable table is a set of base fragments (one per column)
+// that fold up to a `base_version`, plus a list of pending commits, each an
+// immutable per-column delta (write/delta.h) under a monotone commit
+// version. Readers run at a snapshot version acquired at query start
+// (version-at-prepare): the view of a fragment at snapshot S is
+//
+//     base rows surviving every delete with version <= S
+//  ++ insert rows with version <= S surviving every delete with version <= S
+//
+// Rows carry stable row ids, so deletes commute with folds and the
+// enumeration order (base order, then insert order) is identical across the
+// columns of a table — the planner's positional-alignment invariant holds
+// for merged views. Merges always build fresh bat::Column objects: the
+// IsSorted() memoization and the zero-copy serialization path never observe
+// a mutation.
+//
+// The WriteLog mirrors the cluster fragment registry's role as "the ring's
+// durable copy": circulating delta frames (runtime/ring_cluster.cc) are the
+// propagation mechanism, the log is the correctness anchor. Folding is
+// atomic per table and bounded by the minimum active snapshot, so a running
+// query never sees a torn mix of old and new bases.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "bat/bat.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "core/types.h"
+#include "write/delta.h"
+
+namespace dcy::write {
+
+/// \brief Compactor tunables (RingCluster::Options::compaction; the PR 8
+/// ResilienceOptions pattern).
+struct CompactionOptions {
+  bool enable = true;
+  /// A table folds once any of its fragments accumulates this many pending
+  /// delta bytes...
+  uint64_t max_delta_bytes = 256 * 1024;
+  /// ...or this many pending deltas (commits touching it).
+  uint64_t max_delta_count = 64;
+  /// Cadence of each node's background compactor thread.
+  SimTime interval = FromMillis(25);
+  /// Fold a table whose newest pending delta is unchanged between two
+  /// compactor scans, even below the thresholds above. Without this a tail
+  /// of fewer than `max_delta_count` deltas would sit unfolded forever once
+  /// writers go quiet.
+  bool drain_idle = true;
+};
+
+/// \brief Counters of the write subsystem (RingCluster::Writes()).
+struct WriteMetrics {
+  uint64_t commits = 0;
+  uint64_t rows_inserted = 0;
+  uint64_t rows_deleted = 0;
+  uint64_t deltas_published = 0;  ///< delta BATs created (per fragment per commit)
+  uint64_t deltas_merged = 0;     ///< delta applications into pin-time views
+  uint64_t deltas_folded = 0;     ///< deltas retired into new bases
+  uint64_t merges = 0;            ///< merged views built
+  uint64_t merge_cache_hits = 0;  ///< views served from the per-fragment cache
+  double merge_seconds = 0.0;     ///< time spent building merged views
+  uint64_t compactions = 0;
+  uint64_t compactions_abandoned = 0;  ///< folds dropped (owner died mid-fold)
+  uint64_t snapshots_rejected = 0;     ///< reads under a folded-away snapshot
+  // Ring circulation of delta frames (maintained by the runtime).
+  uint64_t delta_frames_forwarded = 0;
+  uint64_t delta_bytes_on_ring = 0;
+  uint64_t delta_decode_failures = 0;
+  // Gauges.
+  uint64_t current_version = 0;
+  uint64_t pending_deltas = 0;
+  uint64_t pending_delta_bytes = 0;
+};
+
+/// \brief Outcome of one committed write statement.
+struct CommitResult {
+  uint64_t version = 0;  ///< commit version (readers at >= version see it)
+  int64_t rows = 0;      ///< rows inserted/deleted
+  /// The per-fragment deltas published by this commit (empty when rows == 0);
+  /// the runtime sends these around the ring.
+  std::vector<DeltaPtr> published;
+};
+
+/// \brief One folded table: the new base fragments to republish.
+struct FoldResult {
+  std::string table;
+  uint64_t new_version = 0;  ///< base_version after the fold
+  uint64_t deltas_folded = 0;
+  /// (fragment id, qualified name, new base payload), column order.
+  std::vector<std::tuple<core::BatId, std::string, bat::BatPtr>> rebased;
+};
+
+/// \brief Per-table observability row (dcsql \tables, tests).
+struct TableVersionInfo {
+  std::string table;  ///< qualified ("sys.lineitem")
+  uint64_t base_version = 0;
+  uint64_t current_version = 0;  ///< latest commit touching this table
+  uint64_t pending_deltas = 0;   ///< pending commits * columns
+  uint64_t pending_delta_bytes = 0;
+};
+
+/// \brief The cluster-level write log. Thread-safe; every mutation happens
+/// under one internal mutex (writes are orders of magnitude rarer than
+/// reads, and the read path short-circuits via an atomic when the cluster
+/// has never committed a write).
+class WriteLog {
+ public:
+  /// Registers a base fragment at version 0. Fragments of one table must be
+  /// registered with equal row counts (column-store invariant).
+  Status RegisterFragment(core::BatId id, const std::string& table,
+                          const std::string& column, bat::BatPtr base);
+
+  // ---- commits --------------------------------------------------------------
+
+  /// Commits one INSERT of `rows` full rows. `columns` names every column of
+  /// `table` exactly once (any order); row values are coerced to the column
+  /// types (int widens to double; strings never coerce).
+  Result<CommitResult> CommitInsert(
+      const std::string& table,
+      const std::vector<std::pair<std::string, std::vector<bat::Value>>>& columns);
+
+  /// Commits one DELETE of the rows at `positions` (0-based offsets into the
+  /// table's merged view at `snapshot`). Rows already deleted by a
+  /// concurrent later commit are skipped, not failed.
+  Result<CommitResult> CommitDeleteAt(const std::string& table,
+                                      const std::vector<uint64_t>& positions,
+                                      uint64_t snapshot);
+
+  // ---- snapshots ------------------------------------------------------------
+
+  /// Current version + refcount: folds never pass an active snapshot.
+  uint64_t AcquireSnapshot();
+  /// Refcounts a caller-chosen (paper: version-at-prepare) snapshot; fails
+  /// when `v` is ahead of the current version.
+  Result<uint64_t> AcquireSnapshotAt(uint64_t v);
+  void ReleaseSnapshot(uint64_t v);
+  uint64_t CurrentVersion() const;
+
+  // ---- the read path --------------------------------------------------------
+
+  /// Resolves the view of `fragment` at `snapshot`. Returns `pinned`
+  /// untouched when the fragment's table has no writes at or before the
+  /// snapshot (the read-only fast path costs one relaxed atomic load).
+  /// Otherwise builds (or serves from the per-fragment cache) a merged view
+  /// with fresh columns. FailedPrecondition when `snapshot` predates the
+  /// folded base (the caller held no snapshot pin across the fold).
+  Result<bat::BatPtr> ResolveView(core::BatId fragment, const bat::BatPtr& pinned,
+                                  uint64_t snapshot);
+
+  /// The base version of `fragment` (0 when unknown/unwritten); used by the
+  /// runtime to tag re-admitted fragments and purge stale ring deltas.
+  uint64_t BaseVersionOf(core::BatId fragment) const;
+
+  // ---- folding (background compactor) ---------------------------------------
+
+  /// Tables whose pending deltas crossed the thresholds — or sat idle for a
+  /// full scan (see CompactionOptions::drain_idle) — by first-fragment id
+  /// (the runtime maps that to the owning node).
+  std::vector<std::pair<std::string, core::BatId>> TablesReadyToFold(
+      const CompactionOptions& opts);
+
+  /// Folds every commit with version <= min(active snapshots, current) into
+  /// new base fragments for `table`. `commit_guard` (may be null) runs under
+  /// the log lock immediately before the fold becomes visible; returning
+  /// false abandons it (Aborted) with the log untouched — the runtime uses
+  /// this to drop folds whose owner node died mid-compaction. Returns OK
+  /// with an empty FoldResult::rebased when there was nothing to fold.
+  Result<FoldResult> FoldTable(const std::string& table,
+                               const std::function<bool()>& commit_guard);
+
+  /// Test-only: invoked after a fold's merge work, before its commit (the
+  /// chaos suite uses it to crash the compacting node mid-fold).
+  void SetFoldHookForTest(std::function<void(const std::string&)> hook);
+
+  // ---- observability --------------------------------------------------------
+
+  WriteMetrics Metrics() const;
+  std::vector<TableVersionInfo> TableVersions() const;
+  /// True once any write committed (the read fast path's condition).
+  bool HasWrites() const { return commit_count_.load(std::memory_order_relaxed) > 0; }
+
+  /// Ring-circulation accounting, called by the runtime's delta frames.
+  void NoteDeltaForwarded(uint64_t wire_bytes);
+  void NoteDeltaDecodeFailure();
+
+ private:
+  struct FragmentState {
+    core::BatId id = core::kInvalidBat;
+    std::string name;  ///< qualified "schema.table.column"
+    bat::BatPtr base;
+    /// Merged-view cache: the view at effective version `cache_version`
+    /// (the last commit <= the reader's snapshot), invalidated by folds.
+    uint64_t cache_version = 0;
+    bat::BatPtr cache_view;
+  };
+
+  struct Commit {
+    uint64_t version = 0;
+    /// Per column of the table (registration order); never null, size 0 for
+    /// delete-only commits.
+    std::vector<bat::ColumnPtr> inserts;
+    std::shared_ptr<const std::vector<uint64_t>> insert_row_ids;
+    std::shared_ptr<const std::vector<uint64_t>> deletes;
+    uint64_t max_column_bytes = 0;  ///< widest column's delta payload
+  };
+
+  struct TableState {
+    std::string name;
+    std::vector<FragmentState> columns;
+    uint64_t base_version = 0;
+    uint64_t base_rows = 0;
+    std::vector<uint64_t> base_row_ids;  ///< strictly increasing
+    uint64_t next_row_id = 0;
+    std::vector<Commit> pending;  ///< version-ascending
+    /// Row ids deleted by any pending commit (duplicate-delete filter).
+    std::unordered_set<uint64_t> deleted;
+    bool folding = false;
+    /// Newest pending version at the last compactor scan (idle-drain mark).
+    uint64_t idle_mark = 0;
+  };
+
+  /// Enumerates the row ids of `t`'s view at `snapshot` (base then inserts,
+  /// deletes <= snapshot applied). Callers hold mu_.
+  std::vector<uint64_t> ViewRowIdsLocked(const TableState& t, uint64_t snapshot) const;
+  uint64_t MinActiveSnapshotLocked() const;
+  TableState* FindTableLocked(const std::string& table);
+
+  mutable std::mutex mu_;
+  std::map<std::string, TableState> tables_;
+  std::unordered_map<core::BatId, std::pair<std::string, size_t>> fragment_index_;
+  uint64_t version_ = 0;
+  std::map<uint64_t, uint32_t> active_snapshots_;
+  std::function<void(const std::string&)> fold_hook_;
+
+  std::atomic<uint64_t> commit_count_{0};
+
+  // Metrics (guarded by mu_ except the ring-circulation atomics).
+  WriteMetrics metrics_;
+  std::atomic<uint64_t> delta_frames_forwarded_{0};
+  std::atomic<uint64_t> delta_bytes_on_ring_{0};
+  std::atomic<uint64_t> delta_decode_failures_{0};
+};
+
+}  // namespace dcy::write

@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -492,6 +496,182 @@ TEST_F(ChaosTest, QueriesStayCorrectUnderMemoryPressure) {
   EXPECT_GT(m.promotions, 0u);
   EXPECT_EQ(m.spill_failures, 0u);
   EXPECT_EQ(m.corrupt_spill_files, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Writes under chaos (ISSUE-9): concurrent writers and readers over a lossy
+// ring, with the fold owner crashed mid-compaction. Every acknowledged write
+// survives, and every successful read validates bit-identically against a
+// plain-C++ reference model at the read's snapshot version.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, AcknowledgedWritesSurviveCrashMidCompaction) {
+  rdma::FaultInjector& fault = *MakeInjector(0xD17AD17A);
+  const rdma::FaultLink all;
+  fault.AddRule(rdma::FaultInjector::Drop(all, 0.03));
+  fault.AddRule(rdma::FaultInjector::Duplicate(all, 0.02));
+  fault.AddRule(rdma::FaultInjector::Delay(all, 0.02, FromMillis(1)));
+
+  auto opts = ChaosOptions(3);
+  opts.fault = &fault;
+  opts.compaction.max_delta_count = 6;  // fold while the writers are active
+  opts.compaction.interval = FromMillis(5);
+  cluster = std::make_unique<RingCluster>(opts);
+  // Both columns of sys.u live on node 1: its compactor owns the fold, and
+  // crashing it re-homes the table onto an heir whose compactor takes over.
+  ASSERT_TRUE(cluster
+                  ->LoadBat(1, "sys.u.id",
+                            bat::Bat::MakeColumn(bat::MakeLngColumn({1, 2, 3})))
+                  .ok());
+  ASSERT_TRUE(cluster
+                  ->LoadBat(1, "sys.u.v",
+                            bat::Bat::MakeColumn(bat::MakeLngColumn({10, 20, 30})))
+                  .ok());
+
+  // Reference model: id -> (value, insert version, delete version or 0).
+  struct Row {
+    int64_t v = 0;
+    uint64_t born = 0;
+    uint64_t died = 0;
+  };
+  std::mutex model_mu;
+  std::map<int64_t, Row> model = {{1, {10, 0, 0}}, {2, {20, 0, 0}}, {3, {30, 0, 0}}};
+
+  // Crash the fold owner exactly once, mid-fold: after the merge work, before
+  // the commit. The commit guard then rejects the fold (Aborted) and the log
+  // stands untouched — no acknowledged write rides on the abandoned fold.
+  std::atomic<bool> crashed{false};
+  std::atomic<bool> crash_ok{false};
+  cluster->write_log().SetFoldHookForTest([&](const std::string& table) {
+    if (table == "sys.u" && !crashed.exchange(true)) {
+      crash_ok.store(cluster->CrashNode(1).ok());
+    }
+  });
+  cluster->Start();
+
+  SubmitOptions write_opts;
+  write_opts.retry.max_attempts = 20;
+  write_opts.retry.initial_backoff = milliseconds(2);
+  write_opts.retry.max_backoff = milliseconds(20);
+
+  // Two writers on the surviving nodes. Insert plans carry no ring pins, so
+  // with admission retries every statement must eventually be acknowledged.
+  auto writer = [&](core::NodeId node, int64_t first_id) {
+    auto session = cluster->OpenSession(node);
+    ASSERT_TRUE(session.ok());
+    for (int64_t i = 0; i < 12; ++i) {
+      const int64_t id = first_id + i;
+      auto r = session->Execute("insert into u values (" + std::to_string(id) + ", " +
+                                    std::to_string(id * 10) + ")",
+                                write_opts);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_EQ(std::get<int64_t>(r->result.scalar()), 1);
+      std::lock_guard<std::mutex> lock(model_mu);
+      model[id] = {id * 10, r->commit_version, 0};
+    }
+  };
+
+  // Readers record (snapshot version, observed multiset) pairs; during the
+  // crash window a read may fail typed (Unavailable / TimedOut), never wrong.
+  std::mutex obs_mu;
+  std::vector<std::pair<uint64_t, std::multiset<int64_t>>> observations;
+  std::atomic<bool> stop_readers{false};
+  auto reader = [&](core::NodeId node) {
+    auto session = cluster->OpenSession(node);
+    ASSERT_TRUE(session.ok());
+    SubmitOptions read_opts;
+    read_opts.retry.max_attempts = 4;
+    while (!stop_readers.load()) {
+      auto r = session->Execute("select v from u", read_opts);
+      if (r.ok()) {
+        std::multiset<int64_t> got;
+        for (size_t i = 0; i < r->result.num_rows(); ++i) {
+          got.insert(r->result.Int64At(i, 0));
+        }
+        std::lock_guard<std::mutex> lock(obs_mu);
+        observations.emplace_back(r->snapshot_version, std::move(got));
+      }
+      std::this_thread::sleep_for(milliseconds(2));
+    }
+  };
+
+  std::thread w0(writer, 0, 100), w2(writer, 2, 200);
+  std::thread r0(reader, 0), r2(reader, 2);
+  w0.join();
+  w2.join();
+
+  // One delete, concurrent with the readers; it pins the table's columns, so
+  // it rides the retry machinery across the re-homing window.
+  {
+    auto session = cluster->OpenSession(2);
+    ASSERT_TRUE(session.ok());
+    SubmitOptions del_opts = write_opts;
+    uint64_t delete_version = 0;
+    ASSERT_TRUE(Eventually(
+        [&] {
+          auto r = session->Execute("delete from u where id = 2", del_opts);
+          if (!r.ok()) return false;
+          EXPECT_EQ(std::get<int64_t>(r->result.scalar()), 1);
+          delete_version = r->commit_version;
+          return true;
+        },
+        15000));
+    std::lock_guard<std::mutex> lock(model_mu);
+    model[2].died = delete_version;
+  }
+
+  // The owner's first fold fires the hook (crash), the guard abandons that
+  // fold, and after the re-homing the heir's compactor folds every pending
+  // delta under the next base version.
+  EXPECT_TRUE(Eventually([&] { return crashed.load(); }, 10000));
+  EXPECT_TRUE(Eventually(
+      [&] { return cluster->Writes().compactions_abandoned >= 1; }, 10000));
+  EXPECT_TRUE(Eventually(
+      [&] {
+        const auto m = cluster->Writes();
+        return m.compactions >= 1 && m.pending_deltas == 0;
+      },
+      20000));
+  EXPECT_TRUE(crash_ok.load());
+
+  stop_readers.store(true);
+  r0.join();
+  r2.join();
+
+  // Reference view at snapshot s.
+  const auto expect_at = [&](uint64_t s) {
+    std::multiset<int64_t> want;
+    for (const auto& [id, row] : model) {
+      if (row.born <= s && (row.died == 0 || row.died > s)) want.insert(row.v);
+    }
+    return want;
+  };
+
+  // Every successful read was bit-identical to the reference at its snapshot.
+  ASSERT_FALSE(observations.empty());
+  for (const auto& [s, got] : observations) {
+    EXPECT_EQ(got, expect_at(s)) << "read at snapshot " << s;
+  }
+
+  // Every acknowledged write survived the crash and the fold.
+  {
+    auto session = cluster->OpenSession(0);
+    ASSERT_TRUE(session.ok());
+    auto r = session->Execute("select v from u", write_opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    std::multiset<int64_t> final_rows;
+    for (size_t i = 0; i < r->result.num_rows(); ++i) {
+      final_rows.insert(r->result.Int64At(i, 0));
+    }
+    EXPECT_EQ(final_rows, expect_at(cluster->CurrentWriteVersion()));
+  }
+
+  const auto m = cluster->Writes();
+  EXPECT_EQ(m.rows_inserted, 24u);
+  EXPECT_EQ(m.rows_deleted, 1u);
+  EXPECT_GT(m.deltas_published, 0u);
+  EXPECT_GT(m.deltas_merged, 0u);
+  EXPECT_GT(m.deltas_folded, 0u);
 }
 
 // ---------------------------------------------------------------------------

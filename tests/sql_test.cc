@@ -155,6 +155,35 @@ TEST(SqlGolden, ArithmeticLowersToBatcalc) {
       << Joined(ops);
 }
 
+// ---- writes (ISSUE-9): INSERT/DELETE lowering shapes ----------------------
+
+TEST(SqlGolden, InsertLowersToPerColumnAppendsThenCommit) {
+  const auto ops = CompileOps("insert into u values (4, 40)");
+  // One wappend per column, then the commit that consumes their tokens; the
+  // commit is the last assigned value (the rows-affected scalar).
+  EXPECT_TRUE(InOrder(ops, {"sql.wappend", "sql.wappend", "sql.wcommit"}))
+      << Joined(ops);
+  EXPECT_EQ(std::count(ops.begin(), ops.end(), "sql.wappend"), 2);
+}
+
+TEST(SqlGolden, InsertAcceptsColumnListAndMultipleRows) {
+  const auto ops = CompileOps("insert into u (v, id) values (40, 4), (50, 5)");
+  EXPECT_TRUE(InOrder(ops, {"sql.wappend", "sql.wappend", "sql.wcommit"}))
+      << Joined(ops);
+}
+
+TEST(SqlGolden, DeleteLowersPredicateToPositionsThenWdelete) {
+  const auto ops = CompileOps("delete from u where id = 2");
+  EXPECT_TRUE(InOrder(ops, {"sql.bind", "algebra.select", "bat.mirror",
+                            "sql.wdelete"}))
+      << Joined(ops);
+}
+
+TEST(SqlGolden, DeleteWithoutWhereMirrorsEveryPosition) {
+  const auto ops = CompileOps("delete from u");
+  EXPECT_TRUE(InOrder(ops, {"sql.bind", "bat.mirror", "sql.wdelete"})) << Joined(ops);
+}
+
 /// The emitted program must be valid MAL text: regenerating it and feeding
 /// it back through the MAL parser yields a structurally identical plan.
 TEST(SqlGolden, EmittedProgramRoundTripsThroughMalParser) {
@@ -197,6 +226,9 @@ TEST(SqlDetect, LooksLikeSql) {
   EXPECT_FALSE(LooksLikeSql("function user.q():void;\nend q;"));
   EXPECT_FALSE(LooksLikeSql("X1 := sql.bind(\"sys\",\"t\",\"a\",0);"));
   EXPECT_FALSE(LooksLikeSql("selector := foo.bar();"));  // prefix, not the word
+  EXPECT_TRUE(LooksLikeSql("insert into u values (1, 2)"));
+  EXPECT_TRUE(LooksLikeSql("  DELETE from u where id = 1"));
+  EXPECT_FALSE(LooksLikeSql("insertion := foo.bar();"));
 }
 
 TEST(SqlDetect, PlanCacheKeySeparatesDialects) {
@@ -239,6 +271,16 @@ TEST(SqlErrors, SemanticErrors) {
                      "must appear in GROUP BY or an aggregate");
   ExpectCompileError("select a from t where sum(a) > 3", "aggregate not allowed here");
   ExpectCompileError("select sum(s) from t", "non-numeric");
+}
+
+TEST(SqlErrors, WriteStatementErrors) {
+  ExpectCompileError("insert into nosuch values (1)", "unknown table");
+  ExpectCompileError("insert into u (id) values (1)", "must cover every column");
+  ExpectCompileError("insert into u (id, id) values (1, 2)", "duplicate column");
+  ExpectCompileError("insert into u values (1)", "VALUES row has");
+  ExpectCompileError("insert into u values", "expected '('");
+  ExpectCompileError("delete from nosuch", "unknown table");
+  ExpectCompileError("delete from u where nosuch = 1", "unknown column");
 }
 
 TEST(SqlErrors, PositionsPointAtTheOffendingToken) {

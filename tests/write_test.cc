@@ -1,0 +1,505 @@
+// Tests of the write subsystem (ISSUE-9): the delta BAT wire frame and its
+// decode-fuzz contract, the WriteLog commit/snapshot/fold semantics, the
+// fresh-merged-columns regression (IsSorted memoization survives version
+// bumps), and end-to-end SQL INSERT/DELETE over a live ring with snapshot
+// replay and background compaction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bat/bat.h"
+#include "runtime/ring_cluster.h"
+#include "runtime/session.h"
+#include "write/delta.h"
+#include "write/write_log.h"
+
+namespace dcy {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+std::shared_ptr<const std::vector<uint64_t>> Ids(std::vector<uint64_t> v) {
+  return std::make_shared<const std::vector<uint64_t>>(std::move(v));
+}
+
+// ---------------------------------------------------------------------------
+// Delta wire frame.
+// ---------------------------------------------------------------------------
+
+write::DeltaBat FuzzTargetDelta() {
+  write::DeltaBat d;
+  d.fragment = 7;
+  d.version = 42;
+  d.inserts = bat::MakeLngColumn({10, 20, 30});
+  d.insert_row_ids = Ids({5, 6, 9});
+  d.deletes = Ids({1, 3});
+  return d;
+}
+
+TEST(DeltaWire, RoundTripPreservesEveryField) {
+  const write::DeltaBat d = FuzzTargetDelta();
+  const std::string frame = write::SerializeDelta(d);
+  EXPECT_EQ(frame.size(), write::EncodedDeltaSize(d));
+
+  auto decoded = write::DeserializeDelta(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const write::DeltaBat& r = **decoded;
+  EXPECT_EQ(r.fragment, 7u);
+  EXPECT_EQ(r.version, 42u);
+  ASSERT_EQ(r.inserts->size(), 3u);
+  EXPECT_EQ(r.inserts->GetInt64(0), 10);
+  EXPECT_EQ(r.inserts->GetInt64(2), 30);
+  EXPECT_EQ(*r.insert_row_ids, (std::vector<uint64_t>{5, 6, 9}));
+  EXPECT_EQ(*r.deletes, (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(DeltaWire, DeleteOnlyAndStringDeltasRoundTrip) {
+  write::DeltaBat del;
+  del.fragment = 3;
+  del.version = 9;
+  del.inserts = bat::MakeLngColumn({});
+  del.insert_row_ids = Ids({});
+  del.deletes = Ids({0, 2, 4});
+  auto decoded = write::DeserializeDelta(write::SerializeDelta(del));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ((*decoded)->inserts->size(), 0u);
+  EXPECT_EQ(*(*decoded)->deletes, (std::vector<uint64_t>{0, 2, 4}));
+
+  write::DeltaBat str;
+  str.fragment = 11;
+  str.version = 4;
+  str.inserts = bat::MakeStrColumn({"alpha", "", "a longer string payload"});
+  str.insert_row_ids = Ids({100, 101, 102});
+  str.deletes = Ids({});
+  auto sdec = write::DeserializeDelta(write::SerializeDelta(str));
+  ASSERT_TRUE(sdec.ok()) << sdec.status().ToString();
+  ASSERT_EQ((*sdec)->inserts->size(), 3u);
+  EXPECT_EQ((*sdec)->inserts->GetString(0), "alpha");
+  EXPECT_EQ((*sdec)->inserts->GetString(2), "a longer string payload");
+}
+
+// Satellite: the wire frame's corruption contract mirrors bat/serialize.h —
+// any single-byte flip or truncation decodes to a typed Corruption, never to
+// garbage or a crash (ASan-clean by construction of the whole-frame CRC).
+TEST(DeltaWire, EveryByteFlipIsCorruption) {
+  const std::string frame = write::SerializeDelta(FuzzTargetDelta());
+  for (size_t i = 0; i < frame.size(); ++i) {
+    for (unsigned char mask : {0x01, 0x80}) {
+      std::string mutated = frame;
+      mutated[i] = static_cast<char>(mutated[i] ^ mask);
+      auto decoded = write::DeserializeDelta(mutated);
+      ASSERT_FALSE(decoded.ok()) << "flip at byte " << i << " decoded cleanly";
+      EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption)
+          << decoded.status().ToString();
+    }
+  }
+}
+
+TEST(DeltaWire, EveryTruncationIsCorruption) {
+  const std::string frame = write::SerializeDelta(FuzzTargetDelta());
+  for (size_t len = 0; len < frame.size(); ++len) {
+    auto decoded = write::DeserializeDelta(std::string_view(frame).substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded cleanly";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WriteLog: commits, snapshots, views, folds.
+// ---------------------------------------------------------------------------
+
+class WriteLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = bat::Bat::MakeColumn(bat::MakeLngColumn({1, 2, 3}));
+    b_ = bat::Bat::MakeColumn(bat::MakeDblColumn({1.5, 2.5, 3.5}));
+    ASSERT_TRUE(log_.RegisterFragment(1, "sys.w", "a", a_).ok());
+    ASSERT_TRUE(log_.RegisterFragment(2, "sys.w", "b", b_).ok());
+  }
+
+  Result<write::CommitResult> Insert(int64_t av, double bv) {
+    return log_.CommitInsert(
+        "sys.w", {{"a", {bat::Value::MakeLng(av)}}, {"b", {bat::Value::MakeDbl(bv)}}});
+  }
+
+  std::vector<int64_t> ViewA(uint64_t snapshot) {
+    auto view = log_.ResolveView(1, a_, snapshot);
+    EXPECT_TRUE(view.ok()) << view.status().ToString();
+    std::vector<int64_t> out;
+    if (!view.ok()) return out;
+    for (size_t i = 0; i < (*view)->size(); ++i) {
+      out.push_back((*view)->tail()->GetInt64(i));
+    }
+    return out;
+  }
+
+  write::WriteLog log_;
+  bat::BatPtr a_, b_;
+};
+
+TEST_F(WriteLogTest, RegisterFragmentRejectsRowCountMismatch) {
+  write::WriteLog log;
+  ASSERT_TRUE(log.RegisterFragment(1, "sys.x", "a",
+                                   bat::Bat::MakeColumn(bat::MakeLngColumn({1, 2, 3})))
+                  .ok());
+  auto bad = log.RegisterFragment(2, "sys.x", "b",
+                                  bat::Bat::MakeColumn(bat::MakeLngColumn({1, 2})));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WriteLogTest, CommitInsertAppendsAndCoerces) {
+  // Column order in the statement is free; ints widen into double columns.
+  auto cr = log_.CommitInsert(
+      "sys.w", {{"b", {bat::Value::MakeLng(4)}}, {"a", {bat::Value::MakeLng(4)}}});
+  ASSERT_TRUE(cr.ok()) << cr.status().ToString();
+  EXPECT_EQ(cr->version, 1u);
+  EXPECT_EQ(cr->rows, 1);
+  EXPECT_EQ(cr->published.size(), 2u);  // one delta per column
+
+  EXPECT_EQ(ViewA(1), (std::vector<int64_t>{1, 2, 3, 4}));
+  auto vb = log_.ResolveView(2, b_, 1);
+  ASSERT_TRUE(vb.ok());
+  ASSERT_EQ((*vb)->size(), 4u);
+  EXPECT_DOUBLE_EQ((*vb)->tail()->GetDouble(3), 4.0);
+  // The pre-commit snapshot still reads the untouched base.
+  EXPECT_EQ(ViewA(0), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(WriteLogTest, CommitInsertRejectsBadShapesAndTypes) {
+  // Narrowing double -> lng is refused.
+  auto narrowing = log_.CommitInsert(
+      "sys.w", {{"a", {bat::Value::MakeDbl(1.5)}}, {"b", {bat::Value::MakeDbl(1.5)}}});
+  EXPECT_EQ(narrowing.status().code(), StatusCode::kInvalidArgument);
+  // Strings never coerce.
+  auto strval = log_.CommitInsert(
+      "sys.w", {{"a", {bat::Value::MakeStr("x")}}, {"b", {bat::Value::MakeDbl(1.0)}}});
+  EXPECT_EQ(strval.status().code(), StatusCode::kInvalidArgument);
+  // Missing, duplicate and ragged column lists.
+  auto missing = log_.CommitInsert("sys.w", {{"a", {bat::Value::MakeLng(1)}}});
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+  auto dup = log_.CommitInsert(
+      "sys.w", {{"a", {bat::Value::MakeLng(1)}}, {"a", {bat::Value::MakeLng(2)}}});
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  auto ragged = log_.CommitInsert(
+      "sys.w", {{"a", {bat::Value::MakeLng(1), bat::Value::MakeLng(2)}},
+                {"b", {bat::Value::MakeDbl(1.0)}}});
+  EXPECT_EQ(ragged.status().code(), StatusCode::kInvalidArgument);
+  // Nothing committed by any of the failures.
+  EXPECT_EQ(log_.CurrentVersion(), 0u);
+  EXPECT_EQ(ViewA(0), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(WriteLogTest, DeleteAtResolvesPositionsAgainstTheSnapshotView) {
+  // Position 1 in the v0 view [1 2 3] is row id 1 (value 2).
+  auto d1 = log_.CommitDeleteAt("sys.w", {1}, 0);
+  ASSERT_TRUE(d1.ok()) << d1.status().ToString();
+  EXPECT_EQ(d1->rows, 1);
+  EXPECT_EQ(ViewA(1), (std::vector<int64_t>{1, 3}));
+
+  // The same position at the same old snapshot maps to the same (already
+  // deleted) row: skipped, a no-op commit.
+  auto again = log_.CommitDeleteAt("sys.w", {1}, 0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->rows, 0);
+  EXPECT_TRUE(again->published.empty());
+
+  // At the newer snapshot the view is [1 3]: position 1 now means value 3.
+  auto d2 = log_.CommitDeleteAt("sys.w", {1}, 1);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->rows, 1);
+  EXPECT_EQ(ViewA(d2->version), (std::vector<int64_t>{1}));
+
+  auto oob = log_.CommitDeleteAt("sys.w", {5}, 0);
+  EXPECT_EQ(oob.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WriteLogTest, SnapshotsPinTheVersionReadersSee) {
+  auto ahead = log_.AcquireSnapshotAt(log_.CurrentVersion() + 1);
+  EXPECT_EQ(ahead.status().code(), StatusCode::kInvalidArgument);
+
+  const uint64_t snap0 = log_.AcquireSnapshot();
+  EXPECT_EQ(snap0, 0u);
+  ASSERT_TRUE(Insert(4, 4.0).ok());
+
+  // At the pinned old snapshot the untouched base is served by identity --
+  // the merge path is never entered.
+  auto old_view = log_.ResolveView(1, a_, snap0);
+  ASSERT_TRUE(old_view.ok());
+  EXPECT_EQ(old_view->get(), a_.get());
+  EXPECT_EQ(ViewA(log_.CurrentVersion()), (std::vector<int64_t>{1, 2, 3, 4}));
+  log_.ReleaseSnapshot(snap0);
+}
+
+TEST_F(WriteLogTest, FoldIsBoundedByActiveSnapshotsAndRetiresDeltas) {
+  const uint64_t snap0 = log_.AcquireSnapshot();
+  ASSERT_TRUE(Insert(4, 4.0).ok());
+
+  // The active snapshot at version 0 pins the fold bound: nothing folds.
+  auto noop = log_.FoldTable("sys.w", {});
+  ASSERT_TRUE(noop.ok()) << noop.status().ToString();
+  EXPECT_TRUE(noop->rebased.empty());
+  EXPECT_EQ(log_.BaseVersionOf(1), 0u);
+
+  log_.ReleaseSnapshot(snap0);
+  auto folded = log_.FoldTable("sys.w", {});
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded->new_version, 1u);
+  EXPECT_EQ(folded->deltas_folded, 2u);
+  ASSERT_EQ(folded->rebased.size(), 2u);
+  EXPECT_EQ(std::get<2>(folded->rebased[0])->size(), 4u);
+  EXPECT_EQ(log_.BaseVersionOf(1), 1u);
+  EXPECT_EQ(log_.BaseVersionOf(2), 1u);
+
+  // Readers at or past the fold see the new base; a reader that held no
+  // snapshot pin across the fold is rejected typed, not served garbage.
+  EXPECT_EQ(ViewA(1), (std::vector<int64_t>{1, 2, 3, 4}));
+  auto stale = log_.ResolveView(1, a_, 0);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+  const auto m = log_.Metrics();
+  EXPECT_EQ(m.compactions, 1u);
+  EXPECT_EQ(m.deltas_folded, 2u);
+  EXPECT_EQ(m.snapshots_rejected, 1u);
+  EXPECT_EQ(m.pending_deltas, 0u);
+}
+
+TEST_F(WriteLogTest, FoldCommitGuardAbandonsAtomically) {
+  ASSERT_TRUE(Insert(4, 4.0).ok());
+  auto aborted = log_.FoldTable("sys.w", [] { return false; });
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(log_.Metrics().compactions_abandoned, 1u);
+  // The log is untouched: the delta is still pending and folds later.
+  EXPECT_EQ(log_.BaseVersionOf(1), 0u);
+  EXPECT_GT(log_.Metrics().pending_deltas, 0u);
+  auto folded = log_.FoldTable("sys.w", [] { return true; });
+  ASSERT_TRUE(folded.ok()) << folded.status().ToString();
+  EXPECT_EQ(folded->new_version, 1u);
+  EXPECT_EQ(ViewA(1), (std::vector<int64_t>{1, 2, 3, 4}));
+}
+
+// Satellite regression: merged views are built from fresh Column objects, so
+// the IsSorted() memoization can never serve a stale answer across a version
+// bump, and older views stay frozen.
+TEST(WriteLogFreshColumns, MergedViewsNeverReuseMemoizedColumns) {
+  write::WriteLog log;
+  auto base = bat::Bat::MakeColumn(bat::MakeLngColumn({1, 2, 3}));
+  ASSERT_TRUE(log.RegisterFragment(1, "sys.s", "a", base).ok());
+  ASSERT_TRUE(base->tail()->IsSorted());
+  ASSERT_TRUE(base->tail()->SortednessKnown());
+
+  // Commit a row that breaks sortedness.
+  ASSERT_TRUE(log.CommitInsert("sys.s", {{"a", {bat::Value::MakeLng(0)}}}).ok());
+  auto view = log.ResolveView(1, base, 1);
+  ASSERT_TRUE(view.ok());
+  ASSERT_NE(view->get(), base.get());
+  ASSERT_NE((*view)->tail().get(), base->tail().get());
+  // The fresh column has no inherited memoization and answers correctly.
+  EXPECT_FALSE((*view)->tail()->SortednessKnown());
+  EXPECT_FALSE((*view)->tail()->IsSorted());
+  // The base fragment's memoized answer is untouched.
+  EXPECT_TRUE(base->tail()->IsSorted());
+
+  // Re-resolving the same snapshot serves the cached view (same memoized
+  // column -- valid, it is the same version)...
+  auto view2 = log.ResolveView(1, base, 1);
+  ASSERT_TRUE(view2.ok());
+  EXPECT_EQ(view2->get(), view->get());
+  EXPECT_GE(log.Metrics().merge_cache_hits, 1u);
+
+  // ...but the next version bump yields a fresh column again, leaving the
+  // older view frozen.
+  ASSERT_TRUE(log.CommitInsert("sys.s", {{"a", {bat::Value::MakeLng(9)}}}).ok());
+  auto view3 = log.ResolveView(1, base, 2);
+  ASSERT_TRUE(view3.ok());
+  EXPECT_NE(view3->get(), view->get());
+  EXPECT_NE((*view3)->tail().get(), (*view)->tail().get());
+  EXPECT_FALSE((*view3)->tail()->SortednessKnown());
+  EXPECT_EQ((*view)->size(), 4u);
+  EXPECT_EQ((*view3)->size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: SQL INSERT/DELETE over a live ring.
+// ---------------------------------------------------------------------------
+
+class WriteRing : public ::testing::Test {
+ protected:
+  static runtime::RingCluster::Options FastOptions() {
+    runtime::RingCluster::Options opts;
+    opts.num_nodes = 3;
+    opts.node.load_all_period = FromMillis(2);
+    opts.node.maintenance_period = FromMillis(10);
+    opts.node.adapt_period = FromMillis(10);
+    opts.node.initial_rotation_estimate = FromMillis(5);
+    opts.node.min_resend_timeout = FromMillis(20);
+    return opts;
+  }
+
+  void StartCluster(runtime::RingCluster::Options opts) {
+    cluster = std::make_unique<runtime::RingCluster>(opts);
+    Load(0, "sys.u.id", bat::MakeLngColumn({1, 2, 3}));
+    Load(1, "sys.u.v", bat::MakeLngColumn({10, 20, 30}));
+    cluster->Start();
+  }
+
+  void Load(core::NodeId node, const std::string& name, bat::ColumnPtr tail) {
+    ASSERT_TRUE(
+        cluster->LoadBat(node, name, bat::Bat::MakeColumn(std::move(tail))).ok());
+  }
+
+  Result<runtime::QueryResult> Run(const std::string& text,
+                                   runtime::SubmitOptions submit = {}) {
+    auto session = cluster->OpenSession(0);
+    if (!session.ok()) return session.status();
+    return session->Execute(text, submit);
+  }
+
+  std::multiset<int64_t> SelectV(runtime::SubmitOptions submit = {},
+                                 const std::string& sql = "select v from u") {
+    std::multiset<int64_t> got;
+    auto result = Run(sql, submit);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return got;
+    const runtime::ResultSet& rs = result->result;
+    for (size_t r = 0; r < rs.num_rows(); ++r) got.insert(rs.Int64At(r, 0));
+    return got;
+  }
+
+  bool WaitUntil(const std::function<bool()>& pred, milliseconds timeout) {
+    const auto deadline = steady_clock::now() + timeout;
+    while (steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(milliseconds(5));
+    }
+    return pred();
+  }
+
+  std::unique_ptr<runtime::RingCluster> cluster;
+};
+
+TEST_F(WriteRing, InsertIsVisibleToSubsequentReadsAndCirculates) {
+  auto opts = FastOptions();
+  opts.compaction.enable = false;  // keep the merge path exercised
+  StartCluster(opts);
+
+  auto ins = Run("insert into u values (4, 40)");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_EQ(std::get<int64_t>(ins->result.scalar()), 1);
+  EXPECT_EQ(ins->commit_version, 1u);
+
+  EXPECT_EQ(SelectV({}, "select v from u where id = 4"),
+            (std::multiset<int64_t>{40}));
+  EXPECT_EQ(SelectV(), (std::multiset<int64_t>{10, 20, 30, 40}));
+
+  const auto m = cluster->Writes();
+  EXPECT_EQ(m.commits, 1u);
+  EXPECT_EQ(m.rows_inserted, 1u);
+  EXPECT_EQ(m.deltas_published, 2u);
+  EXPECT_GT(m.merges, 0u);
+  EXPECT_GT(m.deltas_merged, 0u);
+
+  // The published deltas circulate the ring: the two non-origin nodes each
+  // forward them once before the frame returns home.
+  EXPECT_TRUE(WaitUntil(
+      [&] { return cluster->Writes().delta_frames_forwarded >= 1; },
+      milliseconds(3000)));
+}
+
+TEST_F(WriteRing, DeleteRemovesMatchingRows) {
+  auto opts = FastOptions();
+  opts.compaction.enable = false;
+  StartCluster(opts);
+
+  auto del = Run("delete from u where id = 2");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(std::get<int64_t>(del->result.scalar()), 1);
+  EXPECT_EQ(SelectV(), (std::multiset<int64_t>{10, 30}));
+  EXPECT_EQ(cluster->Writes().rows_deleted, 1u);
+
+  // Insert after delete: both deltas apply in version order.
+  ASSERT_TRUE(Run("insert into u values (5, 50)").ok());
+  EXPECT_EQ(SelectV(), (std::multiset<int64_t>{10, 30, 50}));
+}
+
+TEST_F(WriteRing, PinnedSnapshotsReplayThePast) {
+  auto opts = FastOptions();
+  opts.compaction.enable = false;
+  StartCluster(opts);
+
+  const uint64_t snap = cluster->PinWriteSnapshot();
+  ASSERT_TRUE(Run("insert into u values (4, 40)").ok());
+
+  runtime::SubmitOptions at_snap;
+  at_snap.snapshot_version = snap;
+  auto past = Run("select v from u", at_snap);
+  ASSERT_TRUE(past.ok()) << past.status().ToString();
+  EXPECT_EQ(past->snapshot_version, snap);
+  EXPECT_EQ(past->result.num_rows(), 3u);
+
+  EXPECT_EQ(SelectV(), (std::multiset<int64_t>{10, 20, 30, 40}));
+  cluster->UnpinWriteSnapshot(snap);
+
+  // A snapshot ahead of the current version is refused at submit.
+  runtime::SubmitOptions ahead;
+  ahead.snapshot_version = cluster->CurrentWriteVersion() + 5;
+  auto bad = Run("select v from u", ahead);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WriteRing, BackgroundCompactionFoldsAndReadsStayCorrect) {
+  auto opts = FastOptions();
+  opts.compaction.max_delta_count = 1;  // fold after every commit
+  opts.compaction.interval = FromMillis(5);
+  StartCluster(opts);
+
+  ASSERT_TRUE(Run("insert into u values (4, 40)").ok());
+  ASSERT_TRUE(Run("insert into u values (5, 50)").ok());
+  ASSERT_TRUE(Run("delete from u where id = 1").ok());
+
+  ASSERT_TRUE(WaitUntil(
+      [&] {
+        const auto m = cluster->Writes();
+        return m.compactions >= 1 && m.pending_deltas == 0;
+      },
+      milliseconds(10000)))
+      << "compactor never folded the pending deltas";
+
+  EXPECT_EQ(SelectV(), (std::multiset<int64_t>{20, 30, 40, 50}));
+  const auto m = cluster->Writes();
+  EXPECT_GT(m.deltas_published, 0u);
+  EXPECT_GT(m.deltas_folded, 0u);
+
+  bool found = false;
+  for (const auto& info : cluster->TableVersions()) {
+    if (info.table != "sys.u") continue;
+    found = true;
+    EXPECT_GE(info.base_version, 1u);
+    EXPECT_EQ(info.pending_deltas, 0u);
+  }
+  EXPECT_TRUE(found);
+
+  // Writes after a fold start a new delta generation.
+  ASSERT_TRUE(Run("insert into u values (6, 60)").ok());
+  EXPECT_EQ(SelectV(), (std::multiset<int64_t>{20, 30, 40, 50, 60}));
+}
+
+TEST_F(WriteRing, WritesToUnknownTablesFailAtPrepare) {
+  StartCluster(FastOptions());
+  auto bad = Run("insert into nosuch values (1)");
+  EXPECT_FALSE(bad.ok());
+  auto bad_col = Run("delete from u where nosuch = 1");
+  EXPECT_FALSE(bad_col.ok());
+}
+
+}  // namespace
+}  // namespace dcy

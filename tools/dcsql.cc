@@ -1,8 +1,8 @@
 // dcsql — interactive shell against a live Data Cyclotron ring.
 //
 // Loads TPC-H microdata (workload/tpch_data.h) into an in-process ring and
-// reads statements from stdin: SQL SELECTs (terminated by ';') or MAL
-// function blocks (`function user.x():void;` ... `end x;`). The language is
+// reads statements from stdin: SQL SELECT/INSERT/DELETE (terminated by ';')
+// or MAL function blocks (`function user.x():void;` ... `end x;`). The language is
 // auto-detected per statement (runtime::Language::kAuto); each result is
 // printed as a typed table with the compute vs ring timing split
 // (exec_seconds vs pin_blocked_seconds). Parse and semantic errors render
@@ -10,7 +10,8 @@
 //
 //   ./dcsql [--scale=0.01] [--nodes=3] [--workers=4] [--max_rows=25] [--budget_mb=0] [--spill_dir=DIR]
 //
-// Meta commands: \tables (schema), \mem (memory tiers), \q (quit). EOF
+// Meta commands: \tables (schema + fragment versions and pending deltas),
+// \mem (memory tiers), \q (quit). EOF
 // exits cleanly, so
 // `echo "select ...;" | dcsql` works for scripted smoke runs.
 #include <unistd.h>
@@ -19,6 +20,7 @@
 #include <cctype>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <string>
 
 #include "common/flags.h"
@@ -96,7 +98,13 @@ bool RunStatement(runtime::Session& session, const std::string& text, size_t max
   return true;
 }
 
-void PrintSchema(const sql::Schema& schema) {
+void PrintSchema(const runtime::RingCluster& ring) {
+  const sql::Schema& schema = ring.SqlSchema();
+  // Write-subsystem state per table: which base version the fragments carry,
+  // the newest commit touching the table, and how many delta BATs the
+  // compactor has yet to fold.
+  std::map<std::string, write::TableVersionInfo> versions;
+  for (auto& v : ring.TableVersions()) versions.emplace(v.table, std::move(v));
   for (const auto& table : schema.TableNames()) {
     std::printf("%s (", table.c_str());
     const auto& cols = schema.TableColumns(table);
@@ -104,7 +112,20 @@ void PrintSchema(const sql::Schema& schema) {
       std::printf("%s%s %s", i > 0 ? ", " : "", cols[i].name.c_str(),
                   bat::ValTypeName(cols[i].type));
     }
-    std::printf(")\n");
+    std::printf(")");
+    const auto it = versions.find("sys." + table);
+    if (it != versions.end()) {
+      const auto& v = it->second;
+      std::printf("  -- base v%llu, current v%llu, %llu pending delta%s",
+                  static_cast<unsigned long long>(v.base_version),
+                  static_cast<unsigned long long>(v.current_version),
+                  static_cast<unsigned long long>(v.pending_deltas),
+                  v.pending_deltas == 1 ? "" : "s");
+      if (v.pending_delta_bytes > 0) {
+        std::printf(" (%.1f KiB)", v.pending_delta_bytes / 1024.0);
+      }
+    }
+    std::printf("\n");
   }
 }
 
@@ -204,7 +225,7 @@ int main(int argc, char** argv) {
       }
       if (t == "\\q" || t == "quit" || t == "exit") break;
       if (t == "\\tables") {
-        PrintSchema(ring.SqlSchema());
+        PrintSchema(ring);
         std::printf("dcsql> ");
         std::fflush(stdout);
         continue;

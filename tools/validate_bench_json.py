@@ -13,6 +13,26 @@ import sys
 
 REQUIRED_CASE_KEYS = ("name", "params", "repeats", "p50_ns", "p95_ns", "throughput")
 
+# The read/write smoke row (bench_table4_tpch --writes=N): every write counter
+# the run asserts on must be present, the run must have self-validated, and a
+# drained compactor must have left no pending deltas behind.
+UPDATES_METRIC_KEYS = (
+    "commits", "rows_inserted", "rows_deleted", "deltas_published",
+    "deltas_merged", "deltas_folded", "merges", "compactions",
+    "current_version", "pending_deltas", "validated",
+)
+
+
+def validate_updates_case(path: str, case: dict) -> None:
+    m = case.get("metrics", {})
+    for key in UPDATES_METRIC_KEYS:
+        assert key in m, f"{path}: updates row missing metric {key}"
+    assert m["validated"] == 1, f"{path}: updates row failed self-validation"
+    assert m["rows_inserted"] > 0, f"{path}: updates row inserted no rows"
+    assert m["deltas_published"] > 0, f"{path}: updates row published no deltas"
+    assert m["deltas_folded"] > 0, f"{path}: updates row folded no deltas"
+    assert m["pending_deltas"] == 0, f"{path}: updates row left pending deltas"
+
 
 def validate(path: str) -> None:
     with open(path) as f:
@@ -23,6 +43,8 @@ def validate(path: str) -> None:
         for key in REQUIRED_CASE_KEYS:
             assert key in case, f"{path}: case {case.get('name')} missing {key}"
         assert case["p50_ns"] > 0, f"{path}: case {case['name']} has non-positive p50"
+        if case["name"] == "updates":
+            validate_updates_case(path, case)
 
 
 def main() -> int:
