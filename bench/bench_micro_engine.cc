@@ -9,6 +9,7 @@
 // (query_prepared vs query_reparse, --sessions=1/4/16 concurrency axis).
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -55,6 +56,10 @@ int main(int argc, char** argv) {
   bench::Harness harness("micro_engine", argc, argv, /*default_repeats=*/5,
                          /*default_warmup=*/1);
   const int iters = static_cast<int>(flags.GetInt("iters", 20));
+  // --compression=0 pins the v1 (uncompressed) wire format; the encoded
+  // cases then measure the plain-string/plain-int paths on the same data.
+  const bool compression = flags.GetBool("compression", true);
+  enc::SetWireCompression(compression);
 
   for (size_t n : {size_t{1} << 12, size_t{1} << 16, size_t{1} << 20}) {
     auto b = RandomIntBat(n, 1000, 1);
@@ -192,6 +197,36 @@ int main(int argc, char** argv) {
         x = static_cast<uint32_t>(rng.UniformU64(0, par_rows - 1));
       }
     }
+    // Encoded-kernel inputs, built through the wire round trip so the cases
+    // measure the kernels on exactly what the ring delivers: a
+    // low-cardinality string fragment (a dictionary column when compression
+    // is on, a plain heap when off) and a sorted int64 fragment (a FOR
+    // frame when compression is on).
+    BatPtr dict_bat;
+    std::string sorted_frame;
+    const std::string dict_needle = "grp-0042";
+    {
+      Rng rng(18);
+      ColumnBuilder sb(ValType::kStr);
+      std::string s;
+      char buf[16];
+      for (size_t i = 0; i < par_rows; ++i) {
+        std::snprintf(buf, sizeof(buf), "grp-%04d",
+                      static_cast<int>(rng.UniformU64(0, 63)));
+        sb.AppendString(buf);
+      }
+      auto plain = Bat::MakeColumn(sb.Finish());
+      dict_bat = *Deserialize(Serialize(*plain));
+      std::vector<int64_t> sorted(par_rows);
+      int64_t acc = 1'000'000;
+      for (auto& x : sorted) {
+        acc += static_cast<int64_t>(rng.UniformU64(0, 7));
+        x = acc;
+      }
+      auto sorted_bat = Bat::MakeColumn(MakeLngColumn(std::move(sorted)));
+      sorted_bat->tail()->IsSorted();  // memoize: the FOR codec trigger
+      SerializeInto(*sorted_bat, &sorted_frame);
+    }
 
     for (size_t w : axis) {
       exec::ExecPolicy policy;
@@ -259,6 +294,41 @@ int main(int argc, char** argv) {
         RepResult rep;
         rep.items = static_cast<double>(par_rows);
         rep.metrics["heap_bytes"] = static_cast<double>(col->ByteSize());
+        return rep;
+      });
+
+      harness.Run("dict_select" + suffix, ParParams(par_rows, w, morsel_rows), [&] {
+        // String equality on the ring-delivered column: one dictionary
+        // binary search + a SIMD integer scan over the codes when encoded,
+        // a full heap scan when not.
+        auto r = Select(dict_bat, Value::MakeStr(dict_needle));
+        RepResult rep;
+        rep.items = static_cast<double>(par_rows);
+        rep.metrics["selected"] = r.ok() ? static_cast<double>((*r)->size()) : -1.0;
+        return rep;
+      });
+
+      harness.Run("for_unpack" + suffix, ParParams(par_rows, w, morsel_rows), [&] {
+        // Decode of a sorted int64 fragment: FOR unpack (SIMD gather +
+        // shift) when encoded, a plain memcpy when not.
+        auto restored = Deserialize(sorted_frame);
+        RepResult rep;
+        rep.items = static_cast<double>(par_rows);
+        rep.metrics["rows"] =
+            restored.ok() ? static_cast<double>((*restored)->size()) : -1.0;
+        return rep;
+      });
+
+      harness.Run("encoded_roundtrip" + suffix, ParParams(par_rows, w, morsel_rows), [&] {
+        // Full encode + decode of the low-cardinality string fragment (the
+        // string-heavy counterpart of serialize_roundtrip below).
+        std::string frame;
+        SerializeInto(*dict_bat, &frame);
+        auto restored = Deserialize(frame);
+        RepResult rep;
+        rep.items = static_cast<double>(par_rows);
+        rep.metrics["frame_bytes"] =
+            restored.ok() ? static_cast<double>(frame.size()) : -1.0;
         return rep;
       });
     }
@@ -377,6 +447,66 @@ X4 := aggr.sum(X3);
             return rep;
           });
     }
+  }
+
+  // Wire-compression accounting over representative fragments (string-heavy,
+  // sorted-int, random-int), mirroring the ring-level `bandwidth` row of
+  // bench_table4_tpch. No ring hops here, so bytes/hop is bytes/frame.
+  {
+    const size_t n = size_t{1} << 16;
+    std::vector<BatPtr> frags;
+    {
+      Rng rng(19);
+      ColumnBuilder sb(ValType::kStr);
+      char buf[16];
+      for (size_t i = 0; i < n; ++i) {
+        std::snprintf(buf, sizeof(buf), "grp-%04d",
+                      static_cast<int>(rng.UniformU64(0, 63)));
+        sb.AppendString(buf);
+      }
+      frags.push_back(Bat::MakeColumn(sb.Finish()));
+      std::vector<int64_t> sorted(n);
+      int64_t acc = 1'000'000;
+      for (auto& x : sorted) {
+        acc += static_cast<int64_t>(rng.UniformU64(0, 7));
+        x = acc;
+      }
+      frags.push_back(Bat::MakeColumn(MakeLngColumn(std::move(sorted))));
+      frags.back()->tail()->IsSorted();  // memoize: the FOR codec trigger
+      frags.push_back(RandomIntBat(n, 1 << 30, 20));
+    }
+    CodecStats total;
+    for (const BatPtr& f : frags) {
+      const FrameEncoder e(*f);
+      total.raw_bytes += e.stats().raw_bytes;
+      total.wire_bytes += e.stats().wire_bytes;
+      total.dict_columns += e.stats().dict_columns;
+      total.for_columns += e.stats().for_columns;
+      total.plain_columns += e.stats().plain_columns;
+    }
+    harness.Run("bandwidth",
+                {{"n", std::to_string(n)},
+                 {"compression", compression ? "1" : "0"}},
+                [&] {
+                  RepResult rep;
+                  rep.items = static_cast<double>(frags.size());
+                  rep.metrics["frames"] = static_cast<double>(frags.size());
+                  rep.metrics["raw_bytes"] = static_cast<double>(total.raw_bytes);
+                  rep.metrics["wire_bytes"] = static_cast<double>(total.wire_bytes);
+                  rep.metrics["bytes_per_hop"] =
+                      static_cast<double>(total.wire_bytes) /
+                      static_cast<double>(frags.size());
+                  rep.metrics["encoded_vs_raw_bytes"] =
+                      total.raw_bytes ? static_cast<double>(total.wire_bytes) /
+                                            static_cast<double>(total.raw_bytes)
+                                      : 1.0;
+                  rep.metrics["dict_columns"] = static_cast<double>(total.dict_columns);
+                  rep.metrics["for_columns"] = static_cast<double>(total.for_columns);
+                  rep.metrics["plain_columns"] =
+                      static_cast<double>(total.plain_columns);
+                  rep.metrics["compression"] = compression ? 1.0 : 0.0;
+                  return rep;
+                });
   }
 
   // Ring hot path: encode + decode round trip of a column fragment, with a

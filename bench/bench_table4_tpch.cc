@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bat/encoding.h"
 #include "bench/harness.h"
 #include "common/flags.h"
 #include "rdma/fault.h"
@@ -110,6 +111,11 @@ int main(int argc, char** argv) {
   const uint32_t writes = static_cast<uint32_t>(flags.GetInt("writes", 0));
   const uint32_t write_threads =
       static_cast<uint32_t>(flags.GetInt("write_threads", 2));
+  // --compression=0 ships uncompressed v1 frames (the pre-codec wire format);
+  // answers must stay bit-identical either way. The `bandwidth` row records
+  // what the codecs bought.
+  const bool compression = flags.GetBool("compression", true);
+  bat::enc::SetWireCompression(compression);
 
   std::printf("# Table 4 -- live TPC-H at scale %.3f: SQL -> MAL -> %u-node ring\n",
               scale, nodes);
@@ -294,6 +300,46 @@ int main(int argc, char** argv) {
                     static_cast<double>(mem.refetched_from_ring);
                 return rep;
               });
+  // Wire-compression counters as their own bench row: bytes/hop and the
+  // encoded/raw ratio are the headline numbers of the codec layer.
+  const runtime::RingCluster::BandwidthMetrics bw = ring.Bandwidth();
+  harness.Run("bandwidth",
+              {{"scale", Fmt("%.3f", scale)},
+               {"nodes", std::to_string(nodes)},
+               {"compression", compression ? "1" : "0"}},
+              [&] {
+                bench::RepResult rep;
+                rep.items = 1;
+                rep.metrics["frames"] = static_cast<double>(bw.frames_encoded);
+                rep.metrics["raw_bytes"] = static_cast<double>(bw.raw_bytes);
+                rep.metrics["wire_bytes"] = static_cast<double>(bw.wire_bytes);
+                rep.metrics["bytes_per_hop"] =
+                    bw.hops ? static_cast<double>(bw.hop_bytes) /
+                                  static_cast<double>(bw.hops)
+                            : 0.0;
+                rep.metrics["encoded_vs_raw_bytes"] =
+                    bw.raw_bytes ? static_cast<double>(bw.wire_bytes) /
+                                       static_cast<double>(bw.raw_bytes)
+                                 : 1.0;
+                rep.metrics["dict_columns"] = static_cast<double>(bw.dict_columns);
+                rep.metrics["for_columns"] = static_cast<double>(bw.for_columns);
+                rep.metrics["plain_columns"] = static_cast<double>(bw.plain_columns);
+                rep.metrics["compression"] = compression ? 1.0 : 0.0;
+                return rep;
+              });
+  std::printf(
+      "bandwidth: %llu frames encoded, %llu -> %llu bytes (ratio %.3f), "
+      "%.0f bytes/hop over %llu hops (%llu dict / %llu for / %llu plain columns)\n",
+      static_cast<unsigned long long>(bw.frames_encoded),
+      static_cast<unsigned long long>(bw.raw_bytes),
+      static_cast<unsigned long long>(bw.wire_bytes),
+      bw.raw_bytes ? static_cast<double>(bw.wire_bytes) / static_cast<double>(bw.raw_bytes)
+                   : 1.0,
+      bw.hops ? static_cast<double>(bw.hop_bytes) / static_cast<double>(bw.hops) : 0.0,
+      static_cast<unsigned long long>(bw.hops),
+      static_cast<unsigned long long>(bw.dict_columns),
+      static_cast<unsigned long long>(bw.for_columns),
+      static_cast<unsigned long long>(bw.plain_columns));
   if (budget_mb > 0) {
     std::printf(
         "memory: %llu spills (%llu bytes), %llu evictions, %llu promotions, "

@@ -79,6 +79,32 @@ bool Column::IsSorted() const {
   return sorted;
 }
 
+uint32_t DictStrColumn::LowerBoundCode(std::string_view v) const {
+  uint32_t lo = 0, hi = static_cast<uint32_t>(dict_->size());
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (dict_->GetString(mid) < v) lo = mid + 1;
+    else hi = mid;
+  }
+  return lo;
+}
+
+uint32_t DictStrColumn::UpperBoundCode(std::string_view v) const {
+  uint32_t lo = 0, hi = static_cast<uint32_t>(dict_->size());
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (dict_->GetString(mid) <= v) lo = mid + 1;
+    else hi = mid;
+  }
+  return lo;
+}
+
+uint32_t DictStrColumn::FindCode(std::string_view v) const {
+  const uint32_t c = LowerBoundCode(v);
+  if (c < dict_->size() && dict_->GetString(c) == v) return c;
+  return kNoCode;
+}
+
 ColumnBuilder::ColumnBuilder(ValType type) : type_(type) {}
 
 void ColumnBuilder::AppendInt64(int64_t v) {
@@ -200,6 +226,20 @@ void ColumnBuilder::AppendColumnRange(const Column& c, size_t begin, size_t n) {
       AppendRaw(static_cast<const char*>(c.RawData()) + begin * ValTypeWidth(c.type()), n);
       return;
     }
+    case ColumnKind::kDict: {
+      DCY_CHECK(type_ == ValType::kStr);
+      // Builders materialize plain strings; decode the codes row by row.
+      const auto& dc = static_cast<const DictStrColumn&>(c);
+      const uint32_t* codes = dc.codes().data();
+      const StrColumn& dict = *dc.dict();
+      offsets_.reserve(offsets_.size() + n);
+      for (size_t i = 0; i < n; ++i) {
+        heap_.append(dict.GetString(codes[begin + i]));
+        offsets_.push_back(static_cast<uint32_t>(heap_.size()));
+      }
+      count_ += n;
+      return;
+    }
   }
 }
 
@@ -242,6 +282,18 @@ void ColumnBuilder::AppendGather(const Column& c, const uint32_t* idx, size_t n)
           GatherInto(&dbls_, static_cast<const double*>(c.RawData()), idx, n);
           break;
         default: DCY_FATAL() << "bad fixed storage";
+      }
+      break;
+    }
+    case ColumnKind::kDict: {
+      DCY_CHECK(type_ == ValType::kStr);
+      const auto& dc = static_cast<const DictStrColumn&>(c);
+      const uint32_t* codes = dc.codes().data();
+      const StrColumn& dict = *dc.dict();
+      offsets_.reserve(offsets_.size() + n);
+      for (size_t i = 0; i < n; ++i) {
+        heap_.append(dict.GetString(codes[idx[i]]));
+        offsets_.push_back(static_cast<uint32_t>(heap_.size()));
       }
       break;
     }

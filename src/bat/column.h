@@ -61,6 +61,7 @@ enum class ColumnKind : uint8_t {
   kFixed,  ///< materialized fixed-width array (FixedColumn<T>)
   kDense,  ///< virtual dense oid range (DenseOidColumn)
   kStr,    ///< offsets + byte heap (StrColumn)
+  kDict,   ///< dictionary-encoded strings: sorted dict + u32 codes (DictStrColumn)
 };
 
 /// \brief Read-only typed view over a contiguous fixed-width payload; the
@@ -124,6 +125,17 @@ class Column {
   /// the caching behaviour; not meaningful to operators).
   bool SortednessKnown() const {
     return sorted_cache_.load(std::memory_order_acquire) != kSortedUnknown;
+  }
+
+  /// Seeds the memoized IsSorted() cache from an external classification —
+  /// the wire frame carries the sender's answer so receivers never rescan
+  /// a column the sender already classified. First writer wins; a column
+  /// that has already scanned (or been seeded) keeps its answer.
+  void SeedSortedness(bool sorted) const {
+    int8_t expected = kSortedUnknown;
+    sorted_cache_.compare_exchange_strong(expected, sorted ? 1 : 0,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
   }
 
  protected:
@@ -212,6 +224,56 @@ class StrColumn final : public Column {
  private:
   std::vector<uint32_t> offsets_;
   std::string heap_;
+};
+
+/// \brief Dictionary-encoded string column: a lexicographically *sorted*
+/// dictionary (shared between columns decoded from the same frame and across
+/// gathers) plus one u32 code per row. Because the dictionary is sorted,
+/// code order equals string order, so comparisons, range predicates, sorts
+/// and group-ids can run on the codes without touching the heap
+/// (bat/encoding.h has the code-space kernels). Produced by deserializing a
+/// dictionary-coded wire frame; builders always materialize plain strings.
+class DictStrColumn final : public Column {
+ public:
+  /// Sentinel for "string absent from the dictionary".
+  static constexpr uint32_t kNoCode = 0xFFFFFFFFu;
+
+  DictStrColumn(std::shared_ptr<const StrColumn> dict, std::vector<uint32_t> codes)
+      : Column(ColumnKind::kDict, ValType::kStr, codes.size()),
+        dict_(std::move(dict)),
+        codes_(std::move(codes)) {
+    DCY_DCHECK(dict_ != nullptr);
+  }
+
+  int64_t GetInt64(size_t) const override {
+    DCY_FATAL() << "GetInt64 on dict string column";
+    return 0;
+  }
+  double GetDouble(size_t) const override {
+    DCY_FATAL() << "GetDouble on dict string column";
+    return 0;
+  }
+  std::string_view GetString(size_t i) const override {
+    return dict_->GetString(codes_[i]);
+  }
+  uint64_t ByteSize() const override {
+    return codes_.size() * sizeof(uint32_t) + dict_->ByteSize();
+  }
+
+  const std::vector<uint32_t>& codes() const { return codes_; }
+  const std::shared_ptr<const StrColumn>& dict() const { return dict_; }
+  size_t dict_size() const { return dict_->size(); }
+
+  /// Code of the first dictionary entry >= v (== dict_size() when none).
+  uint32_t LowerBoundCode(std::string_view v) const;
+  /// Code of the first dictionary entry > v (== dict_size() when none).
+  uint32_t UpperBoundCode(std::string_view v) const;
+  /// Exact-match code for v, or kNoCode when v is not in the dictionary.
+  uint32_t FindCode(std::string_view v) const;
+
+ private:
+  std::shared_ptr<const StrColumn> dict_;
+  std::vector<uint32_t> codes_;
 };
 
 /// \brief Append-only builder producing an immutable Column.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
+#include "bat/encoding.h"
 #include "common/logging.h"
 
 namespace dcy::bat::kernels {
@@ -203,6 +205,24 @@ ColumnPtr Gather(const Column& c, const uint32_t* idx, size_t n) {
     }
     case ColumnKind::kStr:
       return GatherStr(static_cast<const StrColumn&>(c), idx, n);
+    case ColumnKind::kDict: {
+      // Gather the codes (SIMD) and share the dictionary: the result stays
+      // encoded, so downstream selects/groupings keep their code fast paths
+      // and no string bytes move.
+      const auto& dc = static_cast<const DictStrColumn&>(c);
+      const uint32_t* codes = dc.codes().data();
+      std::vector<uint32_t> out(n);
+      const MorselPlan plan = PlanMorsels(n);
+      if (!plan.parallel) {
+        enc::GatherU32(codes, idx, n, out.data());
+      } else {
+        uint32_t* o = out.data();
+        ForEachMorsel(plan, n, [&](size_t, size_t b, size_t e) {
+          enc::GatherU32(codes, idx + b, e - b, o + b);
+        });
+      }
+      return std::make_shared<DictStrColumn>(dc.dict(), std::move(out));
+    }
     case ColumnKind::kFixed:
       switch (c.type()) {
         case ValType::kOid:
@@ -228,6 +248,18 @@ ColumnPtr Gather(const Column& c, const uint32_t* idx, size_t n) {
 
 namespace {
 
+/// Clamps an int64 range predicate to the int32 domain — the semantics the
+/// scalar loop gets from widening each element before comparing. Returns
+/// false when no int32 value can satisfy the predicate.
+bool ClampToI32(int64_t lo, int64_t hi, int32_t* lo32, int32_t* hi32) {
+  constexpr int64_t kMin = std::numeric_limits<int32_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int32_t>::max();
+  if (lo > hi || lo > kMax || hi < kMin) return false;
+  *lo32 = static_cast<int32_t>(std::max(lo, kMin));
+  *hi32 = static_cast<int32_t>(std::min(hi, kMax));
+  return true;
+}
+
 /// Filters rows [begin, end) only, appending absolute positions — the
 /// morsel building block of the adaptive selects below.
 /// SelectRange(c, ...) == SelectRangeSpan(c, 0, c.size(), ...).
@@ -236,11 +268,24 @@ size_t SelectRangeSpan(const Column& c, size_t begin, size_t end, const Value& l
   const size_t before = sel->size();
   if (c.type() == ValType::kStr) {
     if (lo.type == ValType::kStr && hi.type == ValType::kStr) {
-      const auto& sc = static_cast<const StrColumn&>(c);
-      const std::string_view lov = lo.s, hiv = hi.s;
-      for (size_t i = begin; i < end; ++i) {
-        const std::string_view v = sc.GetString(i);
-        if (lov <= v && v <= hiv) sel->push_back(static_cast<uint32_t>(i));
+      if (c.kind() == ColumnKind::kDict) {
+        // Sorted dictionary: the string range maps to a code range, so the
+        // scan never touches the heap — two binary searches plus a SIMD
+        // integer range select over the codes.
+        const auto& dc = static_cast<const DictStrColumn&>(c);
+        const uint32_t lo_code = dc.LowerBoundCode(lo.s);
+        const uint32_t hi_code = dc.UpperBoundCode(hi.s);  // exclusive
+        if (lo_code < hi_code) {
+          enc::SelectRangeU32(dc.codes().data(), begin, end, lo_code,
+                              hi_code - 1, sel);
+        }
+      } else {
+        const auto& sc = static_cast<const StrColumn&>(c);
+        const std::string_view lov = lo.s, hiv = hi.s;
+        for (size_t i = begin; i < end; ++i) {
+          const std::string_view v = sc.GetString(i);
+          if (lov <= v && v <= hiv) sel->push_back(static_cast<uint32_t>(i));
+        }
       }
     } else {
       // Exotic mix; keep the boxed semantics bit-for-bit.
@@ -252,8 +297,8 @@ size_t SelectRangeSpan(const Column& c, size_t begin, size_t end, const Value& l
     return sel->size() - before;
   }
   if (c.type() == ValType::kDbl) {
-    RangeLoop(static_cast<const double*>(c.RawData()), begin, end, lo.AsDouble(),
-              hi.AsDouble(), sel);
+    enc::SelectRangeF64(static_cast<const double*>(c.RawData()), begin, end,
+                        lo.AsDouble(), hi.AsDouble(), sel);
     return sel->size() - before;
   }
   const bool any_dbl_bound = lo.type == ValType::kDbl || hi.type == ValType::kDbl;
@@ -280,7 +325,10 @@ size_t SelectRangeSpan(const Column& c, size_t begin, size_t end, const Value& l
         MixedRangeLoop(begin, end, lo, hi, sel,
                        [d](size_t i) { return static_cast<int64_t>(d[i]); });
       } else {
-        RangeLoop(d, begin, end, lo.AsInt64(), hi.AsInt64(), sel);
+        // Same bit pattern and the same signed compare RangeLoop's
+        // static_cast<int64_t> would do.
+        enc::SelectRangeI64(reinterpret_cast<const int64_t*>(d), begin, end,
+                            lo.AsInt64(), hi.AsInt64(), sel);
       }
       break;
     }
@@ -291,7 +339,10 @@ size_t SelectRangeSpan(const Column& c, size_t begin, size_t end, const Value& l
         MixedRangeLoop(begin, end, lo, hi, sel,
                        [d](size_t i) { return static_cast<int64_t>(d[i]); });
       } else {
-        RangeLoop(d, begin, end, lo.AsInt64(), hi.AsInt64(), sel);
+        int32_t lo32 = 0, hi32 = 0;
+        if (ClampToI32(lo.AsInt64(), hi.AsInt64(), &lo32, &hi32)) {
+          enc::SelectRangeI32(d, begin, end, lo32, hi32, sel);
+        }
       }
       break;
     }
@@ -300,7 +351,7 @@ size_t SelectRangeSpan(const Column& c, size_t begin, size_t end, const Value& l
       if (any_dbl_bound) {
         MixedRangeLoop(begin, end, lo, hi, sel, [d](size_t i) { return d[i]; });
       } else {
-        RangeLoop(d, begin, end, lo.AsInt64(), hi.AsInt64(), sel);
+        enc::SelectRangeI64(d, begin, end, lo.AsInt64(), hi.AsInt64(), sel);
       }
       break;
     }
@@ -313,10 +364,20 @@ size_t SelectEqSpan(const Column& c, size_t begin, size_t end, const Value& v,
                     SelVec* sel) {
   const size_t before = sel->size();
   if (c.type() == ValType::kStr) {
-    const auto& sc = static_cast<const StrColumn&>(c);
-    const std::string_view key = v.s;
-    for (size_t i = begin; i < end; ++i) {
-      if (sc.GetString(i) == key) sel->push_back(static_cast<uint32_t>(i));
+    if (c.kind() == ColumnKind::kDict) {
+      // One binary search resolves the key to a code (or proves it absent);
+      // the heap is never touched during the scan.
+      const auto& dc = static_cast<const DictStrColumn&>(c);
+      const uint32_t code = dc.FindCode(v.s);
+      if (code != DictStrColumn::kNoCode) {
+        enc::SelectEqU32(dc.codes().data(), begin, end, code, sel);
+      }
+    } else {
+      const auto& sc = static_cast<const StrColumn&>(c);
+      const std::string_view key = v.s;
+      for (size_t i = begin; i < end; ++i) {
+        if (sc.GetString(i) == key) sel->push_back(static_cast<uint32_t>(i));
+      }
     }
     return sel->size() - before;
   }
@@ -344,7 +405,10 @@ size_t SelectEqSpan(const Column& c, size_t begin, size_t end, const Value& v,
       if (dbl_domain) {
         EqLoop(static_cast<const Oid*>(c.RawData()), begin, end, v.AsDouble(), sel);
       } else {
-        EqLoop(static_cast<const Oid*>(c.RawData()), begin, end, v.AsInt64(), sel);
+        // Same bit pattern and the same signed compare EqLoop's
+        // static_cast<int64_t> would do.
+        enc::SelectEqI64(reinterpret_cast<const int64_t*>(c.RawData()), begin,
+                         end, v.AsInt64(), sel);
       }
       break;
     case ValType::kInt:
@@ -352,18 +416,25 @@ size_t SelectEqSpan(const Column& c, size_t begin, size_t end, const Value& v,
       if (dbl_domain) {
         EqLoop(static_cast<const int32_t*>(c.RawData()), begin, end, v.AsDouble(), sel);
       } else {
-        EqLoop(static_cast<const int32_t*>(c.RawData()), begin, end, v.AsInt64(), sel);
+        int32_t k32 = 0, k32hi = 0;
+        const int64_t key = v.AsInt64();
+        if (ClampToI32(key, key, &k32, &k32hi)) {
+          enc::SelectEqI32(static_cast<const int32_t*>(c.RawData()), begin, end,
+                           k32, sel);
+        }
       }
       break;
     case ValType::kLng:
       if (dbl_domain) {
         EqLoop(static_cast<const int64_t*>(c.RawData()), begin, end, v.AsDouble(), sel);
       } else {
-        EqLoop(static_cast<const int64_t*>(c.RawData()), begin, end, v.AsInt64(), sel);
+        enc::SelectEqI64(static_cast<const int64_t*>(c.RawData()), begin, end,
+                         v.AsInt64(), sel);
       }
       break;
     case ValType::kDbl:
-      EqLoop(static_cast<const double*>(c.RawData()), begin, end, v.AsDouble(), sel);
+      enc::SelectEqF64(static_cast<const double*>(c.RawData()), begin, end,
+                       v.AsDouble(), sel);
       break;
     default: DCY_FATAL() << "SelectEq: bad dispatch";
   }
@@ -461,7 +532,8 @@ void ExtractInt64Keys(const Column& c, std::vector<int64_t>* keys) {
         case ValType::kStr: break;
       }
       break;
-    case ColumnKind::kStr: break;
+    case ColumnKind::kStr:
+    case ColumnKind::kDict: break;
   }
   DCY_FATAL() << "ExtractInt64Keys on " << ValTypeName(c.type()) << " column";
 }
@@ -506,7 +578,8 @@ void ExtractDoubleKeys(const Column& c, std::vector<double>* keys) {
         case ValType::kStr: break;
       }
       break;
-    case ColumnKind::kStr: break;
+    case ColumnKind::kStr:
+    case ColumnKind::kDict: break;
   }
   DCY_FATAL() << "ExtractDoubleKeys on " << ValTypeName(c.type()) << " column";
 }

@@ -127,9 +127,10 @@ BatPtr EmitJoin(const Bat& l, const Bat& r, const SelVec& li, const SelVec& ri) 
 BatPtr MergeJoinImpl(const Bat& l, const Bat& r) {
   SelVec li, ri;
   if (l.tail_type() == ValType::kStr) {
-    // String merge: compare heap views directly (no per-row boxing).
-    const auto& lt = static_cast<const StrColumn&>(*l.tail());
-    const auto& rh = static_cast<const StrColumn&>(*r.head());
+    // String merge: compare string views directly (no per-row boxing); the
+    // virtual GetString serves plain heaps and dictionary columns alike.
+    const Column& lt = *l.tail();
+    const Column& rh = *r.head();
     size_t i = 0, j = 0;
     while (i < l.size() && j < r.size()) {
       const int cmp = lt.GetString(i).compare(rh.GetString(j));
@@ -171,10 +172,38 @@ BatPtr MergeJoinImpl(const Bat& l, const Bat& r) {
 BatPtr HashJoinImpl(const Bat& l, const Bat& r) {
   SelVec li, ri;
   if (l.tail_type() == ValType::kStr) {
+    const size_t rn = r.size();
+    if (r.head()->kind() == ColumnKind::kDict) {
+      // Dictionary build side: the dict is the hash table. Chain duplicate
+      // codes through next[] (reverse insertion keeps chains ascending);
+      // probes resolve to a code either for free (shared dict) or with one
+      // binary search, never hashing a string.
+      const auto& bd = static_cast<const DictStrColumn&>(*r.head());
+      const uint32_t* bc = bd.codes().data();
+      std::vector<uint32_t> head(bd.dict_size(), FlatTable::kNone);
+      std::vector<uint32_t> next(rn, FlatTable::kNone);
+      for (size_t j = rn; j-- > 0;) {
+        next[j] = head[bc[j]];
+        head[bc[j]] = static_cast<uint32_t>(j);
+      }
+      const auto* pd = l.tail()->kind() == ColumnKind::kDict
+                           ? static_cast<const DictStrColumn*>(l.tail().get())
+                           : nullptr;
+      const bool same_dict = pd != nullptr && pd->dict() == bd.dict();
+      for (size_t i = 0; i < l.size(); ++i) {
+        const uint32_t code = same_dict ? pd->codes()[i]
+                                        : bd.FindCode(l.tail()->GetString(i));
+        if (code == DictStrColumn::kNoCode) continue;
+        for (uint32_t j = head[code]; j != FlatTable::kNone; j = next[j]) {
+          li.push_back(static_cast<uint32_t>(i));
+          ri.push_back(j);
+        }
+      }
+      return EmitJoin(l, r, li, ri);
+    }
     // String build side: chain duplicate keys through next[] so probes emit
     // ascending build rows; string_view keys borrow the heap (no per-row
     // std::string allocation).
-    const size_t rn = r.size();
     std::unordered_map<std::string_view, uint32_t> first;
     first.reserve(rn);
     std::vector<uint32_t> next(rn, FlatTable::kNone);
@@ -462,12 +491,27 @@ Result<BatPtr> GroupId(const BatPtr& b) {
   const size_t n = b->size();
   std::vector<Oid> gids(n);
   if (b->tail_type() == ValType::kStr) {
-    std::unordered_map<std::string_view, Oid> groups;
-    groups.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      auto [it, _] =
-          groups.try_emplace(b->tail()->GetString(i), static_cast<Oid>(groups.size()));
-      gids[i] = it->second;
+    if (b->tail()->kind() == ColumnKind::kDict) {
+      // Equal strings share a code (the dict is unique), so grouping is a
+      // flat code -> gid table; gids still issue in first-appearance order.
+      const auto& dc = static_cast<const DictStrColumn&>(*b->tail());
+      const uint32_t* codes = dc.codes().data();
+      constexpr Oid kUnseen = ~Oid{0};
+      std::vector<Oid> code_gid(dc.dict_size(), kUnseen);
+      Oid issued = 0;
+      for (size_t i = 0; i < n; ++i) {
+        Oid& g = code_gid[codes[i]];
+        if (g == kUnseen) g = issued++;
+        gids[i] = g;
+      }
+    } else {
+      std::unordered_map<std::string_view, Oid> groups;
+      groups.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        auto [it, _] =
+            groups.try_emplace(b->tail()->GetString(i), static_cast<Oid>(groups.size()));
+        gids[i] = it->second;
+      }
     }
   } else {
     // Bit-cast keys (doubles by pattern), one flat array pass; 8-byte key
@@ -712,7 +756,8 @@ Result<Value> Extreme(const BatPtr& b, bool max, const char* op) {
         default: break;
       }
       break;
-    case ColumnKind::kStr: break;  // excluded by CheckNumeric
+    case ColumnKind::kStr:
+    case ColumnKind::kDict: break;  // excluded by CheckNumeric
   }
   return t.GetValue(best);
 }
@@ -1032,6 +1077,13 @@ SelVec SortedPositions(const Column& tail) {
     return idx;
   }
   if (tail.type() == ValType::kStr) {
+    if (tail.kind() == ColumnKind::kDict) {
+      // Sorted dictionary: code order is string order, so the sort never
+      // touches the heap.
+      const uint32_t* kd =
+          static_cast<const DictStrColumn&>(tail).codes().data();
+      return ArgSortStable(n, [kd](uint32_t a, uint32_t c) { return kd[a] < kd[c]; });
+    }
     const auto& sc = static_cast<const StrColumn&>(tail);
     return ArgSortStable(
         n, [&sc](uint32_t a, uint32_t c) { return sc.GetString(a) < sc.GetString(c); });
@@ -1067,11 +1119,20 @@ Result<BatPtr> TopN(const BatPtr& b, size_t n, bool descending) {
   // stable order), so sequential, parallel, and scalar-reference TopN agree
   // on duplicate keys.
   if (tail.type() == ValType::kStr) {
-    const auto& sc = static_cast<const StrColumn&>(tail);
-    idx = TopKPositions(b->size(), k, [&sc, descending](uint32_t a, uint32_t c) {
-      const int cmp = sc.GetString(a).compare(sc.GetString(c));
-      return descending ? cmp > 0 : cmp < 0;
-    });
+    if (tail.kind() == ColumnKind::kDict) {
+      // Sorted dictionary: compare codes instead of heap strings.
+      const uint32_t* kd =
+          static_cast<const DictStrColumn&>(tail).codes().data();
+      idx = TopKPositions(b->size(), k, [kd, descending](uint32_t a, uint32_t c) {
+        return descending ? kd[c] < kd[a] : kd[a] < kd[c];
+      });
+    } else {
+      const auto& sc = static_cast<const StrColumn&>(tail);
+      idx = TopKPositions(b->size(), k, [&sc, descending](uint32_t a, uint32_t c) {
+        const int cmp = sc.GetString(a).compare(sc.GetString(c));
+        return descending ? cmp > 0 : cmp < 0;
+      });
+    }
   } else if (tail.type() == ValType::kDbl) {
     std::vector<double> keys;
     kernels::ExtractDoubleKeys(tail, &keys);

@@ -152,6 +152,18 @@ class RingCluster::Node final : public core::DcEnv {
     uint64_t decode_failures = 0;
   };
 
+  /// Wire-compression bookkeeping of this node's serialize/send path.
+  struct WireMetrics {
+    uint64_t frames_encoded = 0;
+    uint64_t raw_bytes = 0;
+    uint64_t wire_bytes = 0;
+    uint64_t hops = 0;
+    uint64_t hop_bytes = 0;
+    uint64_t dict_columns = 0;
+    uint64_t for_columns = 0;
+    uint64_t plain_columns = 0;
+  };
+
   Node(RingCluster* cluster, core::NodeId id)
       : cluster_(cluster),
         id_(id),
@@ -244,6 +256,19 @@ class RingCluster::Node final : public core::DcEnv {
     out->orphan_frames_dropped += hop_.orphan_frames_dropped;
     out->frames_adopted += hop_.frames_adopted;
     out->decode_failures += hop_.decode_failures;
+  }
+
+  /// Service-thread-owned wire-compression counters, summed. Call via
+  /// PostSync (or any serialized context on a crashed node).
+  void SnapshotBandwidth(RingCluster::BandwidthMetrics* out) const {
+    out->frames_encoded += wire_.frames_encoded;
+    out->raw_bytes += wire_.raw_bytes;
+    out->wire_bytes += wire_.wire_bytes;
+    out->hops += wire_.hops;
+    out->hop_bytes += wire_.hop_bytes;
+    out->dict_columns += wire_.dict_columns;
+    out->for_columns += wire_.for_columns;
+    out->plain_columns += wire_.plain_columns;
   }
 
   // ---- lifecycle -------------------------------------------------------------
@@ -560,8 +585,18 @@ class RingCluster::Node final : public core::DcEnv {
       }
       // Serialize into a pooled frame: the frame circulates the ring
       // zero-copy and returns to this pool when the last hop releases it.
-      auto frame = frame_pool_.Acquire(bat::EncodedSize(**b));
-      bat::SerializeInto(**b, frame.get());
+      // FrameEncoder plans per-column codecs once for both the size and
+      // the encode, and reports what compression bought this frame.
+      const bat::FrameEncoder enc(**b);
+      auto frame = frame_pool_.Acquire(enc.encoded_size());
+      enc.SerializeInto(frame.get());
+      const bat::CodecStats& cs = enc.stats();
+      ++wire_.frames_encoded;
+      wire_.raw_bytes += cs.raw_bytes;
+      wire_.wire_bytes += cs.wire_bytes;
+      wire_.dict_columns += cs.dict_columns;
+      wire_.for_columns += cs.for_columns;
+      wire_.plain_columns += cs.plain_columns;
       payload_crc = bat::Crc32(frame->data(), frame->size());
       payload = std::move(frame);
     } else {
@@ -578,6 +613,8 @@ class RingCluster::Node final : public core::DcEnv {
       }
       payload_crc = current_payload_crc_;
     }
+    ++wire_.hops;
+    wire_.hop_bytes += payload->size();
     Node* succ = successor_.load(std::memory_order_acquire);
     net::DataFrame df;
     df.frame = data_out_.NextHeader(HeaderCrc(header) ^ payload_crc);
@@ -1159,6 +1196,7 @@ class RingCluster::Node final : public core::DcEnv {
   net::ReliableReceiver data_rx_;  // frames from predecessor(s)
   net::ReliableReceiver req_rx_;   // frames from successor(s)
   HopMetrics hop_;
+  WireMetrics wire_;
   SimTime last_heard_succ_ = 0;
   SimTime last_heard_pred_ = 0;
 
@@ -1982,6 +2020,15 @@ RingCluster::ResilienceMetrics RingCluster::Resilience() const {
     out.last_recovery_seconds = last_recovery_seconds_;
   }
   out.unavailable_failures = unavailable_failures_.load(std::memory_order_relaxed);
+  return out;
+}
+
+RingCluster::BandwidthMetrics RingCluster::Bandwidth() const {
+  BandwidthMetrics out;
+  for (const auto& node : nodes_) {
+    Node* n = node.get();
+    n->PostSync([n, &out] { n->SnapshotBandwidth(&out); });
+  }
   return out;
 }
 

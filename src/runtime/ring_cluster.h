@@ -271,6 +271,21 @@ class RingCluster {
   };
   ResilienceMetrics Resilience() const;
 
+  /// \brief Wire-compression accounting summed over all nodes: what the
+  /// ring actually shipped vs the uncompressed v1 frames it would have.
+  struct BandwidthMetrics {
+    uint64_t frames_encoded = 0;  ///< BAT frames serialized for the ring
+    uint64_t raw_bytes = 0;       ///< v1-equivalent (uncompressed) frame bytes
+    uint64_t wire_bytes = 0;      ///< frame bytes actually produced
+    uint64_t hops = 0;            ///< payload-bearing data-frame sends
+    uint64_t hop_bytes = 0;       ///< payload bytes summed over those sends
+    // Per-column codec choices across all encoded frames.
+    uint64_t dict_columns = 0;
+    uint64_t for_columns = 0;
+    uint64_t plain_columns = 0;
+  };
+  BandwidthMetrics Bandwidth() const;
+
   /// Memory gauges and two-tier counters of one node's fragment store.
   storage::MemoryMetrics NodeMemory(core::NodeId node) const;
   /// The same, summed over every node.

@@ -23,6 +23,31 @@ UPDATES_METRIC_KEYS = (
 )
 
 
+# The wire-compression row (bench_table4_tpch / bench_micro_engine): the
+# codec accounting must be present and self-consistent. With compression off
+# the frames are the v1 layout verbatim, so encoded/raw must be ~1.0; with it
+# on the ratio is workload-dependent (incompressible columns pay one encoding
+# byte each), so only positivity is asserted.
+BANDWIDTH_METRIC_KEYS = (
+    "frames", "raw_bytes", "wire_bytes", "bytes_per_hop",
+    "encoded_vs_raw_bytes", "dict_columns", "for_columns", "plain_columns",
+    "compression",
+)
+
+
+def validate_bandwidth_case(path: str, case: dict) -> None:
+    m = case.get("metrics", {})
+    for key in BANDWIDTH_METRIC_KEYS:
+        assert key in m, f"{path}: bandwidth row missing metric {key}"
+    ratio = m["encoded_vs_raw_bytes"]
+    assert ratio > 0, f"{path}: bandwidth row has non-positive ratio {ratio}"
+    if m["compression"] == 0:
+        assert abs(ratio - 1.0) < 1e-9, \
+            f"{path}: compression off but encoded/raw ratio is {ratio}"
+        assert m["dict_columns"] == 0 and m["for_columns"] == 0, \
+            f"{path}: compression off but codec columns were counted"
+
+
 def validate_updates_case(path: str, case: dict) -> None:
     m = case.get("metrics", {})
     for key in UPDATES_METRIC_KEYS:
@@ -45,6 +70,8 @@ def validate(path: str) -> None:
         assert case["p50_ns"] > 0, f"{path}: case {case['name']} has non-positive p50"
         if case["name"] == "updates":
             validate_updates_case(path, case)
+        if case["name"] == "bandwidth":
+            validate_bandwidth_case(path, case)
 
 
 def main() -> int:
